@@ -1,0 +1,60 @@
+//===- bench/BenchCommon.cpp ---------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace impact;
+using namespace impact::bench;
+
+unsigned impact::bench::countSourceLines(const std::string &Source) {
+  unsigned Lines = 0;
+  for (char C : Source)
+    Lines += C == '\n' ? 1 : 0;
+  return Lines;
+}
+
+std::vector<SuiteRun>
+impact::bench::runSuiteExperiment(const PipelineOptions &Options,
+                                  unsigned RunsOverride) {
+  std::vector<SuiteRun> Results;
+  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+    SuiteRun Run;
+    Run.Name = B.Name;
+    Run.InputDescription = B.InputDescription;
+    Run.Runs = RunsOverride == 0 ? B.DefaultRuns : RunsOverride;
+    Run.SourceLines = countSourceLines(B.Source);
+    std::vector<RunInput> Inputs = makeBenchmarkInputs(B, Run.Runs);
+    Run.Result = runPipeline(B.Source, B.Name, Inputs, Options);
+    if (!Run.Result.Ok) {
+      std::fprintf(stderr, "benchmark %s failed: %s\n", B.Name.c_str(),
+                   Run.Result.Error.c_str());
+      std::exit(1);
+    }
+    if (!Run.Result.outputsMatch()) {
+      std::fprintf(stderr,
+                   "benchmark %s: output changed after inline expansion\n",
+                   B.Name.c_str());
+      std::exit(1);
+    }
+    Results.push_back(std::move(Run));
+  }
+  return Results;
+}
+
+const std::vector<PaperTable4Row> &impact::bench::getPaperTable4() {
+  static const std::vector<PaperTable4Row> Rows = {
+      {"cccp", 17, 55, 506, 95},      {"cmp", 3, 49, 265, 58},
+      {"compress", 4, 91, 2324, 368}, {"eqn", 22, 81, 197, 58},
+      {"espresso", 24, 70, 616, 96},  {"grep", 31, 99, 11214, 4071},
+      {"lex", 23, 77, 7807, 2880},    {"make", 34, 59, 388, 82},
+      {"tar", 16, 43, 983, 127},      {"tee", 0, 0, 15, 6},
+      {"wc", 0, 0, 18310, 5146},      {"yacc", 24, 80, 1205, 303},
+  };
+  return Rows;
+}

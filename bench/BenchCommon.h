@@ -1,0 +1,61 @@
+//===- bench/BenchCommon.h - Shared experiment harness -----------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the table/ablation benches: runs the full §4
+/// experiment (compile → profile → inline → re-profile) over the 12-program
+/// suite and hands each bench the per-benchmark PipelineResult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_BENCH_BENCHCOMMON_H
+#define IMPACT_BENCH_BENCHCOMMON_H
+
+#include "driver/Pipeline.h"
+#include "driver/Report.h"
+#include "suite/Suite.h"
+
+#include <string>
+#include <vector>
+
+namespace impact {
+namespace bench {
+
+/// One benchmark's experiment outcome.
+struct SuiteRun {
+  std::string Name;
+  std::string InputDescription;
+  unsigned Runs = 0;
+  unsigned SourceLines = 0;
+  PipelineResult Result;
+};
+
+/// Runs the experiment over all 12 benchmarks. \p RunsOverride scales the
+/// number of profiled inputs (0 = each benchmark's Table 1 default).
+/// Aborts the process with a message if any benchmark fails (outputs must
+/// also match before/after inlining — the harness enforces the soundness
+/// property on every run).
+std::vector<SuiteRun> runSuiteExperiment(const PipelineOptions &Options =
+                                             PipelineOptions(),
+                                         unsigned RunsOverride = 0);
+
+/// Lines of MiniC in \p Source (the Table 1 "C lines" analogue).
+unsigned countSourceLines(const std::string &Source);
+
+/// Paper reference values for Table 4 (per benchmark, paper order).
+struct PaperTable4Row {
+  const char *Name;
+  double CodeInc;   // percent
+  double CallDec;   // percent
+  double IlPerCall;
+  double CtPerCall;
+};
+const std::vector<PaperTable4Row> &getPaperTable4();
+
+} // namespace bench
+} // namespace impact
+
+#endif // IMPACT_BENCH_BENCHCOMMON_H

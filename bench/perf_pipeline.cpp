@@ -1,0 +1,117 @@
+//===- bench/perf_pipeline.cpp - compile-time cost microbenchmarks ------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark timings for the engineering side of the paper: the
+/// compile-time cost of each pipeline stage (frontend, profiling
+/// interpreter, call-graph construction, planning, physical expansion).
+/// §2 motivates the linear order precisely as a compile-time measure, so
+/// the expander's throughput is a first-class result.
+///
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/CallGraphBuilder.h"
+#include "core/InlinePass.h"
+#include "driver/Compilation.h"
+#include "profile/Profiler.h"
+#include "suite/Suite.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace impact;
+
+namespace {
+
+const BenchmarkSpec &grepSpec() { return *findBenchmark("grep"); }
+
+void BM_CompileGrep(benchmark::State &State) {
+  const BenchmarkSpec &B = grepSpec();
+  for (auto _ : State) {
+    CompilationResult C = compileMiniC(B.Source, B.Name);
+    benchmark::DoNotOptimize(C.M.size());
+  }
+}
+BENCHMARK(BM_CompileGrep);
+
+void BM_CompileWholeSuite(benchmark::State &State) {
+  for (auto _ : State) {
+    size_t Total = 0;
+    for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+      CompilationResult C = compileMiniC(B.Source, B.Name);
+      Total += C.M.size();
+    }
+    benchmark::DoNotOptimize(Total);
+  }
+}
+BENCHMARK(BM_CompileWholeSuite);
+
+void BM_InterpreterThroughput(benchmark::State &State) {
+  const BenchmarkSpec &B = grepSpec();
+  CompilationResult C = compileMiniC(B.Source, B.Name);
+  std::vector<RunInput> Inputs = makeBenchmarkInputs(B, 1);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    RunOptions Opts;
+    Opts.Input = Inputs[0].Input;
+    ExecResult R = runProgram(C.M, Opts);
+    Instrs += R.Stats.InstrCount;
+  }
+  State.counters["IL/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void BM_CallGraphConstruction(benchmark::State &State) {
+  const BenchmarkSpec &B = grepSpec();
+  CompilationResult C = compileMiniC(B.Source, B.Name);
+  ProfileResult P = profileProgram(C.M, makeBenchmarkInputs(B, 2));
+  for (auto _ : State) {
+    CallGraph G = buildCallGraph(C.M, &P.Data);
+    benchmark::DoNotOptimize(G.getArcs().size());
+  }
+}
+BENCHMARK(BM_CallGraphConstruction);
+
+void BM_InlineExpansionGrep(benchmark::State &State) {
+  const BenchmarkSpec &B = grepSpec();
+  CompilationResult C = compileMiniC(B.Source, B.Name);
+  ProfileResult P = profileProgram(C.M, makeBenchmarkInputs(B, 2));
+  for (auto _ : State) {
+    State.PauseTiming();
+    Module M = C.M; // fresh copy each iteration
+    State.ResumeTiming();
+    InlineResult R = runInlineExpansion(M, P.Data);
+    benchmark::DoNotOptimize(R.SizeAfter);
+  }
+}
+BENCHMARK(BM_InlineExpansionGrep);
+
+void BM_InlineWholeSuite(benchmark::State &State) {
+  struct Prepared {
+    Module M;
+    ProfileData Profile;
+  };
+  std::vector<Prepared> Programs;
+  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+    CompilationResult C = compileMiniC(B.Source, B.Name);
+    ProfileResult P = profileProgram(C.M, makeBenchmarkInputs(B, 2));
+    Programs.push_back(Prepared{std::move(C.M), std::move(P.Data)});
+  }
+  for (auto _ : State) {
+    size_t Expanded = 0;
+    for (const Prepared &P : Programs) {
+      Module M = P.M;
+      InlineResult R = runInlineExpansion(M, P.Profile);
+      Expanded += R.getNumExpanded();
+    }
+    benchmark::DoNotOptimize(Expanded);
+  }
+}
+BENCHMARK(BM_InlineWholeSuite);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+//===- bench/table4_inline_results.cpp - Reproduce Table 4 --------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 4 of the paper — the headline result: per benchmark, the static
+/// code increase from inline expansion, the percentage of dynamic calls
+/// eliminated, and the post-inline densities (IL instructions and control
+/// transfers between consecutive calls). Paper averages: code +16.5%
+/// (SD 12.0), calls -58.7% (SD 32.1), 3653 IL's and 1108 CT's per call.
+/// Our columns print next to the paper's so the shape comparison is
+/// immediate. Also reproduced: the §4.4 post-inline dynamic call mix
+/// (paper: 56.1% external / 2.8% pointer / 18.0% unsafe / 23.1% safe).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace impact;
+using namespace impact::bench;
+
+int main() {
+  std::printf("Table 4: Inline expansion results\n");
+  std::printf("(paper: Hwu & Chang, PLDI 1989, Table 4; columns marked "
+              "[paper] are its values)\n\n");
+
+  std::vector<SuiteRun> Suite = runSuiteExperiment();
+  const std::vector<PaperTable4Row> &Paper = getPaperTable4();
+
+  TableWriter T({"benchmark", "code inc", "[paper]", "call dec", "[paper]",
+                 "IL's/call", "[paper]", "CT's/call", "[paper]"});
+  std::vector<double> CodeInc, CallDec, IlPerCall, CtPerCall;
+  for (size_t I = 0; I != Suite.size(); ++I) {
+    const SuiteRun &Run = Suite[I];
+    const PaperTable4Row &P = Paper[I];
+    CodeInc.push_back(Run.Result.getCodeIncreasePercent());
+    CallDec.push_back(Run.Result.getCallDecreasePercent());
+    IlPerCall.push_back(Run.Result.After.getInstrsPerCall());
+    CtPerCall.push_back(Run.Result.After.getControlTransfersPerCall());
+    T.addRow({Run.Name, formatPercent(CodeInc.back()),
+              formatPercent(P.CodeInc), formatPercent(CallDec.back()),
+              formatPercent(P.CallDec), formatCount(IlPerCall.back()),
+              formatCount(P.IlPerCall), formatCount(CtPerCall.back()),
+              formatCount(P.CtPerCall)});
+  }
+  T.addSeparator();
+  T.addRow({"AVG", formatPercent(mean(CodeInc)), "16.5%",
+            formatPercent(mean(CallDec)), "58.7%",
+            formatCount(mean(IlPerCall)), "3653",
+            formatCount(mean(CtPerCall)), "1108"});
+  T.addRow({"SD", formatPercent(stddev(CodeInc)), "12.0%",
+            formatPercent(stddev(CallDec)), "32.1%",
+            formatCount(stddev(IlPerCall)), "5804",
+            formatCount(stddev(CtPerCall)), "1832"});
+  std::printf("%s\n", T.render().c_str());
+
+  // §4.4 follow-up: class mix of the dynamic calls that remain.
+  double Ext = 0, Ptr = 0, Unsafe = 0, Safe = 0;
+  for (const SuiteRun &Run : Suite) {
+    Ext += Run.Result.After.DynExternal;
+    Ptr += Run.Result.After.DynPointer;
+    Unsafe += Run.Result.After.DynUnsafe;
+    Safe += Run.Result.After.DynSafe;
+  }
+  double Total = Ext + Ptr + Unsafe + Safe;
+  if (Total > 0) {
+    std::printf("post-inline dynamic call mix: external %s, pointer %s, "
+                "unsafe %s, safe %s\n",
+                formatPercent(100 * Ext / Total).c_str(),
+                formatPercent(100 * Ptr / Total).c_str(),
+                formatPercent(100 * Unsafe / Total).c_str(),
+                formatPercent(100 * Safe / Total).c_str());
+    std::printf("paper:                        external 56.1%%, pointer "
+                "2.8%%, unsafe 18.0%%, safe 23.1%%\n");
+  }
+
+  // §4.4: after expansion, calls vs control transfers.
+  double Calls = 0, Cts = 0;
+  for (const SuiteRun &Run : Suite) {
+    Calls += Run.Result.After.AvgCalls;
+    Cts += Run.Result.After.AvgControlTransfers;
+  }
+  std::printf("calls as share of post-inline control transfers: %s "
+              "(paper: ~1%%)\n",
+              formatPercent(100 * Calls / (Calls + Cts)).c_str());
+  return 0;
+}

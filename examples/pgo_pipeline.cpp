@@ -1,0 +1,63 @@
+//===- examples/pgo_pipeline.cpp - parameterized Table-4 row ------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// pgo_pipeline: run the full profile-guided experiment on one benchmark
+/// with the inliner knobs on the command line, printing a Table-4-style
+/// row. Useful for exploring the tradeoff space interactively.
+///
+///   pgo_pipeline [benchmark] [threshold] [growth-factor] [stack-bound]
+///   e.g. pgo_pipeline compress 10 1.25 2048
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "suite/Suite.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace impact;
+
+int main(int argc, char **argv) {
+  const char *Name = argc > 1 ? argv[1] : "compress";
+  const BenchmarkSpec *B = findBenchmark(Name);
+  if (!B) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", Name);
+    return 2;
+  }
+
+  PipelineOptions Options;
+  if (argc > 2)
+    Options.Inline.MinArcWeight = std::atof(argv[2]);
+  if (argc > 3)
+    Options.Inline.CodeGrowthFactor = std::atof(argv[3]);
+  if (argc > 4)
+    Options.Inline.StackBound = std::atoll(argv[4]);
+
+  std::printf("benchmark=%s threshold=%.1f growth=%.2fx stack-bound=%lld\n",
+              B->Name.c_str(), Options.Inline.MinArcWeight,
+              Options.Inline.CodeGrowthFactor,
+              static_cast<long long>(Options.Inline.StackBound));
+
+  PipelineResult R = runPipeline(B->Source, B->Name,
+                                 makeBenchmarkInputs(*B), Options);
+  if (!R.Ok) {
+    std::fprintf(stderr, "pipeline failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  std::printf("outputs preserved: %s\n", R.outputsMatch() ? "yes" : "NO");
+  std::printf("%-10s  code inc  call dec  IL/call  CT/call\n", "benchmark");
+  std::printf("%-10s  %7.1f%%  %7.1f%%  %7.0f  %7.0f\n", B->Name.c_str(),
+              R.getCodeIncreasePercent(), R.getCallDecreasePercent(),
+              R.After.getInstrsPerCall(),
+              R.After.getControlTransfersPerCall());
+  std::printf("(before: %.0f IL/call, %.0f CT/call, %.0f calls/run)\n",
+              R.Before.getInstrsPerCall(),
+              R.Before.getControlTransfersPerCall(), R.Before.AvgCalls);
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- cachesim/ICacheSim.cpp --------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/ICacheSim.h"
+
+#include <cassert>
+
+using namespace impact;
+
+namespace {
+constexpr uint64_t kInvalidTag = ~0ull;
+} // namespace
+
+ICacheSim::ICacheSim(ICacheConfig Config) : Config(Config) {
+  assert(Config.isValid() && "inconsistent cache geometry");
+  NumSets = Config.getNumSets();
+  Tags.assign(NumSets * Config.Ways, kInvalidTag);
+}
+
+void ICacheSim::reset() {
+  Tags.assign(Tags.size(), kInvalidTag);
+  Accesses = 0;
+  Misses = 0;
+}
+
+void ICacheSim::access(uint64_t InstrIndex) {
+  ++Accesses;
+  uint64_t ByteAddr = InstrIndex * Config.BytesPerInstr;
+  uint64_t Line = ByteAddr / Config.LineBytes;
+  uint64_t Set = Line % NumSets;
+  uint64_t Tag = Line / NumSets;
+
+  uint64_t *SetTags = &Tags[Set * Config.Ways];
+  // Hit: move the way to MRU (position 0).
+  for (uint64_t W = 0; W != Config.Ways; ++W) {
+    if (SetTags[W] != Tag)
+      continue;
+    for (uint64_t I = W; I != 0; --I)
+      SetTags[I] = SetTags[I - 1];
+    SetTags[0] = Tag;
+    return;
+  }
+  // Miss: evict LRU (last way), shift, install as MRU.
+  ++Misses;
+  for (uint64_t I = Config.Ways - 1; I != 0; --I)
+    SetTags[I] = SetTags[I - 1];
+  SetTags[0] = Tag;
+}
+
+InstructionLayout InstructionLayout::compute(const Module &M) {
+  InstructionLayout Layout;
+  Layout.FuncBase.reserve(M.Funcs.size());
+  Layout.BlockBase.resize(M.Funcs.size());
+  uint64_t Cursor = 0;
+  for (const Function &F : M.Funcs) {
+    Layout.FuncBase.push_back(Cursor);
+    std::vector<uint64_t> &Blocks =
+        Layout.BlockBase[static_cast<size_t>(F.Id)];
+    Blocks.reserve(F.Blocks.size());
+    for (const BasicBlock &B : F.Blocks) {
+      Blocks.push_back(Cursor);
+      Cursor += B.size();
+    }
+  }
+  Layout.TotalInstrs = Cursor;
+  return Layout;
+}

@@ -1,0 +1,83 @@
+//===- callgraph/CallGraphBuilder.cpp -----------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/CallGraphBuilder.h"
+
+using namespace impact;
+
+CallGraph impact::buildCallGraph(const Module &M, const ProfileData *Profile,
+                                 CallGraphOptions Options) {
+  CallGraph G(M.Funcs.size());
+
+  // 1. Node weights.
+  if (Profile)
+    for (const Function &F : M.Funcs)
+      G.setNodeWeight(F.Id, Profile->getNodeWeight(F.Id));
+
+  bool AnyExternalCall = false;
+  bool AnyPointerCall = false;
+
+  // 2. One arc per static call site (§3.2 step 2/3).
+  for (const Function &F : M.Funcs) {
+    if (F.IsExternal)
+      continue;
+    for (const BasicBlock &B : F.Blocks) {
+      for (const Instr &I : B.Instrs) {
+        if (!I.isCall())
+          continue;
+        CallArc Arc;
+        Arc.Caller = F.Id;
+        Arc.SiteId = I.SiteId;
+        Arc.Weight = Profile ? Profile->getArcWeight(I.SiteId) : 0.0;
+        if (I.Op == Opcode::CallPtr) {
+          Arc.Callee = G.getPointerNode();
+          Arc.Kind = ArcKind::ToPointer;
+          AnyPointerCall = true;
+        } else if (M.getFunction(I.Callee).IsExternal) {
+          Arc.Callee = G.getExternalNode();
+          Arc.Kind = ArcKind::ToExternal;
+          AnyExternalCall = true;
+        } else {
+          Arc.Callee = I.Callee;
+          Arc.Kind = ArcKind::Direct;
+        }
+        G.addArc(Arc);
+      }
+    }
+  }
+
+  // 3. Worst-case fan-out of the pseudo nodes.
+  if (AnyExternalCall && Options.AssumeExternalsCallBack) {
+    for (const Function &F : M.Funcs) {
+      if (F.IsExternal)
+        continue;
+      CallArc Arc;
+      Arc.Caller = G.getExternalNode();
+      Arc.Callee = F.Id;
+      Arc.Kind = ArcKind::FromExternal;
+      G.addArc(Arc);
+    }
+  }
+  if (AnyPointerCall) {
+    bool WidenToAll = AnyExternalCall && Options.AssumeExternalsCallBack;
+    for (const Function &F : M.Funcs) {
+      if (F.IsExternal)
+        continue;
+      if (!WidenToAll && !F.AddressTaken)
+        continue;
+      CallArc Arc;
+      Arc.Caller = G.getPointerNode();
+      Arc.Callee = F.Id;
+      Arc.Kind = ArcKind::FromPointer;
+      G.addArc(Arc);
+    }
+  }
+
+  G.computeScc();
+  if (M.MainId != kNoFunc)
+    G.computeReachability(M.MainId);
+  return G;
+}

@@ -1,0 +1,33 @@
+//===- callgraph/CallGraphBuilder.h - Build the weighted call graph ----------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_CALLGRAPH_CALLGRAPHBUILDER_H
+#define IMPACT_CALLGRAPH_CALLGRAPHBUILDER_H
+
+#include "callgraph/CallGraph.h"
+#include "profile/Profile.h"
+
+namespace impact {
+
+struct CallGraphOptions {
+  /// Paper's worst-case assumption (§2.5): external functions may call any
+  /// user function, so $$$ fans out to every function and ### widens to
+  /// every function once an external exists. Turning this off gives the
+  /// "optimistic" mode ablated in the tests: $$$ has no out-arcs and ###
+  /// only reaches address-taken functions.
+  bool AssumeExternalsCallBack = true;
+};
+
+/// Builds the weighted call graph of \p M. Arc weights and node weights
+/// come from \p Profile when provided; otherwise every weight is zero
+/// (structure-only graph). SCC and reachability (from main) are computed
+/// before returning.
+CallGraph buildCallGraph(const Module &M, const ProfileData *Profile,
+                         CallGraphOptions Options = CallGraphOptions());
+
+} // namespace impact
+
+#endif // IMPACT_CALLGRAPH_CALLGRAPHBUILDER_H

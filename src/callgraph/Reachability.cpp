@@ -1,0 +1,34 @@
+//===- callgraph/Reachability.cpp ---------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/Reachability.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace impact;
+
+std::vector<bool>
+impact::computeReachableSet(const std::vector<std::vector<int>> &Successors,
+                            int Start) {
+  std::vector<bool> Reachable(Successors.size(), false);
+  if (Start < 0 || static_cast<size_t>(Start) >= Successors.size())
+    return Reachable;
+  std::vector<int> Worklist = {Start};
+  Reachable[Start] = true;
+  while (!Worklist.empty()) {
+    int V = Worklist.back();
+    Worklist.pop_back();
+    for (int W : Successors[V]) {
+      assert(W >= 0 && static_cast<size_t>(W) < Successors.size());
+      if (!Reachable[W]) {
+        Reachable[W] = true;
+        Worklist.push_back(W);
+      }
+    }
+  }
+  return Reachable;
+}

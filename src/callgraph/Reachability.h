@@ -1,0 +1,21 @@
+//===- callgraph/Reachability.h - Graph reachability --------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_CALLGRAPH_REACHABILITY_H
+#define IMPACT_CALLGRAPH_REACHABILITY_H
+
+#include <vector>
+
+namespace impact {
+
+/// Nodes reachable from \p Start (inclusive) following \p Successors.
+std::vector<bool>
+computeReachableSet(const std::vector<std::vector<int>> &Successors,
+                    int Start);
+
+} // namespace impact
+
+#endif // IMPACT_CALLGRAPH_REACHABILITY_H

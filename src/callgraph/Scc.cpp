@@ -1,0 +1,79 @@
+//===- callgraph/Scc.cpp ------------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/Scc.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace impact;
+
+SccResult impact::computeScc(const std::vector<std::vector<int>> &Successors) {
+  const size_t N = Successors.size();
+  SccResult Result;
+  Result.ComponentIds.assign(N, -1);
+
+  std::vector<int> Index(N, -1);
+  std::vector<int> LowLink(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<int> Stack;
+  int NextIndex = 0;
+
+  // Explicit DFS frame: node + position within its successor list.
+  struct DfsFrame {
+    int Node;
+    size_t NextSucc;
+  };
+  std::vector<DfsFrame> DfsStack;
+
+  for (size_t Root = 0; Root != N; ++Root) {
+    if (Index[Root] != -1)
+      continue;
+    DfsStack.push_back({static_cast<int>(Root), 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(static_cast<int>(Root));
+    OnStack[Root] = true;
+
+    while (!DfsStack.empty()) {
+      DfsFrame &Frame = DfsStack.back();
+      int V = Frame.Node;
+      if (Frame.NextSucc < Successors[V].size()) {
+        int W = Successors[V][Frame.NextSucc++];
+        assert(W >= 0 && static_cast<size_t>(W) < N && "bad successor");
+        if (Index[W] == -1) {
+          Index[W] = LowLink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = true;
+          DfsStack.push_back({W, 0});
+        } else if (OnStack[W]) {
+          LowLink[V] = std::min(LowLink[V], Index[W]);
+        }
+        continue;
+      }
+      // All successors processed: close V.
+      DfsStack.pop_back();
+      if (!DfsStack.empty()) {
+        int Parent = DfsStack.back().Node;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[V]);
+      }
+      if (LowLink[V] == Index[V]) {
+        int Component = Result.NumComponents++;
+        size_t Size = 0;
+        while (true) {
+          int W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Result.ComponentIds[W] = Component;
+          ++Size;
+          if (W == V)
+            break;
+        }
+        Result.ComponentSizes.push_back(Size);
+      }
+    }
+  }
+  return Result;
+}

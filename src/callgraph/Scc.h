@@ -1,0 +1,32 @@
+//===- callgraph/Scc.h - Strongly connected components -----------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_CALLGRAPH_SCC_H
+#define IMPACT_CALLGRAPH_SCC_H
+
+#include <cstddef>
+#include <vector>
+
+namespace impact {
+
+/// Result of an SCC decomposition over a directed graph with nodes
+/// 0..N-1.
+struct SccResult {
+  /// Component id per node; components are numbered in reverse topological
+  /// order of the condensation (Tarjan's emission order).
+  std::vector<int> ComponentIds;
+  /// Number of nodes per component.
+  std::vector<size_t> ComponentSizes;
+  int NumComponents = 0;
+};
+
+/// Iterative Tarjan SCC. \p Successors[n] lists the successor node ids of
+/// node n (duplicates allowed).
+SccResult computeScc(const std::vector<std::vector<int>> &Successors);
+
+} // namespace impact
+
+#endif // IMPACT_CALLGRAPH_SCC_H

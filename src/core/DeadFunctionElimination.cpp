@@ -1,0 +1,37 @@
+//===- core/DeadFunctionElimination.cpp ----------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeadFunctionElimination.h"
+
+using namespace impact;
+
+std::vector<FuncId>
+impact::eliminateDeadFunctions(Module &M, CallGraphOptions Options) {
+  std::vector<FuncId> Removed;
+  if (M.MainId == kNoFunc)
+    return Removed;
+
+  // A structure-only graph suffices; weights play no role in reachability.
+  CallGraph G = buildCallGraph(M, /*Profile=*/nullptr, Options);
+
+  for (Function &F : M.Funcs) {
+    if (F.IsExternal || F.Eliminated || F.Id == M.MainId)
+      continue;
+    if (G.isReachable(F.Id))
+      continue;
+    // Address-taken functions may be reached by asynchronous events or
+    // pointers the graph missed only in optimistic mode; keep them unless
+    // the pointer node confirms unreachability, which the graph walk above
+    // already accounts for (### arcs exist whenever a pointer call does).
+    F.Eliminated = true;
+    F.Blocks.clear();
+    F.RegNames.clear();
+    F.NumRegs = F.NumParams;
+    F.FrameSize = 0;
+    Removed.push_back(F.Id);
+  }
+  return Removed;
+}

@@ -1,0 +1,31 @@
+//===- core/DeadFunctionElimination.h - Function-level dead code (§2.6) --------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_CORE_DEADFUNCTIONELIMINATION_H
+#define IMPACT_CORE_DEADFUNCTIONELIMINATION_H
+
+#include "callgraph/CallGraphBuilder.h"
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace impact {
+
+/// Removes functions unreachable from main. Reachability is taken over the
+/// worst-case call graph: with any external call present and
+/// AssumeExternalsCallBack set (the paper's conservative default), the $$$
+/// fan-out keeps every function alive and nothing is removed — exactly the
+/// paper's observation that "the original copy of an inlined call-once
+/// function can no longer be deleted" in an incomplete call graph.
+/// Eliminated functions keep their Module slot (ids stay stable) but lose
+/// their body. Returns the ids of eliminated functions.
+std::vector<FuncId>
+eliminateDeadFunctions(Module &M,
+                       CallGraphOptions Options = CallGraphOptions());
+
+} // namespace impact
+
+#endif // IMPACT_CORE_DEADFUNCTIONELIMINATION_H

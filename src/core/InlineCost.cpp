@@ -1,0 +1,115 @@
+//===- core/InlineCost.cpp -----------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InlineCost.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace impact;
+
+const char *impact::getCostVerdictName(CostVerdict V) {
+  switch (V) {
+  case CostVerdict::Acceptable:
+    return "acceptable";
+  case CostVerdict::NotInlinable:
+    return "not-inlinable";
+  case CostVerdict::OrderViolation:
+    return "order-violation";
+  case CostVerdict::RecursiveCycle:
+    return "recursive-cycle";
+  case CostVerdict::StackHazard:
+    return "stack-hazard";
+  case CostVerdict::LowWeight:
+    return "low-weight";
+  case CostVerdict::CalleeTooLarge:
+    return "callee-too-large";
+  case CostVerdict::BudgetExceeded:
+    return "budget-exceeded";
+  }
+  return "?";
+}
+
+CostEstimates CostEstimates::fromModule(const Module &M,
+                                        double CodeGrowthFactor) {
+  CostEstimates Est;
+  Est.FuncSize.reserve(M.Funcs.size());
+  Est.StackWords.reserve(M.Funcs.size());
+  for (const Function &F : M.Funcs) {
+    Est.FuncSize.push_back(F.size());
+    Est.StackWords.push_back(F.getActivationWords());
+  }
+  Est.ProgramSize = M.size();
+  Est.ProgramSizeBudget = static_cast<uint64_t>(
+      static_cast<double>(Est.ProgramSize) * CodeGrowthFactor);
+  return Est;
+}
+
+void CostEstimates::applyExpansion(FuncId Caller, FuncId Callee) {
+  assert(Caller != Callee && "self expansion is never planned");
+  uint64_t CalleeSize = FuncSize[static_cast<size_t>(Callee)];
+  FuncSize[static_cast<size_t>(Caller)] += CalleeSize;
+  StackWords[static_cast<size_t>(Caller)] +=
+      StackWords[static_cast<size_t>(Callee)];
+  ProgramSize += CalleeSize;
+}
+
+CostResult impact::computeArcCost(const SiteInfo &Site, const CallGraph &G,
+                                  const Linearization &L,
+                                  const CostEstimates &Est,
+                                  const InlineOptions &Options) {
+  constexpr double Infinity = std::numeric_limits<double>::infinity();
+  auto Reject = [](CostVerdict V) {
+    return CostResult{V, std::numeric_limits<double>::infinity()};
+  };
+  (void)Infinity;
+
+  if (Site.Class == SiteClass::External || Site.Class == SiteClass::Pointer)
+    return Reject(CostVerdict::NotInlinable);
+
+  FuncId Caller = Site.Caller;
+  FuncId Callee = Site.Callee;
+  assert(Callee != kNoFunc && "direct site without callee");
+
+  // Recursion: an arc inside one SCC can never be absorbed. Which SCC
+  // counts as recursion is the pessimism knob (see InlineOptions).
+  // Checked before the order constraint so self arcs report the more
+  // informative verdict.
+  bool SameCycle = Options.TreatExternalCyclesAsRecursion
+                       ? G.getSccId(Caller) == G.getSccId(Callee)
+                       : G.getDirectSccId(Caller) ==
+                             G.getDirectSccId(Callee);
+  if (SameCycle)
+    return Reject(CostVerdict::RecursiveCycle);
+
+  // Linear-order constraint (§3.4): callee must precede caller.
+  if (!L.precedes(Callee, Caller))
+    return Reject(CostVerdict::OrderViolation);
+
+  // Stack explosion hazard (§2.3.2), using the *current* stack estimate,
+  // which grows as the callee absorbs other functions.
+  bool CallerRecursive = Options.TreatExternalCyclesAsRecursion
+                             ? G.isOnCycle(Caller)
+                             : G.isRecursive(Caller);
+  if (CallerRecursive &&
+      Est.StackWords[static_cast<size_t>(Callee)] > Options.StackBound)
+    return Reject(CostVerdict::StackHazard);
+
+  // Weight threshold.
+  if (Site.Weight < Options.MinArcWeight)
+    return Reject(CostVerdict::LowWeight);
+
+  uint64_t CalleeSize = Est.FuncSize[static_cast<size_t>(Callee)];
+  if (Options.MaxCalleeSize != 0 && CalleeSize > Options.MaxCalleeSize)
+    return Reject(CostVerdict::CalleeTooLarge);
+
+  // Code explosion hazard (§2.3.1).
+  if (Est.ProgramSize + CalleeSize > Est.ProgramSizeBudget)
+    return Reject(CostVerdict::BudgetExceeded);
+
+  return CostResult{CostVerdict::Acceptable,
+                    static_cast<double>(CalleeSize)};
+}

@@ -1,0 +1,188 @@
+//===- core/InlineExpander.cpp -------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InlineExpander.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace impact;
+
+namespace {
+
+/// Locates the instruction carrying \p SiteId; returns the owning function
+/// or kNoFunc.
+struct SiteLocation {
+  FuncId Func = kNoFunc;
+  size_t BlockIndex = 0;
+  size_t InstrIndex = 0;
+};
+
+SiteLocation locateSite(const Module &M, uint32_t SiteId) {
+  for (const Function &F : M.Funcs) {
+    if (F.IsExternal)
+      continue;
+    for (size_t B = 0; B != F.Blocks.size(); ++B) {
+      const BasicBlock &Block = F.Blocks[B];
+      for (size_t I = 0; I != Block.Instrs.size(); ++I)
+        if (Block.Instrs[I].isCall() && Block.Instrs[I].SiteId == SiteId)
+          return SiteLocation{F.Id, B, I};
+    }
+  }
+  return SiteLocation{};
+}
+
+/// Remaps a register operand by \p RegOffset, preserving kNoReg.
+Reg shiftReg(Reg R, Reg RegOffset) {
+  return R == kNoReg ? kNoReg : R + RegOffset;
+}
+
+} // namespace
+
+bool impact::inlineCallSite(Module &M, uint32_t SiteId,
+                            ExpansionRecord *Record) {
+  SiteLocation Loc = locateSite(M, SiteId);
+  if (Loc.Func == kNoFunc)
+    return false;
+
+  Function &Caller = M.getFunction(Loc.Func);
+  const Instr Call = Caller.Blocks[Loc.BlockIndex].Instrs[Loc.InstrIndex];
+  if (Call.Op != Opcode::Call)
+    return false; // calls through pointers defeat inline expansion
+  if (Call.Callee == Caller.Id)
+    return false; // simple recursion is not dealt with (§2.3)
+
+  const Function &Callee = M.getFunction(Call.Callee);
+  if (Callee.IsExternal || Callee.Blocks.empty())
+    return false;
+
+  const Reg RegOffset = static_cast<Reg>(Caller.NumRegs);
+  const int64_t FrameOffset = Caller.FrameSize;
+  const BlockId BlockOffset = static_cast<BlockId>(Caller.Blocks.size());
+  const BlockId ContBlock =
+      BlockOffset + static_cast<BlockId>(Callee.Blocks.size());
+
+  if (Record) {
+    Record->SiteId = SiteId;
+    Record->Caller = Caller.Id;
+    Record->Callee = Callee.Id;
+  }
+
+  // 1. Duplicate the callee body, rebasing registers, frame offsets and
+  // block targets; give cloned call sites fresh ids; turn returns into
+  // jumps to the continuation.
+  std::vector<BasicBlock> NewBlocks;
+  NewBlocks.reserve(Callee.Blocks.size() + 1);
+  for (const BasicBlock &CalleeBlock : Callee.Blocks) {
+    BasicBlock Clone;
+    Clone.Instrs.reserve(CalleeBlock.size());
+    for (const Instr &Orig : CalleeBlock.Instrs) {
+      if (Orig.Op == Opcode::Ret) {
+        // return V  =>  calldst = mov V' ; jump cont
+        if (Call.Dst != kNoReg && Orig.Src1 != kNoReg)
+          Clone.Instrs.push_back(
+              Instr::makeMov(Call.Dst, shiftReg(Orig.Src1, RegOffset)));
+        Clone.Instrs.push_back(Instr::makeJump(ContBlock));
+        continue;
+      }
+      Instr I = Orig;
+      I.Dst = shiftReg(I.Dst, RegOffset);
+      I.Src1 = shiftReg(I.Src1, RegOffset);
+      I.Src2 = shiftReg(I.Src2, RegOffset);
+      for (Reg &A : I.Args)
+        A = shiftReg(A, RegOffset);
+      switch (I.Op) {
+      case Opcode::FrameAddr:
+        I.Imm += FrameOffset;
+        break;
+      case Opcode::Jump:
+        I.Target += BlockOffset;
+        break;
+      case Opcode::CondBr:
+        I.Target += BlockOffset;
+        I.Target2 += BlockOffset;
+        break;
+      case Opcode::Call:
+      case Opcode::CallPtr: {
+        uint32_t Fresh = M.allocateSiteId();
+        if (Record)
+          Record->ClonedSites.emplace_back(I.SiteId, Fresh);
+        I.SiteId = Fresh;
+        break;
+      }
+      default:
+        break;
+      }
+      Clone.Instrs.push_back(std::move(I));
+    }
+    NewBlocks.push_back(std::move(Clone));
+  }
+
+  // 2. The continuation block receives everything after the call.
+  {
+    BasicBlock Cont;
+    BasicBlock &B = Caller.Blocks[Loc.BlockIndex];
+    Cont.Instrs.assign(B.Instrs.begin() +
+                           static_cast<ptrdiff_t>(Loc.InstrIndex) + 1,
+                       B.Instrs.end());
+    assert(!Cont.Instrs.empty() && "call had no following terminator");
+    NewBlocks.push_back(std::move(Cont));
+  }
+
+  // 3. Rewrite the call block: bind actuals to the callee's parameter
+  // registers (the paper's parameter temporaries), then jump into the
+  // duplicated entry block.
+  {
+    BasicBlock &B = Caller.Blocks[Loc.BlockIndex];
+    B.Instrs.resize(Loc.InstrIndex);
+    for (size_t I = 0; I != Call.Args.size(); ++I)
+      B.Instrs.push_back(
+          Instr::makeMov(RegOffset + static_cast<Reg>(I), Call.Args[I]));
+    B.Instrs.push_back(Instr::makeJump(BlockOffset));
+  }
+
+  // 4. Splice the new blocks in and grow the caller's resources.
+  for (BasicBlock &NB : NewBlocks)
+    Caller.Blocks.push_back(std::move(NB));
+  Caller.NumRegs += Callee.NumRegs;
+  Caller.FrameSize += Callee.FrameSize;
+
+  // 5. Path-qualified names for the duplicated registers (§5: "identifiers
+  // are qualified with proper path names to simplify symbol table
+  // management after expansion").
+  if (!Callee.RegNames.empty()) {
+    Caller.RegNames.resize(Caller.NumRegs);
+    for (size_t R = 0; R != Callee.RegNames.size(); ++R) {
+      if (Callee.RegNames[R].empty())
+        continue;
+      Caller.RegNames[static_cast<size_t>(RegOffset) + R] =
+          Callee.Name + "." + Callee.RegNames[R] + "@site" +
+          std::to_string(SiteId);
+    }
+  } else if (!Caller.RegNames.empty()) {
+    Caller.RegNames.resize(Caller.NumRegs);
+  }
+
+  return true;
+}
+
+std::vector<ExpansionRecord> impact::executeInlinePlan(Module &M,
+                                                       InlinePlan &Plan) {
+  std::vector<ExpansionRecord> Records;
+  Records.reserve(Plan.ExpansionOrder.size());
+  for (uint32_t SiteId : Plan.ExpansionOrder) {
+    ExpansionRecord Record;
+    bool Ok = inlineCallSite(M, SiteId, &Record);
+    assert(Ok && "planned site failed to expand");
+    if (!Ok)
+      continue;
+    Records.push_back(std::move(Record));
+    for (PlannedSite &P : Plan.Sites)
+      if (P.SiteId == SiteId)
+        P.Status = ArcStatus::Expanded;
+  }
+  return Records;
+}

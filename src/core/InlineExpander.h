@@ -1,0 +1,58 @@
+//===- core/InlineExpander.h - Physical inline expansion (§2.4, §3.5) ----------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Physically expands a call site: duplicates the callee body into the
+/// caller, renames registers (with path-qualified debug names,
+/// "callee.var@site<id>"), rebases frame offsets onto the end of the
+/// caller frame, binds formals with explicit moves (the paper's parameter
+/// temporaries), and rewrites the call and every callee return as
+/// unconditional jumps into/out of the inlined body — the exact code shape
+/// whose extra unconditional branches the paper remarks on in §4.4.
+///
+/// Cloned call sites inside the duplicated body receive fresh
+/// module-unique site ids; the mapping is recorded so arc weights can be
+/// redistributed (§2.2: "after inline expansion the arc weights remain
+/// accurate").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_CORE_INLINEEXPANDER_H
+#define IMPACT_CORE_INLINEEXPANDER_H
+
+#include "core/InlinePlanner.h"
+#include "ir/Ir.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace impact {
+
+/// What one physical expansion did.
+struct ExpansionRecord {
+  uint32_t SiteId = 0;
+  FuncId Caller = kNoFunc;
+  FuncId Callee = kNoFunc;
+  /// (original callee site id, fresh clone site id) for every call site in
+  /// the duplicated body.
+  std::vector<std::pair<uint32_t, uint32_t>> ClonedSites;
+};
+
+/// Expands the direct call with id \p SiteId in place. Returns false (and
+/// leaves the module untouched) if the site does not exist, is not a
+/// direct call, or is a self call. The module must verify before and will
+/// verify after.
+bool inlineCallSite(Module &M, uint32_t SiteId,
+                    ExpansionRecord *Record = nullptr);
+
+/// Executes every ToBeExpanded site of \p Plan in its expansion order
+/// (callees before callers), marking each Expanded. Returns the records.
+std::vector<ExpansionRecord> executeInlinePlan(Module &M, InlinePlan &Plan);
+
+} // namespace impact
+
+#endif // IMPACT_CORE_INLINEEXPANDER_H

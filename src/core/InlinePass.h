@@ -1,0 +1,51 @@
+//===- core/InlinePass.h - The whole inline expansion procedure (§3) -----------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_CORE_INLINEPASS_H
+#define IMPACT_CORE_INLINEPASS_H
+
+#include "core/CallSiteClassifier.h"
+#include "core/InlineExpander.h"
+#include "core/InlinePlanner.h"
+#include "core/Linearizer.h"
+
+#include <string>
+
+namespace impact {
+
+/// Everything the inline expansion pass computed and did. Kept around by
+/// the driver for reports and the experiment benches.
+struct InlineResult {
+  Classification Classes;
+  Linearization Linear;
+  InlinePlan Plan;
+  std::vector<ExpansionRecord> Expansions;
+  std::vector<FuncId> EliminatedFunctions;
+  uint64_t SizeBefore = 0;
+  uint64_t SizeAfter = 0;
+
+  /// Table 4's "code inc": static size growth in percent.
+  double getCodeIncreasePercent() const {
+    if (SizeBefore == 0)
+      return 0.0;
+    return 100.0 * (static_cast<double>(SizeAfter) -
+                    static_cast<double>(SizeBefore)) /
+           static_cast<double>(SizeBefore);
+  }
+
+  size_t getNumExpanded() const { return Expansions.size(); }
+};
+
+/// Runs the full §3 procedure on \p M: weighted call graph construction,
+/// call-site classification, linearization, expansion-site selection, and
+/// physical expansion; then (per options) post-inline cleanup and
+/// function-level dead code removal.
+InlineResult runInlineExpansion(Module &M, const ProfileData &Profile,
+                                const InlineOptions &Options = InlineOptions());
+
+} // namespace impact
+
+#endif // IMPACT_CORE_INLINEPASS_H

@@ -1,0 +1,116 @@
+//===- core/InlinePlanner.cpp --------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InlinePlanner.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace impact;
+
+const char *impact::getArcStatusName(ArcStatus S) {
+  switch (S) {
+  case ArcStatus::NotExpandable:
+    return "not-expandable";
+  case ArcStatus::Rejected:
+    return "rejected";
+  case ArcStatus::ToBeExpanded:
+    return "to-be-expanded";
+  case ArcStatus::Expanded:
+    return "expanded";
+  }
+  return "?";
+}
+
+size_t InlinePlan::countStatus(ArcStatus S) const {
+  size_t N = 0;
+  for (const PlannedSite &P : Sites)
+    if (P.Status == S)
+      ++N;
+  return N;
+}
+
+const PlannedSite *InlinePlan::findSite(uint32_t SiteId) const {
+  for (const PlannedSite &P : Sites)
+    if (P.SiteId == SiteId)
+      return &P;
+  return nullptr;
+}
+
+InlinePlan impact::planInlining(const Module &M, const CallGraph &G,
+                                const Classification &Classes,
+                                const Linearization &L,
+                                const InlineOptions &Options) {
+  InlinePlan Plan;
+  CostEstimates Est = CostEstimates::fromModule(M, Options.CodeGrowthFactor);
+  Plan.OriginalProgramSize = Est.ProgramSize;
+  Plan.ProgramSizeBudget = Est.ProgramSizeBudget;
+
+  // Seed the planned-site list from the classification.
+  Plan.Sites.reserve(Classes.Sites.size());
+  for (const SiteInfo &Info : Classes.Sites) {
+    PlannedSite P;
+    P.SiteId = Info.SiteId;
+    P.Caller = Info.Caller;
+    P.Callee = Info.Callee;
+    P.Weight = Info.Weight;
+    P.Status = ArcStatus::NotExpandable;
+    P.Verdict = CostVerdict::NotInlinable;
+    Plan.Sites.push_back(P);
+  }
+
+  // §3.4: sort the expandable arcs by weight, most important first.
+  // (Ties broken by site id for determinism.)
+  std::vector<size_t> Order(Plan.Sites.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    if (Plan.Sites[A].Weight != Plan.Sites[B].Weight)
+      return Plan.Sites[A].Weight > Plan.Sites[B].Weight;
+    return Plan.Sites[A].SiteId < Plan.Sites[B].SiteId;
+  });
+
+  for (size_t Index : Order) {
+    PlannedSite &P = Plan.Sites[Index];
+    const SiteInfo *Info = Classes.findSite(P.SiteId);
+    assert(Info && "planned site missing from classification");
+    CostResult Cost = computeArcCost(*Info, G, L, Est, Options);
+    P.Verdict = Cost.Verdict;
+    switch (Cost.Verdict) {
+    case CostVerdict::Acceptable:
+      P.Status = ArcStatus::ToBeExpanded;
+      Est.applyExpansion(P.Caller, P.Callee);
+      break;
+    case CostVerdict::NotInlinable:
+    case CostVerdict::OrderViolation:
+      P.Status = ArcStatus::NotExpandable;
+      break;
+    default:
+      P.Status = ArcStatus::Rejected;
+      break;
+    }
+  }
+  Plan.ProjectedProgramSize = Est.ProgramSize;
+
+  // Physical expansion order: callers in linear-sequence order; a caller's
+  // own sites in descending weight (any order is correct; this one makes
+  // dumps easy to read).
+  for (FuncId F : L.Sequence) {
+    std::vector<const PlannedSite *> Accepted;
+    for (const PlannedSite &P : Plan.Sites)
+      if (P.Caller == F && P.Status == ArcStatus::ToBeExpanded)
+        Accepted.push_back(&P);
+    std::sort(Accepted.begin(), Accepted.end(),
+              [](const PlannedSite *A, const PlannedSite *B) {
+                if (A->Weight != B->Weight)
+                  return A->Weight > B->Weight;
+                return A->SiteId < B->SiteId;
+              });
+    for (const PlannedSite *P : Accepted)
+      Plan.ExpansionOrder.push_back(P->SiteId);
+  }
+  return Plan;
+}

@@ -1,0 +1,65 @@
+//===- core/InlinePlanner.h - Expansion-site selection (§3.4) ------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_CORE_INLINEPLANNER_H
+#define IMPACT_CORE_INLINEPLANNER_H
+
+#include "core/InlineCost.h"
+
+#include <vector>
+
+namespace impact {
+
+/// The paper's per-arc status attribute.
+enum class ArcStatus {
+  /// External/pointer arcs, arcs violating the linear order: never
+  /// candidates.
+  NotExpandable,
+  /// Considered but refused by the cost function.
+  Rejected,
+  /// Selected for physical expansion.
+  ToBeExpanded,
+  /// Physically expanded (set by the expander).
+  Expanded,
+};
+
+const char *getArcStatusName(ArcStatus S);
+
+/// One planned (or refused) site.
+struct PlannedSite {
+  uint32_t SiteId = 0;
+  FuncId Caller = kNoFunc;
+  FuncId Callee = kNoFunc;
+  double Weight = 0.0;
+  ArcStatus Status = ArcStatus::NotExpandable;
+  CostVerdict Verdict = CostVerdict::NotInlinable;
+};
+
+/// The decision output: per-site statuses plus the physical expansion
+/// order (sites grouped by caller, callers in linear-sequence order, so
+/// every callee is fully expanded before any of its callers).
+struct InlinePlan {
+  std::vector<PlannedSite> Sites;
+  /// SiteIds to expand, in execution order for the expander.
+  std::vector<uint32_t> ExpansionOrder;
+  uint64_t OriginalProgramSize = 0;
+  uint64_t ProjectedProgramSize = 0;
+  uint64_t ProgramSizeBudget = 0;
+
+  size_t countStatus(ArcStatus S) const;
+  const PlannedSite *findSite(uint32_t SiteId) const;
+};
+
+/// Selects expansion sites: visits expandable arcs from the most to the
+/// least frequently executed, accepts those with finite cost, and updates
+/// the size/stack estimates after each acceptance.
+InlinePlan planInlining(const Module &M, const CallGraph &G,
+                        const Classification &Classes, const Linearization &L,
+                        const InlineOptions &Options);
+
+} // namespace impact
+
+#endif // IMPACT_CORE_INLINEPLANNER_H

@@ -1,0 +1,50 @@
+//===- core/Linearizer.h - The linear expansion sequence (§3.3) ----------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inline expansion is constrained to follow a linear order: function X may
+/// be inlined into Y only if X appears before Y in the sequence. This (a)
+/// bounds the number of physical expansions (§2.7's shortest-sequence
+/// concern), (b) lets expansion proceed caller-by-caller with callees
+/// already fully expanded, and (c) enables the paper's function-definition
+/// cache with a write-back policy. The paper's heuristic sorts functions by
+/// descending execution count after a random placement; alternative
+/// policies are provided for the ablation bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_CORE_LINEARIZER_H
+#define IMPACT_CORE_LINEARIZER_H
+
+#include "callgraph/CallGraph.h"
+#include "core/InlineOptions.h"
+
+#include <vector>
+
+namespace impact {
+
+/// The linear sequence and its inverse map.
+struct Linearization {
+  /// Sequence[i] is the function expanded in step i.
+  std::vector<FuncId> Sequence;
+  /// Position[f] is the index of function f in Sequence.
+  std::vector<size_t> Position;
+
+  bool precedes(FuncId A, FuncId B) const {
+    return Position[static_cast<size_t>(A)] <
+           Position[static_cast<size_t>(B)];
+  }
+};
+
+/// Computes the sequence over all non-external functions of \p M.
+/// External functions are placed at the very end (they can never be
+/// inlined into anything).
+Linearization linearize(const Module &M, const CallGraph &G,
+                        const InlineOptions &Options);
+
+} // namespace impact
+
+#endif // IMPACT_CORE_LINEARIZER_H

@@ -1,0 +1,60 @@
+//===- core/WeightRedistribution.cpp -------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WeightRedistribution.h"
+
+#include <cassert>
+
+using namespace impact;
+
+double RedistributedWeights::getTotalArcWeight() const {
+  double Sum = 0.0;
+  for (double W : ArcWeight)
+    Sum += W;
+  return Sum;
+}
+
+RedistributedWeights
+impact::redistributeWeights(const Module &M, const ProfileData &PreProfile,
+                            const std::vector<ExpansionRecord> &Records) {
+  RedistributedWeights R;
+  R.ArcWeight.assign(M.NextSiteId, 0.0);
+  R.NodeWeight.assign(M.Funcs.size(), 0.0);
+
+  // Seed with the pre-inline profile (cloned sites start at 0).
+  for (uint32_t Site = 0; Site != M.NextSiteId; ++Site)
+    R.ArcWeight[Site] = PreProfile.getArcWeight(Site);
+  for (const Function &F : M.Funcs)
+    R.NodeWeight[static_cast<size_t>(F.Id)] = PreProfile.getNodeWeight(F.Id);
+
+  for (const ExpansionRecord &Rec : Records) {
+    assert(Rec.SiteId < R.ArcWeight.size() && "record for unknown site");
+    double ArcW = R.ArcWeight[Rec.SiteId];
+    double CalleeW = R.NodeWeight[static_cast<size_t>(Rec.Callee)];
+    // Fraction of the callee's executions attributable to this arc.
+    double Ratio = CalleeW > 0.0 ? ArcW / CalleeW : 0.0;
+    if (Ratio > 1.0)
+      Ratio = 1.0;
+
+    // ClonedSites lists every call site of the callee body at expansion
+    // time: the clone inherits the attributed share, the original keeps
+    // the remainder.
+    for (const auto &[Orig, Fresh] : Rec.ClonedSites) {
+      assert(Fresh < R.ArcWeight.size() && "fresh site beyond module");
+      double Moved = R.ArcWeight[Orig] * Ratio;
+      R.ArcWeight[Fresh] = Moved;
+      R.ArcWeight[Orig] -= Moved;
+    }
+
+    // The expanded calls no longer happen; the callee is entered that
+    // much less often.
+    R.ArcWeight[Rec.SiteId] = 0.0;
+    R.NodeWeight[static_cast<size_t>(Rec.Callee)] -= ArcW;
+    if (R.NodeWeight[static_cast<size_t>(Rec.Callee)] < 0.0)
+      R.NodeWeight[static_cast<size_t>(Rec.Callee)] = 0.0;
+  }
+  return R;
+}

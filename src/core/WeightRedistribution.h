@@ -1,0 +1,62 @@
+//===- core/WeightRedistribution.h - §2.2 post-inline arc weights --------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §2.2: "Since a node may be entered from any one of its incoming arcs,
+/// it is necessary to know the weights of all outgoing arcs associated
+/// with a particular incoming arc. Therefore, after inline expansion the
+/// arc weights remain accurate."
+///
+/// Our profiler records totals per site, not per incoming arc, so this
+/// module implements the standard uniform-attribution estimate: when the
+/// arc S (F -> G, weight w) is expanded, each call site o inside G is
+/// assumed to contribute the fraction w / weight(G) of its executions to
+/// entries from S. The clone of o gets that share, o keeps the rest, S
+/// drops to zero, and G's node weight decreases by w.
+///
+/// Two invariants hold exactly regardless of attribution accuracy, and
+/// are what the tests pin down:
+///  - total arc weight decreases by exactly the expanded arcs' weights
+///    (each expansion eliminates exactly those dynamic calls), and
+///  - each original callee's *incoming* dynamic call volume is preserved
+///    (calls move from G's body into F's clone, they do not disappear).
+/// Per-site accuracy additionally requires G to behave uniformly across
+/// entry points — true for the suite's leaf helpers, approximate
+/// otherwise; the re-profiling pipeline remains the ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_CORE_WEIGHTREDISTRIBUTION_H
+#define IMPACT_CORE_WEIGHTREDISTRIBUTION_H
+
+#include "core/InlineExpander.h"
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace impact {
+
+/// Post-inline weight estimates.
+struct RedistributedWeights {
+  /// Estimated invocations per run, indexed by SiteId
+  /// (size == Module::NextSiteId after expansion).
+  std::vector<double> ArcWeight;
+  /// Estimated entries per run, indexed by FuncId.
+  std::vector<double> NodeWeight;
+
+  double getTotalArcWeight() const;
+};
+
+/// Computes the estimate from the pre-inline profile and the expansion
+/// records (which must be in execution order, as executeInlinePlan
+/// returns them). \p M is the *post*-expansion module.
+RedistributedWeights
+redistributeWeights(const Module &M, const ProfileData &PreProfile,
+                    const std::vector<ExpansionRecord> &Records);
+
+} // namespace impact
+
+#endif // IMPACT_CORE_WEIGHTREDISTRIBUTION_H

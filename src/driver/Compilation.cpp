@@ -1,0 +1,45 @@
+//===- driver/Compilation.cpp --------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compilation.h"
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "irgen/IrGen.h"
+#include "support/SourceManager.h"
+
+using namespace impact;
+
+CompilationResult impact::compileMiniC(std::string_view Source,
+                                       std::string Name, bool RequireMain) {
+  CompilationResult Result;
+  SourceManager SM(Name, std::string(Source));
+  DiagnosticEngine Diags;
+
+  Parser P(SM.getText(), Diags);
+  std::unique_ptr<TranslationUnit> TU = P.parseTranslationUnit();
+  if (Diags.hasErrors()) {
+    Result.Errors = Diags.render(SM);
+    return Result;
+  }
+
+  SemaOptions SOpts;
+  SOpts.RequireMain = RequireMain;
+  Sema S(Diags, SOpts);
+  if (!S.analyze(*TU)) {
+    Result.Errors = Diags.render(SM);
+    return Result;
+  }
+
+  IrGen Gen(Diags);
+  Result.M = Gen.generate(*TU, std::move(Name));
+  if (Diags.hasErrors()) {
+    Result.Errors = Diags.render(SM);
+    return Result;
+  }
+  Result.Ok = true;
+  return Result;
+}

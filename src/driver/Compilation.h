@@ -1,0 +1,32 @@
+//===- driver/Compilation.h - Source-to-IL convenience ------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_DRIVER_COMPILATION_H
+#define IMPACT_DRIVER_COMPILATION_H
+
+#include "ir/Ir.h"
+
+#include <string>
+#include <string_view>
+
+namespace impact {
+
+/// Outcome of compiling one MiniC source buffer.
+struct CompilationResult {
+  bool Ok = false;
+  /// Rendered diagnostics when !Ok.
+  std::string Errors;
+  Module M;
+};
+
+/// Lex + parse + sema + IL generation. When \p RequireMain is false the
+/// source may be a fragment without a main function.
+CompilationResult compileMiniC(std::string_view Source, std::string Name,
+                               bool RequireMain = true);
+
+} // namespace impact
+
+#endif // IMPACT_DRIVER_COMPILATION_H

@@ -1,0 +1,189 @@
+//===- driver/Linker.cpp -------------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Linker.h"
+
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+
+using namespace impact;
+
+namespace {
+
+bool isStringLiteralGlobal(const std::string &Name) {
+  return startsWith(Name, ".str");
+}
+
+class Linker {
+public:
+  Linker(std::vector<Module> Modules, std::string Name)
+      : Modules(std::move(Modules)) {
+    Out.M.Name = std::move(Name);
+  }
+
+  LinkResult run() {
+    if (!declareFunctions() || !mergeGlobals() || !copyBodies())
+      return std::move(Out);
+    Out.M.MainId = Out.M.findFunction("main");
+    Out.Ok = true;
+    return std::move(Out);
+  }
+
+private:
+  bool fail(const std::string &Message) {
+    Out.Ok = false;
+    Out.Error = Message;
+    return false;
+  }
+
+  /// Pass 1: one output slot per function name; definitions win over
+  /// extern declarations; two definitions conflict.
+  bool declareFunctions() {
+    FuncMap.resize(Modules.size());
+    for (size_t MI = 0; MI != Modules.size(); ++MI) {
+      const Module &M = Modules[MI];
+      FuncMap[MI].assign(M.Funcs.size(), kNoFunc);
+      for (const Function &F : M.Funcs) {
+        auto It = FuncByName.find(F.Name);
+        if (It == FuncByName.end()) {
+          FuncId NewId = Out.M.addFunction(F.Name, F.NumParams,
+                                           F.ReturnsVoid, F.IsExternal);
+          FuncByName[F.Name] = NewId;
+          DefinedIn[F.Name] = F.IsExternal ? SIZE_MAX : MI;
+          FuncMap[MI][static_cast<size_t>(F.Id)] = NewId;
+          continue;
+        }
+        FuncId NewId = It->second;
+        Function &Existing = Out.M.getFunction(NewId);
+        if (Existing.NumParams != F.NumParams ||
+            Existing.ReturnsVoid != F.ReturnsVoid)
+          return fail("conflicting signatures for function '" + F.Name +
+                      "'");
+        if (!F.IsExternal) {
+          if (DefinedIn[F.Name] != SIZE_MAX)
+            return fail("duplicate definition of function '" + F.Name +
+                        "'");
+          DefinedIn[F.Name] = MI;
+          Existing.IsExternal = false;
+        }
+        FuncMap[MI][static_cast<size_t>(F.Id)] = NewId;
+      }
+    }
+    return true;
+  }
+
+  /// Remaps a function-address word (global initializers may hold them).
+  int64_t remapWord(size_t MI, int64_t Value) const {
+    FuncId Old = decodeFuncAddr(Value);
+    if (Old == kNoFunc ||
+        static_cast<size_t>(Old) >= FuncMap[MI].size())
+      return Value;
+    return encodeFuncAddr(FuncMap[MI][static_cast<size_t>(Old)]);
+  }
+
+  /// Pass 2: unify named globals, privatize string literals.
+  bool mergeGlobals() {
+    GlobalMap.resize(Modules.size());
+    for (size_t MI = 0; MI != Modules.size(); ++MI) {
+      const Module &M = Modules[MI];
+      GlobalMap[MI].assign(M.Globals.size(), -1);
+      for (size_t GI = 0; GI != M.Globals.size(); ++GI) {
+        const Global &G = M.Globals[GI];
+        std::vector<int64_t> Init;
+        Init.reserve(G.Init.size());
+        for (int64_t V : G.Init)
+          Init.push_back(remapWord(MI, V));
+
+        if (isStringLiteralGlobal(G.Name)) {
+          GlobalMap[MI][GI] = Out.M.addGlobal(
+              ".str" + std::to_string(NextString++), G.Size,
+              std::move(Init));
+          continue;
+        }
+        auto It = GlobalByName.find(G.Name);
+        if (It == GlobalByName.end()) {
+          int64_t NewIdx = Out.M.addGlobal(G.Name, G.Size, std::move(Init));
+          GlobalByName[G.Name] = NewIdx;
+          GlobalMap[MI][GI] = NewIdx;
+          continue;
+        }
+        Global &Existing = Out.M.Globals[static_cast<size_t>(It->second)];
+        if (Existing.Size != G.Size)
+          return fail("conflicting sizes for global '" + G.Name + "'");
+        if (!Init.empty()) {
+          if (!Existing.Init.empty())
+            return fail("duplicate initializer for global '" + G.Name +
+                        "'");
+          Existing.Init = std::move(Init);
+        }
+        GlobalMap[MI][GI] = It->second;
+      }
+    }
+    return true;
+  }
+
+  /// Pass 3: clone bodies with remapped callees, globals and site ids.
+  bool copyBodies() {
+    for (size_t MI = 0; MI != Modules.size(); ++MI) {
+      const Module &M = Modules[MI];
+      for (const Function &F : M.Funcs) {
+        if (F.IsExternal)
+          continue;
+        if (F.Eliminated) {
+          Out.M.getFunction(FuncMap[MI][static_cast<size_t>(F.Id)])
+              .Eliminated = true;
+          continue;
+        }
+        if (F.Blocks.empty())
+          continue;
+        FuncId NewId = FuncMap[MI][static_cast<size_t>(F.Id)];
+        Function &Target = Out.M.getFunction(NewId);
+        Target.NumRegs = F.NumRegs;
+        Target.FrameSize = F.FrameSize;
+        Target.Eliminated = F.Eliminated;
+        Target.AddressTaken |= F.AddressTaken;
+        Target.RegNames = F.RegNames;
+        Target.Blocks = F.Blocks;
+        for (BasicBlock &B : Target.Blocks) {
+          for (Instr &I : B.Instrs) {
+            switch (I.Op) {
+            case Opcode::Call:
+            case Opcode::FuncAddr:
+              I.Callee = FuncMap[MI][static_cast<size_t>(I.Callee)];
+              break;
+            case Opcode::GlobalAddr:
+              I.Imm = GlobalMap[MI][static_cast<size_t>(I.Imm)];
+              break;
+            default:
+              break;
+            }
+            if (I.isCall())
+              I.SiteId = Out.M.allocateSiteId();
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  std::vector<Module> Modules;
+  LinkResult Out;
+  std::unordered_map<std::string, FuncId> FuncByName;
+  /// Module index that *defined* the name, SIZE_MAX while extern-only.
+  std::unordered_map<std::string, size_t> DefinedIn;
+  std::unordered_map<std::string, int64_t> GlobalByName;
+  std::vector<std::vector<FuncId>> FuncMap;
+  std::vector<std::vector<int64_t>> GlobalMap;
+  unsigned NextString = 0;
+};
+
+} // namespace
+
+LinkResult impact::linkModules(std::vector<Module> Modules,
+                               std::string Name) {
+  return Linker(std::move(Modules), std::move(Name)).run();
+}

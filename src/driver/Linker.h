@@ -1,0 +1,52 @@
+//===- driver/Linker.h - Merge modules for link-time inlining -----------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §2.1 weighs two placements for inline expansion. At compile time, the
+/// callee bodies of other translation units are invisible ("imposes
+/// restrictions to the separate compilation"); at link time "all functions
+/// are available ... inline expansion can naturally be performed without
+/// sacrificing separate compilation". This module supplies the link step:
+/// it merges separately compiled IL modules, resolving extern function
+/// declarations against definitions from other modules, re-indexing
+/// functions/globals/call sites, and leaving a single module the full
+/// inlining pipeline (and its profiler) runs on unchanged.
+///
+/// Rules:
+///  - a function defined in one module satisfies extern (or intrinsic-
+///    style body-less) declarations of the same name everywhere,
+///  - two definitions of one function name conflict (error),
+///  - named globals are unified by name; two globals of the same name
+///    conflict unless byte-identical in size with at most one initializer
+///    (MiniC has no 'static', so names are program-global),
+///  - string-literal globals (".str<N>") are module-private and renamed,
+///  - call-site ids are reassigned densely so they stay module-unique,
+///  - exactly one module may define main.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_DRIVER_LINKER_H
+#define IMPACT_DRIVER_LINKER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace impact {
+
+struct LinkResult {
+  bool Ok = false;
+  std::string Error;
+  Module M;
+};
+
+/// Links \p Modules (in order) into one module named \p Name.
+LinkResult linkModules(std::vector<Module> Modules, std::string Name);
+
+} // namespace impact
+
+#endif // IMPACT_DRIVER_LINKER_H

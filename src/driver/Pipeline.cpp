@@ -1,0 +1,110 @@
+//===- driver/Pipeline.cpp -----------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "callgraph/CallGraphBuilder.h"
+#include "ir/IrVerifier.h"
+
+using namespace impact;
+
+namespace {
+
+/// Fills the phase metrics that come straight from a profile.
+void fillDynamicMetrics(PhaseMetrics &Metrics, const Module &M,
+                        const ProfileData &Profile) {
+  Metrics.StaticSize = M.size();
+  Metrics.AvgInstrs = Profile.getAvgInstrs();
+  Metrics.AvgControlTransfers = Profile.getAvgControlTransfers();
+  Metrics.AvgCalls = Profile.getAvgDynamicCalls();
+  Metrics.AvgExternalCalls = Profile.getAvgExternalCalls();
+  Metrics.AvgPointerCalls = Profile.getAvgPointerCalls();
+}
+
+/// Fills the per-class dynamic call split from a classification.
+void fillClassMetrics(PhaseMetrics &Metrics, const Classification &Classes) {
+  Metrics.DynExternal = Classes.sumDynamic(SiteClass::External);
+  Metrics.DynPointer = Classes.sumDynamic(SiteClass::Pointer);
+  Metrics.DynUnsafe = Classes.sumDynamic(SiteClass::Unsafe);
+  Metrics.DynSafe = Classes.sumDynamic(SiteClass::Safe);
+}
+
+} // namespace
+
+PipelineResult impact::runPipeline(Module M,
+                                   const std::vector<RunInput> &Inputs,
+                                   const PipelineOptions &Options) {
+  PipelineResult Result;
+
+  if (std::string V = verifyModuleText(M); !V.empty()) {
+    Result.Error = "module failed verification before the pipeline:\n" + V;
+    return Result;
+  }
+
+  // 1. Pre-inline classic optimization (§4.4: constant folding and jump
+  // optimization run before the inline expansion procedure).
+  if (Options.RunPreOpt) {
+    runOptimizationPipeline(M, Options.PreOpt);
+    if (std::string V = verifyModuleText(M); !V.empty()) {
+      Result.Error = "module failed verification after pre-opt:\n" + V;
+      return Result;
+    }
+  }
+
+  // 2. Profile on representative inputs.
+  ProfileResult PreProfile = profileProgram(M, Inputs, Options.Run);
+  if (!PreProfile.allRunsOk()) {
+    Result.Error = "pre-inline profiling failed: " + PreProfile.Failures[0];
+    return Result;
+  }
+  fillDynamicMetrics(Result.Before, M, PreProfile.Data);
+  Result.OutputsBefore = std::move(PreProfile.Outputs);
+
+  // 3. Recompile with profile-guided inline expansion.
+  Result.Inline = runInlineExpansion(M, PreProfile.Data, Options.Inline);
+  fillClassMetrics(Result.Before, Result.Inline.Classes);
+  if (std::string V = verifyModuleText(M); !V.empty()) {
+    Result.Error = "module failed verification after inline expansion:\n" + V;
+    return Result;
+  }
+
+  // 4. Measure by re-profiling on the same inputs.
+  ProfileResult PostProfile = profileProgram(M, Inputs, Options.Run);
+  if (!PostProfile.allRunsOk()) {
+    Result.Error = "post-inline profiling failed: " + PostProfile.Failures[0];
+    return Result;
+  }
+  fillDynamicMetrics(Result.After, M, PostProfile.Data);
+  Result.OutputsAfter = std::move(PostProfile.Outputs);
+
+  // Post-inline dynamic classification (the §4.4 external/pointer/unsafe/
+  // safe split of the *remaining* calls).
+  {
+    CallGraphOptions GraphOptions;
+    GraphOptions.AssumeExternalsCallBack =
+        Options.Inline.AssumeExternalsCallBack;
+    CallGraph G = buildCallGraph(M, &PostProfile.Data, GraphOptions);
+    Classification PostClasses =
+        classifyCallSites(M, G, PostProfile.Data, Options.Inline);
+    fillClassMetrics(Result.After, PostClasses);
+  }
+
+  Result.FinalModule = std::move(M);
+  Result.Ok = true;
+  return Result;
+}
+
+PipelineResult impact::runPipeline(std::string_view Source, std::string Name,
+                                   const std::vector<RunInput> &Inputs,
+                                   const PipelineOptions &Options) {
+  CompilationResult C = compileMiniC(Source, std::move(Name));
+  if (!C.Ok) {
+    PipelineResult Result;
+    Result.Error = "compilation failed:\n" + C.Errors;
+    return Result;
+  }
+  return runPipeline(std::move(C.M), Inputs, Options);
+}

@@ -1,0 +1,90 @@
+//===- driver/Report.cpp -------------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Report.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace impact;
+
+TableWriter::TableWriter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TableWriter::addSeparator() { Rows.emplace_back(); }
+
+std::string TableWriter::render() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C != Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  std::ostringstream OS;
+  auto EmitRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C != Cells.size(); ++C) {
+      if (C)
+        OS << "  ";
+      if (C == 0)
+        OS << padRight(Cells[C], static_cast<unsigned>(Widths[C]));
+      else
+        OS << padLeft(Cells[C], static_cast<unsigned>(Widths[C]));
+    }
+    OS << '\n';
+  };
+  auto EmitSeparator = [&] {
+    size_t Total = 0;
+    for (size_t C = 0; C != Widths.size(); ++C)
+      Total += Widths[C] + (C ? 2 : 0);
+    OS << std::string(Total, '-') << '\n';
+  };
+
+  EmitRow(Headers);
+  EmitSeparator();
+  for (const auto &Row : Rows) {
+    if (Row.empty())
+      EmitSeparator();
+    else
+      EmitRow(Row);
+  }
+  return OS.str();
+}
+
+std::string impact::formatPercent(double Value) {
+  return formatDouble(Value, 1) + "%";
+}
+
+std::string impact::formatCount(double Value) {
+  return std::to_string(static_cast<long long>(std::llround(Value)));
+}
+
+double impact::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double impact::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += (V - M) * (V - M);
+  return std::sqrt(Sum / static_cast<double>(Values.size()));
+}

@@ -1,0 +1,45 @@
+//===- driver/Report.h - Table formatting shared by benches/examples -----------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_DRIVER_REPORT_H
+#define IMPACT_DRIVER_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace impact {
+
+/// Fixed-width text table writer used by the bench binaries so all paper
+/// tables render uniformly.
+class TableWriter {
+public:
+  /// \p Headers defines the column count; the first column is left-aligned
+  /// (row labels), the rest right-aligned.
+  explicit TableWriter(std::vector<std::string> Headers);
+
+  void addRow(std::vector<std::string> Cells);
+  /// Adds a horizontal separator before the next row.
+  void addSeparator();
+
+  std::string render() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows; // empty row == separator
+};
+
+/// "12.3%" with one decimal.
+std::string formatPercent(double Value);
+/// Rounds to a whole number string ("3653").
+std::string formatCount(double Value);
+/// Mean of \p Values (0 when empty).
+double mean(const std::vector<double> &Values);
+/// Population standard deviation of \p Values.
+double stddev(const std::vector<double> &Values);
+
+} // namespace impact
+
+#endif // IMPACT_DRIVER_REPORT_H

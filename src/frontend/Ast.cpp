@@ -1,0 +1,359 @@
+//===- frontend/Ast.cpp -----------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Ast.h"
+
+#include <sstream>
+
+using namespace impact;
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Int:
+    return "int";
+  case Kind::Ptr:
+    return "int" + std::string(PtrDepth, '*');
+  case Kind::FuncPtr: {
+    std::ostringstream OS;
+    OS << (ReturnsVoid ? "void" : "int") << "(*)(" << NumParams << " args)";
+    return OS.str();
+  }
+  }
+  return "?";
+}
+
+FunctionDecl::FunctionDecl(SourceLoc Loc, std::string Name, Type RetTy,
+                           std::vector<std::unique_ptr<ParamDecl>> Params,
+                           StmtPtr Body, bool Extern)
+    : Decl(DeclKind::Function, Loc, std::move(Name)), RetTy(RetTy),
+      Params(std::move(Params)), Body(std::move(Body)), Extern(Extern) {}
+
+FunctionDecl::~FunctionDecl() = default;
+
+FunctionDecl *TranslationUnit::findFunction(const std::string &Name) const {
+  for (const DeclPtr &D : Decls)
+    if (auto *F = dyn_cast<FunctionDecl>(D.get()))
+      if (F->getName() == Name)
+        return F;
+  return nullptr;
+}
+
+namespace {
+
+/// Indented tree printer over the AST; kept in one visitor so the dump
+/// format stays consistent across node kinds.
+class AstPrinter {
+public:
+  explicit AstPrinter(std::ostringstream &OS) : OS(OS) {}
+
+  void printDecl(const Decl &D) {
+    indent();
+    switch (D.getKind()) {
+    case Decl::DeclKind::Var: {
+      const auto &V = *cast<VarDecl>(&D);
+      OS << "VarDecl " << V.getName() << " : " << V.getType().str();
+      if (V.isArray())
+        OS << '[' << V.getArraySize() << ']';
+      if (V.isGlobal())
+        OS << " global";
+      OS << '\n';
+      if (V.getInit()) {
+        ++Depth;
+        printExpr(*V.getInit());
+        --Depth;
+      }
+      break;
+    }
+    case Decl::DeclKind::Param: {
+      const auto &P = *cast<ParamDecl>(&D);
+      OS << "ParamDecl " << P.getName() << " : " << P.getType().str() << '\n';
+      break;
+    }
+    case Decl::DeclKind::Function: {
+      const auto &F = *cast<FunctionDecl>(&D);
+      OS << "FunctionDecl " << F.getName() << " : "
+         << F.getReturnType().str();
+      if (F.isExtern())
+        OS << " extern";
+      OS << '\n';
+      ++Depth;
+      for (const auto &P : F.getParams())
+        printDecl(*P);
+      if (F.getBody())
+        printStmt(*F.getBody());
+      --Depth;
+      break;
+    }
+    }
+  }
+
+  void printStmt(const Stmt &S) {
+    indent();
+    switch (S.getKind()) {
+    case Stmt::StmtKind::Compound: {
+      OS << "CompoundStmt\n";
+      ++Depth;
+      for (const StmtPtr &Child : cast<CompoundStmt>(&S)->getBody())
+        printStmt(*Child);
+      --Depth;
+      break;
+    }
+    case Stmt::StmtKind::DeclStmt: {
+      OS << "DeclStmt\n";
+      ++Depth;
+      printDecl(*cast<DeclStmt>(&S)->getVar());
+      --Depth;
+      break;
+    }
+    case Stmt::StmtKind::ExprStmt: {
+      OS << "ExprStmt\n";
+      ++Depth;
+      printExpr(*cast<ExprStmt>(&S)->getExpr());
+      --Depth;
+      break;
+    }
+    case Stmt::StmtKind::If: {
+      const auto &If = *cast<IfStmt>(&S);
+      OS << "IfStmt\n";
+      ++Depth;
+      printExpr(*If.getCond());
+      printStmt(*If.getThen());
+      if (If.getElse())
+        printStmt(*If.getElse());
+      --Depth;
+      break;
+    }
+    case Stmt::StmtKind::While: {
+      const auto &W = *cast<WhileStmt>(&S);
+      OS << "WhileStmt\n";
+      ++Depth;
+      printExpr(*W.getCond());
+      printStmt(*W.getBody());
+      --Depth;
+      break;
+    }
+    case Stmt::StmtKind::For: {
+      const auto &F = *cast<ForStmt>(&S);
+      OS << "ForStmt\n";
+      ++Depth;
+      if (F.getInit())
+        printStmt(*F.getInit());
+      if (F.getCond())
+        printExpr(*F.getCond());
+      if (F.getStep())
+        printExpr(*F.getStep());
+      printStmt(*F.getBody());
+      --Depth;
+      break;
+    }
+    case Stmt::StmtKind::Return: {
+      OS << "ReturnStmt\n";
+      if (const Expr *Value = cast<ReturnStmt>(&S)->getValue()) {
+        ++Depth;
+        printExpr(*Value);
+        --Depth;
+      }
+      break;
+    }
+    case Stmt::StmtKind::Break:
+      OS << "BreakStmt\n";
+      break;
+    case Stmt::StmtKind::Continue:
+      OS << "ContinueStmt\n";
+      break;
+    }
+  }
+
+  void printExpr(const Expr &E) {
+    indent();
+    switch (E.getKind()) {
+    case Expr::ExprKind::IntLiteral:
+      OS << "IntLiteral " << cast<IntLiteralExpr>(&E)->getValue() << '\n';
+      break;
+    case Expr::ExprKind::StringLiteral:
+      OS << "StringLiteral \"" << cast<StringLiteralExpr>(&E)->getValue()
+         << "\"\n";
+      break;
+    case Expr::ExprKind::DeclRef:
+      OS << "DeclRef " << cast<DeclRefExpr>(&E)->getName() << '\n';
+      break;
+    case Expr::ExprKind::Unary: {
+      const auto &U = *cast<UnaryExpr>(&E);
+      OS << "Unary " << getUnaryOpName(U.getOp()) << '\n';
+      ++Depth;
+      printExpr(*U.getOperand());
+      --Depth;
+      break;
+    }
+    case Expr::ExprKind::Binary: {
+      const auto &B = *cast<BinaryExpr>(&E);
+      OS << "Binary " << getBinaryOpName(B.getOp()) << '\n';
+      ++Depth;
+      printExpr(*B.getLhs());
+      printExpr(*B.getRhs());
+      --Depth;
+      break;
+    }
+    case Expr::ExprKind::Assign: {
+      const auto &A = *cast<AssignExpr>(&E);
+      OS << "Assign " << getAssignOpName(A.getOp()) << '\n';
+      ++Depth;
+      printExpr(*A.getLhs());
+      printExpr(*A.getRhs());
+      --Depth;
+      break;
+    }
+    case Expr::ExprKind::Conditional: {
+      const auto &C = *cast<ConditionalExpr>(&E);
+      OS << "Conditional\n";
+      ++Depth;
+      printExpr(*C.getCond());
+      printExpr(*C.getThen());
+      printExpr(*C.getElse());
+      --Depth;
+      break;
+    }
+    case Expr::ExprKind::Call: {
+      const auto &C = *cast<CallExpr>(&E);
+      OS << "Call\n";
+      ++Depth;
+      printExpr(*C.getCallee());
+      for (const ExprPtr &Arg : C.getArgs())
+        printExpr(*Arg);
+      --Depth;
+      break;
+    }
+    case Expr::ExprKind::Index: {
+      const auto &I = *cast<IndexExpr>(&E);
+      OS << "Index\n";
+      ++Depth;
+      printExpr(*I.getBase());
+      printExpr(*I.getIndex());
+      --Depth;
+      break;
+    }
+    }
+  }
+
+private:
+  void indent() {
+    for (unsigned I = 0; I != Depth; ++I)
+      OS << "  ";
+  }
+
+  static const char *getUnaryOpName(UnaryOpKind Op) {
+    switch (Op) {
+    case UnaryOpKind::Neg:
+      return "-";
+    case UnaryOpKind::BitNot:
+      return "~";
+    case UnaryOpKind::LogicalNot:
+      return "!";
+    case UnaryOpKind::Deref:
+      return "*";
+    case UnaryOpKind::AddrOf:
+      return "&";
+    case UnaryOpKind::PreInc:
+      return "pre++";
+    case UnaryOpKind::PreDec:
+      return "pre--";
+    case UnaryOpKind::PostInc:
+      return "post++";
+    case UnaryOpKind::PostDec:
+      return "post--";
+    }
+    return "?";
+  }
+
+  static const char *getBinaryOpName(BinaryOpKind Op) {
+    switch (Op) {
+    case BinaryOpKind::Add:
+      return "+";
+    case BinaryOpKind::Sub:
+      return "-";
+    case BinaryOpKind::Mul:
+      return "*";
+    case BinaryOpKind::Div:
+      return "/";
+    case BinaryOpKind::Rem:
+      return "%";
+    case BinaryOpKind::Shl:
+      return "<<";
+    case BinaryOpKind::Shr:
+      return ">>";
+    case BinaryOpKind::BitAnd:
+      return "&";
+    case BinaryOpKind::BitOr:
+      return "|";
+    case BinaryOpKind::BitXor:
+      return "^";
+    case BinaryOpKind::Lt:
+      return "<";
+    case BinaryOpKind::Le:
+      return "<=";
+    case BinaryOpKind::Gt:
+      return ">";
+    case BinaryOpKind::Ge:
+      return ">=";
+    case BinaryOpKind::Eq:
+      return "==";
+    case BinaryOpKind::Ne:
+      return "!=";
+    case BinaryOpKind::LogicalAnd:
+      return "&&";
+    case BinaryOpKind::LogicalOr:
+      return "||";
+    }
+    return "?";
+  }
+
+  static const char *getAssignOpName(AssignOpKind Op) {
+    switch (Op) {
+    case AssignOpKind::Assign:
+      return "=";
+    case AssignOpKind::AddAssign:
+      return "+=";
+    case AssignOpKind::SubAssign:
+      return "-=";
+    case AssignOpKind::MulAssign:
+      return "*=";
+    case AssignOpKind::DivAssign:
+      return "/=";
+    case AssignOpKind::RemAssign:
+      return "%=";
+    }
+    return "?";
+  }
+
+  std::ostringstream &OS;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+std::string TranslationUnit::dump() const {
+  std::ostringstream OS;
+  AstPrinter Printer(OS);
+  for (const DeclPtr &D : Decls)
+    Printer.printDecl(*D);
+  return OS.str();
+}
+
+std::string impact::dumpExpr(const Expr &E) {
+  std::ostringstream OS;
+  AstPrinter Printer(OS);
+  Printer.printExpr(E);
+  return OS.str();
+}
+
+std::string impact::dumpStmt(const Stmt &S) {
+  std::ostringstream OS;
+  AstPrinter Printer(OS);
+  Printer.printStmt(S);
+  return OS.str();
+}

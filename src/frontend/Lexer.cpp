@@ -1,0 +1,388 @@
+//===- frontend/Lexer.cpp ---------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace impact;
+
+const char *impact::getTokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwExtern:
+    return "'extern'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::LessLess:
+    return "'<<'";
+  case TokenKind::GreaterGreater:
+    return "'>>'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::PlusEqual:
+    return "'+='";
+  case TokenKind::MinusEqual:
+    return "'-='";
+  case TokenKind::StarEqual:
+    return "'*='";
+  case TokenKind::SlashEqual:
+    return "'/='";
+  case TokenKind::PercentEqual:
+    return "'%='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string_view Text, DiagnosticEngine &Diags)
+    : Text(Text), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (Pos < Text.size())
+    ++Pos;
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  ++Pos;
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (true) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t Begin = Pos;
+      Pos += 2;
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(SourceLoc(Begin), "unterminated block comment");
+          return;
+        }
+        ++Pos;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, uint32_t Begin) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = SourceLoc(Begin);
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword(uint32_t Begin) {
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    ++Pos;
+  std::string_view Spelling = Text.substr(Begin, Pos - Begin);
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},         {"void", TokenKind::KwVoid},
+      {"extern", TokenKind::KwExtern},   {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},         {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+  };
+  auto It = Keywords.find(Spelling);
+  Token Tok = makeToken(
+      It != Keywords.end() ? It->second : TokenKind::Identifier, Begin);
+  Tok.Text = std::string(Spelling);
+  return Tok;
+}
+
+Token Lexer::lexNumber(uint32_t Begin) {
+  int64_t Value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Pos += 2;
+    if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+      Diags.error(SourceLoc(Begin), "hex literal needs at least one digit");
+      return makeToken(TokenKind::Error, Begin);
+    }
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      int Digit = std::isdigit(static_cast<unsigned char>(C))
+                      ? C - '0'
+                      : std::tolower(static_cast<unsigned char>(C)) - 'a' + 10;
+      Value = Value * 16 + Digit;
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+  }
+  Token Tok = makeToken(TokenKind::IntLiteral, Begin);
+  Tok.IntValue = Value;
+  return Tok;
+}
+
+char Lexer::lexEscape() {
+  char C = advance();
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  default:
+    Diags.error(SourceLoc(Pos - 1), std::string("unknown escape sequence '\\") +
+                                        C + "'");
+    return C;
+  }
+}
+
+Token Lexer::lexCharLiteral(uint32_t Begin) {
+  char Value;
+  if (peek() == '\\') {
+    ++Pos;
+    Value = lexEscape();
+  } else if (peek() == '\0' || peek() == '\'') {
+    Diags.error(SourceLoc(Begin), "empty or unterminated character literal");
+    return makeToken(TokenKind::Error, Begin);
+  } else {
+    Value = advance();
+  }
+  if (!match('\'')) {
+    Diags.error(SourceLoc(Begin), "unterminated character literal");
+    return makeToken(TokenKind::Error, Begin);
+  }
+  Token Tok = makeToken(TokenKind::IntLiteral, Begin);
+  Tok.IntValue = static_cast<unsigned char>(Value);
+  return Tok;
+}
+
+Token Lexer::lexStringLiteral(uint32_t Begin) {
+  std::string Value;
+  while (true) {
+    char C = peek();
+    if (C == '\0' || C == '\n') {
+      Diags.error(SourceLoc(Begin), "unterminated string literal");
+      return makeToken(TokenKind::Error, Begin);
+    }
+    ++Pos;
+    if (C == '"')
+      break;
+    if (C == '\\')
+      C = lexEscape();
+    Value.push_back(C);
+  }
+  Token Tok = makeToken(TokenKind::StringLiteral, Begin);
+  Tok.Text = std::move(Value);
+  return Tok;
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  uint32_t Begin = Pos;
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Begin);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    ++Pos;
+    return lexIdentifierOrKeyword(Begin);
+  }
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Begin);
+  ++Pos;
+  switch (C) {
+  case '\'':
+    return lexCharLiteral(Begin);
+  case '"':
+    return lexStringLiteral(Begin);
+  case '(':
+    return makeToken(TokenKind::LParen, Begin);
+  case ')':
+    return makeToken(TokenKind::RParen, Begin);
+  case '{':
+    return makeToken(TokenKind::LBrace, Begin);
+  case '}':
+    return makeToken(TokenKind::RBrace, Begin);
+  case '[':
+    return makeToken(TokenKind::LBracket, Begin);
+  case ']':
+    return makeToken(TokenKind::RBracket, Begin);
+  case ',':
+    return makeToken(TokenKind::Comma, Begin);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Begin);
+  case '?':
+    return makeToken(TokenKind::Question, Begin);
+  case ':':
+    return makeToken(TokenKind::Colon, Begin);
+  case '~':
+    return makeToken(TokenKind::Tilde, Begin);
+  case '^':
+    return makeToken(TokenKind::Caret, Begin);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Begin);
+    if (match('='))
+      return makeToken(TokenKind::PlusEqual, Begin);
+    return makeToken(TokenKind::Plus, Begin);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Begin);
+    if (match('='))
+      return makeToken(TokenKind::MinusEqual, Begin);
+    return makeToken(TokenKind::Minus, Begin);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarEqual, Begin);
+    return makeToken(TokenKind::Star, Begin);
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashEqual, Begin);
+    return makeToken(TokenKind::Slash, Begin);
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentEqual, Begin);
+    return makeToken(TokenKind::Percent, Begin);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Begin);
+    return makeToken(TokenKind::Amp, Begin);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Begin);
+    return makeToken(TokenKind::Pipe, Begin);
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::BangEqual, Begin);
+    return makeToken(TokenKind::Bang, Begin);
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Begin);
+    return makeToken(TokenKind::Equal, Begin);
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Begin);
+    if (match('<'))
+      return makeToken(TokenKind::LessLess, Begin);
+    return makeToken(TokenKind::Less, Begin);
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Begin);
+    if (match('>'))
+      return makeToken(TokenKind::GreaterGreater, Begin);
+    return makeToken(TokenKind::Greater, Begin);
+  default:
+    Diags.error(SourceLoc(Begin),
+                std::string("unexpected character '") + C + "'");
+    return makeToken(TokenKind::Error, Begin);
+  }
+}

@@ -1,0 +1,50 @@
+//===- frontend/Lexer.h - MiniC lexer --------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_FRONTEND_LEXER_H
+#define IMPACT_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace impact {
+
+/// Converts MiniC source text into a token stream. Handles //- and /* */-
+/// comments, decimal/hex integer literals, char literals, and string
+/// literals with C escape sequences. Errors are reported to the
+/// DiagnosticEngine and surface as TokenKind::Error tokens.
+class Lexer {
+public:
+  Lexer(std::string_view Text, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token (eventually an infinite tail of Eof).
+  Token lex();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+
+  Token makeToken(TokenKind Kind, uint32_t Begin);
+  Token lexIdentifierOrKeyword(uint32_t Begin);
+  Token lexNumber(uint32_t Begin);
+  Token lexCharLiteral(uint32_t Begin);
+  Token lexStringLiteral(uint32_t Begin);
+  /// Decodes one escape sequence after a backslash; returns the decoded
+  /// character and reports malformed escapes.
+  char lexEscape();
+
+  std::string_view Text;
+  DiagnosticEngine &Diags;
+  uint32_t Pos = 0;
+};
+
+} // namespace impact
+
+#endif // IMPACT_FRONTEND_LEXER_H

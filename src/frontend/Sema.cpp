@@ -1,0 +1,419 @@
+//===- frontend/Sema.cpp ----------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+
+using namespace impact;
+
+Sema::Sema(DiagnosticEngine &Diags, SemaOptions Options)
+    : Diags(Diags), Options(Options) {}
+
+void Sema::pushScope() { Scopes.emplace_back(); }
+
+void Sema::popScope() {
+  assert(!Scopes.empty() && "scope underflow");
+  Scopes.pop_back();
+}
+
+bool Sema::declare(Decl *D) {
+  assert(!Scopes.empty() && "no active scope");
+  auto [It, Inserted] = Scopes.back().try_emplace(D->getName(), D);
+  if (!Inserted) {
+    Diags.error(D->getLoc(), "redefinition of '" + D->getName() + "'");
+    Diags.note(It->second->getLoc(), "previous definition is here");
+  }
+  return Inserted;
+}
+
+Decl *Sema::lookup(const std::string &Name) const {
+  for (auto ScopeIt = Scopes.rbegin(); ScopeIt != Scopes.rend(); ++ScopeIt) {
+    auto It = ScopeIt->find(Name);
+    if (It != ScopeIt->end())
+      return It->second;
+  }
+  return nullptr;
+}
+
+bool Sema::analyze(TranslationUnit &TU) {
+  pushScope(); // global scope
+
+  // Two passes: declare all globals first so functions may call forward.
+  for (DeclPtr &D : TU.Decls)
+    declare(D.get());
+
+  for (DeclPtr &D : TU.Decls) {
+    if (auto *F = dyn_cast<FunctionDecl>(D.get())) {
+      if (!F->isExtern())
+        analyzeFunction(*F);
+    } else if (auto *V = dyn_cast<VarDecl>(D.get())) {
+      if (Expr *Init = V->getInit()) {
+        analyzeExpr(*Init);
+        // Global initializers must be compile-time constants: an integer
+        // literal, a (possibly negated) literal, or a function address.
+        const Expr *E = Init;
+        if (const auto *U = dyn_cast<UnaryExpr>(E))
+          if (U->getOp() == UnaryOpKind::Neg ||
+              U->getOp() == UnaryOpKind::AddrOf)
+            E = U->getOperand();
+        bool IsFuncRef = false;
+        if (const auto *Ref = dyn_cast<DeclRefExpr>(E))
+          IsFuncRef = Ref->getDecl() && isa<FunctionDecl>(Ref->getDecl());
+        if (!isa<IntLiteralExpr>(E) && !IsFuncRef)
+          Diags.error(Init->getLoc(),
+                      "global initializer must be an integer constant or a "
+                      "function address");
+      }
+    }
+  }
+
+  if (Options.RequireMain) {
+    FunctionDecl *Main = TU.findFunction("main");
+    if (!Main)
+      Diags.error(SourceLoc(), "program has no 'main' function");
+    else if (Main->isExtern())
+      Diags.error(Main->getLoc(), "'main' cannot be extern");
+    else if (Main->getNumParams() != 0)
+      Diags.error(Main->getLoc(), "'main' must take no parameters");
+  }
+
+  popScope();
+  return !Diags.hasErrors();
+}
+
+void Sema::analyzeFunction(FunctionDecl &F) {
+  CurrentFunction = &F;
+  LoopDepth = 0;
+  pushScope();
+  for (const auto &P : F.getParams())
+    declare(P.get());
+  analyzeStmt(*F.getBody());
+  popScope();
+  CurrentFunction = nullptr;
+}
+
+void Sema::analyzeVarDecl(VarDecl &V) {
+  if (V.isArray() && V.getType().isFuncPtr())
+    Diags.error(V.getLoc(), "arrays of function pointers are not supported");
+  if (Expr *Init = V.getInit()) {
+    Type InitTy = analyzeExpr(*Init);
+    if (InitTy.isVoid())
+      Diags.error(Init->getLoc(), "cannot initialize from a void expression");
+  }
+  declare(&V);
+}
+
+void Sema::analyzeStmt(Stmt &S) {
+  switch (S.getKind()) {
+  case Stmt::StmtKind::Compound: {
+    pushScope();
+    for (const StmtPtr &Child : cast<CompoundStmt>(&S)->getBody())
+      analyzeStmt(*Child);
+    popScope();
+    return;
+  }
+  case Stmt::StmtKind::DeclStmt:
+    analyzeVarDecl(*cast<DeclStmt>(&S)->getVar());
+    return;
+  case Stmt::StmtKind::ExprStmt:
+    analyzeExpr(*cast<ExprStmt>(&S)->getExpr());
+    return;
+  case Stmt::StmtKind::If: {
+    auto &If = *cast<IfStmt>(&S);
+    analyzeExpr(*If.getCond());
+    requireScalar(*If.getCond(), "if condition");
+    analyzeStmt(*If.getThen());
+    if (If.getElse())
+      analyzeStmt(*If.getElse());
+    return;
+  }
+  case Stmt::StmtKind::While: {
+    auto &W = *cast<WhileStmt>(&S);
+    analyzeExpr(*W.getCond());
+    requireScalar(*W.getCond(), "while condition");
+    ++LoopDepth;
+    analyzeStmt(*W.getBody());
+    --LoopDepth;
+    return;
+  }
+  case Stmt::StmtKind::For: {
+    auto &F = *cast<ForStmt>(&S);
+    pushScope(); // the for-init declaration scopes over the whole loop
+    if (F.getInit())
+      analyzeStmt(*F.getInit());
+    if (F.getCond()) {
+      analyzeExpr(*F.getCond());
+      requireScalar(*F.getCond(), "for condition");
+    }
+    if (F.getStep())
+      analyzeExpr(*F.getStep());
+    ++LoopDepth;
+    analyzeStmt(*F.getBody());
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case Stmt::StmtKind::Return: {
+    auto &R = *cast<ReturnStmt>(&S);
+    assert(CurrentFunction && "return outside a function");
+    bool ReturnsVoid = CurrentFunction->getReturnType().isVoid();
+    if (R.getValue()) {
+      Type Ty = analyzeExpr(*R.getValue());
+      if (ReturnsVoid)
+        Diags.error(R.getLoc(), "void function '" +
+                                    CurrentFunction->getName() +
+                                    "' cannot return a value");
+      else if (Ty.isVoid())
+        Diags.error(R.getLoc(), "cannot return a void expression");
+    } else if (!ReturnsVoid) {
+      Diags.error(R.getLoc(), "non-void function '" +
+                                  CurrentFunction->getName() +
+                                  "' must return a value");
+    }
+    return;
+  }
+  case Stmt::StmtKind::Break:
+    if (LoopDepth == 0)
+      Diags.error(S.getLoc(), "'break' outside a loop");
+    return;
+  case Stmt::StmtKind::Continue:
+    if (LoopDepth == 0)
+      Diags.error(S.getLoc(), "'continue' outside a loop");
+    return;
+  }
+}
+
+bool Sema::isLValue(const Expr &E) const {
+  switch (E.getKind()) {
+  case Expr::ExprKind::DeclRef: {
+    const Decl *D = cast<DeclRefExpr>(&E)->getDecl();
+    // Array variables are not assignable, but scalars and params are.
+    if (const auto *V = dyn_cast_if_present<VarDecl>(D))
+      return !V->isArray();
+    return D && isa<ParamDecl>(D);
+  }
+  case Expr::ExprKind::Unary:
+    return cast<UnaryExpr>(&E)->getOp() == UnaryOpKind::Deref;
+  case Expr::ExprKind::Index:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void Sema::requireScalar(const Expr &E, const char *Context) {
+  if (!E.getType().isScalar())
+    Diags.error(E.getLoc(), std::string(Context) + " must have scalar type");
+}
+
+Type Sema::analyzeExpr(Expr &E) {
+  switch (E.getKind()) {
+  case Expr::ExprKind::IntLiteral:
+    E.setType(Type::makeInt());
+    return E.getType();
+  case Expr::ExprKind::StringLiteral:
+    // Strings are word arrays; the literal evaluates to int*.
+    E.setType(Type::makePtr(1));
+    return E.getType();
+  case Expr::ExprKind::DeclRef: {
+    auto &Ref = *cast<DeclRefExpr>(&E);
+    Decl *D = lookup(Ref.getName());
+    if (!D) {
+      Diags.error(Ref.getLoc(), "use of undeclared identifier '" +
+                                    Ref.getName() + "'");
+      E.setType(Type::makeInt());
+      return E.getType();
+    }
+    Ref.setDecl(D);
+    if (auto *V = dyn_cast<VarDecl>(D)) {
+      // Array references decay to a pointer to the element type.
+      if (V->isArray()) {
+        Type ElemTy = V->getType();
+        E.setType(ElemTy.isPtr() ? Type::makePtr(ElemTy.PtrDepth + 1)
+                                 : Type::makePtr(1));
+      } else {
+        E.setType(V->getType());
+      }
+    } else if (auto *P = dyn_cast<ParamDecl>(D)) {
+      E.setType(P->getType());
+    } else {
+      // A function name used as a value: its address is taken.
+      auto *F = cast<FunctionDecl>(D);
+      F->setAddressTaken();
+      E.setType(Type::makeFuncPtr(F->getNumParams(),
+                                  F->getReturnType().isVoid()));
+    }
+    return E.getType();
+  }
+  case Expr::ExprKind::Unary:
+    return analyzeUnary(*cast<UnaryExpr>(&E));
+  case Expr::ExprKind::Binary: {
+    auto &B = *cast<BinaryExpr>(&E);
+    Type LhsTy = analyzeExpr(*B.getLhs());
+    Type RhsTy = analyzeExpr(*B.getRhs());
+    requireScalar(*B.getLhs(), "binary operand");
+    requireScalar(*B.getRhs(), "binary operand");
+    switch (B.getOp()) {
+    case BinaryOpKind::Add:
+      // ptr + int (or int + ptr) keeps the pointer type.
+      E.setType(LhsTy.isPtr() ? LhsTy : (RhsTy.isPtr() ? RhsTy : LhsTy));
+      break;
+    case BinaryOpKind::Sub:
+      // ptr - int is a pointer; ptr - ptr is a word count.
+      if (LhsTy.isPtr() && !RhsTy.isPtr())
+        E.setType(LhsTy);
+      else
+        E.setType(Type::makeInt());
+      break;
+    default:
+      E.setType(Type::makeInt());
+      break;
+    }
+    return E.getType();
+  }
+  case Expr::ExprKind::Assign: {
+    auto &A = *cast<AssignExpr>(&E);
+    Type LhsTy = analyzeExpr(*A.getLhs());
+    analyzeExpr(*A.getRhs());
+    requireScalar(*A.getRhs(), "assigned value");
+    if (!isLValue(*A.getLhs()))
+      Diags.error(A.getLoc(), "assignment target is not an lvalue");
+    E.setType(LhsTy);
+    return E.getType();
+  }
+  case Expr::ExprKind::Conditional: {
+    auto &C = *cast<ConditionalExpr>(&E);
+    analyzeExpr(*C.getCond());
+    requireScalar(*C.getCond(), "conditional operand");
+    Type ThenTy = analyzeExpr(*C.getThen());
+    analyzeExpr(*C.getElse());
+    requireScalar(*C.getThen(), "conditional arm");
+    requireScalar(*C.getElse(), "conditional arm");
+    E.setType(ThenTy);
+    return E.getType();
+  }
+  case Expr::ExprKind::Call:
+    return analyzeCall(*cast<CallExpr>(&E));
+  case Expr::ExprKind::Index: {
+    auto &I = *cast<IndexExpr>(&E);
+    Type BaseTy = analyzeExpr(*I.getBase());
+    analyzeExpr(*I.getIndex());
+    requireScalar(*I.getIndex(), "array index");
+    if (!BaseTy.isPtr())
+      Diags.error(I.getLoc(), "subscripted value is not a pointer or array");
+    E.setType(BaseTy.isPtr() ? BaseTy.getPointee() : Type::makeInt());
+    return E.getType();
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return Type::makeInt();
+}
+
+Type Sema::analyzeUnary(UnaryExpr &U) {
+  Type OperandTy = analyzeExpr(*U.getOperand());
+  switch (U.getOp()) {
+  case UnaryOpKind::Neg:
+  case UnaryOpKind::BitNot:
+  case UnaryOpKind::LogicalNot:
+    requireScalar(*U.getOperand(), "unary operand");
+    U.setType(Type::makeInt());
+    return U.getType();
+  case UnaryOpKind::Deref:
+    if (!OperandTy.isPtr())
+      Diags.error(U.getLoc(), "cannot dereference a non-pointer value");
+    U.setType(OperandTy.isPtr() ? OperandTy.getPointee() : Type::makeInt());
+    return U.getType();
+  case UnaryOpKind::AddrOf: {
+    Expr *Operand = U.getOperand();
+    if (auto *Ref = dyn_cast<DeclRefExpr>(Operand)) {
+      Decl *D = Ref->getDecl();
+      if (auto *F = dyn_cast_if_present<FunctionDecl>(D)) {
+        // &f on a function: same as using the bare name as a value.
+        F->setAddressTaken();
+        U.setType(Type::makeFuncPtr(F->getNumParams(),
+                                    F->getReturnType().isVoid()));
+        return U.getType();
+      }
+      if (auto *V = dyn_cast_if_present<VarDecl>(D)) {
+        V->setAddressTaken();
+        if (V->isArray()) {
+          Diags.error(U.getLoc(),
+                      "'&' on an array is redundant; the name already decays");
+          U.setType(Operand->getType());
+          return U.getType();
+        }
+      } else if (auto *P = dyn_cast_if_present<ParamDecl>(D)) {
+        P->setAddressTaken();
+      }
+      Type VarTy = Operand->getType();
+      U.setType(VarTy.isPtr() ? Type::makePtr(VarTy.PtrDepth + 1)
+                              : Type::makePtr(1));
+      return U.getType();
+    }
+    if (!isLValue(*Operand))
+      Diags.error(U.getLoc(), "cannot take the address of an rvalue");
+    Type SubTy = Operand->getType();
+    U.setType(SubTy.isPtr() ? Type::makePtr(SubTy.PtrDepth + 1)
+                            : Type::makePtr(1));
+    return U.getType();
+  }
+  case UnaryOpKind::PreInc:
+  case UnaryOpKind::PreDec:
+  case UnaryOpKind::PostInc:
+  case UnaryOpKind::PostDec:
+    if (!isLValue(*U.getOperand()))
+      Diags.error(U.getLoc(), "increment/decrement target is not an lvalue");
+    U.setType(OperandTy);
+    return U.getType();
+  }
+  assert(false && "unhandled unary op");
+  return Type::makeInt();
+}
+
+Type Sema::analyzeCall(CallExpr &C) {
+  // Direct call: the callee is a name that resolves to a function. We must
+  // special-case this *before* generic expression analysis so that a direct
+  // use does not mark the function address-taken.
+  if (auto *Ref = dyn_cast<DeclRefExpr>(C.getCallee())) {
+    Decl *D = lookup(Ref->getName());
+    if (auto *F = dyn_cast_if_present<FunctionDecl>(D)) {
+      Ref->setDecl(F);
+      Ref->setType(
+          Type::makeFuncPtr(F->getNumParams(), F->getReturnType().isVoid()));
+      C.setDirectCallee(F);
+      if (C.getArgs().size() != F->getNumParams())
+        Diags.error(C.getLoc(),
+                    "call to '" + F->getName() + "' expects " +
+                        std::to_string(F->getNumParams()) + " arguments, got " +
+                        std::to_string(C.getArgs().size()));
+      for (const ExprPtr &Arg : C.getArgs()) {
+        analyzeExpr(*Arg);
+        requireScalar(*Arg, "call argument");
+      }
+      C.setType(F->getReturnType());
+      return C.getType();
+    }
+  }
+
+  // Call through pointer.
+  Type CalleeTy = analyzeExpr(*C.getCallee());
+  if (!CalleeTy.isFuncPtr())
+    Diags.error(C.getLoc(), "called value is not a function or function "
+                            "pointer");
+  else if (C.getArgs().size() != CalleeTy.NumParams)
+    Diags.error(C.getLoc(), "indirect call expects " +
+                                std::to_string(CalleeTy.NumParams) +
+                                " arguments, got " +
+                                std::to_string(C.getArgs().size()));
+  for (const ExprPtr &Arg : C.getArgs()) {
+    analyzeExpr(*Arg);
+    requireScalar(*Arg, "call argument");
+  }
+  C.setType(CalleeTy.isFuncPtr() && CalleeTy.ReturnsVoid ? Type::makeVoid()
+                                                         : Type::makeInt());
+  return C.getType();
+}

@@ -1,0 +1,69 @@
+//===- frontend/Sema.h - MiniC semantic analysis ---------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_FRONTEND_SEMA_H
+#define IMPACT_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace impact {
+
+/// Options controlling semantic analysis.
+struct SemaOptions {
+  /// Whether the translation unit must define `int main()`. Disabled by
+  /// library tests that analyze fragments.
+  bool RequireMain = true;
+};
+
+/// Name resolution and type checking. Resolves every DeclRefExpr, computes
+/// expression types, marks address-taken variables and functions (feeding
+/// the ### pseudo-node of the call graph), resolves direct callees of
+/// CallExprs, and enforces MiniC's (deliberately lenient) typing rules.
+class Sema {
+public:
+  Sema(DiagnosticEngine &Diags, SemaOptions Options = SemaOptions());
+
+  /// Analyzes \p TU in place; returns true on success (no errors).
+  bool analyze(TranslationUnit &TU);
+
+private:
+  // Scope management.
+  void pushScope();
+  void popScope();
+  bool declare(Decl *D);
+  Decl *lookup(const std::string &Name) const;
+
+  void analyzeFunction(FunctionDecl &F);
+  void analyzeStmt(Stmt &S);
+  void analyzeVarDecl(VarDecl &V);
+
+  /// Computes the type of \p E; returns the type (also stored on the node).
+  Type analyzeExpr(Expr &E);
+  Type analyzeUnary(UnaryExpr &U);
+  Type analyzeCall(CallExpr &C);
+
+  /// Returns true if \p E can appear on the left of an assignment or as the
+  /// operand of &/++/--.
+  bool isLValue(const Expr &E) const;
+
+  /// Checks a scalar-typed condition/operand; reports otherwise.
+  void requireScalar(const Expr &E, const char *Context);
+
+  DiagnosticEngine &Diags;
+  SemaOptions Options;
+  std::vector<std::unordered_map<std::string, Decl *>> Scopes;
+  FunctionDecl *CurrentFunction = nullptr;
+  unsigned LoopDepth = 0;
+};
+
+} // namespace impact
+
+#endif // IMPACT_FRONTEND_SEMA_H

@@ -1,0 +1,100 @@
+//===- frontend/Token.h - MiniC token definitions --------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_FRONTEND_TOKEN_H
+#define IMPACT_FRONTEND_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace impact {
+
+enum class TokenKind {
+  // Sentinels.
+  Eof,
+  Error,
+
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,    // 123, 'a' (char literals lex to IntLiteral)
+  StringLiteral, // "text", with escapes already decoded
+
+  // Keywords.
+  KwInt,
+  KwVoid,
+  KwExtern,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Question,
+  Colon,
+
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  AmpAmp,
+  PipePipe,
+  LessLess,
+  GreaterGreater,
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  PlusPlus,
+  MinusMinus,
+};
+
+/// Returns a stable human-readable spelling for diagnostics ("'+='",
+/// "identifier", ...).
+const char *getTokenKindName(TokenKind Kind);
+
+/// One lexed token. StringLiteral text and identifier spelling live in
+/// \c Text; integer literals carry their value in \c IntValue.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace impact
+
+#endif // IMPACT_FRONTEND_TOKEN_H

@@ -1,0 +1,67 @@
+//===- frontend/Type.h - MiniC types ---------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC has a deliberately small type system: 64-bit int, pointers to int
+/// of any depth, and function pointers. Memory is word-addressed, so "char"
+/// data is stored one character per word; this does not affect the call
+/// behaviour the paper measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_FRONTEND_TYPE_H
+#define IMPACT_FRONTEND_TYPE_H
+
+#include <string>
+
+namespace impact {
+
+/// A MiniC value type. Plain value struct; compare with ==.
+struct Type {
+  enum class Kind { Void, Int, Ptr, FuncPtr };
+
+  Kind K = Kind::Int;
+  /// For Ptr: number of '*' levels (>= 1).
+  unsigned PtrDepth = 0;
+  /// For FuncPtr: arity of the pointed-to function.
+  unsigned NumParams = 0;
+  /// For FuncPtr: whether the pointed-to function returns void.
+  bool ReturnsVoid = false;
+
+  static Type makeVoid() { return Type{Kind::Void, 0, 0, false}; }
+  static Type makeInt() { return Type{Kind::Int, 0, 0, false}; }
+  static Type makePtr(unsigned Depth) { return Type{Kind::Ptr, Depth, 0, false}; }
+  static Type makeFuncPtr(unsigned NumParams, bool ReturnsVoid) {
+    return Type{Kind::FuncPtr, 0, NumParams, ReturnsVoid};
+  }
+
+  bool isVoid() const { return K == Kind::Void; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isPtr() const { return K == Kind::Ptr; }
+  bool isFuncPtr() const { return K == Kind::FuncPtr; }
+  /// Any type representable in one machine word (everything except void).
+  bool isScalar() const { return K != Kind::Void; }
+
+  /// The type obtained by dereferencing a pointer; int* -> int,
+  /// int** -> int*.
+  Type getPointee() const {
+    if (K == Kind::Ptr && PtrDepth > 1)
+      return makePtr(PtrDepth - 1);
+    return makeInt();
+  }
+
+  std::string str() const;
+
+  friend bool operator==(const Type &A, const Type &B) {
+    return A.K == B.K && A.PtrDepth == B.PtrDepth &&
+           A.NumParams == B.NumParams && A.ReturnsVoid == B.ReturnsVoid;
+  }
+  friend bool operator!=(const Type &A, const Type &B) { return !(A == B); }
+};
+
+} // namespace impact
+
+#endif // IMPACT_FRONTEND_TYPE_H

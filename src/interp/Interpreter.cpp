@@ -1,0 +1,430 @@
+//===- interp/Interpreter.cpp -------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "cachesim/ICacheSim.h"
+#include "interp/Memory.h"
+
+#include <cassert>
+
+using namespace impact;
+
+namespace {
+
+constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::Ret) + 1;
+
+/// One pending activation on the control stack.
+struct Frame {
+  FuncId Func;
+  BlockId Block;
+  size_t InstrIndex; // resume point in the caller
+  Reg RetDst;        // caller register receiving the return value
+  size_t RegBase;    // caller register window start
+  int64_t FrameBase; // caller frame base address
+  int64_t ActivationWords; // callee activation size to pop on return
+};
+
+class Engine {
+public:
+  Engine(const Module &M, const RunOptions &Opts)
+      : M(M), Opts(Opts), Mem(M, Opts.StackWords) {
+    Io.Input = Opts.Input;
+    Io.Input2 = Opts.Input2;
+
+    GlobalAddrs.reserve(M.Globals.size());
+    int64_t Addr = kGlobalBase;
+    for (const Global &G : M.Globals) {
+      GlobalAddrs.push_back(Addr);
+      Addr += G.Size;
+    }
+
+    IntrinsicHandles.reserve(M.Funcs.size());
+    for (const Function &F : M.Funcs)
+      IntrinsicHandles.push_back(
+          F.IsExternal ? IntrinsicRegistry::lookup(F.Name) : -1);
+
+    Result.Stats.SiteCounts.assign(M.NextSiteId, 0);
+    Result.Stats.FuncEntryCounts.assign(M.Funcs.size(), 0);
+    Result.Stats.OpcodeCounts.assign(kNumOpcodes, 0);
+
+    if (Opts.ICache)
+      Layout = InstructionLayout::compute(M);
+  }
+
+  ExecResult run() {
+    if (M.MainId == kNoFunc) {
+      return makeTrap("module has no main function");
+    }
+    if (!enterFunction(M.MainId, /*Args=*/{}, /*RetDst=*/kNoReg,
+                       /*IsTail=*/true))
+      return finishTrap();
+    execLoop();
+    Result.Output = std::move(Io.Output);
+    Result.Stats.PeakStackWords = Mem.getPeakStackWords();
+    return std::move(Result);
+  }
+
+private:
+  ExecResult makeTrap(std::string Message) {
+    Result.St = ExecResult::Status::Trapped;
+    Result.TrapMessage = std::move(Message);
+    Result.Output = std::move(Io.Output);
+    Result.Stats.PeakStackWords = Mem.getPeakStackWords();
+    return std::move(Result);
+  }
+
+  ExecResult finishTrap() {
+    return makeTrap(Mem.hasTrapped() ? Mem.getTrapMessage() : PendingTrap);
+  }
+
+  void trap(std::string Message) {
+    if (PendingTrap.empty())
+      PendingTrap = std::move(Message);
+    Halted = true;
+  }
+
+  int64_t &reg(Reg R) { return RegFile[RegBase + static_cast<size_t>(R)]; }
+
+  /// Pushes an activation for \p Callee and transfers control to its entry.
+  /// When \p IsTail is true (only for main) no caller frame is recorded.
+  bool enterFunction(FuncId Callee, const std::vector<int64_t> &Args,
+                     Reg RetDst, bool IsTail) {
+    const Function &F = M.getFunction(Callee);
+    assert(!F.IsExternal && "external functions run as intrinsics");
+
+    if (!IsTail)
+      Frames.push_back(Frame{CurFunc, CurBlock, CurIndex, RetDst, RegBase,
+                             FrameBase,
+                             F.getActivationWords()});
+    else
+      MainActivationWords = F.getActivationWords();
+
+    FrameBase = Mem.getStackPointer();
+    if (!Mem.growStack(F.getActivationWords()))
+      return false;
+
+    RegBase = RegFile.size();
+    RegFile.resize(RegBase + F.NumRegs, 0);
+    for (size_t I = 0; I != Args.size(); ++I)
+      RegFile[RegBase + I] = Args[I];
+
+    ++Result.Stats.FuncEntryCounts[Callee];
+    CurFunc = Callee;
+    CurBlock = 0;
+    CurIndex = 0;
+    return true;
+  }
+
+  /// Handles a Call/CallPtr instruction; resolves the callee, dispatches
+  /// intrinsics inline, or pushes a user-function activation.
+  void execCall(const Instr &I) {
+    ++Result.Stats.DynamicCalls;
+    ++Result.Stats.SiteCounts[I.SiteId];
+    if (I.Op == Opcode::CallPtr)
+      ++Result.Stats.PointerCalls;
+
+    FuncId Callee = I.Callee;
+    if (I.Op == Opcode::CallPtr) {
+      Callee = decodeFuncAddr(reg(I.Src1));
+      if (Callee < 0 || static_cast<size_t>(Callee) >= M.Funcs.size()) {
+        trap("indirect call through a non-function value");
+        return;
+      }
+    }
+
+    const Function &F = M.getFunction(Callee);
+    if (F.Eliminated) {
+      trap("call to eliminated function '" + F.Name + "'");
+      return;
+    }
+    if (I.Args.size() != F.NumParams) {
+      trap("call to '" + F.Name + "' with " + std::to_string(I.Args.size()) +
+           " arguments; it takes " + std::to_string(F.NumParams));
+      return;
+    }
+
+    std::vector<int64_t> Args;
+    Args.reserve(I.Args.size());
+    for (Reg A : I.Args)
+      Args.push_back(reg(A));
+
+    if (F.IsExternal) {
+      ++Result.Stats.ExternalCalls;
+      ++Result.Stats.FuncEntryCounts[Callee];
+      int Handle = IntrinsicHandles[Callee];
+      if (Handle < 0) {
+        trap("call to unknown external function '" + F.Name + "'");
+        return;
+      }
+      IntrinsicResult R = IntrinsicRegistry::invoke(Handle, Args, Io, Mem);
+      if (!R.Ok) {
+        trap(R.Error);
+        return;
+      }
+      if (Io.Exited) {
+        Halted = true;
+        ExitedViaIntrinsic = true;
+        return;
+      }
+      if (I.Dst != kNoReg)
+        reg(I.Dst) = R.Value;
+      ++CurIndex;
+      return;
+    }
+
+    // Save the resume point past the call.
+    ++CurIndex;
+    if (!enterFunction(Callee, Args, I.Dst, /*IsTail=*/false))
+      Halted = true;
+  }
+
+  void execRet(const Instr &I) {
+    ++Result.Stats.Returns;
+    int64_t Value = I.Src1 != kNoReg ? reg(I.Src1) : 0;
+
+    if (Frames.empty()) {
+      // main returned.
+      Mem.shrinkStack(MainActivationWords);
+      Result.ExitCode = Value;
+      Halted = true;
+      MainReturned = true;
+      return;
+    }
+
+    const Function &F = M.getFunction(CurFunc);
+    RegFile.resize(RegBase);
+    (void)F;
+
+    Frame Top = Frames.back();
+    Frames.pop_back();
+    Mem.shrinkStack(Top.ActivationWords);
+    CurFunc = Top.Func;
+    CurBlock = Top.Block;
+    CurIndex = Top.InstrIndex;
+    RegBase = Top.RegBase;
+    FrameBase = Top.FrameBase;
+    if (Top.RetDst != kNoReg)
+      reg(Top.RetDst) = Value;
+  }
+
+  void execLoop() {
+    uint64_t Steps = 0;
+    while (!Halted) {
+      const Function &F = M.getFunction(CurFunc);
+      const BasicBlock &B = F.getBlock(CurBlock);
+      assert(CurIndex < B.Instrs.size() && "fell off a basic block");
+      const Instr &I = B.Instrs[CurIndex];
+
+      if (++Steps > Opts.StepLimit) {
+        Result.St = ExecResult::Status::StepLimitExceeded;
+        Result.TrapMessage = "step limit exceeded";
+        return;
+      }
+      ++Result.Stats.InstrCount;
+      ++Result.Stats.OpcodeCounts[static_cast<size_t>(I.Op)];
+      if (Opts.ICache)
+        Opts.ICache->access(Layout.getAddress(CurFunc, CurBlock, CurIndex));
+
+      switch (I.Op) {
+      case Opcode::Mov:
+        reg(I.Dst) = reg(I.Src1);
+        ++CurIndex;
+        break;
+      case Opcode::LdImm:
+        reg(I.Dst) = I.Imm;
+        ++CurIndex;
+        break;
+      case Opcode::Add:
+        reg(I.Dst) = static_cast<int64_t>(
+            static_cast<uint64_t>(reg(I.Src1)) +
+            static_cast<uint64_t>(reg(I.Src2)));
+        ++CurIndex;
+        break;
+      case Opcode::Sub:
+        reg(I.Dst) = static_cast<int64_t>(
+            static_cast<uint64_t>(reg(I.Src1)) -
+            static_cast<uint64_t>(reg(I.Src2)));
+        ++CurIndex;
+        break;
+      case Opcode::Mul:
+        reg(I.Dst) = static_cast<int64_t>(
+            static_cast<uint64_t>(reg(I.Src1)) *
+            static_cast<uint64_t>(reg(I.Src2)));
+        ++CurIndex;
+        break;
+      case Opcode::Div: {
+        int64_t Divisor = reg(I.Src2);
+        if (Divisor == 0) {
+          trap("division by zero");
+          break;
+        }
+        if (reg(I.Src1) == INT64_MIN && Divisor == -1) {
+          trap("division overflow");
+          break;
+        }
+        reg(I.Dst) = reg(I.Src1) / Divisor;
+        ++CurIndex;
+        break;
+      }
+      case Opcode::Rem: {
+        int64_t Divisor = reg(I.Src2);
+        if (Divisor == 0) {
+          trap("remainder by zero");
+          break;
+        }
+        if (reg(I.Src1) == INT64_MIN && Divisor == -1) {
+          trap("remainder overflow");
+          break;
+        }
+        reg(I.Dst) = reg(I.Src1) % Divisor;
+        ++CurIndex;
+        break;
+      }
+      case Opcode::Shl:
+        reg(I.Dst) = static_cast<int64_t>(static_cast<uint64_t>(reg(I.Src1))
+                                          << (reg(I.Src2) & 63));
+        ++CurIndex;
+        break;
+      case Opcode::Shr:
+        reg(I.Dst) = reg(I.Src1) >> (reg(I.Src2) & 63);
+        ++CurIndex;
+        break;
+      case Opcode::And:
+        reg(I.Dst) = reg(I.Src1) & reg(I.Src2);
+        ++CurIndex;
+        break;
+      case Opcode::Or:
+        reg(I.Dst) = reg(I.Src1) | reg(I.Src2);
+        ++CurIndex;
+        break;
+      case Opcode::Xor:
+        reg(I.Dst) = reg(I.Src1) ^ reg(I.Src2);
+        ++CurIndex;
+        break;
+      case Opcode::Neg:
+        reg(I.Dst) =
+            static_cast<int64_t>(0ull - static_cast<uint64_t>(reg(I.Src1)));
+        ++CurIndex;
+        break;
+      case Opcode::Not:
+        reg(I.Dst) = ~reg(I.Src1);
+        ++CurIndex;
+        break;
+      case Opcode::CmpEq:
+        reg(I.Dst) = reg(I.Src1) == reg(I.Src2);
+        ++CurIndex;
+        break;
+      case Opcode::CmpNe:
+        reg(I.Dst) = reg(I.Src1) != reg(I.Src2);
+        ++CurIndex;
+        break;
+      case Opcode::CmpLt:
+        reg(I.Dst) = reg(I.Src1) < reg(I.Src2);
+        ++CurIndex;
+        break;
+      case Opcode::CmpLe:
+        reg(I.Dst) = reg(I.Src1) <= reg(I.Src2);
+        ++CurIndex;
+        break;
+      case Opcode::CmpGt:
+        reg(I.Dst) = reg(I.Src1) > reg(I.Src2);
+        ++CurIndex;
+        break;
+      case Opcode::CmpGe:
+        reg(I.Dst) = reg(I.Src1) >= reg(I.Src2);
+        ++CurIndex;
+        break;
+      case Opcode::Load:
+        reg(I.Dst) = Mem.load(reg(I.Src1));
+        if (Mem.hasTrapped())
+          Halted = true;
+        ++CurIndex;
+        break;
+      case Opcode::Store:
+        Mem.store(reg(I.Src1), reg(I.Src2));
+        if (Mem.hasTrapped())
+          Halted = true;
+        ++CurIndex;
+        break;
+      case Opcode::FrameAddr:
+        reg(I.Dst) = FrameBase + I.Imm;
+        ++CurIndex;
+        break;
+      case Opcode::GlobalAddr:
+        reg(I.Dst) = GlobalAddrs[static_cast<size_t>(I.Imm)];
+        ++CurIndex;
+        break;
+      case Opcode::FuncAddr:
+        reg(I.Dst) = encodeFuncAddr(I.Callee);
+        ++CurIndex;
+        break;
+      case Opcode::Call:
+      case Opcode::CallPtr:
+        execCall(I);
+        break;
+      case Opcode::Jump:
+        ++Result.Stats.ControlTransfers;
+        CurBlock = I.Target;
+        CurIndex = 0;
+        break;
+      case Opcode::CondBr:
+        ++Result.Stats.ControlTransfers;
+        CurBlock = reg(I.Src1) != 0 ? I.Target : I.Target2;
+        CurIndex = 0;
+        break;
+      case Opcode::Ret:
+        execRet(I);
+        break;
+      }
+    }
+
+    if (Result.St == ExecResult::Status::StepLimitExceeded)
+      return;
+    if (Mem.hasTrapped() || !PendingTrap.empty()) {
+      Result.St = ExecResult::Status::Trapped;
+      Result.TrapMessage =
+          Mem.hasTrapped() ? Mem.getTrapMessage() : PendingTrap;
+      return;
+    }
+    if (ExitedViaIntrinsic)
+      Result.ExitCode = Io.ExitCode;
+    Result.St = ExecResult::Status::Exited;
+    (void)MainReturned;
+  }
+
+  const Module &M;
+  const RunOptions &Opts;
+  Memory Mem;
+  IoEnv Io;
+  ExecResult Result;
+
+  std::vector<int64_t> GlobalAddrs;
+  std::vector<int> IntrinsicHandles;
+  InstructionLayout Layout;
+
+  // Machine state.
+  std::vector<int64_t> RegFile;
+  std::vector<Frame> Frames;
+  FuncId CurFunc = kNoFunc;
+  BlockId CurBlock = 0;
+  size_t CurIndex = 0;
+  size_t RegBase = 0;
+  int64_t FrameBase = 0;
+  int64_t MainActivationWords = 0;
+
+  bool Halted = false;
+  bool MainReturned = false;
+  bool ExitedViaIntrinsic = false;
+  std::string PendingTrap;
+};
+
+} // namespace
+
+ExecResult impact::runProgram(const Module &M, const RunOptions &Opts) {
+  Engine E(M, Opts);
+  return E.run();
+}

@@ -1,0 +1,88 @@
+//===- interp/Interpreter.h - IL execution engine ----------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an IL Module and collects the dynamic statistics the paper's
+/// profiler needs: executed IL instructions, control transfers (Jump/CondBr,
+/// excluding call/return — Table 1's "control" column), dynamic call counts
+/// per static call site (arc weights), and function entry counts (node
+/// weights). The interpreter doubles as the profiling substrate: profiling
+/// in IMPACT-I is also execution-based.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_INTERP_INTERPRETER_H
+#define IMPACT_INTERP_INTERPRETER_H
+
+#include "interp/Intrinsics.h"
+#include "ir/Ir.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace impact {
+
+/// Per-run execution statistics.
+struct ExecStats {
+  /// Every executed IL instruction (the paper's "IL's").
+  uint64_t InstrCount = 0;
+  /// Executed Jump + CondBr ("control transfers other than call/return").
+  uint64_t ControlTransfers = 0;
+  /// Executed Call + CallPtr instructions.
+  uint64_t DynamicCalls = 0;
+  /// Subset of DynamicCalls whose resolved callee is external.
+  uint64_t ExternalCalls = 0;
+  /// Subset of DynamicCalls executed through a CallPtr.
+  uint64_t PointerCalls = 0;
+  /// Executed Ret instructions (function returns).
+  uint64_t Returns = 0;
+  /// Indexed by SiteId (size = Module::NextSiteId): dynamic invocation
+  /// count of every static call site — the paper's arc weights.
+  std::vector<uint64_t> SiteCounts;
+  /// Indexed by FuncId: entry counts — the paper's node weights.
+  std::vector<uint64_t> FuncEntryCounts;
+  /// Executed instructions per opcode (indexed by static_cast<size_t>(Op)).
+  std::vector<uint64_t> OpcodeCounts;
+  /// High-water mark of the control stack in words.
+  int64_t PeakStackWords = 0;
+};
+
+class ICacheSim;
+
+struct RunOptions {
+  std::string Input;
+  std::string Input2;
+  /// Abort the run after this many executed instructions.
+  uint64_t StepLimit = 200'000'000;
+  /// Control stack capacity in words; overflow traps (the paper's stack
+  /// explosion hazard is observable by shrinking this).
+  int64_t StackWords = 1 << 22;
+  /// When set, every executed instruction's layout address is streamed
+  /// through this simulator (see cachesim/ICacheSim.h); miss counters
+  /// accumulate there. Not owned.
+  ICacheSim *ICache = nullptr;
+};
+
+struct ExecResult {
+  enum class Status { Exited, Trapped, StepLimitExceeded };
+
+  Status St = Status::Exited;
+  int64_t ExitCode = 0;
+  std::string TrapMessage;
+  /// Everything the program wrote through putchar/print_int.
+  std::string Output;
+  ExecStats Stats;
+
+  bool ok() const { return St == Status::Exited; }
+};
+
+/// Runs \p M from its main function. The module must verify cleanly.
+ExecResult runProgram(const Module &M, const RunOptions &Opts = RunOptions());
+
+} // namespace impact
+
+#endif // IMPACT_INTERP_INTERPRETER_H

@@ -1,0 +1,149 @@
+//===- interp/Intrinsics.cpp --------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Intrinsics.h"
+
+#include "interp/Memory.h"
+
+using namespace impact;
+
+namespace {
+
+enum IntrinsicHandle {
+  IH_GetChar,
+  IH_GetChar2,
+  IH_UngetChar,
+  IH_PutChar,
+  IH_PrintInt,
+  IH_Exit,
+  IH_Malloc,
+  IH_InputAvail,
+  IH_ReadBlock,
+  IH_WriteBlock,
+  IH_Count,
+};
+
+const char *const IntrinsicNames[IH_Count] = {
+    "getchar", "getchar2", "ungetchar", "putchar", "print_int",
+    "exit", "malloc", "input_avail", "read_block", "write_block",
+};
+
+IntrinsicResult makeError(std::string Message) {
+  IntrinsicResult R;
+  R.Ok = false;
+  R.Error = std::move(Message);
+  return R;
+}
+
+IntrinsicResult makeValue(int64_t Value) {
+  IntrinsicResult R;
+  R.Value = Value;
+  return R;
+}
+
+} // namespace
+
+int IntrinsicRegistry::lookup(const std::string &Name) {
+  for (int I = 0; I != IH_Count; ++I)
+    if (Name == IntrinsicNames[I])
+      return I;
+  return -1;
+}
+
+std::vector<std::string> IntrinsicRegistry::getNames() {
+  return std::vector<std::string>(IntrinsicNames, IntrinsicNames + IH_Count);
+}
+
+IntrinsicResult IntrinsicRegistry::invoke(int Handle,
+                                          const std::vector<int64_t> &Args,
+                                          IoEnv &Io, Memory &Mem) {
+  switch (Handle) {
+  case IH_GetChar: {
+    if (Io.PushedBack >= 0) {
+      int64_t C = Io.PushedBack;
+      Io.PushedBack = -1;
+      return makeValue(C);
+    }
+    if (Io.InputPos >= Io.Input.size())
+      return makeValue(-1);
+    return makeValue(static_cast<unsigned char>(Io.Input[Io.InputPos++]));
+  }
+  case IH_GetChar2: {
+    if (Io.Input2Pos >= Io.Input2.size())
+      return makeValue(-1);
+    return makeValue(static_cast<unsigned char>(Io.Input2[Io.Input2Pos++]));
+  }
+  case IH_UngetChar: {
+    if (Args.size() != 1)
+      return makeError("ungetchar expects 1 argument");
+    Io.PushedBack = Args[0];
+    return makeValue(Args[0]);
+  }
+  case IH_PutChar: {
+    if (Args.size() != 1)
+      return makeError("putchar expects 1 argument");
+    Io.Output.push_back(static_cast<char>(Args[0] & 0xff));
+    return makeValue(Args[0]);
+  }
+  case IH_PrintInt: {
+    if (Args.size() != 1)
+      return makeError("print_int expects 1 argument");
+    Io.Output += std::to_string(Args[0]);
+    return makeValue(Args[0]);
+  }
+  case IH_Exit: {
+    Io.Exited = true;
+    Io.ExitCode = Args.empty() ? 0 : Args[0];
+    return makeValue(Io.ExitCode);
+  }
+  case IH_Malloc: {
+    if (Args.size() != 1)
+      return makeError("malloc expects 1 argument");
+    int64_t Base = Mem.allocateHeap(Args[0]);
+    if (Mem.hasTrapped())
+      return makeError(Mem.getTrapMessage());
+    return makeValue(Base);
+  }
+  case IH_InputAvail:
+    return makeValue(static_cast<int64_t>(Io.Input.size() - Io.InputPos) +
+                     (Io.PushedBack >= 0 ? 1 : 0));
+  case IH_ReadBlock: {
+    // read(2)-style block input: read_block(addr, max) copies up to max
+    // characters of input stream 1 into memory at addr; returns the count
+    // (0 at EOF).
+    if (Args.size() != 2)
+      return makeError("read_block expects 2 arguments");
+    int64_t Addr = Args[0];
+    int64_t Max = Args[1];
+    int64_t Count = 0;
+    while (Count < Max && Io.InputPos < Io.Input.size()) {
+      Mem.store(Addr + Count,
+                static_cast<unsigned char>(Io.Input[Io.InputPos++]));
+      if (Mem.hasTrapped())
+        return makeError(Mem.getTrapMessage());
+      ++Count;
+    }
+    return makeValue(Count);
+  }
+  case IH_WriteBlock: {
+    // write(2)-style block output: write_block(addr, n) appends n
+    // characters from memory at addr to the output; returns n.
+    if (Args.size() != 2)
+      return makeError("write_block expects 2 arguments");
+    int64_t Addr = Args[0];
+    int64_t N = Args[1];
+    for (int64_t I = 0; I != N; ++I) {
+      int64_t C = Mem.load(Addr + I);
+      if (Mem.hasTrapped())
+        return makeError(Mem.getTrapMessage());
+      Io.Output.push_back(static_cast<char>(C & 0xff));
+    }
+    return makeValue(N);
+  }
+  default:
+    return makeError("call to unknown external function");
+  }
+}

@@ -1,0 +1,28 @@
+//===- ir/IrPrinter.h - Textual IL dump ------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_IR_IRPRINTER_H
+#define IMPACT_IR_IRPRINTER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace impact {
+
+/// Renders one instruction ("r3 = add r1, r2", "store [r4], r5", ...).
+/// \p F supplies register names when available.
+std::string printInstr(const Instr &I, const Function *F = nullptr);
+
+/// Renders a whole function with block labels.
+std::string printFunction(const Function &F);
+
+/// Renders the whole module (globals, then functions).
+std::string printModule(const Module &M);
+
+} // namespace impact
+
+#endif // IMPACT_IR_IRPRINTER_H

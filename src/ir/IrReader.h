@@ -1,0 +1,43 @@
+//===- ir/IrReader.h - Parse the textual IL format ------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual module format emitted by ir/IrPrinter.h, making it a
+/// real serialization format: printModule(parseModuleText(Text).M) == Text
+/// for any well-formed module. This is the persistence layer behind the
+/// paper's §2.1 link-time-inlining alternative (driver/Linker.h): compile
+/// translation units separately, write .il text, link, then inline with
+/// every function body available.
+///
+/// Module-level fields not present in the text are reconstructed:
+/// NextSiteId becomes max(site)+1 and MainId is the function named "main".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_IR_IRREADER_H
+#define IMPACT_IR_IRREADER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+#include <string_view>
+
+namespace impact {
+
+/// Outcome of parsing one module text.
+struct IrReadResult {
+  bool Ok = false;
+  /// "line N: message" on failure.
+  std::string Error;
+  Module M;
+};
+
+/// Parses \p Text (the printModule format).
+IrReadResult parseModuleText(std::string_view Text);
+
+} // namespace impact
+
+#endif // IMPACT_IR_IRREADER_H

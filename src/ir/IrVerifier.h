@@ -1,0 +1,39 @@
+//===- ir/IrVerifier.h - IL structural invariants ---------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_IR_IRVERIFIER_H
+#define IMPACT_IR_IRVERIFIER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace impact {
+
+/// Checks structural invariants of a module and returns human-readable
+/// violation messages (empty == valid). Every transformation in the
+/// pipeline is expected to preserve these:
+///  - every non-external function has at least one block,
+///  - every block is non-empty and its only terminator is the last instr,
+///  - branch targets are valid block ids,
+///  - register operands are within the function's register count,
+///  - parameters fit in the register count,
+///  - direct call arg counts match the callee arity, and the Dst presence
+///    matches the callee's return kind,
+///  - FrameAddr offsets lie within the frame,
+///  - GlobalAddr indices are valid,
+///  - call-site ids are nonzero and unique module-wide,
+///  - a non-void function only uses Ret with a value; void only without,
+///  - MainId refers to a non-external, zero-arg function when set.
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Convenience wrapper: joins violations with newlines (empty == valid).
+std::string verifyModuleText(const Module &M);
+
+} // namespace impact
+
+#endif // IMPACT_IR_IRVERIFIER_H

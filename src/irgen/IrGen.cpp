@@ -1,0 +1,696 @@
+//===- irgen/IrGen.cpp --------------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "irgen/IrGen.h"
+
+#include <cassert>
+
+using namespace impact;
+
+//===----------------------------------------------------------------------===//
+// Module-level lowering
+//===----------------------------------------------------------------------===//
+
+Module IrGen::generate(const TranslationUnit &TU, std::string ModuleName) {
+  M = Module();
+  M.Name = std::move(ModuleName);
+  FuncIds.clear();
+  GlobalIndices.clear();
+  StringPool.clear();
+
+  declareFunctions(TU);
+  declareGlobals(TU);
+
+  for (const DeclPtr &D : TU.Decls)
+    if (const auto *FD = dyn_cast<FunctionDecl>(D.get()))
+      if (!FD->isExtern())
+        lowerFunction(*FD);
+
+  M.MainId = M.findFunction("main");
+  return std::move(M);
+}
+
+void IrGen::declareFunctions(const TranslationUnit &TU) {
+  for (const DeclPtr &D : TU.Decls) {
+    const auto *FD = dyn_cast<FunctionDecl>(D.get());
+    if (!FD)
+      continue;
+    FuncId Id = M.addFunction(FD->getName(), FD->getNumParams(),
+                              FD->getReturnType().isVoid(), FD->isExtern());
+    M.getFunction(Id).AddressTaken = FD->isAddressTaken();
+    FuncIds[FD] = Id;
+  }
+}
+
+int64_t IrGen::evaluateGlobalInit(const Expr &E) {
+  if (const auto *Lit = dyn_cast<IntLiteralExpr>(&E))
+    return Lit->getValue();
+  if (const auto *U = dyn_cast<UnaryExpr>(&E)) {
+    if (U->getOp() == UnaryOpKind::Neg)
+      return -evaluateGlobalInit(*U->getOperand());
+    if (U->getOp() == UnaryOpKind::AddrOf)
+      return evaluateGlobalInit(*U->getOperand());
+  }
+  if (const auto *Ref = dyn_cast<DeclRefExpr>(&E)) {
+    auto It = FuncIds.find(Ref->getDecl());
+    if (It != FuncIds.end())
+      return encodeFuncAddr(It->second);
+  }
+  // Sema already rejected non-constant initializers; be safe anyway.
+  Diags.error(E.getLoc(), "unsupported constant initializer");
+  return 0;
+}
+
+void IrGen::declareGlobals(const TranslationUnit &TU) {
+  for (const DeclPtr &D : TU.Decls) {
+    const auto *V = dyn_cast<VarDecl>(D.get());
+    if (!V)
+      continue;
+    int64_t Size = V->isArray() ? V->getArraySize() : 1;
+    std::vector<int64_t> Init;
+    if (V->getInit())
+      Init.push_back(evaluateGlobalInit(*V->getInit()));
+    GlobalIndices[V] = M.addGlobal(V->getName(), Size, std::move(Init));
+  }
+}
+
+int64_t IrGen::internString(const std::string &Text) {
+  auto It = StringPool.find(Text);
+  if (It != StringPool.end())
+    return It->second;
+  std::vector<int64_t> Init;
+  Init.reserve(Text.size() + 1);
+  for (char C : Text)
+    Init.push_back(static_cast<unsigned char>(C));
+  Init.push_back(0);
+  int64_t Size = static_cast<int64_t>(Init.size());
+  int64_t Index = M.addGlobal(".str" + std::to_string(StringPool.size()),
+                              Size, std::move(Init));
+  StringPool[Text] = Index;
+  return Index;
+}
+
+//===----------------------------------------------------------------------===//
+// Emission helpers
+//===----------------------------------------------------------------------===//
+
+bool IrGen::blockOpen() const {
+  const BasicBlock &B = M.getFunction(CurFuncId).getBlock(CurBlock);
+  return B.empty() || !B.Instrs.back().isTerminator();
+}
+
+void IrGen::emit(Instr I) {
+  assert(!I.isTerminator() && "use emitTerminator for terminators");
+  assert(blockOpen() && "emitting into a closed block");
+  curFunc().getBlock(CurBlock).Instrs.push_back(std::move(I));
+}
+
+void IrGen::emitTerminator(Instr I) {
+  assert(I.isTerminator() && "emitTerminator needs a terminator");
+  assert(blockOpen() && "terminating a closed block");
+  Function &F = curFunc();
+  F.getBlock(CurBlock).Instrs.push_back(std::move(I));
+  CurBlock = F.addBlock();
+}
+
+Reg IrGen::freshReg(std::string Name) { return curFunc().addReg(std::move(Name)); }
+
+Reg IrGen::emitImm(int64_t Value) {
+  Reg R = freshReg();
+  emit(Instr::makeLdImm(R, Value));
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Function lowering
+//===----------------------------------------------------------------------===//
+
+void IrGen::lowerFunction(const FunctionDecl &FD) {
+  CurFuncId = FuncIds.at(&FD);
+  Function &F = curFunc();
+  Locals.clear();
+  BreakTargets.clear();
+  ContinueTargets.clear();
+
+  CurBlock = F.addBlock();
+
+  // Parameters arrive in registers 0..N-1. Address-taken parameters are
+  // spilled to a fresh frame slot at entry and all uses go through memory.
+  for (unsigned I = 0; I != FD.getNumParams(); ++I) {
+    const ParamDecl &P = *FD.getParams()[I];
+    Reg ParamReg = static_cast<Reg>(I);
+    if (F.RegNames.size() < F.NumRegs)
+      F.RegNames.resize(F.NumRegs);
+    F.RegNames[ParamReg] = P.getName();
+    if (!P.isAddressTaken()) {
+      Locals[&P] = LocalStorage{/*InReg=*/true, ParamReg, 0, false};
+      continue;
+    }
+    int64_t Slot = F.FrameSize++;
+    Reg AddrReg = freshReg(P.getName() + ".addr");
+    emit(Instr::makeFrameAddr(AddrReg, Slot));
+    emit(Instr::makeStore(AddrReg, ParamReg));
+    Locals[&P] = LocalStorage{/*InReg=*/false, kNoReg, Slot, false};
+  }
+
+  lowerStmt(*FD.getBody());
+
+  // Close any dangling block: fall-off-the-end returns 0 for non-void
+  // functions (C's classic permissiveness; main relies on it).
+  if (blockOpen()) {
+    if (F.ReturnsVoid) {
+      emitTerminator(Instr::makeRet(kNoReg));
+    } else {
+      Reg Zero = emitImm(0);
+      emitTerminator(Instr::makeRet(Zero));
+    }
+  }
+
+  // emitTerminator always opens a trailing block; drop it if empty, and
+  // terminate any other open block (unreachable code paths).
+  while (!F.Blocks.empty() && F.Blocks.back().empty())
+    F.Blocks.pop_back();
+  for (BasicBlock &B : F.Blocks) {
+    if (!B.empty() && B.Instrs.back().isTerminator())
+      continue;
+    // Unreachable open block (e.g. code after return); make it well formed.
+    if (F.ReturnsVoid) {
+      B.Instrs.push_back(Instr::makeRet(kNoReg));
+    } else {
+      // A constant 0 return; needs a register.
+      Reg R = F.addReg();
+      B.Instrs.push_back(Instr::makeLdImm(R, 0));
+      B.Instrs.push_back(Instr::makeRet(R));
+    }
+  }
+  CurFuncId = kNoFunc;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void IrGen::lowerVarDecl(const VarDecl &V) {
+  Function &F = curFunc();
+  if (V.isArray()) {
+    int64_t Offset = F.FrameSize;
+    F.FrameSize += V.getArraySize();
+    Locals[&V] = LocalStorage{/*InReg=*/false, kNoReg, Offset, /*IsArray=*/true};
+    return;
+  }
+  if (V.isAddressTaken()) {
+    int64_t Slot = F.FrameSize++;
+    Locals[&V] = LocalStorage{/*InReg=*/false, kNoReg, Slot, false};
+    if (const Expr *Init = V.getInit()) {
+      Reg Value = lowerExpr(*Init);
+      Reg Addr = freshReg();
+      emit(Instr::makeFrameAddr(Addr, Slot));
+      emit(Instr::makeStore(Addr, Value));
+    }
+    return;
+  }
+  Reg R = freshReg(V.getName());
+  Locals[&V] = LocalStorage{/*InReg=*/true, R, 0, false};
+  if (const Expr *Init = V.getInit()) {
+    Reg Value = lowerExpr(*Init);
+    emit(Instr::makeMov(R, Value));
+  }
+}
+
+void IrGen::lowerStmt(const Stmt &S) {
+  switch (S.getKind()) {
+  case Stmt::StmtKind::Compound:
+    for (const StmtPtr &Child : cast<CompoundStmt>(&S)->getBody())
+      lowerStmt(*Child);
+    return;
+  case Stmt::StmtKind::DeclStmt:
+    lowerVarDecl(*cast<DeclStmt>(&S)->getVar());
+    return;
+  case Stmt::StmtKind::ExprStmt:
+    lowerExpr(*cast<ExprStmt>(&S)->getExpr());
+    return;
+  case Stmt::StmtKind::If: {
+    const auto &If = *cast<IfStmt>(&S);
+    Function &F = curFunc();
+    Reg Cond = lowerExpr(*If.getCond());
+    BlockId ThenB = F.addBlock();
+    BlockId ElseB = If.getElse() ? F.addBlock() : -1;
+    BlockId EndB = F.addBlock();
+    emitTerminator(
+        Instr::makeCondBr(Cond, ThenB, If.getElse() ? ElseB : EndB));
+    CurBlock = ThenB;
+    lowerStmt(*If.getThen());
+    if (blockOpen())
+      emitTerminator(Instr::makeJump(EndB));
+    if (If.getElse()) {
+      CurBlock = ElseB;
+      lowerStmt(*If.getElse());
+      if (blockOpen())
+        emitTerminator(Instr::makeJump(EndB));
+    }
+    CurBlock = EndB;
+    return;
+  }
+  case Stmt::StmtKind::While: {
+    const auto &W = *cast<WhileStmt>(&S);
+    Function &F = curFunc();
+    BlockId CondB = F.addBlock();
+    BlockId BodyB = F.addBlock();
+    BlockId EndB = F.addBlock();
+    emitTerminator(Instr::makeJump(CondB));
+    CurBlock = CondB;
+    Reg Cond = lowerExpr(*W.getCond());
+    emitTerminator(Instr::makeCondBr(Cond, BodyB, EndB));
+    CurBlock = BodyB;
+    BreakTargets.push_back(EndB);
+    ContinueTargets.push_back(CondB);
+    lowerStmt(*W.getBody());
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    if (blockOpen())
+      emitTerminator(Instr::makeJump(CondB));
+    CurBlock = EndB;
+    return;
+  }
+  case Stmt::StmtKind::For: {
+    const auto &For = *cast<ForStmt>(&S);
+    Function &F = curFunc();
+    if (For.getInit())
+      lowerStmt(*For.getInit());
+    BlockId CondB = F.addBlock();
+    BlockId BodyB = F.addBlock();
+    BlockId StepB = F.addBlock();
+    BlockId EndB = F.addBlock();
+    emitTerminator(Instr::makeJump(CondB));
+    CurBlock = CondB;
+    if (For.getCond()) {
+      Reg Cond = lowerExpr(*For.getCond());
+      emitTerminator(Instr::makeCondBr(Cond, BodyB, EndB));
+    } else {
+      emitTerminator(Instr::makeJump(BodyB));
+    }
+    CurBlock = BodyB;
+    BreakTargets.push_back(EndB);
+    ContinueTargets.push_back(StepB);
+    lowerStmt(*For.getBody());
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    if (blockOpen())
+      emitTerminator(Instr::makeJump(StepB));
+    CurBlock = StepB;
+    if (For.getStep())
+      lowerExpr(*For.getStep());
+    emitTerminator(Instr::makeJump(CondB));
+    CurBlock = EndB;
+    return;
+  }
+  case Stmt::StmtKind::Return: {
+    const auto &R = *cast<ReturnStmt>(&S);
+    if (R.getValue()) {
+      Reg Value = lowerExpr(*R.getValue());
+      emitTerminator(Instr::makeRet(Value));
+    } else {
+      emitTerminator(Instr::makeRet(kNoReg));
+    }
+    return;
+  }
+  case Stmt::StmtKind::Break:
+    assert(!BreakTargets.empty() && "break outside loop survived Sema");
+    emitTerminator(Instr::makeJump(BreakTargets.back()));
+    return;
+  case Stmt::StmtKind::Continue:
+    assert(!ContinueTargets.empty() && "continue outside loop survived Sema");
+    emitTerminator(Instr::makeJump(ContinueTargets.back()));
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// LValues
+//===----------------------------------------------------------------------===//
+
+IrGen::Place IrGen::lowerLValue(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::ExprKind::DeclRef: {
+    const Decl *D = cast<DeclRefExpr>(&E)->getDecl();
+    assert(D && "unresolved DeclRef survived Sema");
+    auto LocalIt = Locals.find(D);
+    if (LocalIt != Locals.end()) {
+      const LocalStorage &Storage = LocalIt->second;
+      assert(!Storage.IsArray && "array is not an assignable lvalue");
+      if (Storage.InReg)
+        return Place{/*IsReg=*/true, Storage.R, kNoReg};
+      Reg Addr = freshReg();
+      emit(Instr::makeFrameAddr(Addr, Storage.FrameOffset));
+      return Place{/*IsReg=*/false, kNoReg, Addr};
+    }
+    auto GlobalIt = GlobalIndices.find(D);
+    assert(GlobalIt != GlobalIndices.end() && "unknown variable");
+    Reg Addr = freshReg();
+    emit(Instr::makeGlobalAddr(Addr, GlobalIt->second));
+    return Place{/*IsReg=*/false, kNoReg, Addr};
+  }
+  case Expr::ExprKind::Unary: {
+    const auto &U = *cast<UnaryExpr>(&E);
+    assert(U.getOp() == UnaryOpKind::Deref && "not an lvalue unary");
+    Reg Addr = lowerExpr(*U.getOperand());
+    return Place{/*IsReg=*/false, kNoReg, Addr};
+  }
+  case Expr::ExprKind::Index: {
+    const auto &Ix = *cast<IndexExpr>(&E);
+    Reg Base = lowerExpr(*Ix.getBase());
+    Reg Index = lowerExpr(*Ix.getIndex());
+    Reg Addr = freshReg();
+    emit(Instr::makeBinary(Opcode::Add, Addr, Base, Index));
+    return Place{/*IsReg=*/false, kNoReg, Addr};
+  }
+  default:
+    assert(false && "non-lvalue expression survived Sema");
+    return Place{};
+  }
+}
+
+Reg IrGen::readPlace(const Place &P) {
+  if (P.IsReg)
+    return P.R;
+  Reg Value = freshReg();
+  emit(Instr::makeLoad(Value, P.AddrReg));
+  return Value;
+}
+
+void IrGen::writePlace(const Place &P, Reg Value) {
+  if (P.IsReg)
+    emit(Instr::makeMov(P.R, Value));
+  else
+    emit(Instr::makeStore(P.AddrReg, Value));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Reg IrGen::lowerExpr(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::ExprKind::IntLiteral:
+    return emitImm(cast<IntLiteralExpr>(&E)->getValue());
+  case Expr::ExprKind::StringLiteral: {
+    int64_t Index = internString(cast<StringLiteralExpr>(&E)->getValue());
+    Reg R = freshReg();
+    emit(Instr::makeGlobalAddr(R, Index));
+    return R;
+  }
+  case Expr::ExprKind::DeclRef: {
+    const Decl *D = cast<DeclRefExpr>(&E)->getDecl();
+    assert(D && "unresolved DeclRef survived Sema");
+    // A function name as a value.
+    auto FuncIt = FuncIds.find(D);
+    if (FuncIt != FuncIds.end()) {
+      Reg R = freshReg();
+      emit(Instr::makeFuncAddr(R, FuncIt->second));
+      return R;
+    }
+    auto LocalIt = Locals.find(D);
+    if (LocalIt != Locals.end()) {
+      const LocalStorage &Storage = LocalIt->second;
+      if (Storage.InReg)
+        return Storage.R;
+      Reg Addr = freshReg();
+      emit(Instr::makeFrameAddr(Addr, Storage.FrameOffset));
+      if (Storage.IsArray)
+        return Addr; // arrays decay to their address
+      Reg Value = freshReg();
+      emit(Instr::makeLoad(Value, Addr));
+      return Value;
+    }
+    auto GlobalIt = GlobalIndices.find(D);
+    assert(GlobalIt != GlobalIndices.end() && "unknown variable");
+    Reg Addr = freshReg();
+    emit(Instr::makeGlobalAddr(Addr, GlobalIt->second));
+    const auto *V = cast<VarDecl>(D);
+    if (V->isArray())
+      return Addr;
+    Reg Value = freshReg();
+    emit(Instr::makeLoad(Value, Addr));
+    return Value;
+  }
+  case Expr::ExprKind::Unary:
+    return lowerUnary(*cast<UnaryExpr>(&E));
+  case Expr::ExprKind::Binary:
+    return lowerBinary(*cast<BinaryExpr>(&E));
+  case Expr::ExprKind::Assign:
+    return lowerAssign(*cast<AssignExpr>(&E));
+  case Expr::ExprKind::Conditional:
+    return lowerConditional(*cast<ConditionalExpr>(&E));
+  case Expr::ExprKind::Call:
+    return lowerCall(*cast<CallExpr>(&E));
+  case Expr::ExprKind::Index: {
+    Place P = lowerLValue(E);
+    return readPlace(P);
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return kNoReg;
+}
+
+Reg IrGen::lowerUnary(const UnaryExpr &U) {
+  switch (U.getOp()) {
+  case UnaryOpKind::Neg: {
+    Reg Src = lowerExpr(*U.getOperand());
+    Reg Dst = freshReg();
+    emit(Instr::makeUnary(Opcode::Neg, Dst, Src));
+    return Dst;
+  }
+  case UnaryOpKind::BitNot: {
+    Reg Src = lowerExpr(*U.getOperand());
+    Reg Dst = freshReg();
+    emit(Instr::makeUnary(Opcode::Not, Dst, Src));
+    return Dst;
+  }
+  case UnaryOpKind::LogicalNot: {
+    Reg Src = lowerExpr(*U.getOperand());
+    Reg Zero = emitImm(0);
+    Reg Dst = freshReg();
+    emit(Instr::makeBinary(Opcode::CmpEq, Dst, Src, Zero));
+    return Dst;
+  }
+  case UnaryOpKind::Deref: {
+    Reg Addr = lowerExpr(*U.getOperand());
+    Reg Value = freshReg();
+    emit(Instr::makeLoad(Value, Addr));
+    return Value;
+  }
+  case UnaryOpKind::AddrOf: {
+    const Expr *Operand = U.getOperand();
+    if (const auto *Ref = dyn_cast<DeclRefExpr>(Operand)) {
+      auto FuncIt = FuncIds.find(Ref->getDecl());
+      if (FuncIt != FuncIds.end()) {
+        Reg R = freshReg();
+        emit(Instr::makeFuncAddr(R, FuncIt->second));
+        return R;
+      }
+    }
+    Place P = lowerLValue(*Operand);
+    assert(!P.IsReg && "address-taken variable must live in memory");
+    return P.AddrReg;
+  }
+  case UnaryOpKind::PreInc:
+  case UnaryOpKind::PreDec:
+  case UnaryOpKind::PostInc:
+  case UnaryOpKind::PostDec: {
+    bool IsInc =
+        U.getOp() == UnaryOpKind::PreInc || U.getOp() == UnaryOpKind::PostInc;
+    bool IsPost =
+        U.getOp() == UnaryOpKind::PostInc || U.getOp() == UnaryOpKind::PostDec;
+    Place P = lowerLValue(*U.getOperand());
+    Reg Old = readPlace(P);
+    Reg Result = Old;
+    if (IsPost) {
+      // Preserve the pre-update value; the lvalue register itself may be
+      // overwritten by writePlace.
+      Result = freshReg();
+      emit(Instr::makeMov(Result, Old));
+    }
+    Reg One = emitImm(1);
+    Reg New = freshReg();
+    emit(Instr::makeBinary(IsInc ? Opcode::Add : Opcode::Sub, New, Old, One));
+    writePlace(P, New);
+    return IsPost ? Result : New;
+  }
+  }
+  assert(false && "unhandled unary op");
+  return kNoReg;
+}
+
+Reg IrGen::lowerShortCircuit(const BinaryExpr &B) {
+  // a && b  =>  result = 0; if (a) result = (b != 0);
+  // a || b  =>  result = 1; if (!a) result = (b != 0);
+  bool IsAnd = B.getOp() == BinaryOpKind::LogicalAnd;
+  Function &F = curFunc();
+  Reg Result = freshReg();
+  emit(Instr::makeLdImm(Result, IsAnd ? 0 : 1));
+  Reg Lhs = lowerExpr(*B.getLhs());
+  BlockId RhsB = F.addBlock();
+  BlockId EndB = F.addBlock();
+  if (IsAnd)
+    emitTerminator(Instr::makeCondBr(Lhs, RhsB, EndB));
+  else
+    emitTerminator(Instr::makeCondBr(Lhs, EndB, RhsB));
+  CurBlock = RhsB;
+  Reg Rhs = lowerExpr(*B.getRhs());
+  Reg Zero = emitImm(0);
+  Reg Normalized = freshReg();
+  emit(Instr::makeBinary(Opcode::CmpNe, Normalized, Rhs, Zero));
+  emit(Instr::makeMov(Result, Normalized));
+  emitTerminator(Instr::makeJump(EndB));
+  CurBlock = EndB;
+  return Result;
+}
+
+Reg IrGen::lowerBinary(const BinaryExpr &B) {
+  if (B.getOp() == BinaryOpKind::LogicalAnd ||
+      B.getOp() == BinaryOpKind::LogicalOr)
+    return lowerShortCircuit(B);
+
+  Opcode Op = Opcode::Add;
+  switch (B.getOp()) {
+  case BinaryOpKind::Add:
+    Op = Opcode::Add;
+    break;
+  case BinaryOpKind::Sub:
+    Op = Opcode::Sub;
+    break;
+  case BinaryOpKind::Mul:
+    Op = Opcode::Mul;
+    break;
+  case BinaryOpKind::Div:
+    Op = Opcode::Div;
+    break;
+  case BinaryOpKind::Rem:
+    Op = Opcode::Rem;
+    break;
+  case BinaryOpKind::Shl:
+    Op = Opcode::Shl;
+    break;
+  case BinaryOpKind::Shr:
+    Op = Opcode::Shr;
+    break;
+  case BinaryOpKind::BitAnd:
+    Op = Opcode::And;
+    break;
+  case BinaryOpKind::BitOr:
+    Op = Opcode::Or;
+    break;
+  case BinaryOpKind::BitXor:
+    Op = Opcode::Xor;
+    break;
+  case BinaryOpKind::Lt:
+    Op = Opcode::CmpLt;
+    break;
+  case BinaryOpKind::Le:
+    Op = Opcode::CmpLe;
+    break;
+  case BinaryOpKind::Gt:
+    Op = Opcode::CmpGt;
+    break;
+  case BinaryOpKind::Ge:
+    Op = Opcode::CmpGe;
+    break;
+  case BinaryOpKind::Eq:
+    Op = Opcode::CmpEq;
+    break;
+  case BinaryOpKind::Ne:
+    Op = Opcode::CmpNe;
+    break;
+  case BinaryOpKind::LogicalAnd:
+  case BinaryOpKind::LogicalOr:
+    assert(false && "handled above");
+    return kNoReg;
+  }
+  Reg Lhs = lowerExpr(*B.getLhs());
+  Reg Rhs = lowerExpr(*B.getRhs());
+  Reg Dst = freshReg();
+  emit(Instr::makeBinary(Op, Dst, Lhs, Rhs));
+  return Dst;
+}
+
+Reg IrGen::lowerAssign(const AssignExpr &A) {
+  Place P = lowerLValue(*A.getLhs());
+  Reg Rhs = lowerExpr(*A.getRhs());
+  Reg Value = Rhs;
+  if (A.getOp() != AssignOpKind::Assign) {
+    Opcode Op = Opcode::Add;
+    switch (A.getOp()) {
+    case AssignOpKind::AddAssign:
+      Op = Opcode::Add;
+      break;
+    case AssignOpKind::SubAssign:
+      Op = Opcode::Sub;
+      break;
+    case AssignOpKind::MulAssign:
+      Op = Opcode::Mul;
+      break;
+    case AssignOpKind::DivAssign:
+      Op = Opcode::Div;
+      break;
+    case AssignOpKind::RemAssign:
+      Op = Opcode::Rem;
+      break;
+    case AssignOpKind::Assign:
+      assert(false && "handled above");
+      return kNoReg;
+    }
+    Reg Old = readPlace(P);
+    Value = freshReg();
+    emit(Instr::makeBinary(Op, Value, Old, Rhs));
+  }
+  writePlace(P, Value);
+  return Value;
+}
+
+Reg IrGen::lowerConditional(const ConditionalExpr &C) {
+  Function &F = curFunc();
+  Reg Result = freshReg();
+  Reg Cond = lowerExpr(*C.getCond());
+  BlockId ThenB = F.addBlock();
+  BlockId ElseB = F.addBlock();
+  BlockId EndB = F.addBlock();
+  emitTerminator(Instr::makeCondBr(Cond, ThenB, ElseB));
+  CurBlock = ThenB;
+  Reg ThenValue = lowerExpr(*C.getThen());
+  emit(Instr::makeMov(Result, ThenValue));
+  emitTerminator(Instr::makeJump(EndB));
+  CurBlock = ElseB;
+  Reg ElseValue = lowerExpr(*C.getElse());
+  emit(Instr::makeMov(Result, ElseValue));
+  emitTerminator(Instr::makeJump(EndB));
+  CurBlock = EndB;
+  return Result;
+}
+
+Reg IrGen::lowerCall(const CallExpr &C) {
+  std::vector<Reg> Args;
+  Args.reserve(C.getArgs().size());
+
+  if (const FunctionDecl *Callee = C.getDirectCallee()) {
+    for (const ExprPtr &Arg : C.getArgs())
+      Args.push_back(lowerExpr(*Arg));
+    FuncId CalleeId = FuncIds.at(Callee);
+    Reg Dst = Callee->getReturnType().isVoid() ? kNoReg : freshReg();
+    emit(Instr::makeCall(Dst, CalleeId, std::move(Args), M.allocateSiteId()));
+    return Dst;
+  }
+
+  Reg CalleeAddr = lowerExpr(*C.getCallee());
+  for (const ExprPtr &Arg : C.getArgs())
+    Args.push_back(lowerExpr(*Arg));
+  // Indirect callees may point to int or void functions; give the call a
+  // destination only when the static type says a value comes back.
+  bool ReturnsVoid = C.getType().isVoid();
+  Reg Dst = ReturnsVoid ? kNoReg : freshReg();
+  emit(
+      Instr::makeCallPtr(Dst, CalleeAddr, std::move(Args), M.allocateSiteId()));
+  return Dst;
+}

@@ -1,0 +1,105 @@
+//===- irgen/IrGen.h - AST to IL lowering -----------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_IRGEN_IRGEN_H
+#define IMPACT_IRGEN_IRGEN_H
+
+#include "frontend/Ast.h"
+#include "ir/Ir.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace impact {
+
+/// Lowers a semantically analyzed TranslationUnit into an IL Module.
+///
+/// Storage policy: scalar locals and parameters live in virtual registers;
+/// arrays and address-taken scalars live in the function frame. String
+/// literals are interned as NUL-terminated global word arrays. Every
+/// Call/CallPtr receives a module-unique site id at creation.
+class IrGen {
+public:
+  explicit IrGen(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  /// Lowers \p TU; returns the module. \p TU must have passed Sema.
+  Module generate(const TranslationUnit &TU, std::string ModuleName);
+
+private:
+  /// Where a named local or parameter lives.
+  struct LocalStorage {
+    bool InReg = true;
+    Reg R = kNoReg;           // when InReg
+    int64_t FrameOffset = 0;  // when !InReg
+    bool IsArray = false;     // frame arrays yield their address, not a load
+  };
+
+  /// An assignable location: either a register or a word address held in a
+  /// register.
+  struct Place {
+    bool IsReg = true;
+    Reg R = kNoReg;      // when IsReg
+    Reg AddrReg = kNoReg; // when !IsReg
+  };
+
+  // Module-level lowering.
+  void declareFunctions(const TranslationUnit &TU);
+  void declareGlobals(const TranslationUnit &TU);
+  int64_t evaluateGlobalInit(const Expr &E);
+  void lowerFunction(const FunctionDecl &FD);
+
+  // Statement lowering.
+  void lowerStmt(const Stmt &S);
+  void lowerVarDecl(const VarDecl &V);
+
+  // Expression lowering.
+  Reg lowerExpr(const Expr &E);
+  Reg lowerUnary(const UnaryExpr &U);
+  Reg lowerBinary(const BinaryExpr &B);
+  Reg lowerShortCircuit(const BinaryExpr &B);
+  Reg lowerAssign(const AssignExpr &A);
+  Reg lowerConditional(const ConditionalExpr &C);
+  Reg lowerCall(const CallExpr &C);
+  Place lowerLValue(const Expr &E);
+  Reg readPlace(const Place &P);
+  void writePlace(const Place &P, Reg Value);
+
+  /// Interns \p Text as a global word array with a trailing NUL; returns
+  /// the global index.
+  int64_t internString(const std::string &Text);
+
+  // Emission helpers. emitTerminator starts a fresh block so the current
+  // block is never written past its terminator.
+  void emit(Instr I);
+  void emitTerminator(Instr I);
+  Reg emitImm(int64_t Value);
+  Reg freshReg(std::string Name = std::string());
+
+  Function &curFunc() { return M.getFunction(CurFuncId); }
+  /// True if the current block already ends in a terminator (only possible
+  /// right after function entry setup on an empty block).
+  bool blockOpen() const;
+
+  DiagnosticEngine &Diags;
+  Module M;
+
+  // Module-level maps.
+  std::unordered_map<const Decl *, FuncId> FuncIds;
+  std::unordered_map<const Decl *, int64_t> GlobalIndices;
+  std::unordered_map<std::string, int64_t> StringPool;
+
+  // Function-level state.
+  FuncId CurFuncId = kNoFunc;
+  BlockId CurBlock = -1;
+  std::unordered_map<const Decl *, LocalStorage> Locals;
+  std::vector<BlockId> BreakTargets;
+  std::vector<BlockId> ContinueTargets;
+};
+
+} // namespace impact
+
+#endif // IMPACT_IRGEN_IRGEN_H

@@ -1,0 +1,177 @@
+//===- opt/ConstantFolding.cpp ------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ConstantFolding.h"
+
+#include <optional>
+#include <unordered_map>
+
+using namespace impact;
+
+namespace {
+
+/// Folds Op over constant operands. Returns nullopt when the operation
+/// must be left to the runtime (division by zero traps).
+std::optional<int64_t> foldBinary(Opcode Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case Opcode::Add:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) +
+                                static_cast<uint64_t>(R));
+  case Opcode::Sub:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) -
+                                static_cast<uint64_t>(R));
+  case Opcode::Mul:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) *
+                                static_cast<uint64_t>(R));
+  case Opcode::Div:
+    // Division by zero and INT64_MIN / -1 trap at runtime; preserve them.
+    if (R == 0 || (L == INT64_MIN && R == -1))
+      return std::nullopt;
+    return L / R;
+  case Opcode::Rem:
+    if (R == 0 || (L == INT64_MIN && R == -1))
+      return std::nullopt;
+    return L % R;
+  case Opcode::Shl:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) << (R & 63));
+  case Opcode::Shr:
+    return L >> (R & 63);
+  case Opcode::And:
+    return L & R;
+  case Opcode::Or:
+    return L | R;
+  case Opcode::Xor:
+    return L ^ R;
+  case Opcode::CmpEq:
+    return L == R;
+  case Opcode::CmpNe:
+    return L != R;
+  case Opcode::CmpLt:
+    return L < R;
+  case Opcode::CmpLe:
+    return L <= R;
+  case Opcode::CmpGt:
+    return L > R;
+  case Opcode::CmpGe:
+    return L >= R;
+  default:
+    return std::nullopt;
+  }
+}
+
+bool isFoldableBinary(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool impact::runConstantFolding(Function &F) {
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    // Known constant value per register, valid from its definition point to
+    // the next redefinition within this block.
+    std::unordered_map<Reg, int64_t> Known;
+    auto Lookup = [&](Reg R) -> std::optional<int64_t> {
+      auto It = Known.find(R);
+      if (It == Known.end())
+        return std::nullopt;
+      return It->second;
+    };
+
+    for (Instr &I : B.Instrs) {
+      switch (I.Op) {
+      case Opcode::LdImm:
+        Known[I.Dst] = I.Imm;
+        continue;
+      case Opcode::Mov: {
+        auto V = Lookup(I.Src1);
+        if (V) {
+          I = Instr::makeLdImm(I.Dst, *V);
+          Known[I.Dst] = *V;
+          Changed = true;
+        } else {
+          Known.erase(I.Dst);
+        }
+        continue;
+      }
+      case Opcode::Neg:
+      case Opcode::Not: {
+        auto V = Lookup(I.Src1);
+        if (V) {
+          int64_t Folded =
+              I.Op == Opcode::Neg
+                  ? static_cast<int64_t>(0ull - static_cast<uint64_t>(*V))
+                  : ~*V;
+          I = Instr::makeLdImm(I.Dst, Folded);
+          Known[I.Dst] = Folded;
+          Changed = true;
+        } else {
+          Known.erase(I.Dst);
+        }
+        continue;
+      }
+      case Opcode::CondBr: {
+        auto V = Lookup(I.Src1);
+        if (V) {
+          I = Instr::makeJump(*V != 0 ? I.Target : I.Target2);
+          Changed = true;
+        }
+        continue;
+      }
+      default:
+        break;
+      }
+
+      if (isFoldableBinary(I.Op)) {
+        auto L = Lookup(I.Src1);
+        auto R = Lookup(I.Src2);
+        if (L && R) {
+          if (auto Folded = foldBinary(I.Op, *L, *R)) {
+            I = Instr::makeLdImm(I.Dst, *Folded);
+            Known[I.Dst] = *Folded;
+            Changed = true;
+            continue;
+          }
+        }
+        Known.erase(I.Dst);
+        continue;
+      }
+
+      // Any other register definition invalidates tracked knowledge.
+      if (I.Dst != kNoReg)
+        Known.erase(I.Dst);
+    }
+  }
+  return Changed;
+}
+
+bool impact::runConstantFolding(Module &M) {
+  bool Changed = false;
+  for (Function &F : M.Funcs)
+    if (!F.IsExternal)
+      Changed |= runConstantFolding(F);
+  return Changed;
+}

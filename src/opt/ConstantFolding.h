@@ -1,0 +1,30 @@
+//===- opt/ConstantFolding.h - Local constant folding -------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_OPT_CONSTANTFOLDING_H
+#define IMPACT_OPT_CONSTANTFOLDING_H
+
+#include "ir/Ir.h"
+
+namespace impact {
+
+/// Block-local constant propagation and folding. Registers defined by
+/// LdImm (or by folded instructions) are tracked within each basic block;
+/// arithmetic on known constants becomes LdImm, and CondBr on a known
+/// condition becomes Jump. Division/remainder by a constant zero is left
+/// untouched so the runtime trap is preserved. Returns true on change.
+///
+/// The paper applies this pass (with jump optimization) before inline
+/// expansion; applying it afterwards as well is the post-inline cleanup
+/// the authors describe as future improvement.
+bool runConstantFolding(Function &F);
+
+/// Runs constant folding over every non-external function.
+bool runConstantFolding(Module &M);
+
+} // namespace impact
+
+#endif // IMPACT_OPT_CONSTANTFOLDING_H

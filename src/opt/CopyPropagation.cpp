@@ -1,0 +1,84 @@
+//===- opt/CopyPropagation.cpp ------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/CopyPropagation.h"
+
+#include <unordered_map>
+
+using namespace impact;
+
+namespace {
+
+/// Rewrites \p R through the active copy map.
+void rewriteUse(Reg &R, const std::unordered_map<Reg, Reg> &Copies,
+                bool &Changed) {
+  if (R == kNoReg)
+    return;
+  auto It = Copies.find(R);
+  if (It == Copies.end())
+    return;
+  R = It->second;
+  Changed = true;
+}
+
+} // namespace
+
+bool impact::runCopyPropagation(Function &F) {
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    // Copies[d] == s means d currently holds the same value as s.
+    std::unordered_map<Reg, Reg> Copies;
+    auto InvalidateDef = [&](Reg D) {
+      if (D == kNoReg)
+        return;
+      Copies.erase(D);
+      // Any copy whose source is D is stale now.
+      for (auto It = Copies.begin(); It != Copies.end();) {
+        if (It->second == D)
+          It = Copies.erase(It);
+        else
+          ++It;
+      }
+    };
+
+    std::vector<Instr> Kept;
+    Kept.reserve(B.Instrs.size());
+    for (Instr &I : B.Instrs) {
+      // Rewrite uses first.
+      rewriteUse(I.Src1, Copies, Changed);
+      rewriteUse(I.Src2, Copies, Changed);
+      for (Reg &A : I.Args)
+        rewriteUse(A, Copies, Changed);
+
+      if (I.Op == Opcode::Mov) {
+        if (I.Dst == I.Src1) {
+          Changed = true;
+          continue; // drop the no-op move
+        }
+        InvalidateDef(I.Dst);
+        Copies[I.Dst] = I.Src1;
+        Kept.push_back(I);
+        continue;
+      }
+
+      InvalidateDef(I.Dst);
+      Kept.push_back(I);
+    }
+    if (Kept.size() != B.Instrs.size())
+      B.Instrs = std::move(Kept);
+    else
+      B.Instrs = std::move(Kept); // rewrites happened in place regardless
+  }
+  return Changed;
+}
+
+bool impact::runCopyPropagation(Module &M) {
+  bool Changed = false;
+  for (Function &F : M.Funcs)
+    if (!F.IsExternal)
+      Changed |= runCopyPropagation(F);
+  return Changed;
+}

@@ -1,0 +1,26 @@
+//===- opt/CopyPropagation.h - Local copy propagation --------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_OPT_COPYPROPAGATION_H
+#define IMPACT_OPT_COPYPROPAGATION_H
+
+#include "ir/Ir.h"
+
+namespace impact {
+
+/// Block-local copy propagation: after `d = mov s`, uses of d are replaced
+/// by s until either register is redefined. Trivial self-moves (`r = mov r`)
+/// are deleted. The paper names this pass as the cleanup that eliminates
+/// the parameter-binding temporaries introduced by inline expansion
+/// (§2.4). Returns true on change.
+bool runCopyPropagation(Function &F);
+
+/// Runs copy propagation over every non-external function.
+bool runCopyPropagation(Module &M);
+
+} // namespace impact
+
+#endif // IMPACT_OPT_COPYPROPAGATION_H

@@ -1,0 +1,26 @@
+//===- opt/DeadCodeElimination.h - Remove unused pure defs ---------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_OPT_DEADCODEELIMINATION_H
+#define IMPACT_OPT_DEADCODEELIMINATION_H
+
+#include "ir/Ir.h"
+
+namespace impact {
+
+/// Removes side-effect-free instructions whose destination register is
+/// never read anywhere in the function, iterating to a fixpoint. Calls,
+/// stores and terminators are always kept; loads are treated as pure
+/// (removing a dead load can only remove a trap on an already-broken
+/// program, the usual compiler stance). Returns true on change.
+bool runDeadCodeElimination(Function &F);
+
+/// Runs DCE over every non-external function.
+bool runDeadCodeElimination(Module &M);
+
+} // namespace impact
+
+#endif // IMPACT_OPT_DEADCODEELIMINATION_H

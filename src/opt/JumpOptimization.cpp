@@ -1,0 +1,188 @@
+//===- opt/JumpOptimization.cpp -----------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/JumpOptimization.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace impact;
+
+namespace {
+
+/// Follows chains of single-Jump forwarding blocks starting at \p Target,
+/// with a visited guard against jump cycles.
+BlockId resolveForwarding(const Function &F, BlockId Target) {
+  std::vector<bool> Visited(F.Blocks.size(), false);
+  BlockId Current = Target;
+  while (true) {
+    const BasicBlock &B = F.getBlock(Current);
+    if (B.size() != 1 || B.Instrs[0].Op != Opcode::Jump)
+      return Current;
+    if (Visited[static_cast<size_t>(Current)])
+      return Current; // infinite-loop chain; leave as is
+    Visited[static_cast<size_t>(Current)] = true;
+    Current = B.Instrs[0].Target;
+  }
+}
+
+/// Threads all branch targets through forwarding blocks and canonicalizes
+/// CondBr with equal targets.
+bool threadJumps(Function &F) {
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    if (B.empty())
+      continue;
+    Instr &Term = B.getTerminator();
+    if (Term.Op == Opcode::Jump) {
+      BlockId Resolved = resolveForwarding(F, Term.Target);
+      if (Resolved != Term.Target) {
+        Term.Target = Resolved;
+        Changed = true;
+      }
+    } else if (Term.Op == Opcode::CondBr) {
+      BlockId R1 = resolveForwarding(F, Term.Target);
+      BlockId R2 = resolveForwarding(F, Term.Target2);
+      if (R1 != Term.Target || R2 != Term.Target2) {
+        Term.Target = R1;
+        Term.Target2 = R2;
+        Changed = true;
+      }
+      if (Term.Target == Term.Target2) {
+        Term = Instr::makeJump(Term.Target);
+        Changed = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+/// Counts predecessors of every block; the entry gets one extra implicit
+/// predecessor so it is never merged away.
+std::vector<unsigned> countPredecessors(const Function &F) {
+  std::vector<unsigned> Preds(F.Blocks.size(), 0);
+  Preds[0] += 1;
+  for (const BasicBlock &B : F.Blocks) {
+    if (B.empty())
+      continue;
+    const Instr &Term = B.getTerminator();
+    if (Term.Op == Opcode::Jump) {
+      ++Preds[static_cast<size_t>(Term.Target)];
+    } else if (Term.Op == Opcode::CondBr) {
+      ++Preds[static_cast<size_t>(Term.Target)];
+      ++Preds[static_cast<size_t>(Term.Target2)];
+    }
+  }
+  return Preds;
+}
+
+/// Merges single-predecessor blocks into their unique Jump predecessor.
+bool mergeStraightLine(Function &F) {
+  bool Changed = false;
+  std::vector<unsigned> Preds = countPredecessors(F);
+  for (size_t A = 0; A != F.Blocks.size(); ++A) {
+    while (true) {
+      BasicBlock &BlockA = F.Blocks[A];
+      if (BlockA.empty())
+        break;
+      Instr &Term = BlockA.getTerminator();
+      if (Term.Op != Opcode::Jump)
+        break;
+      BlockId B = Term.Target;
+      if (static_cast<size_t>(B) == A || Preds[static_cast<size_t>(B)] != 1)
+        break;
+      // Splice B's instructions over A's jump; B becomes unreachable.
+      BasicBlock &BlockB = F.Blocks[static_cast<size_t>(B)];
+      BlockA.Instrs.pop_back();
+      BlockA.Instrs.insert(BlockA.Instrs.end(), BlockB.Instrs.begin(),
+                           BlockB.Instrs.end());
+      BlockB.Instrs.clear();
+      Preds[static_cast<size_t>(B)] = 0;
+      Changed = true;
+      // Loop again: A's new terminator may enable another merge.
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool impact::removeUnreachableBlocks(Function &F) {
+  if (F.Blocks.empty())
+    return false;
+  std::vector<bool> Reachable(F.Blocks.size(), false);
+  std::vector<BlockId> Worklist = {0};
+  Reachable[0] = true;
+  auto Visit = [&](BlockId Succ) {
+    if (!Reachable[static_cast<size_t>(Succ)]) {
+      Reachable[static_cast<size_t>(Succ)] = true;
+      Worklist.push_back(Succ);
+    }
+  };
+  while (!Worklist.empty()) {
+    BlockId V = Worklist.back();
+    Worklist.pop_back();
+    const BasicBlock &B = F.getBlock(V);
+    if (B.empty())
+      continue;
+    const Instr &Term = B.getTerminator();
+    if (Term.Op == Opcode::Jump) {
+      Visit(Term.Target);
+    } else if (Term.Op == Opcode::CondBr) {
+      Visit(Term.Target);
+      Visit(Term.Target2);
+    }
+  }
+
+  bool AnyDead = false;
+  for (bool R : Reachable)
+    AnyDead |= !R;
+  if (!AnyDead)
+    return false;
+
+  // Compact the block vector and remap targets.
+  std::vector<BlockId> Remap(F.Blocks.size(), -1);
+  std::vector<BasicBlock> NewBlocks;
+  for (size_t I = 0; I != F.Blocks.size(); ++I) {
+    if (!Reachable[I])
+      continue;
+    Remap[I] = static_cast<BlockId>(NewBlocks.size());
+    NewBlocks.push_back(std::move(F.Blocks[I]));
+  }
+  for (BasicBlock &B : NewBlocks) {
+    assert(!B.empty() && "reachable block must be non-empty");
+    Instr &Term = B.getTerminator();
+    if (Term.Op == Opcode::Jump) {
+      Term.Target = Remap[static_cast<size_t>(Term.Target)];
+    } else if (Term.Op == Opcode::CondBr) {
+      Term.Target = Remap[static_cast<size_t>(Term.Target)];
+      Term.Target2 = Remap[static_cast<size_t>(Term.Target2)];
+    }
+  }
+  F.Blocks = std::move(NewBlocks);
+  return true;
+}
+
+bool impact::runJumpOptimization(Function &F) {
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Changed |= threadJumps(F);
+    Changed |= mergeStraightLine(F);
+    Changed |= removeUnreachableBlocks(F);
+    EverChanged |= Changed;
+  }
+  return EverChanged;
+}
+
+bool impact::runJumpOptimization(Module &M) {
+  bool Changed = false;
+  for (Function &F : M.Funcs)
+    if (!F.IsExternal)
+      Changed |= runJumpOptimization(F);
+  return Changed;
+}

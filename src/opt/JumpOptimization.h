@@ -1,0 +1,32 @@
+//===- opt/JumpOptimization.h - CFG cleanup -----------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_OPT_JUMPOPTIMIZATION_H
+#define IMPACT_OPT_JUMPOPTIMIZATION_H
+
+#include "ir/Ir.h"
+
+namespace impact {
+
+/// The paper's "jump optimization": CFG cleanup run to a fixpoint.
+///  - threads jumps through empty forwarding blocks (a block whose only
+///    instruction is a Jump),
+///  - rewrites CondBr with identical targets into Jump,
+///  - merges a block into its unique Jump-predecessor when it has exactly
+///    one predecessor,
+///  - deletes blocks unreachable from the entry and renumbers targets.
+/// Returns true on change.
+bool runJumpOptimization(Function &F);
+
+/// Runs jump optimization over every non-external function.
+bool runJumpOptimization(Module &M);
+
+/// Deletes unreachable blocks only (used on its own after inlining).
+bool removeUnreachableBlocks(Function &F);
+
+} // namespace impact
+
+#endif // IMPACT_OPT_JUMPOPTIMIZATION_H

@@ -1,0 +1,44 @@
+//===- opt/PassManager.cpp -----------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+
+#include "opt/ConstantFolding.h"
+#include "opt/CopyPropagation.h"
+#include "opt/DeadCodeElimination.h"
+#include "opt/JumpOptimization.h"
+#include "opt/TailRecursionElimination.h"
+
+using namespace impact;
+
+bool impact::runOptimizationPipeline(Function &F, const OptOptions &Opts) {
+  bool EverChanged = false;
+  for (unsigned Iter = 0; Iter != Opts.MaxIterations; ++Iter) {
+    bool Changed = false;
+    if (Opts.TailRecursionElimination)
+      Changed |= runTailRecursionElimination(F);
+    if (Opts.CopyPropagation)
+      Changed |= runCopyPropagation(F);
+    if (Opts.ConstantFolding)
+      Changed |= runConstantFolding(F);
+    if (Opts.JumpOptimization)
+      Changed |= runJumpOptimization(F);
+    if (Opts.DeadCodeElimination)
+      Changed |= runDeadCodeElimination(F);
+    EverChanged |= Changed;
+    if (!Changed)
+      break;
+  }
+  return EverChanged;
+}
+
+bool impact::runOptimizationPipeline(Module &M, const OptOptions &Opts) {
+  bool Changed = false;
+  for (Function &F : M.Funcs)
+    if (!F.IsExternal)
+      Changed |= runOptimizationPipeline(F, Opts);
+  return Changed;
+}

@@ -1,0 +1,36 @@
+//===- opt/PassManager.h - Optimization pipeline -------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_OPT_PASSMANAGER_H
+#define IMPACT_OPT_PASSMANAGER_H
+
+#include "ir/Ir.h"
+
+namespace impact {
+
+/// Which classic optimizations to run and how often to iterate the
+/// pipeline (each pass can expose work for the others).
+struct OptOptions {
+  bool ConstantFolding = true;
+  bool JumpOptimization = true;
+  bool CopyPropagation = true;
+  bool DeadCodeElimination = true;
+  /// Off by default: the paper's measurements do not include it, and it
+  /// assumes C's uninitialized-local semantics (see the pass header).
+  bool TailRecursionElimination = false;
+  unsigned MaxIterations = 4;
+};
+
+/// Runs the enabled passes on \p F until a fixpoint or MaxIterations.
+/// Returns true on any change.
+bool runOptimizationPipeline(Function &F, const OptOptions &Opts = OptOptions());
+
+/// Runs the pipeline on every non-external function.
+bool runOptimizationPipeline(Module &M, const OptOptions &Opts = OptOptions());
+
+} // namespace impact
+
+#endif // IMPACT_OPT_PASSMANAGER_H

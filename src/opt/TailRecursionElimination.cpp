@@ -1,0 +1,72 @@
+//===- opt/TailRecursionElimination.cpp ----------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/TailRecursionElimination.h"
+
+#include <vector>
+
+using namespace impact;
+
+namespace {
+
+/// True when block \p B ends with "dst = call self(...)" directly followed
+/// by "ret dst" (or a void call followed by a bare ret).
+bool isSelfTailCall(const Function &F, const BasicBlock &B) {
+  if (B.size() < 2)
+    return false;
+  const Instr &Term = B.getTerminator();
+  const Instr &Call = B.Instrs[B.size() - 2];
+  if (Term.Op != Opcode::Ret || Call.Op != Opcode::Call)
+    return false;
+  if (Call.Callee != F.Id)
+    return false;
+  if (F.ReturnsVoid)
+    return Term.Src1 == kNoReg;
+  return Call.Dst != kNoReg && Term.Src1 == Call.Dst;
+}
+
+} // namespace
+
+bool impact::runTailRecursionElimination(Function &F) {
+  // A reused activation would see the previous iteration's frame contents,
+  // whereas a real call starts from a zeroed frame; only frameless
+  // functions are safe to rewrite.
+  if (F.IsExternal || F.Eliminated || F.FrameSize != 0)
+    return false;
+
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    if (!isSelfTailCall(F, B))
+      continue;
+    Instr Call = B.Instrs[B.size() - 2];
+    B.Instrs.pop_back(); // ret
+    B.Instrs.pop_back(); // call
+
+    // Stage every argument in a fresh temporary before committing any
+    // parameter register: f(p1, p0) must swap, not duplicate.
+    std::vector<Reg> Temps;
+    Temps.reserve(Call.Args.size());
+    for (Reg Arg : Call.Args) {
+      Reg Tmp = F.addReg();
+      B.Instrs.push_back(Instr::makeMov(Tmp, Arg));
+      Temps.push_back(Tmp);
+    }
+    for (size_t I = 0; I != Temps.size(); ++I)
+      B.Instrs.push_back(
+          Instr::makeMov(static_cast<Reg>(I), Temps[I]));
+    B.Instrs.push_back(Instr::makeJump(0));
+    Changed = true;
+  }
+  return Changed;
+}
+
+bool impact::runTailRecursionElimination(Module &M) {
+  bool Changed = false;
+  for (Function &F : M.Funcs)
+    if (!F.IsExternal)
+      Changed |= runTailRecursionElimination(F);
+  return Changed;
+}

@@ -1,0 +1,43 @@
+//===- opt/TailRecursionElimination.h - self tail calls to jumps ---------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_OPT_TAILRECURSIONELIMINATION_H
+#define IMPACT_OPT_TAILRECURSIONELIMINATION_H
+
+#include "ir/Ir.h"
+
+namespace impact {
+
+/// The "standard way of removing tail recursion" §2.2 alludes to: a self
+/// call whose result is immediately returned becomes parameter moves plus
+/// a jump back to the entry block. Besides removing call/return overhead
+/// outright, this can delete a function's only self arc, taking it off
+/// the call-graph cycle and unlocking inline expansion of calls *to* it.
+///
+/// Pattern rewritten (the call must be directly followed by `ret` of its
+/// result, or by `ret` with no value in a void function):
+///
+///   rX = call f(a1, a2)      =>     r0 = mov a1'   ; fresh temps first,
+///   ret rX                          r1 = mov a2'   ; then committed
+///                                   jump bb0
+///
+/// Argument values are staged through fresh registers so that an argument
+/// reading a parameter register (`f(p1, p0)`) is not clobbered mid-copy.
+///
+/// Soundness notes: functions with a frame (arrays / address-taken
+/// locals) are skipped — a fresh activation would see a zeroed frame,
+/// the reused one would not. Register locals are reused without
+/// re-zeroing, which matches C semantics (reading an uninitialized local
+/// is undefined behaviour there; MiniC programs relying on implicit zero
+/// locals should not enable this pass). Returns true on change.
+bool runTailRecursionElimination(Function &F);
+
+/// Runs over every non-external function.
+bool runTailRecursionElimination(Module &M);
+
+} // namespace impact
+
+#endif // IMPACT_OPT_TAILRECURSIONELIMINATION_H

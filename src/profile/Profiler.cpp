@@ -1,0 +1,27 @@
+//===- profile/Profiler.cpp ---------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profiler.h"
+
+using namespace impact;
+
+ProfileResult impact::profileProgram(const Module &M,
+                                     const std::vector<RunInput> &Inputs,
+                                     const RunOptions &Base) {
+  ProfileResult Result;
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    RunOptions Opts = Base;
+    Opts.Input = Inputs[I].Input;
+    Opts.Input2 = Inputs[I].Input2;
+    ExecResult R = runProgram(M, Opts);
+    if (!R.ok())
+      Result.Failures.push_back("run " + std::to_string(I) + ": " +
+                                R.TrapMessage);
+    Result.Data.accumulate(R.Stats);
+    Result.Outputs.push_back(std::move(R.Output));
+  }
+  return Result;
+}

@@ -1,0 +1,43 @@
+//===- profile/Profiler.h - Multi-run profiling driver -----------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_PROFILE_PROFILER_H
+#define IMPACT_PROFILE_PROFILER_H
+
+#include "profile/Profile.h"
+
+#include <string>
+#include <vector>
+
+namespace impact {
+
+/// One representative input for a profiled program.
+struct RunInput {
+  std::string Input;
+  std::string Input2;
+};
+
+/// Outcome of profiling a program over a set of inputs.
+struct ProfileResult {
+  ProfileData Data;
+  /// Non-Exited runs, as "run <i>: <message>" strings; profiling is only
+  /// trustworthy when this is empty.
+  std::vector<std::string> Failures;
+  /// Outputs of each run, in input order (used by equivalence tests).
+  std::vector<std::string> Outputs;
+
+  bool allRunsOk() const { return Failures.empty(); }
+};
+
+/// Runs \p M once per input and accumulates the statistics. \p Base
+/// supplies step/stack limits.
+ProfileResult profileProgram(const Module &M,
+                             const std::vector<RunInput> &Inputs,
+                             const RunOptions &Base = RunOptions());
+
+} // namespace impact
+
+#endif // IMPACT_PROFILE_PROFILER_H

@@ -1,0 +1,57 @@
+//===- profile/StaticEstimator.h - structure-based weight estimates ------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §4.2 closes with an open question: "whether or not inline expansion
+/// decisions based on program structure analysis without profile
+/// information are sufficient". This module supplies the structure-based
+/// side of that comparison (the MIPS-compiler style the paper cites: "the
+/// compiler examines the code structure (e.g. loops) to choose the
+/// function calls for inline expansion"):
+///
+///  - every call site is weighted LoopMultiplier^depth, where depth is
+///    the site's loop-nesting depth in the caller's CFG (computed by SCC
+///    peeling, capped at MaxLoopDepth),
+///  - function entry estimates propagate top-down from main over the
+///    direct call graph for a bounded number of rounds (recursion-safe),
+///  - the estimates are packaged as a ProfileData so the entire inlining
+///    stack runs unchanged with fake weights instead of real ones.
+///
+/// bench/ablation_static_heuristic runs the paper's comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_PROFILE_STATICESTIMATOR_H
+#define IMPACT_PROFILE_STATICESTIMATOR_H
+
+#include "ir/Ir.h"
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace impact {
+
+struct StaticEstimateOptions {
+  /// Assumed iteration count of each loop level.
+  double LoopMultiplier = 10.0;
+  /// Nesting levels beyond this add no weight.
+  unsigned MaxLoopDepth = 4;
+  /// Rounds of top-down entry-count propagation.
+  unsigned PropagationRounds = 6;
+};
+
+/// Loop-nesting depth of every block of \p F (entry-reachable blocks
+/// only; unreachable blocks get 0).
+std::vector<unsigned> computeLoopDepths(const Function &F,
+                                        unsigned MaxLoopDepth = 4);
+
+/// Builds a synthetic single-"run" profile for \p M from structure alone.
+ProfileData estimateProfileFromStructure(
+    const Module &M, StaticEstimateOptions Options = StaticEstimateOptions());
+
+} // namespace impact
+
+#endif // IMPACT_PROFILE_STATICESTIMATOR_H

@@ -1,0 +1,909 @@
+//===- suite/ProgramsA.cpp - cccp, cmp, compress, eqn --------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+#include "suite/Workloads.h"
+
+using namespace impact;
+
+//===----------------------------------------------------------------------===//
+// cccp — a macro preprocessor (the GNU C preprocessor's diet): #define
+// handling, macro substitution, //- and /* */-comment stripping.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char CccpSource[] = R"MC(
+// cccp: macro preprocessor. Reads C-like text, records #define macros,
+// substitutes macro names, strips comments.
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+extern int read_block(int *buf, int max);
+extern int write_block(int *buf, int n);
+
+int macro_name[2048];   // 128 slots x 16 words, NUL terminated
+int macro_val[4096];    // 128 slots x 32 words, NUL terminated
+int macro_count;
+int line[512];
+int linelen;
+int eof_seen;
+int subst_count;
+int inbuf[65536];
+int inlen;
+int incur;
+int outbuf[4096];
+int outlen;
+
+int is_alpha(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+int is_digit(int c) { return c >= '0' && c <= '9'; }
+
+int is_ident(int c) { return is_alpha(c) || is_digit(c); }
+
+int load_input() {
+  int n;
+  inlen = 0;
+  incur = 0;
+  n = read_block(&inbuf[0], 4096);
+  while (n > 0) {
+    inlen = inlen + n;
+    if (inlen + 4096 > 65536) break;
+    n = read_block(&inbuf[inlen], 4096);
+  }
+  return inlen;
+}
+
+int next_ch() {
+  int c;
+  if (incur >= inlen) return -1;
+  c = inbuf[incur];
+  incur = incur + 1;
+  return c;
+}
+
+int flush_out() {
+  if (outlen > 0) write_block(&outbuf[0], outlen);
+  outlen = 0;
+  return 0;
+}
+
+int emit(int c) {
+  if (outlen >= 4096) flush_out();
+  outbuf[outlen] = c;
+  outlen = outlen + 1;
+  return c;
+}
+
+int read_line() {
+  int c;
+  linelen = 0;
+  c = next_ch();
+  if (c == -1) { eof_seen = 1; return -1; }
+  while (c != -1 && c != '\n') {
+    if (linelen < 511) { line[linelen] = c; linelen = linelen + 1; }
+    c = next_ch();
+  }
+  return linelen;
+}
+
+int names_equal(int slot, int *buf, int len) {
+  int i;
+  if (len >= 15) return 0;
+  for (i = 0; i < len; i++) {
+    if (macro_name[slot * 16 + i] != buf[i]) return 0;
+  }
+  return macro_name[slot * 16 + len] == 0;
+}
+
+int macro_lookup(int *buf, int len) {
+  int s;
+  for (s = 0; s < macro_count; s++) {
+    if (names_equal(s, buf, len)) return s;
+  }
+  return -1;
+}
+
+int macro_define(int *nbuf, int nlen, int *vbuf, int vlen) {
+  int i;
+  if (macro_count >= 128) return -1;
+  if (nlen > 14) nlen = 14;
+  if (vlen > 31) vlen = 31;
+  for (i = 0; i < nlen; i++) macro_name[macro_count * 16 + i] = nbuf[i];
+  macro_name[macro_count * 16 + nlen] = 0;
+  for (i = 0; i < vlen; i++) macro_val[macro_count * 32 + i] = vbuf[i];
+  macro_val[macro_count * 32 + vlen] = 0;
+  macro_count = macro_count + 1;
+  return macro_count - 1;
+}
+
+int emit_value(int slot) {
+  int i;
+  i = 0;
+  while (macro_val[slot * 32 + i] != 0) {
+    emit(macro_val[slot * 32 + i]);
+    i = i + 1;
+  }
+  subst_count = subst_count + 1;
+  return i;
+}
+
+int emit_ident(int start, int len) {
+  int i;
+  for (i = 0; i < len; i++) emit(line[start + i]);
+  return len;
+}
+
+int match_prefix(int *pat) {
+  int i;
+  i = 0;
+  while (pat[i] != 0) {
+    if (i >= linelen) return 0;
+    if (line[i] != pat[i]) return 0;
+    i = i + 1;
+  }
+  return 1;
+}
+
+int skip_spaces(int pos) {
+  while (pos < linelen && line[pos] == ' ') pos = pos + 1;
+  return pos;
+}
+
+int handle_define() {
+  int pos;
+  int nstart;
+  int nlen;
+  int vstart;
+  pos = skip_spaces(8);
+  nstart = pos;
+  while (pos < linelen && is_ident(line[pos])) pos = pos + 1;
+  nlen = pos - nstart;
+  pos = skip_spaces(pos);
+  vstart = pos;
+  if (nlen > 0) {
+    macro_define(&line[nstart], nlen, &line[vstart], linelen - vstart);
+  }
+  return nlen;
+}
+
+int process_line() {
+  int pos;
+  int start;
+  int len;
+  int slot;
+  int c;
+  pos = 0;
+  while (pos < linelen) {
+    c = line[pos];
+    if (c == '/' && pos + 1 < linelen && line[pos + 1] == '/') {
+      return 0;
+    }
+    if (c == '/' && pos + 1 < linelen && line[pos + 1] == '*') {
+      pos = pos + 2;
+      while (pos + 1 < linelen &&
+             !(line[pos] == '*' && line[pos + 1] == '/')) {
+        pos = pos + 1;
+      }
+      pos = pos + 2;
+      continue;
+    }
+    if (is_alpha(c)) {
+      start = pos;
+      while (pos < linelen && is_ident(line[pos])) pos = pos + 1;
+      len = pos - start;
+      slot = macro_lookup(&line[start], len);
+      if (slot >= 0) {
+        emit_value(slot);
+      } else {
+        emit_ident(start, len);
+      }
+      continue;
+    }
+    emit(c);
+    pos = pos + 1;
+  }
+  return 0;
+}
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    emit(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: cccp < source");
+  emit('\n');
+  flush_out();
+  return 2;
+}
+
+int fatal(int *msg, int code) {
+  emit_str("cccp: ");
+  emit_str(msg);
+  emit('\n');
+  flush_out();
+  return code;
+}
+
+int copy_slot(int from, int to) {
+  int i;
+  for (i = 0; i < 16; i++) macro_name[to * 16 + i] = macro_name[from * 16 + i];
+  for (i = 0; i < 32; i++) macro_val[to * 32 + i] = macro_val[from * 32 + i];
+  return to;
+}
+
+int macro_undef(int *buf, int len) {
+  int s;
+  int i;
+  s = macro_lookup(buf, len);
+  if (s < 0) return -1;
+  for (i = s; i + 1 < macro_count; i++) copy_slot(i + 1, i);
+  macro_count = macro_count - 1;
+  return s;
+}
+
+int handle_undef() {
+  int pos;
+  int nstart;
+  pos = skip_spaces(7);
+  nstart = pos;
+  while (pos < linelen && is_ident(line[pos])) pos = pos + 1;
+  if (pos == nstart) return fatal("#undef needs a name", 1);
+  return macro_undef(&line[nstart], pos - nstart);
+}
+
+int main() {
+  macro_count = 0;
+  eof_seen = 0;
+  subst_count = 0;
+  outlen = 0;
+  if (input_avail() == 0) return usage();
+  load_input();
+  read_line();
+  while (eof_seen == 0) {
+    if (match_prefix("#define ")) {
+      handle_define();
+    } else if (match_prefix("#undef ")) {
+      handle_undef();
+    } else if (match_prefix("#include")) {
+      fatal("#include is not supported", 1);
+    } else {
+      process_line();
+      emit('\n');
+    }
+    read_line();
+  }
+  flush_out();
+  print_int(subst_count);
+  putchar('\n');
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeCccpInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0xCC01 + I * 977);
+    RunInput In;
+    In.Input = generateCLikeSource(R, 60 + static_cast<unsigned>(
+                                            R.nextBelow(160)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+//===----------------------------------------------------------------------===//
+// cmp — compare two input streams, report the first difference.
+//===----------------------------------------------------------------------===//
+
+const char CmpSource[] = R"MC(
+// cmp: byte compare of two streams; reports first difference or "equal".
+extern int getchar();
+extern int getchar2();
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+
+int pos;
+int line;
+int col;
+int opt_list;
+
+int next_a() { return getchar(); }
+
+int next_b() { return getchar2(); }
+
+int note_char(int c) {
+  pos = pos + 1;
+  col = col + 1;
+  if (c == '\n') {
+    line = line + 1;
+    col = 0;
+  }
+  return c;
+}
+
+int report(int *label, int value) {
+  int i;
+  i = 0;
+  while (label[i] != 0) {
+    putchar(label[i]);
+    i = i + 1;
+  }
+  print_int(value);
+  putchar('\n');
+  return value;
+}
+
+int usage() {
+  report("usage: cmp fileA fileB, differences found so far: ", 0);
+  return 2;
+}
+
+int list_difference(int a, int b) {
+  report("byte ", pos + 1);
+  report("  a=", a);
+  report("  b=", b);
+  return pos;
+}
+
+int skip_bytes(int n) {
+  int i;
+  int a;
+  for (i = 0; i < n; i++) {
+    a = next_a();
+    next_b();
+    if (a == -1) return -1;
+    note_char(a);
+  }
+  return n;
+}
+
+int main() {
+  int a;
+  int b;
+  int ndiff;
+  pos = 0;
+  line = 1;
+  col = 0;
+  opt_list = 0;
+  ndiff = 0;
+  if (input_avail() == 0) return usage();
+  a = next_a();
+  b = next_b();
+  while (a != -1 && b != -1) {
+    if (a != b) {
+      if (opt_list) {
+        list_difference(a, b);
+        ndiff = ndiff + 1;
+      } else {
+        report("differ: char ", pos + 1);
+        report("line ", line);
+        return 1;
+      }
+    }
+    note_char(a);
+    a = next_a();
+    b = next_b();
+  }
+  if (a != b) {
+    report("eof differ: char ", pos + 1);
+    return 1;
+  }
+  if (ndiff > 0) {
+    report("differences: ", ndiff);
+    return 1;
+  }
+  report("equal: chars ", pos);
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeCmpInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0xC3B0 + I * 613);
+    RunInput In;
+    In.Input = generateWordText(R, 500 + static_cast<unsigned>(
+                                          R.nextBelow(400)));
+    switch (I % 3) {
+    case 0:
+      In.Input2 = In.Input; // identical pair
+      break;
+    case 1:
+      In.Input2 = mutateText(R, In.Input, 2); // similar
+      break;
+    default:
+      In.Input2 = mutateText(R, In.Input, 40); // dissimilar
+      break;
+    }
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+//===----------------------------------------------------------------------===//
+// compress — LZW with 12-bit codes over a chained hash table.
+//===----------------------------------------------------------------------===//
+
+const char CompressSource[] = R"MC(
+// compress: LZW, 12-bit codes, chained-hash string table.
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+extern int read_block(int *buf, int max);
+extern int write_block(int *buf, int n);
+
+int prefix_of[4096];
+int char_of[4096];
+int hash_head[8192];
+int hash_link[4096];
+int expand_stack[4096];
+int table_size;
+int bit_buf;
+int bit_count;
+int out_bytes;
+int inbuf[65536];
+int inlen;
+int incur;
+int outbuf[4096];
+int outlen;
+
+int hash_key(int p, int c) { return ((p << 5) ^ (c * 31)) & 8191; }
+
+int find_code(int p, int c) {
+  int idx;
+  idx = hash_head[hash_key(p, c)];
+  while (idx >= 0) {
+    if (prefix_of[idx] == p && char_of[idx] == c) return idx;
+    idx = hash_link[idx];
+  }
+  return -1;
+}
+
+int insert_code(int p, int c) {
+  int h;
+  if (table_size >= 4096) return -1;
+  h = hash_key(p, c);
+  prefix_of[table_size] = p;
+  char_of[table_size] = c;
+  hash_link[table_size] = hash_head[h];
+  hash_head[h] = table_size;
+  table_size = table_size + 1;
+  return table_size - 1;
+}
+
+int load_input() {
+  int n;
+  inlen = 0;
+  incur = 0;
+  n = read_block(&inbuf[0], 4096);
+  while (n > 0) {
+    inlen = inlen + n;
+    if (inlen + 4096 > 65536) break;
+    n = read_block(&inbuf[inlen], 4096);
+  }
+  return inlen;
+}
+
+int next_in() {
+  int c;
+  if (incur >= inlen) return -1;
+  c = inbuf[incur];
+  incur = incur + 1;
+  return c;
+}
+
+int flush_out() {
+  if (outlen > 0) write_block(&outbuf[0], outlen);
+  outlen = 0;
+  return 0;
+}
+
+int put_byte(int b) {
+  if (outlen >= 4096) flush_out();
+  outbuf[outlen] = b;
+  outlen = outlen + 1;
+  out_bytes = out_bytes + 1;
+  return b;
+}
+
+int put_code(int code) {
+  bit_buf = bit_buf | (code << bit_count);
+  bit_count = bit_count + 12;
+  while (bit_count >= 8) {
+    put_byte(bit_buf & 255);
+    bit_buf = bit_buf >> 8;
+    bit_count = bit_count - 8;
+  }
+  return code;
+}
+
+int flush_bits() {
+  if (bit_count > 0) put_byte(bit_buf & 255);
+  bit_buf = 0;
+  bit_count = 0;
+  return 0;
+}
+
+int init_table() {
+  int i;
+  for (i = 0; i < 8192; i++) hash_head[i] = -1;
+  table_size = 256;
+  return 0;
+}
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    putchar(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: compress < text (or -d < archive)");
+  putchar('\n');
+  return 2;
+}
+
+int get_code() {
+  int c;
+  while (bit_count < 12) {
+    c = next_in();
+    if (c == -1) return -1;
+    bit_buf = bit_buf | (c << bit_count);
+    bit_count = bit_count + 8;
+  }
+  c = bit_buf & 4095;
+  bit_buf = bit_buf >> 12;
+  bit_count = bit_count - 12;
+  return c;
+}
+
+int expand_code(int code) {
+  int sp;
+  sp = 0;
+  while (code >= 256) {
+    if (sp < 4095) { expand_stack[sp] = char_of[code]; sp = sp + 1; }
+    code = prefix_of[code];
+  }
+  put_byte(code);
+  while (sp > 0) {
+    sp = sp - 1;
+    put_byte(expand_stack[sp]);
+  }
+  return sp;
+}
+
+int decompress() {
+  int code;
+  int prev;
+  init_table();
+  bit_buf = 0;
+  bit_count = 0;
+  prev = get_code();
+  if (prev == -1) return 0;
+  expand_code(prev);
+  code = get_code();
+  while (code != -1) {
+    if (code < table_size) expand_code(code);
+    if (table_size < 4096) {
+      prefix_of[table_size] = prev;
+      char_of[table_size] = code < 256 ? code : char_of[code];
+      table_size = table_size + 1;
+    }
+    prev = code;
+    code = get_code();
+  }
+  return table_size;
+}
+
+int main() {
+  int c;
+  int w;
+  int k;
+  if (input_avail() == 0) return usage();
+  init_table();
+  bit_buf = 0;
+  bit_count = 0;
+  out_bytes = 0;
+  outlen = 0;
+  load_input();
+  w = next_in();
+  if (w == -1) return 0;
+  if (w == 1) {
+    k = decompress();  // SOH marker selects -d mode
+    flush_out();
+    return k;
+  }
+  c = next_in();
+  while (c != -1) {
+    k = find_code(w, c);
+    if (k >= 0) {
+      w = k;
+    } else {
+      put_code(w);
+      insert_code(w, c);
+      w = c;
+    }
+    c = next_in();
+  }
+  put_code(w);
+  flush_bits();
+  flush_out();
+  putchar('\n');
+  print_int(out_bytes);
+  putchar('\n');
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeCompressInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0xC0DE + I * 389);
+    RunInput In;
+    In.Input = generateCompressibleText(
+        R, 3000 + static_cast<unsigned>(R.nextBelow(3000)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+//===----------------------------------------------------------------------===//
+// eqn — equation formatter: recursive-descent parse of infix expressions,
+// postfix re-emission (troff eqn's diet).
+//===----------------------------------------------------------------------===//
+
+const char EqnSource[] = R"MC(
+// eqn: parses infix equation lines recursively, emits postfix.
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+extern int read_block(int *buf, int max);
+extern int write_block(int *buf, int n);
+
+int line[256];
+int linelen;
+int pos;
+int eof_seen;
+int errors;
+int lineno;
+int inbuf[65536];
+int inlen;
+int incur;
+int outbuf[4096];
+int outlen;
+
+int is_digit(int c) { return c >= '0' && c <= '9'; }
+
+int is_lower(int c) { return c >= 'a' && c <= 'z'; }
+
+int load_input() {
+  int n;
+  inlen = 0;
+  incur = 0;
+  n = read_block(&inbuf[0], 4096);
+  while (n > 0) {
+    inlen = inlen + n;
+    if (inlen + 4096 > 65536) break;
+    n = read_block(&inbuf[inlen], 4096);
+  }
+  return inlen;
+}
+
+int next_ch() {
+  int c;
+  if (incur >= inlen) return -1;
+  c = inbuf[incur];
+  incur = incur + 1;
+  return c;
+}
+
+int read_line() {
+  int c;
+  linelen = 0;
+  c = next_ch();
+  if (c == -1) { eof_seen = 1; return -1; }
+  while (c != -1 && c != '\n') {
+    if (linelen < 255) { line[linelen] = c; linelen = linelen + 1; }
+    c = next_ch();
+  }
+  return linelen;
+}
+
+int peek() {
+  if (pos < linelen) return line[pos];
+  return -1;
+}
+
+int advance() {
+  int c;
+  c = peek();
+  pos = pos + 1;
+  return c;
+}
+
+int flush_out() {
+  if (outlen > 0) write_block(&outbuf[0], outlen);
+  outlen = 0;
+  return 0;
+}
+
+int emit(int c) {
+  if (outlen >= 4096) flush_out();
+  outbuf[outlen] = c;
+  outlen = outlen + 1;
+  return c;
+}
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    emit(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: eqn < formulas");
+  emit('\n');
+  flush_out();
+  return 2;
+}
+
+int report_error(int where, int *what) {
+  errors = errors + 1;
+  flush_out();
+  emit_str("eqn: line ");
+  flush_out();
+  print_int(lineno);
+  emit_str(" col ");
+  flush_out();
+  print_int(where);
+  emit_str(": ");
+  emit_str(what);
+  emit('\n');
+  flush_out();
+  return -1;
+}
+
+int parse_factor() {
+  int c;
+  c = peek();
+  if (c == '(') {
+    advance();
+    parse_expr();
+    if (peek() == ')') advance();
+    else report_error(pos, "missing ')'");
+    return 0;
+  }
+  if (is_lower(c)) {
+    emit(advance());
+    return 0;
+  }
+  if (is_digit(c)) {
+    while (is_digit(peek())) emit(advance());
+    emit('#');
+    return 0;
+  }
+  report_error(pos, "expected operand");
+  advance();
+  return -1;
+}
+
+int parse_term() {
+  int op;
+  parse_factor();
+  while (peek() == '*' || peek() == '/') {
+    op = advance();
+    parse_factor();
+    emit(op);
+  }
+  return 0;
+}
+
+int parse_expr() {
+  int op;
+  parse_term();
+  while (peek() == '+' || peek() == '-') {
+    op = advance();
+    parse_term();
+    emit(op);
+  }
+  return 0;
+}
+
+int main() {
+  eof_seen = 0;
+  errors = 0;
+  lineno = 0;
+  outlen = 0;
+  if (input_avail() == 0) return usage();
+  load_input();
+  read_line();
+  while (eof_seen == 0) {
+    lineno = lineno + 1;
+    pos = 0;
+    if (linelen > 0) {
+      parse_expr();
+      emit('\n');
+    }
+    read_line();
+  }
+  flush_out();
+  print_int(errors);
+  putchar('\n');
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeEqnInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0xE4E4 + I * 211);
+    RunInput In;
+    In.Input = generateEquations(R, 120 + static_cast<unsigned>(
+                                          R.nextBelow(240)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+} // namespace
+
+BenchmarkSpec impact::makeCccpBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "cccp";
+  B.InputDescription = "C programs (synthetic, 60-220 lines)";
+  B.Source = CccpSource;
+  B.DefaultRuns = 20;
+  B.MakeInputs = makeCccpInputs;
+  return B;
+}
+
+BenchmarkSpec impact::makeCmpBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "cmp";
+  B.InputDescription = "similar/dissimilar text files";
+  B.Source = CmpSource;
+  B.DefaultRuns = 16;
+  B.MakeInputs = makeCmpInputs;
+  return B;
+}
+
+BenchmarkSpec impact::makeCompressBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "compress";
+  B.InputDescription = "compressible word text (3-6 KB)";
+  B.Source = CompressSource;
+  B.DefaultRuns = 20;
+  B.MakeInputs = makeCompressInputs;
+  return B;
+}
+
+BenchmarkSpec impact::makeEqnBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "eqn";
+  B.InputDescription = "equation documents (120-360 formulas)";
+  B.Source = EqnSource;
+  B.DefaultRuns = 20;
+  B.MakeInputs = makeEqnInputs;
+  return B;
+}

@@ -1,0 +1,968 @@
+//===- suite/ProgramsB.cpp - espresso, grep, lex, make -------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+#include "suite/Workloads.h"
+
+using namespace impact;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// espresso — two-level logic minimization: repeated single-distance cube
+// merging over {0,1,-} covers.
+//===----------------------------------------------------------------------===//
+
+const char EspressoSource[] = R"MC(
+// espresso: merge cubes differing in one specified literal until fixpoint.
+extern int getchar();
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+
+int cubes[8192];     // 128 cubes x 64 positions
+int covered[128];
+int nvars;
+int ncubes;
+int opt_verify;
+
+int read_int() {
+  int c;
+  int v;
+  v = 0;
+  c = getchar();
+  while (c == ' ' || c == '\n') c = getchar();
+  while (c >= '0' && c <= '9') {
+    v = v * 10 + (c - '0');
+    c = getchar();
+  }
+  return v;
+}
+
+int cube_at(int i, int j) { return cubes[i * 64 + j]; }
+
+int cube_set(int i, int j, int v) {
+  cubes[i * 64 + j] = v;
+  return v;
+}
+
+int read_cube(int idx) {
+  int c;
+  int j;
+  c = getchar();
+  while (c == '\n' || c == ' ') c = getchar();
+  j = 0;
+  while (c != -1 && c != '\n') {
+    if (j < nvars) cube_set(idx, j, c);
+    j = j + 1;
+    c = getchar();
+  }
+  return j;
+}
+
+int diff_pos(int a, int b) {
+  int j;
+  int d;
+  int where;
+  d = 0;
+  where = -1;
+  for (j = 0; j < nvars; j++) {
+    if (cube_at(a, j) != cube_at(b, j)) {
+      if (cube_at(a, j) == '-' || cube_at(b, j) == '-') return -1;
+      d = d + 1;
+      where = j;
+      if (d > 1) return -1;
+    }
+  }
+  if (d == 1) return where;
+  return -1;
+}
+
+int cubes_equal(int a, int b) {
+  int j;
+  for (j = 0; j < nvars; j++) {
+    if (cube_at(a, j) != cube_at(b, j)) return 0;
+  }
+  return 1;
+}
+
+int find_duplicate(int idx) {
+  int i;
+  for (i = 0; i < idx; i++) {
+    if (cubes_equal(i, idx)) return i;
+  }
+  return -1;
+}
+
+int add_merged(int a, int wpos) {
+  int j;
+  if (ncubes >= 128) return -1;
+  for (j = 0; j < nvars; j++) cube_set(ncubes, j, cube_at(a, j));
+  cube_set(ncubes, wpos, '-');
+  covered[ncubes] = 0;
+  ncubes = ncubes + 1;
+  return ncubes - 1;
+}
+
+int merge_pass() {
+  int a;
+  int b;
+  int w;
+  int merged;
+  int m;
+  int limit;
+  merged = 0;
+  limit = ncubes;
+  for (a = 0; a < limit; a++) {
+    if (covered[a]) continue;
+    for (b = a + 1; b < limit; b++) {
+      if (covered[b]) continue;
+      w = diff_pos(a, b);
+      if (w >= 0) {
+        m = add_merged(a, w);
+        if (m >= 0) {
+          if (find_duplicate(m) >= 0) ncubes = ncubes - 1;
+          covered[a] = 1;
+          covered[b] = 1;
+          merged = merged + 1;
+          break;
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+int count_specified(int i) {
+  int j;
+  int n;
+  n = 0;
+  for (j = 0; j < nvars; j++) {
+    if (cube_at(i, j) != '-') n = n + 1;
+  }
+  return n;
+}
+
+int emit_cube(int i) {
+  int j;
+  for (j = 0; j < nvars; j++) putchar(cube_at(i, j));
+  putchar('\n');
+  return 0;
+}
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    putchar(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: espresso < truth-table");
+  putchar('\n');
+  return 2;
+}
+
+int contains(int big, int small) {
+  int j;
+  for (j = 0; j < nvars; j++) {
+    if (cube_at(big, j) != '-' && cube_at(big, j) != cube_at(small, j))
+      return 0;
+  }
+  return 1;
+}
+
+int verify_cover(int originals) {
+  int i;
+  int k;
+  int ok;
+  int bad;
+  bad = 0;
+  for (i = 0; i < originals; i++) {
+    ok = 0;
+    for (k = 0; k < ncubes; k++) {
+      if (covered[k] == 0 && contains(k, i)) { ok = 1; break; }
+    }
+    if (ok == 0) {
+      emit_str("uncovered: ");
+      emit_cube(i);
+      bad = bad + 1;
+    }
+  }
+  return bad;
+}
+
+int main() {
+  int i;
+  int n;
+  int pass;
+  int lits;
+  opt_verify = 0;
+  if (input_avail() == 0) return usage();
+  nvars = read_int();
+  ncubes = read_int();
+  if (nvars > 64) nvars = 64;
+  if (ncubes > 96) ncubes = 96;
+  n = ncubes;
+  for (i = 0; i < n; i++) {
+    read_cube(i);
+    covered[i] = 0;
+  }
+  pass = merge_pass();
+  while (pass > 0) pass = merge_pass();
+  lits = 0;
+  for (i = 0; i < ncubes; i++) {
+    if (covered[i] == 0) {
+      emit_cube(i);
+      lits = lits + count_specified(i);
+    }
+  }
+  if (opt_verify) {
+    if (verify_cover(n) > 0) return 1;
+  }
+  print_int(lits);
+  putchar('\n');
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeEspressoInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0xE5E5 + I * 449);
+    RunInput In;
+    In.Input = generateTruthTable(
+        R, 8 + static_cast<unsigned>(R.nextBelow(9)),
+        28 + static_cast<unsigned>(R.nextBelow(32)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+//===----------------------------------------------------------------------===//
+// grep — Kernighan-Pike regular expression matcher (literals . * ^ $).
+//===----------------------------------------------------------------------===//
+
+const char GrepSource[] = R"MC(
+// grep: block-buffered input (read(2)-style), pattern matching with the
+// . * ^ $ metacharacters, plus (cold) -v/-c option machinery.
+extern int putchar(int c);
+extern int print_int(int v);
+extern int read_block(int *buf, int max);
+extern int input_avail();
+
+int textbuf[65536];
+int textlen;
+int cursor;
+int pattern[128];
+int line[512];
+int linelen;
+int matches;
+int total_lines;
+int opt_invert;
+int opt_count_only;
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    putchar(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: grep, first line = pattern [-v invert, -c count]");
+  putchar('\n');
+  return 2;
+}
+
+int set_option(int c) {
+  if (c == 'v') {
+    opt_invert = 1;
+    return 1;
+  }
+  if (c == 'c') {
+    opt_count_only = 1;
+    return 1;
+  }
+  emit_str("grep: bad option");
+  putchar('\n');
+  return 0;
+}
+
+int load_input() {
+  int n;
+  textlen = 0;
+  n = read_block(&textbuf[0], 4096);
+  while (n > 0) {
+    textlen = textlen + n;
+    if (textlen + 4096 > 65536) break;
+    n = read_block(&textbuf[textlen], 4096);
+  }
+  return textlen;
+}
+
+int next_line(int *buf, int max) {
+  int len;
+  if (cursor >= textlen) return -1;
+  len = 0;
+  while (cursor < textlen && textbuf[cursor] != '\n') {
+    if (len < max - 1) { buf[len] = textbuf[cursor]; len = len + 1; }
+    cursor = cursor + 1;
+  }
+  cursor = cursor + 1;
+  buf[len] = 0;
+  return len;
+}
+
+int char_match(int pc, int tc) {
+  if (tc == 0) return 0;
+  if (pc == '.') return 1;
+  return pc == tc;
+}
+
+int at_end(int *text) { return *text == 0; }
+
+int match_star(int c, int *pat, int *text) {
+  while (1) {
+    if (match_here(pat, text)) return 1;
+    if (at_end(text)) return 0;
+    if (char_match(c, *text) == 0) return 0;
+    text = text + 1;
+  }
+  return 0;
+}
+
+int match_here(int *pat, int *text) {
+  while (1) {
+    if (pat[0] == 0) return 1;
+    if (pat[1] == '*') return match_star(pat[0], pat + 2, text);
+    if (pat[0] == '$' && pat[1] == 0) return at_end(text);
+    if (char_match(pat[0], *text) == 0) return 0;
+    pat = pat + 1;
+    text = text + 1;
+  }
+  return 0;
+}
+
+int match_line() {
+  int i;
+  if (pattern[0] == '^') return match_here(&pattern[1], &line[0]);
+  i = 0;
+  while (1) {
+    if (match_here(&pattern[0], &line[i])) return 1;
+    if (line[i] == 0) return 0;
+    i = i + 1;
+  }
+  return 0;
+}
+
+int emit_line() {
+  int i;
+  i = 0;
+  while (line[i] != 0) {
+    putchar(line[i]);
+    i = i + 1;
+  }
+  putchar('\n');
+  return i;
+}
+
+int main() {
+  int matched;
+  matches = 0;
+  total_lines = 0;
+  opt_invert = 0;
+  opt_count_only = 0;
+  cursor = 0;
+  if (input_avail() == 0) return usage();
+  load_input();
+  next_line(&pattern[0], 128);
+  if (pattern[0] == '-' && pattern[1] != 0) {
+    set_option(pattern[1]);
+    next_line(&pattern[0], 128);
+  }
+  while (next_line(&line[0], 512) >= 0) {
+    total_lines = total_lines + 1;
+    matched = match_line();
+    if (opt_invert) matched = matched == 0;
+    if (matched) {
+      if (opt_count_only == 0) emit_line();
+      matches = matches + 1;
+    }
+  }
+  print_int(matches);
+  putchar('\n');
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeGrepInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0x63E9 + I * 733);
+    RunInput In;
+    In.Input = generateGrepInput(R, 160 + static_cast<unsigned>(
+                                          R.nextBelow(160)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+//===----------------------------------------------------------------------===//
+// lex — a table-driven tokenizer with a hashed symbol table and
+// function-pointer dispatch per character class.
+//===----------------------------------------------------------------------===//
+
+const char LexSource[] = R"MC(
+// lex: tokenizes C-like text; scanner selection through function pointers.
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+extern int read_block(int *buf, int max);
+
+int nident;
+int nnum;
+int nstr;
+int nop;
+int opt_dump;
+int inbuf[131072];
+int inlen;
+int incur;
+int sym_name[4096];   // 256 slots x 16
+int sym_count;
+int sym_head[64];
+int sym_link[256];
+int handler_tab[4];
+int identbuf[64];
+int peeked;
+int has_peek;
+
+int load_input() {
+  int n;
+  inlen = 0;
+  incur = 0;
+  n = read_block(&inbuf[0], 4096);
+  while (n > 0) {
+    inlen = inlen + n;
+    if (inlen + 4096 > 131072) break;
+    n = read_block(&inbuf[inlen], 4096);
+  }
+  return inlen;
+}
+
+int next_char() {
+  int c;
+  if (has_peek) {
+    has_peek = 0;
+    return peeked;
+  }
+  if (incur >= inlen) return -1;
+  c = inbuf[incur];
+  incur = incur + 1;
+  return c;
+}
+
+int push_back(int c) {
+  peeked = c;
+  has_peek = 1;
+  return c;
+}
+
+int is_alpha(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+int is_digit(int c) { return c >= '0' && c <= '9'; }
+
+int is_space(int c) { return c == ' ' || c == '\n' || c == '\t'; }
+
+int class_of(int c) {
+  if (is_alpha(c)) return 0;
+  if (is_digit(c)) return 1;
+  if (c == '"') return 2;
+  return 3;
+}
+
+int hash_ident(int *b, int len) {
+  int h;
+  int i;
+  h = 0;
+  for (i = 0; i < len; i++) h = (h * 31 + b[i]) & 63;
+  return h;
+}
+
+int sym_equal(int slot, int *b, int len) {
+  int i;
+  if (len >= 15) return 0;
+  for (i = 0; i < len; i++) {
+    if (sym_name[slot * 16 + i] != b[i]) return 0;
+  }
+  return sym_name[slot * 16 + len] == 0;
+}
+
+int sym_lookup_or_add(int *b, int len) {
+  int h;
+  int s;
+  int i;
+  h = hash_ident(b, len);
+  s = sym_head[h];
+  while (s >= 0) {
+    if (sym_equal(s, b, len)) return s;
+    s = sym_link[s];
+  }
+  if (sym_count >= 256) return -1;
+  if (len > 14) len = 14;
+  for (i = 0; i < len; i++) sym_name[sym_count * 16 + i] = b[i];
+  sym_name[sym_count * 16 + len] = 0;
+  sym_link[sym_count] = sym_head[h];
+  sym_head[h] = sym_count;
+  sym_count = sym_count + 1;
+  return sym_count - 1;
+}
+
+int scan_ident(int c) {
+  int len;
+  len = 0;
+  while (is_alpha(c) || is_digit(c)) {
+    if (len < 15) { identbuf[len] = c; len = len + 1; }
+    c = next_char();
+  }
+  push_back(c);
+  sym_lookup_or_add(&identbuf[0], len);
+  nident = nident + 1;
+  return 1;
+}
+
+int scan_number(int c) {
+  int v;
+  v = 0;
+  while (is_digit(c)) {
+    v = v * 10 + (c - '0');
+    c = next_char();
+  }
+  push_back(c);
+  nnum = nnum + 1;
+  return 2;
+}
+
+int scan_string(int c) {
+  c = next_char();
+  while (c != -1 && c != '"') c = next_char();
+  nstr = nstr + 1;
+  return 3;
+}
+
+int scan_op(int c) {
+  int d;
+  int prev;
+  if (c == '/') {
+    d = next_char();
+    if (d == '/') {
+      c = d;
+      while (c != -1 && c != '\n') c = next_char();
+      return 5;
+    }
+    if (d == '*') {
+      prev = 0;
+      c = next_char();
+      while (c != -1 && !(prev == '*' && c == '/')) {
+        prev = c;
+        c = next_char();
+      }
+      return 5;
+    }
+    push_back(d);
+  }
+  nop = nop + 1;
+  return 4;
+}
+
+int init_handlers() {
+  int i;
+  handler_tab[0] = scan_ident;
+  handler_tab[1] = scan_number;
+  handler_tab[2] = scan_string;
+  handler_tab[3] = scan_op;
+  for (i = 0; i < 64; i++) sym_head[i] = -1;
+  return 0;
+}
+
+int dispatch(int cls, int c) {
+  int (*h)(int);
+  h = handler_tab[cls];
+  return h(c);
+}
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    putchar(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: lex < source");
+  putchar('\n');
+  return 2;
+}
+
+int emit_symbol(int slot) {
+  int i;
+  i = 0;
+  while (sym_name[slot * 16 + i] != 0) {
+    putchar(sym_name[slot * 16 + i]);
+    i = i + 1;
+  }
+  putchar('\n');
+  return i;
+}
+
+int dump_symbols() {
+  int s;
+  emit_str("symbols:");
+  putchar('\n');
+  for (s = 0; s < sym_count; s++) emit_symbol(s);
+  return sym_count;
+}
+
+int main() {
+  int c;
+  nident = 0;
+  nnum = 0;
+  nstr = 0;
+  nop = 0;
+  sym_count = 0;
+  has_peek = 0;
+  opt_dump = 0;
+  if (input_avail() == 0) return usage();
+  load_input();
+  init_handlers();
+  c = next_char();
+  while (c != -1) {
+    if (is_space(c)) {
+      c = next_char();
+      continue;
+    }
+    dispatch(class_of(c), c);
+    c = next_char();
+  }
+  print_int(nident);
+  putchar(' ');
+  print_int(nnum);
+  putchar(' ');
+  print_int(nstr);
+  putchar(' ');
+  print_int(nop);
+  putchar(' ');
+  print_int(sym_count);
+  putchar('\n');
+  if (opt_dump) dump_symbols();
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeLexInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0x1E71 + I * 997);
+    RunInput In;
+    In.Input = generateCLikeSource(R, 500 + static_cast<unsigned>(
+                                          R.nextBelow(400)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+//===----------------------------------------------------------------------===//
+// make — dependency-driven build simulator: parse rules, recursive DFS
+// build, action dispatch through function pointers.
+//===----------------------------------------------------------------------===//
+
+const char MakeSource[] = R"MC(
+// make: parse "target: deps" lines, build t0 depth-first, dispatch the
+// action of each target through a function pointer.
+extern int getchar();
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+
+int names[1024];    // 64 targets x 16
+int name_len[64];
+int deps[512];      // 64 targets x 8
+int ndeps[64];
+int ntargets;
+int built[64];
+int line[256];
+int linelen;
+int eof_seen;
+int order_count;
+int action_tab[3];
+int opt_check;
+
+int read_line() {
+  int c;
+  linelen = 0;
+  c = getchar();
+  if (c == -1) { eof_seen = 1; return -1; }
+  while (c != -1 && c != '\n') {
+    if (linelen < 255) { line[linelen] = c; linelen = linelen + 1; }
+    c = getchar();
+  }
+  return linelen;
+}
+
+int name_equal(int t, int *buf, int len) {
+  int i;
+  if (len != name_len[t]) return 0;
+  for (i = 0; i < len; i++) {
+    if (names[t * 16 + i] != buf[i]) return 0;
+  }
+  return 1;
+}
+
+int find_target(int *buf, int len) {
+  int t;
+  for (t = 0; t < ntargets; t++) {
+    if (name_equal(t, buf, len)) return t;
+  }
+  return -1;
+}
+
+int add_target(int *buf, int len) {
+  int i;
+  if (ntargets >= 64) return -1;
+  if (len > 15) len = 15;
+  for (i = 0; i < len; i++) names[ntargets * 16 + i] = buf[i];
+  name_len[ntargets] = len;
+  ndeps[ntargets] = 0;
+  built[ntargets] = 0;
+  ntargets = ntargets + 1;
+  return ntargets - 1;
+}
+
+int intern(int *buf, int len) {
+  int t;
+  t = find_target(buf, len);
+  if (t >= 0) return t;
+  return add_target(buf, len);
+}
+
+int parse_line() {
+  int pos;
+  int start;
+  int t;
+  int d;
+  pos = 0;
+  while (pos < linelen && line[pos] != ':') pos = pos + 1;
+  if (pos >= linelen) return -1;
+  t = intern(&line[0], pos);
+  pos = pos + 1;
+  while (pos < linelen) {
+    while (pos < linelen && line[pos] == ' ') pos = pos + 1;
+    start = pos;
+    while (pos < linelen && line[pos] != ' ') pos = pos + 1;
+    if (pos > start && t >= 0) {
+      d = intern(&line[start], pos - start);
+      if (d >= 0 && ndeps[t] < 8) {
+        deps[t * 8 + ndeps[t]] = d;
+        ndeps[t] = ndeps[t] + 1;
+      }
+    }
+  }
+  return t;
+}
+
+int emit_name(int t) {
+  int i;
+  for (i = 0; i < name_len[t]; i++) putchar(names[t * 16 + i]);
+  return 0;
+}
+
+int act_compile(int t) {
+  emit_name(t);
+  putchar(':');
+  putchar('c');
+  putchar('\n');
+  return 1;
+}
+
+int act_link(int t) {
+  emit_name(t);
+  putchar(':');
+  putchar('l');
+  putchar('\n');
+  return 1;
+}
+
+int act_copy(int t) {
+  emit_name(t);
+  putchar(':');
+  putchar('y');
+  putchar('\n');
+  return 1;
+}
+
+int name_hash(int t) {
+  int h;
+  int i;
+  h = 0;
+  for (i = 0; i < name_len[t]; i++) h = (h * 31 + names[t * 16 + i]) & 1023;
+  return h;
+}
+
+int run_action(int t) {
+  int (*a)(int);
+  a = action_tab[name_hash(t) % 3];
+  return a(t);
+}
+
+int init_actions() {
+  action_tab[0] = act_compile;
+  action_tab[1] = act_link;
+  action_tab[2] = act_copy;
+  return 0;
+}
+
+int build(int t) {
+  int i;
+  if (built[t]) return 0;
+  built[t] = 1;
+  for (i = 0; i < ndeps[t]; i++) build(deps[t * 8 + i]);
+  run_action(t);
+  order_count = order_count + 1;
+  return 1;
+}
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    putchar(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: make < makefile");
+  putchar('\n');
+  return 2;
+}
+
+int fatal_cycle(int t) {
+  emit_str("make: dependency cycle through ");
+  emit_name(t);
+  putchar('\n');
+  return 1;
+}
+
+int visit_state[64];
+
+int dfs_check(int t) {
+  int i;
+  if (visit_state[t] == 1) return fatal_cycle(t);
+  if (visit_state[t] == 2) return 0;
+  visit_state[t] = 1;
+  for (i = 0; i < ndeps[t]; i++) {
+    if (dfs_check(deps[t * 8 + i]) != 0) return 1;
+  }
+  visit_state[t] = 2;
+  return 0;
+}
+
+int check_cycles() {
+  int t;
+  for (t = 0; t < ntargets; t++) visit_state[t] = 0;
+  for (t = 0; t < ntargets; t++) {
+    if (dfs_check(t) != 0) return 1;
+  }
+  return 0;
+}
+
+int main() {
+  ntargets = 0;
+  order_count = 0;
+  eof_seen = 0;
+  opt_check = 0;
+  init_actions();
+  if (input_avail() == 0) return usage();
+  read_line();
+  while (eof_seen == 0) {
+    if (linelen > 0) parse_line();
+    read_line();
+  }
+  if (opt_check) {
+    if (check_cycles() != 0) return 1;
+  }
+  if (ntargets > 0) build(0);
+  print_int(order_count);
+  putchar('\n');
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeMakeInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0x4A6B + I * 523);
+    RunInput In;
+    In.Input = generateMakefile(R, 24 + static_cast<unsigned>(
+                                        R.nextBelow(32)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+} // namespace
+
+BenchmarkSpec impact::makeEspressoBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "espresso";
+  B.InputDescription = "two-level truth tables (8-16 vars, 28-60 cubes)";
+  B.Source = EspressoSource;
+  B.DefaultRuns = 20;
+  B.MakeInputs = makeEspressoInputs;
+  return B;
+}
+
+BenchmarkSpec impact::makeGrepBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "grep";
+  B.InputDescription = "patterns with . * ^ $ over random text lines";
+  B.Source = GrepSource;
+  B.DefaultRuns = 20;
+  B.MakeInputs = makeGrepInputs;
+  return B;
+}
+
+BenchmarkSpec impact::makeLexBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "lex";
+  B.InputDescription = "lexing C-like sources (500-900 lines)";
+  B.Source = LexSource;
+  B.DefaultRuns = 4;
+  B.MakeInputs = makeLexInputs;
+  return B;
+}
+
+BenchmarkSpec impact::makeMakeBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "make";
+  B.InputDescription = "makefiles for 24-56 targets (acyclic deps)";
+  B.Source = MakeSource;
+  B.DefaultRuns = 20;
+  B.MakeInputs = makeMakeInputs;
+  return B;
+}

@@ -1,0 +1,727 @@
+//===- suite/ProgramsC.cpp - tar, tee, wc, yacc --------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+#include "suite/Workloads.h"
+
+using namespace impact;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// tar — archive writer: per-file headers with checksums, block padding.
+//===----------------------------------------------------------------------===//
+
+const char TarSource[] = R"MC(
+// tar: read "<name> <size>" records followed by contents; write an
+// archive stream of headers, contents, padding, and checksums.
+extern int getchar();
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+
+int name[32];
+int namelen;
+int eof_seen;
+int checksum;
+int out_count;
+int opt_extract;
+int opt_verify;
+
+int put_byte(int c) {
+  putchar(c);
+  out_count = out_count + 1;
+  return c;
+}
+
+int read_name() {
+  int c;
+  namelen = 0;
+  c = getchar();
+  while (c == '\n' || c == ' ') c = getchar();
+  if (c == -1) {
+    eof_seen = 1;
+    return -1;
+  }
+  while (c != -1 && c != ' ' && c != '\n') {
+    if (namelen < 31) { name[namelen] = c; namelen = namelen + 1; }
+    c = getchar();
+  }
+  return namelen;
+}
+
+int read_size() {
+  int c;
+  int v;
+  v = 0;
+  c = getchar();
+  while (c == ' ') c = getchar();
+  while (c >= '0' && c <= '9') {
+    v = v * 10 + (c - '0');
+    c = getchar();
+  }
+  return v;
+}
+
+int write_header(int size) {
+  int i;
+  put_byte('[');
+  for (i = 0; i < 16; i++) {
+    if (i < namelen) put_byte(name[i]);
+    else put_byte('_');
+  }
+  print_int(size);
+  put_byte(']');
+  return 0;
+}
+
+int copy_contents(int size) {
+  int i;
+  int c;
+  checksum = 0;
+  for (i = 0; i < size; i++) {
+    c = getchar();
+    if (c == -1) return -1;
+    put_byte(c);
+    checksum = checksum + c;
+  }
+  getchar();
+  return checksum;
+}
+
+int pad_block(int size) {
+  int r;
+  r = size % 32;
+  if (r == 0) return 0;
+  while (r < 32) {
+    put_byte('.');
+    r = r + 1;
+  }
+  return 0;
+}
+
+int write_trailer() {
+  put_byte('(');
+  print_int(checksum % 9973);
+  put_byte(')');
+  putchar('\n');
+  return 0;
+}
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    putchar(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: tar [-x extract, -t verify] < files");
+  putchar('\n');
+  return 2;
+}
+
+int skip_padding(int size) {
+  int r;
+  int c;
+  r = size % 32;
+  if (r == 0) return 0;
+  while (r < 32) {
+    c = getchar();
+    if (c == -1) return -1;
+    r = r + 1;
+  }
+  return 0;
+}
+
+int extract_one() {
+  int c;
+  int i;
+  int size;
+  c = getchar();
+  if (c != '[') { eof_seen = 1; return -1; }
+  for (i = 0; i < 16; i++) {
+    c = getchar();
+    if (c != '_') putchar(c);
+  }
+  size = 0;
+  c = getchar();
+  while (c >= '0' && c <= '9') {
+    size = size * 10 + (c - '0');
+    c = getchar();
+  }
+  putchar(' ');
+  checksum = 0;
+  for (i = 0; i < size; i++) {
+    c = getchar();
+    if (c == -1) return -1;
+    putchar(c);
+    checksum = checksum + c;
+  }
+  skip_padding(size);
+  putchar('\n');
+  return size;
+}
+
+int extract_archive() {
+  int n;
+  n = 0;
+  while (eof_seen == 0) {
+    if (extract_one() >= 0) n = n + 1;
+  }
+  print_int(n);
+  putchar('\n');
+  return 0;
+}
+
+int main() {
+  int size;
+  int nfiles;
+  nfiles = 0;
+  out_count = 0;
+  eof_seen = 0;
+  opt_extract = 0;
+  opt_verify = 0;
+  if (input_avail() == 0) return usage();
+  if (opt_extract) return extract_archive();
+  read_name();
+  while (eof_seen == 0) {
+    size = read_size();
+    write_header(size);
+    copy_contents(size);
+    pad_block(size);
+    write_trailer();
+    nfiles = nfiles + 1;
+    read_name();
+  }
+  print_int(nfiles);
+  putchar(' ');
+  print_int(out_count);
+  putchar('\n');
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeTarInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0x7A7A + I * 431);
+    RunInput In;
+    In.Input = generateArchiveInput(R, 12 + static_cast<unsigned>(
+                                           R.nextBelow(20)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+//===----------------------------------------------------------------------===//
+// tee — copy input to "two outputs"; nearly every call is external, so the
+// paper reports 0% code increase / 0% call decrease here.
+//===----------------------------------------------------------------------===//
+
+const char TeeSource[] = R"MC(
+// tee: duplicate every input character to two logical outputs. The hot
+// loop is external-call bound; the option/flush machinery below is the
+// cold bulk a real tee carries.
+extern int getchar();
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+
+int opt_append;
+int opt_ignore_interrupts;
+int pending[256];
+int npending;
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    putchar(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: tee [-a append, -i ignore interrupts]");
+  putchar('\n');
+  return 2;
+}
+
+int set_option(int c) {
+  if (c == 'a') { opt_append = 1; return 1; }
+  if (c == 'i') { opt_ignore_interrupts = 1; return 1; }
+  emit_str("tee: bad option");
+  putchar('\n');
+  return 0;
+}
+
+int queue_byte(int c) {
+  if (npending >= 256) return -1;
+  pending[npending] = c;
+  npending = npending + 1;
+  return npending;
+}
+
+int flush_pending() {
+  int i;
+  for (i = 0; i < npending; i++) {
+    putchar(pending[i]);
+    putchar(pending[i]);
+  }
+  i = npending;
+  npending = 0;
+  return i;
+}
+
+int main() {
+  int c;
+  int count;
+  count = 0;
+  npending = 0;
+  opt_append = 0;
+  opt_ignore_interrupts = 0;
+  if (input_avail() == 0) return usage();
+  c = getchar();
+  while (c != -1) {
+    putchar(c);
+    putchar(c);
+    count = count + 1;
+    c = getchar();
+  }
+  if (npending > 0) flush_pending();
+  print_int(count);
+  putchar('\n');
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeTeeInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0x7EE0 + I * 389);
+    RunInput In;
+    In.Input = generateWordText(R, 300 + static_cast<unsigned>(
+                                         R.nextBelow(300)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+//===----------------------------------------------------------------------===//
+// wc — line/word/char counter with the hot loop in main; the few user
+// calls run below the inliner threshold, matching the paper's 0%/0% row.
+//===----------------------------------------------------------------------===//
+
+const char WcSource[] = R"MC(
+// wc: count lines, words, characters, and the longest line.
+extern int getchar();
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+
+int longest;
+int opt_lines_only;
+int opt_words_only;
+
+int report(int v, int tail) {
+  print_int(v);
+  putchar(tail);
+  return v;
+}
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    putchar(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: wc [-l lines, -w words] < file");
+  putchar('\n');
+  return 2;
+}
+
+int report_selected(int lines, int words, int chars) {
+  if (opt_lines_only) {
+    report(lines, '\n');
+    return lines;
+  }
+  if (opt_words_only) {
+    report(words, '\n');
+    return words;
+  }
+  report(lines, ' ');
+  report(words, ' ');
+  report(chars, ' ');
+  report(longest, '\n');
+  return chars;
+}
+
+int main() {
+  int c;
+  int lines;
+  int words;
+  int chars;
+  int inword;
+  int linelen;
+  lines = 0;
+  words = 0;
+  chars = 0;
+  inword = 0;
+  linelen = 0;
+  longest = 0;
+  opt_lines_only = 0;
+  opt_words_only = 0;
+  if (input_avail() == 0) return usage();
+  c = getchar();
+  while (c != -1) {
+    chars = chars + 1;
+    if (c == '\n') {
+      lines = lines + 1;
+      if (linelen > longest) longest = linelen;
+      linelen = 0;
+    } else {
+      linelen = linelen + 1;
+    }
+    if (c == ' ' || c == '\n' || c == '\t') {
+      inword = 0;
+    } else {
+      if (inword == 0) {
+        words = words + 1;
+        inword = 1;
+      }
+    }
+    c = getchar();
+  }
+  report_selected(lines, words, chars);
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeWcInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0x3C3C + I * 617);
+    RunInput In;
+    In.Input = generateCLikeSource(R, 120 + static_cast<unsigned>(
+                                          R.nextBelow(200)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+//===----------------------------------------------------------------------===//
+// yacc — toy parser generator: grammar tables, nullable/FIRST fixpoints,
+// then backtracking recursive-descent recognition of sample strings.
+//===----------------------------------------------------------------------===//
+
+const char YaccSource[] = R"MC(
+// yacc: read productions "A=aB;", compute nullable and FIRST sets, then
+// parse sample strings with a backtracking recursive descent.
+extern int getchar();
+extern int putchar(int c);
+extern int print_int(int v);
+extern int input_avail();
+
+int opt_report_conflicts;
+int prod_lhs[64];
+int prod_rhs[1024];   // 64 x 16
+int prod_len[64];
+int nprods;
+int nullable[26];
+int first_set[26];
+int text[128];
+int textlen;
+
+int is_upper(int c) { return c >= 'A' && c <= 'Z'; }
+
+int is_lower(int c) { return c >= 'a' && c <= 'z'; }
+
+int rhs_at(int p, int i) { return prod_rhs[p * 16 + i]; }
+
+int add_production(int lhs, int *rhs, int len) {
+  int i;
+  if (nprods >= 64) return -1;
+  if (len > 15) len = 15;
+  prod_lhs[nprods] = lhs;
+  for (i = 0; i < len; i++) prod_rhs[nprods * 16 + i] = rhs[i];
+  prod_len[nprods] = len;
+  nprods = nprods + 1;
+  return nprods - 1;
+}
+
+int read_grammar() {
+  int c;
+  int lhs;
+  int len;
+  int rhs[16];
+  c = getchar();
+  while (c != -1 && c != '@') {
+    while (c == '\n' || c == ' ') c = getchar();
+    if (c == '@' || c == -1) break;
+    lhs = c - 'A';
+    c = getchar();
+    c = getchar();
+    len = 0;
+    while (c != ';' && c != -1) {
+      if (len < 15) { rhs[len] = c; len = len + 1; }
+      c = getchar();
+    }
+    add_production(lhs, &rhs[0], len);
+    c = getchar();
+  }
+  while (c != -1 && c != '\n') c = getchar();
+  return nprods;
+}
+
+int seq_nullable(int p, int from) {
+  int i;
+  int s;
+  for (i = from; i < prod_len[p]; i++) {
+    s = rhs_at(p, i);
+    if (is_lower(s)) return 0;
+    if (nullable[s - 'A'] == 0) return 0;
+  }
+  return 1;
+}
+
+int compute_nullable() {
+  int changed;
+  int p;
+  int total;
+  total = 0;
+  changed = 1;
+  while (changed) {
+    changed = 0;
+    for (p = 0; p < nprods; p++) {
+      if (nullable[prod_lhs[p]] == 0 && seq_nullable(p, 0)) {
+        nullable[prod_lhs[p]] = 1;
+        changed = 1;
+        total = total + 1;
+      }
+    }
+  }
+  return total;
+}
+
+int first_of_seq(int p) {
+  int i;
+  int mask;
+  int s;
+  mask = 0;
+  for (i = 0; i < prod_len[p]; i++) {
+    s = rhs_at(p, i);
+    if (is_lower(s)) {
+      return mask | (1 << (s - 'a'));
+    }
+    mask = mask | first_set[s - 'A'];
+    if (nullable[s - 'A'] == 0) return mask;
+  }
+  return mask;
+}
+
+int compute_first() {
+  int changed;
+  int p;
+  int nm;
+  changed = 1;
+  while (changed) {
+    changed = 0;
+    for (p = 0; p < nprods; p++) {
+      nm = first_set[prod_lhs[p]] | first_of_seq(p);
+      if (nm != first_set[prod_lhs[p]]) {
+        first_set[prod_lhs[p]] = nm;
+        changed = 1;
+      }
+    }
+  }
+  return 0;
+}
+
+int parse_symbol(int s, int pos) {
+  int p;
+  int r;
+  if (is_lower(s)) {
+    if (pos < textlen && text[pos] == s) return pos + 1;
+    return -1;
+  }
+  for (p = 0; p < nprods; p++) {
+    if (prod_lhs[p] == s - 'A') {
+      r = parse_seq(p, 0, pos);
+      if (r >= 0) return r;
+    }
+  }
+  return -1;
+}
+
+int parse_seq(int p, int i, int pos) {
+  int r;
+  if (i >= prod_len[p]) return pos;
+  r = parse_symbol(rhs_at(p, i), pos);
+  if (r < 0) return -1;
+  return parse_seq(p, i + 1, r);
+}
+
+int emit_sets() {
+  int i;
+  for (i = 0; i < 26; i++) {
+    if (first_set[i] != 0) {
+      putchar('A' + i);
+      putchar('=');
+      print_int(first_set[i]);
+      putchar(' ');
+    }
+  }
+  putchar('\n');
+  return 0;
+}
+
+int emit_str(int *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    putchar(s[i]);
+    i = i + 1;
+  }
+  return i;
+}
+
+int usage() {
+  emit_str("usage: yacc < grammar @ samples");
+  putchar('\n');
+  return 2;
+}
+
+int emit_production(int p) {
+  int i;
+  putchar('A' + prod_lhs[p]);
+  putchar('=');
+  for (i = 0; i < prod_len[p]; i++) putchar(rhs_at(p, i));
+  putchar('\n');
+  return p;
+}
+
+int report_conflict(int p, int q) {
+  emit_str("yacc: first/first conflict:");
+  putchar('\n');
+  emit_production(p);
+  emit_production(q);
+  return 1;
+}
+
+int find_conflicts() {
+  int p;
+  int q;
+  int n;
+  n = 0;
+  for (p = 0; p < nprods; p++) {
+    for (q = p + 1; q < nprods; q++) {
+      if (prod_lhs[p] == prod_lhs[q] &&
+          (first_of_seq(p) & first_of_seq(q)) != 0) {
+        report_conflict(p, q);
+        n = n + 1;
+      }
+    }
+  }
+  return n;
+}
+
+int main() {
+  int i;
+  int r;
+  int c;
+  nprods = 0;
+  opt_report_conflicts = 0;
+  for (i = 0; i < 26; i++) {
+    nullable[i] = 0;
+    first_set[i] = 0;
+  }
+  if (input_avail() == 0) return usage();
+  read_grammar();
+  compute_nullable();
+  compute_first();
+  emit_sets();
+  if (opt_report_conflicts) find_conflicts();
+  c = getchar();
+  while (c != -1) {
+    textlen = 0;
+    while (c != -1 && c != '\n') {
+      if (textlen < 127) { text[textlen] = c; textlen = textlen + 1; }
+      c = getchar();
+    }
+    if (textlen > 0) {
+      r = parse_symbol('S', 0);
+      if (r == textlen) putchar('Y');
+      else putchar('N');
+    }
+    if (c == '\n') c = getchar();
+  }
+  putchar('\n');
+  return 0;
+}
+)MC";
+
+std::vector<RunInput> makeYaccInputs(unsigned Runs) {
+  std::vector<RunInput> Inputs;
+  for (unsigned I = 0; I != Runs; ++I) {
+    Rng R(0x9ACC + I * 271);
+    RunInput In;
+    In.Input = generateGrammar(R, 2 + static_cast<unsigned>(R.nextBelow(4)));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+} // namespace
+
+BenchmarkSpec impact::makeTarBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "tar";
+  B.InputDescription = "archive of 12-32 synthetic files";
+  B.Source = TarSource;
+  B.DefaultRuns = 14;
+  B.MakeInputs = makeTarInputs;
+  return B;
+}
+
+BenchmarkSpec impact::makeTeeBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "tee";
+  B.InputDescription = "word text copied to two outputs";
+  B.Source = TeeSource;
+  B.DefaultRuns = 20;
+  B.MakeInputs = makeTeeInputs;
+  return B;
+}
+
+BenchmarkSpec impact::makeWcBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "wc";
+  B.InputDescription = "C-like sources (same family as cccp)";
+  B.Source = WcSource;
+  B.DefaultRuns = 20;
+  B.MakeInputs = makeWcInputs;
+  return B;
+}
+
+BenchmarkSpec impact::makeYaccBenchmark() {
+  BenchmarkSpec B;
+  B.Name = "yacc";
+  B.InputDescription = "toy grammars plus sample strings to recognize";
+  B.Source = YaccSource;
+  B.DefaultRuns = 8;
+  B.MakeInputs = makeYaccInputs;
+  return B;
+}

@@ -1,0 +1,43 @@
+//===- suite/Suite.cpp ---------------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+using namespace impact;
+
+const std::vector<BenchmarkSpec> &impact::getBenchmarkSuite() {
+  static const std::vector<BenchmarkSpec> Suite = [] {
+    std::vector<BenchmarkSpec> S;
+    S.push_back(makeCccpBenchmark());
+    S.push_back(makeCmpBenchmark());
+    S.push_back(makeCompressBenchmark());
+    S.push_back(makeEqnBenchmark());
+    S.push_back(makeEspressoBenchmark());
+    S.push_back(makeGrepBenchmark());
+    S.push_back(makeLexBenchmark());
+    S.push_back(makeMakeBenchmark());
+    S.push_back(makeTarBenchmark());
+    S.push_back(makeTeeBenchmark());
+    S.push_back(makeWcBenchmark());
+    S.push_back(makeYaccBenchmark());
+    return S;
+  }();
+  return Suite;
+}
+
+const BenchmarkSpec *impact::findBenchmark(std::string_view Name) {
+  for (const BenchmarkSpec &B : getBenchmarkSuite())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}
+
+std::vector<RunInput> impact::makeBenchmarkInputs(const BenchmarkSpec &Spec,
+                                                  unsigned Runs) {
+  if (Runs == 0)
+    Runs = Spec.DefaultRuns;
+  return Spec.MakeInputs(Runs);
+}

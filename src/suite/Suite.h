@@ -1,0 +1,69 @@
+//===- suite/Suite.h - The 12-benchmark suite ----------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC re-implementations of the paper's 12 UNIX benchmarks, each with a
+/// deterministic workload generator producing the paper's input shapes
+/// (Table 1's "input description" column). The programs are written in the
+/// structured many-small-functions style whose call overhead the paper
+/// attacks, and deliberately cover the interesting call-graph features:
+/// recursion (eqn, grep, make, yacc), calls through pointers (lex, make),
+/// call-once initialization functions, hot leaf functions, and heavy
+/// external (I/O) call traffic (tee).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_SUITE_SUITE_H
+#define IMPACT_SUITE_SUITE_H
+
+#include "profile/Profiler.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace impact {
+
+struct BenchmarkSpec {
+  /// Name matching the paper's Table 1 (cccp, cmp, compress, ...).
+  std::string Name;
+  /// Table 1's input description.
+  std::string InputDescription;
+  /// MiniC source text.
+  std::string Source;
+  /// Number of profiled runs (Table 1's "runs" column).
+  unsigned DefaultRuns = 20;
+  /// Generates \p Runs deterministic inputs.
+  std::vector<RunInput> (*MakeInputs)(unsigned Runs) = nullptr;
+};
+
+/// The 12 benchmarks in the paper's order.
+const std::vector<BenchmarkSpec> &getBenchmarkSuite();
+
+/// Lookup by name; null when unknown.
+const BenchmarkSpec *findBenchmark(std::string_view Name);
+
+/// Convenience: inputs for \p Spec (\p Runs == 0 uses DefaultRuns).
+std::vector<RunInput> makeBenchmarkInputs(const BenchmarkSpec &Spec,
+                                          unsigned Runs = 0);
+
+// Per-program factories, grouped as in the implementation files.
+BenchmarkSpec makeCccpBenchmark();
+BenchmarkSpec makeCmpBenchmark();
+BenchmarkSpec makeCompressBenchmark();
+BenchmarkSpec makeEqnBenchmark();
+BenchmarkSpec makeEspressoBenchmark();
+BenchmarkSpec makeGrepBenchmark();
+BenchmarkSpec makeLexBenchmark();
+BenchmarkSpec makeMakeBenchmark();
+BenchmarkSpec makeTarBenchmark();
+BenchmarkSpec makeTeeBenchmark();
+BenchmarkSpec makeWcBenchmark();
+BenchmarkSpec makeYaccBenchmark();
+
+} // namespace impact
+
+#endif // IMPACT_SUITE_SUITE_H

@@ -1,0 +1,289 @@
+//===- suite/Workloads.cpp -----------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Workloads.h"
+
+#include <cassert>
+
+using namespace impact;
+
+namespace {
+
+const char *const Words[] = {
+    "buffer", "count",  "index",  "state",  "token",  "value", "widget",
+    "parse",  "stream", "symbol", "table",  "queue",  "node",  "list",
+    "total",  "input",  "output", "cache",  "frame",  "block", "scan",
+    "emit",   "flush",  "merge",  "split",  "check",  "probe", "delta",
+};
+constexpr size_t NumWords = sizeof(Words) / sizeof(Words[0]);
+
+const char *const MacroNames[] = {
+    "MAXBUF", "NDEBUG", "LIMIT", "STRIDE", "WIDTH", "DEPTH", "SCALE", "MASK",
+};
+constexpr size_t NumMacroNames = sizeof(MacroNames) / sizeof(MacroNames[0]);
+
+std::string pickWord(Rng &R) { return Words[R.nextBelow(NumWords)]; }
+
+/// A short identifier like "x3" or a vocabulary word.
+std::string pickIdent(Rng &R) {
+  if (R.nextChance(1, 3)) {
+    std::string Id(1, static_cast<char>('a' + R.nextBelow(26)));
+    Id += std::to_string(R.nextBelow(10));
+    return Id;
+  }
+  return pickWord(R);
+}
+
+} // namespace
+
+std::string impact::generateCLikeSource(Rng &R, unsigned Lines) {
+  std::string Text;
+  // A few macro definitions up front so references below hit the tables.
+  unsigned NumMacros = 2 + static_cast<unsigned>(R.nextBelow(4));
+  for (unsigned I = 0; I != NumMacros; ++I) {
+    Text += "#define ";
+    Text += MacroNames[I % NumMacroNames];
+    Text += ' ';
+    Text += std::to_string(R.nextInRange(1, 4096));
+    Text += '\n';
+  }
+  for (unsigned L = 0; L != Lines; ++L) {
+    switch (R.nextBelow(6)) {
+    case 0:
+      Text += "int " + pickIdent(R) + " = " + pickIdent(R) + " + " +
+              MacroNames[R.nextBelow(NumMacroNames)] + "; // " + pickWord(R);
+      break;
+    case 1:
+      Text += pickIdent(R) + " = " + pickIdent(R) + " * " + pickIdent(R) +
+              " - " + std::to_string(R.nextBelow(100)) + ";";
+      break;
+    case 2:
+      Text += "/* " + pickWord(R) + " " + pickWord(R) + " */ " +
+              pickIdent(R) + "(" + pickIdent(R) + ", " +
+              MacroNames[R.nextBelow(NumMacroNames)] + ");";
+      break;
+    case 3:
+      Text += "if (" + pickIdent(R) + " < " +
+              MacroNames[R.nextBelow(NumMacroNames)] + ") { " + pickIdent(R) +
+              "++; }";
+      break;
+    case 4:
+      Text += "while (" + pickIdent(R) + " != 0) " + pickIdent(R) + " = " +
+              pickIdent(R) + " >> 1;";
+      break;
+    default:
+      Text += "return " + pickIdent(R) + "; // " + pickWord(R);
+      break;
+    }
+    Text += '\n';
+  }
+  return Text;
+}
+
+std::string impact::generateWordText(Rng &R, unsigned Words_) {
+  std::string Text;
+  unsigned Column = 0;
+  for (unsigned W = 0; W != Words_; ++W) {
+    std::string Word = pickWord(R);
+    if (Column != 0) {
+      if (Column + Word.size() > 60) {
+        Text += '\n';
+        Column = 0;
+      } else {
+        Text += ' ';
+        ++Column;
+      }
+    }
+    Text += Word;
+    Column += static_cast<unsigned>(Word.size());
+  }
+  Text += '\n';
+  return Text;
+}
+
+std::string impact::mutateText(Rng &R, const std::string &Text,
+                               unsigned Edits) {
+  std::string Copy = Text;
+  if (Copy.empty())
+    return Copy;
+  for (unsigned E = 0; E != Edits; ++E) {
+    size_t Pos = R.nextBelow(Copy.size());
+    if (Copy[Pos] == '\n')
+      continue; // keep the line structure
+    Copy[Pos] = static_cast<char>('a' + R.nextBelow(26));
+  }
+  return Copy;
+}
+
+std::string impact::generateEquations(Rng &R, unsigned Count) {
+  std::string Text;
+  // Fully parenthesizable infix expressions with nesting, so the
+  // recursive-descent formatter recurses meaningfully.
+  for (unsigned I = 0; I != Count; ++I) {
+    unsigned Terms = 2 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned T = 0; T != Terms; ++T) {
+      if (T != 0)
+        Text += "+-*/"[R.nextBelow(4)];
+      if (R.nextChance(1, 4)) {
+        Text += '(';
+        Text += static_cast<char>('a' + R.nextBelow(26));
+        Text += "+-"[R.nextBelow(2)];
+        Text += std::to_string(R.nextBelow(100));
+        Text += ')';
+      } else if (R.nextChance(1, 2)) {
+        Text += static_cast<char>('a' + R.nextBelow(26));
+      } else {
+        Text += std::to_string(R.nextBelow(1000));
+      }
+    }
+    Text += '\n';
+  }
+  return Text;
+}
+
+std::string impact::generateTruthTable(Rng &R, unsigned Vars, unsigned Cubes) {
+  assert(Vars >= 2 && "need at least two variables");
+  std::string Text = std::to_string(Vars) + " " + std::to_string(Cubes) + "\n";
+  std::string Prev;
+  for (unsigned C = 0; C != Cubes; ++C) {
+    std::string Cube;
+    if (!Prev.empty() && R.nextChance(1, 2)) {
+      // Mergeable neighbour: flip exactly one specified bit of Prev.
+      Cube = Prev;
+      size_t Pos = R.nextBelow(Vars);
+      if (Cube[Pos] == '-')
+        Cube[Pos] = '0';
+      Cube[Pos] = Cube[Pos] == '0' ? '1' : '0';
+    } else {
+      for (unsigned V = 0; V != Vars; ++V)
+        Cube += "01-"[R.nextBelow(6) == 0 ? 2 : R.nextBelow(2)];
+    }
+    Prev = Cube;
+    Text += Cube;
+    Text += '\n';
+  }
+  return Text;
+}
+
+std::string impact::generateGrepInput(Rng &R, unsigned Lines) {
+  // Pattern: anchored or not, literals with occasional '.' and 'x*'.
+  std::string Needle;
+  unsigned NeedleLen = 2 + static_cast<unsigned>(R.nextBelow(3));
+  for (unsigned I = 0; I != NeedleLen; ++I)
+    Needle += static_cast<char>('a' + R.nextBelow(6));
+  std::string Pattern = Needle;
+  if (R.nextChance(1, 4))
+    Pattern[R.nextBelow(Pattern.size())] = '.';
+  if (R.nextChance(1, 4))
+    Pattern += "s*";
+
+  std::string Text = Pattern + "\n";
+  for (unsigned L = 0; L != Lines; ++L) {
+    std::string Line;
+    unsigned Len = 8 + static_cast<unsigned>(R.nextBelow(48));
+    for (unsigned I = 0; I != Len; ++I)
+      Line += static_cast<char>('a' + R.nextBelow(8));
+    if (R.nextChance(1, 5)) {
+      size_t Pos = R.nextBelow(Line.size());
+      Line.insert(Pos, Needle); // guaranteed hit
+    }
+    Text += Line;
+    Text += '\n';
+  }
+  return Text;
+}
+
+std::string impact::generateMakefile(Rng &R, unsigned Targets) {
+  assert(Targets >= 2 && "need at least two targets");
+  std::string Text;
+  for (unsigned T = 0; T != Targets; ++T) {
+    Text += "t" + std::to_string(T) + ":";
+    // Dependencies point at strictly higher indices: acyclic, rooted at t0.
+    unsigned MaxDeps = Targets - T - 1;
+    unsigned Deps = MaxDeps == 0 ? 0
+                                 : static_cast<unsigned>(
+                                       R.nextBelow(MaxDeps < 3 ? MaxDeps + 1 : 4));
+    unsigned Last = T;
+    for (unsigned D = 0; D != Deps; ++D) {
+      unsigned Dep = Last + 1 +
+                     static_cast<unsigned>(R.nextBelow(Targets - Last - 1));
+      Text += " t" + std::to_string(Dep);
+      Last = Dep;
+      if (Last + 1 >= Targets)
+        break;
+    }
+    Text += '\n';
+  }
+  return Text;
+}
+
+std::string impact::generateArchiveInput(Rng &R, unsigned Files) {
+  std::string Text;
+  for (unsigned F = 0; F != Files; ++F) {
+    unsigned Size = 10 + static_cast<unsigned>(R.nextBelow(120));
+    Text += pickWord(R) + std::to_string(F) + " " + std::to_string(Size) +
+            "\n";
+    for (unsigned I = 0; I != Size; ++I)
+      Text += static_cast<char>('a' + R.nextBelow(26));
+    Text += '\n';
+  }
+  return Text;
+}
+
+std::string impact::generateGrammar(Rng &R, unsigned Extra) {
+  // A fixed LL-friendly core grammar plus Extra random unit productions.
+  // S -> a S b | c A | A d ; A -> a A | e | <empty>
+  std::string Text = "S=aSb;S=cA;S=Ad;A=aA;A=e;A=;";
+  for (unsigned I = 0; I != Extra; ++I) {
+    char Nt = static_cast<char>('B' + R.nextBelow(3));
+    std::string Rhs;
+    unsigned Len = static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned J = 0; J != Len; ++J)
+      Rhs += static_cast<char>('a' + R.nextBelow(4));
+    Text += std::string(1, Nt) + "=" + Rhs + ";";
+  }
+  Text += "\n@\n";
+
+  // Sample strings: derivations of S (accepted) mixed with noise lines.
+  unsigned Samples = 24 + static_cast<unsigned>(R.nextBelow(16));
+  for (unsigned I = 0; I != Samples; ++I) {
+    std::string Sample;
+    if (R.nextChance(2, 3)) {
+      // Derive: S -> a^k (cA|Ad) b^k with A -> a^m (e|empty)
+      unsigned K = static_cast<unsigned>(R.nextBelow(4));
+      unsigned M = static_cast<unsigned>(R.nextBelow(4));
+      std::string A(M, 'a');
+      if (R.nextChance(1, 2))
+        A += 'e';
+      Sample = std::string(K, 'a') +
+               (R.nextChance(1, 2) ? "c" + A : A + "d") + std::string(K, 'b');
+    } else {
+      unsigned Len = 1 + static_cast<unsigned>(R.nextBelow(6));
+      for (unsigned J = 0; J != Len; ++J)
+        Sample += static_cast<char>('a' + R.nextBelow(5));
+    }
+    Text += Sample;
+    Text += '\n';
+  }
+  return Text;
+}
+
+std::string impact::generateCompressibleText(Rng &R, unsigned Length) {
+  std::string Text;
+  while (Text.size() < Length) {
+    if (R.nextChance(3, 5) && Text.size() > 40) {
+      // Repeat an earlier phrase: LZW's bread and butter.
+      size_t Start = R.nextBelow(Text.size() - 20);
+      size_t Len = 8 + R.nextBelow(24);
+      Text += Text.substr(Start, Len);
+    } else {
+      Text += pickWord(R);
+      Text += R.nextChance(1, 6) ? '\n' : ' ';
+    }
+  }
+  Text += '\n';
+  return Text;
+}

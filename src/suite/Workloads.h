@@ -1,0 +1,65 @@
+//===- suite/Workloads.h - Synthetic representative inputs ---------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic input generators for the 12 benchmark programs. The paper
+/// profiles each benchmark over many *representative* inputs (20 C files
+/// for cccp, similar/dissimilar text pairs for cmp, ...); these generators
+/// produce the same input shapes synthetically so every experiment is
+/// reproducible offline. Each generator takes an Rng so that run i of
+/// benchmark b is the same on every machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_SUITE_WORKLOADS_H
+#define IMPACT_SUITE_WORKLOADS_H
+
+#include "support/Rng.h"
+
+#include <string>
+
+namespace impact {
+
+/// C-ish source text: #define lines, declarations, expressions, //- and
+/// /* */-comments, identifiers drawn from a macro-rich vocabulary (cccp's
+/// diet; also used by lex and wc).
+std::string generateCLikeSource(Rng &R, unsigned Lines);
+
+/// Plain prose-like word text (tee, wc, cmp).
+std::string generateWordText(Rng &R, unsigned Words);
+
+/// A copy of \p Text with \p Edits random single-character changes (cmp's
+/// "similar/dissimilar" pairs).
+std::string mutateText(Rng &R, const std::string &Text, unsigned Edits);
+
+/// Arithmetic equation lines like "x12+ab*(q-4)/k" (eqn).
+std::string generateEquations(Rng &R, unsigned Count);
+
+/// A two-level truth table: "<nvars> <ncubes>" then one {0,1,-} cube per
+/// line (espresso).
+std::string generateTruthTable(Rng &R, unsigned Vars, unsigned Cubes);
+
+/// A grep input: first line is a pattern (literals plus . * ^ $), the rest
+/// are text lines, a fraction of which match.
+std::string generateGrepInput(Rng &R, unsigned Lines);
+
+/// A makefile: "target: dep dep ..." lines forming a DAG rooted at the
+/// first target (make).
+std::string generateMakefile(Rng &R, unsigned Targets);
+
+/// A file-archive input: "<name> <size>" header lines each followed by a
+/// content line of exactly <size> characters (tar).
+std::string generateArchiveInput(Rng &R, unsigned Files);
+
+/// A toy grammar followed by '@' and sample strings to parse (yacc).
+std::string generateGrammar(Rng &R, unsigned Extra);
+
+/// LZW-friendly text with repeated phrases (compress).
+std::string generateCompressibleText(Rng &R, unsigned Length);
+
+} // namespace impact
+
+#endif // IMPACT_SUITE_WORKLOADS_H

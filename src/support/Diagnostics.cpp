@@ -1,0 +1,47 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/SourceManager.h"
+
+#include <sstream>
+
+using namespace impact;
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back(Diagnostic{DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back(Diagnostic{DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back(Diagnostic{DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::render(const SourceManager &SM) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    LineColumn LC = SM.getLineColumn(D.Loc);
+    OS << SM.getBufferName() << ':' << LC.Line << ':' << LC.Column << ": ";
+    switch (D.Severity) {
+    case DiagSeverity::Error:
+      OS << "error: ";
+      break;
+    case DiagSeverity::Warning:
+      OS << "warning: ";
+      break;
+    case DiagSeverity::Note:
+      OS << "note: ";
+      break;
+    }
+    OS << D.Message << '\n';
+  }
+  return OS.str();
+}

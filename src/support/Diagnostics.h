@@ -1,0 +1,58 @@
+//===- support/Diagnostics.h - Error reporting ----------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. The library never throws or exits; every
+/// front-end stage reports through a DiagnosticEngine and callers inspect
+/// hasErrors(). Message style follows the LLVM convention: lowercase first
+/// word, no trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_SUPPORT_DIAGNOSTICS_H
+#define IMPACT_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace impact {
+
+class SourceManager;
+
+enum class DiagSeverity { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics for one compilation.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned getNumErrors() const { return NumErrors; }
+  const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+
+  /// Renders every diagnostic as "name:line:col: severity: message" lines,
+  /// using \p SM to resolve locations.
+  std::string render(const SourceManager &SM) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace impact
+
+#endif // IMPACT_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,64 @@
+//===- support/Rng.h - Deterministic random numbers -----------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic PRNG (xorshift64*). Workload generators and
+/// property tests must be reproducible across platforms and standard-library
+/// versions, so std::mt19937 distributions are deliberately avoided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_SUPPORT_RNG_H
+#define IMPACT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace impact {
+
+/// xorshift64* generator with a splitmix64-seeded state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // splitmix64 step so that small seeds produce well-mixed states.
+    uint64_t Z = Seed + 0x9e3779b97f4a7c15ull;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    State = (Z ^ (Z >> 31)) | 1;
+  }
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow bound must be nonzero");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Numer/Denom.
+  bool nextChance(uint64_t Numer, uint64_t Denom) {
+    return nextBelow(Denom) < Numer;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace impact
+
+#endif // IMPACT_SUPPORT_RNG_H

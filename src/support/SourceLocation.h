@@ -1,0 +1,44 @@
+//===- support/SourceLocation.h - Source positions ------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A source location is a byte offset into a single in-memory buffer; the
+/// SourceManager converts offsets to human-readable line/column pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_SUPPORT_SOURCELOCATION_H
+#define IMPACT_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+
+namespace impact {
+
+/// A position inside the (single) source buffer of a compilation.
+struct SourceLoc {
+  /// Byte offset from the start of the buffer; UINT32_MAX means "unknown".
+  uint32_t Offset = UINT32_MAX;
+
+  SourceLoc() = default;
+  explicit SourceLoc(uint32_t Offset) : Offset(Offset) {}
+
+  bool isValid() const { return Offset != UINT32_MAX; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Offset == B.Offset;
+  }
+  friend bool operator!=(SourceLoc A, SourceLoc B) { return !(A == B); }
+};
+
+/// A resolved (1-based) line/column pair.
+struct LineColumn {
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+} // namespace impact
+
+#endif // IMPACT_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,42 @@
+//===- support/SourceManager.cpp ------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace impact;
+
+SourceManager::SourceManager(std::string BufferName, std::string Text)
+    : BufferName(std::move(BufferName)), Text(std::move(Text)) {
+  LineStarts.push_back(0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(this->Text.size()); I != E;
+       ++I)
+    if (this->Text[I] == '\n')
+      LineStarts.push_back(I + 1);
+}
+
+LineColumn SourceManager::getLineColumn(SourceLoc Loc) const {
+  if (!Loc.isValid() || Loc.Offset > Text.size())
+    return LineColumn();
+  auto It = std::upper_bound(LineStarts.begin(), LineStarts.end(), Loc.Offset);
+  assert(It != LineStarts.begin() && "LineStarts always contains 0");
+  unsigned Line = static_cast<unsigned>(It - LineStarts.begin());
+  unsigned Column = Loc.Offset - *(It - 1) + 1;
+  return LineColumn{Line, Column};
+}
+
+std::string_view SourceManager::getLineText(SourceLoc Loc) const {
+  LineColumn LC = getLineColumn(Loc);
+  if (LC.Line == 0)
+    return {};
+  uint32_t Begin = LineStarts[LC.Line - 1];
+  uint32_t End = LC.Line < LineStarts.size()
+                     ? LineStarts[LC.Line] - 1
+                     : static_cast<uint32_t>(Text.size());
+  return std::string_view(Text).substr(Begin, End - Begin);
+}

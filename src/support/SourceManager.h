@@ -1,0 +1,45 @@
+//===- support/SourceManager.h - Owns the source buffer -------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_SUPPORT_SOURCEMANAGER_H
+#define IMPACT_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace impact {
+
+/// Owns the text of one MiniC translation unit and maps byte offsets to
+/// line/column pairs. MiniC compilations are single-buffer, which keeps
+/// SourceLoc to a single 32-bit offset.
+class SourceManager {
+public:
+  SourceManager(std::string BufferName, std::string Text);
+
+  std::string_view getText() const { return Text; }
+  const std::string &getBufferName() const { return BufferName; }
+
+  /// Translates \p Loc into a 1-based line/column pair. Invalid locations
+  /// resolve to line 0.
+  LineColumn getLineColumn(SourceLoc Loc) const;
+
+  /// Returns the full text of the (1-based) line containing \p Loc, without
+  /// the trailing newline. Useful for diagnostics.
+  std::string_view getLineText(SourceLoc Loc) const;
+
+private:
+  std::string BufferName;
+  std::string Text;
+  /// Byte offset of the start of every line; LineStarts[0] == 0.
+  std::vector<uint32_t> LineStarts;
+};
+
+} // namespace impact
+
+#endif // IMPACT_SUPPORT_SOURCEMANAGER_H

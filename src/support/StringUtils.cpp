@@ -1,0 +1,81 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace impact;
+
+std::vector<std::string_view> impact::splitString(std::string_view Text,
+                                                  char Sep) {
+  std::vector<std::string_view> Fields;
+  size_t Begin = 0;
+  while (true) {
+    size_t End = Text.find(Sep, Begin);
+    if (End == std::string_view::npos) {
+      Fields.push_back(Text.substr(Begin));
+      return Fields;
+    }
+    Fields.push_back(Text.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+}
+
+std::string_view impact::trimString(std::string_view Text) {
+  size_t Begin = 0, End = Text.size();
+  while (Begin != End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End != Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool impact::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string impact::formatDouble(double Value, unsigned Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", static_cast<int>(Digits),
+                Value);
+  return Buffer;
+}
+
+std::string impact::padLeft(std::string_view Text, unsigned Width) {
+  std::string Result;
+  if (Text.size() < Width)
+    Result.assign(Width - Text.size(), ' ');
+  Result.append(Text);
+  return Result;
+}
+
+std::string impact::padRight(std::string_view Text, unsigned Width) {
+  std::string Result(Text);
+  if (Result.size() < Width)
+    Result.append(Width - Result.size(), ' ');
+  return Result;
+}
+
+std::string impact::formatWithCommas(int64_t Value) {
+  bool Negative = Value < 0;
+  uint64_t Magnitude =
+      Negative ? 0ull - static_cast<uint64_t>(Value) : static_cast<uint64_t>(Value);
+  std::string Digits = std::to_string(Magnitude);
+  std::string Result;
+  unsigned Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Result.push_back(',');
+    Result.push_back(*It);
+    ++Count;
+  }
+  if (Negative)
+    Result.push_back('-');
+  return std::string(Result.rbegin(), Result.rend());
+}

@@ -1,0 +1,40 @@
+//===- support/StringUtils.h - Small string helpers -----------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_SUPPORT_STRINGUTILS_H
+#define IMPACT_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace impact {
+
+/// Splits \p Text on \p Sep; empty fields are kept.
+std::vector<std::string_view> splitString(std::string_view Text, char Sep);
+
+/// Returns \p Text with ASCII whitespace removed from both ends.
+std::string_view trimString(std::string_view Text);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Formats \p Value with a fixed number of fractional digits (printf "%.*f").
+std::string formatDouble(double Value, unsigned Digits);
+
+/// Left-pads \p Text with spaces to at least \p Width columns.
+std::string padLeft(std::string_view Text, unsigned Width);
+
+/// Right-pads \p Text with spaces to at least \p Width columns.
+std::string padRight(std::string_view Text, unsigned Width);
+
+/// Formats an integer count with thousands separators ("12,345").
+std::string formatWithCommas(int64_t Value);
+
+} // namespace impact
+
+#endif // IMPACT_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,165 @@
+//===- tests/CacheSimTests.cpp - instruction cache simulator tests ------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/ICacheSim.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+ICacheConfig smallCache(uint64_t Bytes, uint64_t Ways) {
+  ICacheConfig C;
+  C.CacheBytes = Bytes;
+  C.LineBytes = 32;
+  C.Ways = Ways;
+  C.BytesPerInstr = 4;
+  return C;
+}
+
+TEST(ICacheConfig, GeometryValidation) {
+  EXPECT_TRUE(smallCache(1024, 1).isValid());
+  EXPECT_TRUE(smallCache(1024, 2).isValid());
+  ICacheConfig Bad = smallCache(1000, 1); // not line-divisible
+  EXPECT_FALSE(Bad.isValid());
+  EXPECT_EQ(smallCache(1024, 2).getNumSets(), 16u);
+}
+
+TEST(ICacheSim, FirstAccessMissesThenHits) {
+  ICacheSim Cache(smallCache(1024, 1));
+  Cache.access(0);
+  EXPECT_EQ(Cache.getMisses(), 1u);
+  Cache.access(0);
+  Cache.access(1); // same 32-byte line (8 instrs/line)
+  Cache.access(7);
+  EXPECT_EQ(Cache.getAccesses(), 4u);
+  EXPECT_EQ(Cache.getMisses(), 1u);
+}
+
+TEST(ICacheSim, SequentialMissesOncePerLine) {
+  ICacheSim Cache(smallCache(4096, 1));
+  for (uint64_t I = 0; I != 256; ++I)
+    Cache.access(I); // 256 instrs * 4B = 1024B = 32 lines
+  EXPECT_EQ(Cache.getMisses(), 32u);
+}
+
+TEST(ICacheSim, DirectMappedConflict) {
+  // 1024B direct mapped = 32 sets. Lines 0 and 32 collide.
+  ICacheSim Cache(smallCache(1024, 1));
+  uint64_t InstrsPerLine = 8;
+  uint64_t SetStride = 32 * InstrsPerLine; // one full cache of instrs
+  for (int I = 0; I != 10; ++I) {
+    Cache.access(0);
+    Cache.access(SetStride);
+  }
+  EXPECT_EQ(Cache.getMisses(), 20u) << "ping-pong evicts every time";
+}
+
+TEST(ICacheSim, TwoWayAbsorbsTheSameConflict) {
+  ICacheSim Cache(smallCache(1024, 2));
+  uint64_t SetStride = 16 * 8; // 16 sets * 8 instrs per line
+  for (int I = 0; I != 10; ++I) {
+    Cache.access(0);
+    Cache.access(SetStride);
+  }
+  EXPECT_EQ(Cache.getMisses(), 2u) << "both lines fit in one set";
+}
+
+TEST(ICacheSim, LruEvictsLeastRecent) {
+  // 2-way, 16 sets; three conflicting lines A,B,C in one set.
+  ICacheSim Cache(smallCache(1024, 2));
+  uint64_t Stride = 16 * 8;
+  uint64_t A = 0, B = Stride, C = 2 * Stride;
+  Cache.access(A); // miss
+  Cache.access(B); // miss
+  Cache.access(A); // hit, A becomes MRU
+  Cache.access(C); // miss, evicts B (LRU)
+  Cache.access(A); // hit
+  Cache.access(B); // miss again
+  EXPECT_EQ(Cache.getMisses(), 4u);
+}
+
+TEST(ICacheSim, ResetClearsEverything) {
+  ICacheSim Cache(smallCache(1024, 1));
+  Cache.access(0);
+  Cache.reset();
+  EXPECT_EQ(Cache.getAccesses(), 0u);
+  Cache.access(0);
+  EXPECT_EQ(Cache.getMisses(), 1u) << "contents cleared too";
+}
+
+TEST(ICacheSim, MissRateComputation) {
+  ICacheSim Cache(smallCache(1024, 1));
+  EXPECT_EQ(Cache.getMissRate(), 0.0);
+  Cache.access(0);
+  Cache.access(0);
+  Cache.access(0);
+  Cache.access(0);
+  EXPECT_DOUBLE_EQ(Cache.getMissRate(), 0.25);
+}
+
+TEST(InstructionLayout, FunctionsAreContiguous) {
+  Module M = test::compileOk(test::kCallHeavyProgram);
+  InstructionLayout Layout = InstructionLayout::compute(M);
+  EXPECT_EQ(Layout.TotalInstrs, M.size());
+  // Bases are nondecreasing and block bases start at the function base.
+  uint64_t Prev = 0;
+  for (const Function &F : M.Funcs) {
+    uint64_t Base = Layout.FuncBase[static_cast<size_t>(F.Id)];
+    EXPECT_GE(Base, Prev);
+    Prev = Base;
+    if (!F.Blocks.empty()) {
+      EXPECT_EQ(Layout.BlockBase[static_cast<size_t>(F.Id)][0], Base);
+    }
+  }
+}
+
+TEST(InstructionLayout, AddressesAreUniquePerInstruction) {
+  Module M = test::compileOk(test::kCallHeavyProgram);
+  InstructionLayout Layout = InstructionLayout::compute(M);
+  std::vector<bool> Seen(Layout.TotalInstrs, false);
+  for (const Function &F : M.Funcs)
+    for (size_t B = 0; B != F.Blocks.size(); ++B)
+      for (size_t I = 0; I != F.Blocks[B].size(); ++I) {
+        uint64_t Addr =
+            Layout.getAddress(F.Id, static_cast<BlockId>(B), I);
+        ASSERT_LT(Addr, Layout.TotalInstrs);
+        EXPECT_FALSE(Seen[Addr]);
+        Seen[Addr] = true;
+      }
+}
+
+TEST(ICacheIntegration, InterpreterStreamsEveryInstruction) {
+  Module M = test::compileOk(test::kCallHeavyProgram);
+  ICacheSim Cache(smallCache(4096, 2));
+  RunOptions Opts;
+  Opts.Input = "abcdefgh";
+  Opts.ICache = &Cache;
+  ExecResult R = runProgram(M, Opts);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(Cache.getAccesses(), R.Stats.InstrCount);
+  EXPECT_GT(Cache.getMisses(), 0u);
+  EXPECT_LT(Cache.getMissRate(), 0.5) << "loops must mostly hit";
+}
+
+TEST(ICacheIntegration, TinyCacheMissesMore) {
+  Module M = test::compileOk(test::kCallHeavyProgram);
+  auto MissRate = [&](uint64_t Bytes) {
+    ICacheSim Cache(smallCache(Bytes, 1));
+    RunOptions Opts;
+    Opts.Input = std::string(50, 'x');
+    Opts.ICache = &Cache;
+    ExecResult R = runProgram(M, Opts);
+    EXPECT_TRUE(R.ok());
+    return Cache.getMissRate();
+  };
+  EXPECT_GE(MissRate(64), MissRate(4096));
+}
+
+} // namespace

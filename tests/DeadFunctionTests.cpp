@@ -1,0 +1,110 @@
+//===- tests/DeadFunctionTests.cpp - function-level dead code tests -----------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeadFunctionElimination.h"
+
+#include "core/InlinePass.h"
+#include "ir/IrVerifier.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+using test::compileOk;
+
+namespace {
+
+TEST(DeadFunctions, RemovesUnreachableWithoutExternals) {
+  Module M = compileOk("int used() { return 1; }"
+                       "int unused() { return 2; }"
+                       "int main() { return used(); }");
+  std::vector<FuncId> Removed = eliminateDeadFunctions(M);
+  ASSERT_EQ(Removed.size(), 1u);
+  EXPECT_EQ(Removed[0], M.findFunction("unused"));
+  EXPECT_TRUE(M.getFunction(Removed[0]).Eliminated);
+  EXPECT_TRUE(M.getFunction(Removed[0]).Blocks.empty());
+  EXPECT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(runProgram(M).ExitCode, 1);
+}
+
+TEST(DeadFunctions, ConservativeWithExternals) {
+  // The paper's default: external calls keep everything alive.
+  Module M = compileOk("extern int getchar();"
+                       "int unused() { return 2; }"
+                       "int main() { return getchar(); }");
+  EXPECT_TRUE(eliminateDeadFunctions(M).empty());
+}
+
+TEST(DeadFunctions, OptimisticModeRemovesDespiteExternals) {
+  Module M = compileOk("extern int getchar();"
+                       "int unused() { return 2; }"
+                       "int main() { return getchar(); }");
+  CallGraphOptions Opts;
+  Opts.AssumeExternalsCallBack = false;
+  std::vector<FuncId> Removed = eliminateDeadFunctions(M, Opts);
+  ASSERT_EQ(Removed.size(), 1u);
+  EXPECT_EQ(Removed[0], M.findFunction("unused"));
+}
+
+TEST(DeadFunctions, AddressTakenFunctionsSurviveViaPointerNode) {
+  Module M = compileOk("int cb(int x) { return x; }"
+                       "int (*h)(int) = cb;"
+                       "int main() { return h(2); }");
+  EXPECT_TRUE(eliminateDeadFunctions(M).empty())
+      << "cb is reachable through ###";
+  EXPECT_EQ(runProgram(M).ExitCode, 2);
+}
+
+TEST(DeadFunctions, MainNeverRemoved) {
+  Module M = compileOk("int main() { return 0; }");
+  EXPECT_TRUE(eliminateDeadFunctions(M).empty());
+}
+
+TEST(DeadFunctions, SizeDropsAfterElimination) {
+  Module M = compileOk("int big() { int i; int t; t = 0;"
+                       "for (i = 0; i < 10; i++) t = t + i; return t; }"
+                       "int main() { return 0; }");
+  size_t Before = M.size();
+  eliminateDeadFunctions(M);
+  EXPECT_LT(M.size(), Before);
+}
+
+TEST(DeadFunctions, InlinedCallOnceFunctionRemovedInOptimisticWorld) {
+  // The §2.3.1 scenario: after inlining a call-once function its original
+  // copy becomes unreachable — removable only in a complete call graph.
+  Module M = compileOk(
+      "extern int getchar();"
+      "int once(int x) { return x * 3; }"
+      "int main() { int c; int t; t = 0; c = getchar();"
+      "while (c != -1) { t = t + once(c); c = getchar(); } return t; }");
+  ProfileResult P = test::profileInputs(M, {std::string(30, 'x')});
+  InlineOptions Options;
+  Options.MinArcWeight = 1.0;
+  Options.AssumeExternalsCallBack = false; // complete-graph fiction
+  InlineResult R = runInlineExpansion(M, P.Data, Options);
+  EXPECT_GE(R.Expansions.size(), 1u);
+  ASSERT_EQ(R.EliminatedFunctions.size(), 1u);
+  EXPECT_EQ(R.EliminatedFunctions[0], M.findFunction("once"));
+  EXPECT_EQ(verifyModuleText(M), "");
+}
+
+TEST(DeadFunctions, ConservativeWorldKeepsInlinedOriginal) {
+  Module M = compileOk(
+      "extern int getchar();"
+      "int once(int x) { return x * 3; }"
+      "int main() { int c; int t; t = 0; c = getchar();"
+      "while (c != -1) { t = t + once(c); c = getchar(); } return t; }");
+  ProfileResult P = test::profileInputs(M, {std::string(30, 'x')});
+  InlineOptions Options;
+  Options.MinArcWeight = 1.0; // defaults keep AssumeExternalsCallBack on
+  InlineResult R = runInlineExpansion(M, P.Data, Options);
+  EXPECT_GE(R.Expansions.size(), 1u);
+  EXPECT_TRUE(R.EliminatedFunctions.empty())
+      << "\"the original copy of an inlined call-once function can no "
+         "longer be deleted\" (§2.3.1)";
+}
+
+} // namespace

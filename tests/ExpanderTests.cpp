@@ -1,0 +1,271 @@
+//===- tests/ExpanderTests.cpp - physical inline expansion tests --------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InlineExpander.h"
+#include "core/InlinePass.h"
+
+#include "ir/IrVerifier.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+using test::compileOk;
+
+namespace {
+
+/// Returns the site id of the first direct call to \p Callee in \p Caller.
+uint32_t findSite(const Module &M, const char *Caller, const char *Callee) {
+  const Function &F = M.getFunction(M.findFunction(Caller));
+  FuncId CalleeId = M.findFunction(Callee);
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.Op == Opcode::Call && I.Callee == CalleeId)
+        return I.SiteId;
+  return 0;
+}
+
+size_t countCallsTo(const Module &M, const char *Caller, const char *Callee) {
+  const Function &F = M.getFunction(M.findFunction(Caller));
+  FuncId CalleeId = M.findFunction(Callee);
+  size_t N = 0;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs)
+      N += I.Op == Opcode::Call && I.Callee == CalleeId ? 1 : 0;
+  return N;
+}
+
+TEST(Expander, InlinesSimpleCall) {
+  Module M = compileOk("int add(int a, int b) { return a + b; }"
+                       "int main() { return add(2, 3); }");
+  uint32_t Site = findSite(M, "main", "add");
+  ASSERT_NE(Site, 0u);
+  EXPECT_TRUE(inlineCallSite(M, Site));
+  EXPECT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(countCallsTo(M, "main", "add"), 0u);
+  EXPECT_EQ(runProgram(M).ExitCode, 5);
+}
+
+TEST(Expander, CallBecomesJumps) {
+  Module M = compileOk("int add(int a, int b) { return a + b; }"
+                       "int main() { return add(2, 3); }");
+  ExecResult Before = test::runOk(M);
+  inlineCallSite(M, findSite(M, "main", "add"));
+  ExecResult After = test::runOk(M);
+  EXPECT_LT(After.Stats.DynamicCalls, Before.Stats.DynamicCalls);
+  EXPECT_GT(After.Stats.ControlTransfers, Before.Stats.ControlTransfers)
+      << "inlined call/return turn into unconditional jumps (§4.4)";
+}
+
+TEST(Expander, GrowsCallerResources) {
+  Module M = compileOk("int f(int x) { int a[7]; a[0] = x; return a[0]; }"
+                       "int main() { return f(3); }");
+  const Function &FBefore = M.getFunction(M.findFunction("f"));
+  Function &MainBefore = M.getFunction(M.MainId);
+  uint32_t RegsBefore = MainBefore.NumRegs;
+  int64_t FrameBefore = MainBefore.FrameSize;
+  uint32_t CalleeRegs = FBefore.NumRegs;
+  int64_t CalleeFrame = FBefore.FrameSize;
+
+  inlineCallSite(M, findSite(M, "main", "f"));
+  const Function &MainAfter = M.getFunction(M.MainId);
+  EXPECT_EQ(MainAfter.NumRegs, RegsBefore + CalleeRegs);
+  EXPECT_EQ(MainAfter.FrameSize, FrameBefore + CalleeFrame);
+  EXPECT_EQ(runProgram(M).ExitCode, 3);
+}
+
+TEST(Expander, FrameOffsetsRebased) {
+  // Both caller and callee use arrays; after inlining they must not alias.
+  Module M = compileOk(
+      "extern int print_int(int v);"
+      "int f() { int b[4]; b[0] = 7; return b[0]; }"
+      "int main() { int a[4]; a[0] = 1; print_int(f());"
+      "print_int(a[0]); return 0; }");
+  inlineCallSite(M, findSite(M, "main", "f"));
+  EXPECT_EQ(verifyModuleText(M), "");
+  ExecResult R = test::runOk(M);
+  EXPECT_EQ(R.Output, "71");
+}
+
+TEST(Expander, MultipleReturnsAllJoin) {
+  Module M = compileOk("int pick(int c) { if (c > 0) return 1;"
+                       "if (c < 0) return -1; return 0; }"
+                       "extern int print_int(int v);"
+                       "int main() { print_int(pick(5)); print_int(pick(-5));"
+                       "print_int(pick(0)); return 0; }");
+  // Inline all three sites.
+  while (true) {
+    uint32_t Site = findSite(M, "main", "pick");
+    if (Site == 0)
+      break;
+    ASSERT_TRUE(inlineCallSite(M, Site));
+  }
+  EXPECT_EQ(verifyModuleText(M), "");
+  ExecResult R = test::runOk(M);
+  EXPECT_EQ(R.Output, "1-10");
+}
+
+TEST(Expander, VoidCalleeInlines) {
+  Module M = compileOk("extern int print_int(int v);"
+                       "int g;"
+                       "void bump() { g = g + 1; }"
+                       "int main() { bump(); bump(); print_int(g);"
+                       "return 0; }");
+  while (uint32_t Site = findSite(M, "main", "bump"))
+    ASSERT_TRUE(inlineCallSite(M, Site));
+  EXPECT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(test::runOk(M).Output, "2");
+}
+
+TEST(Expander, LoopsInCalleeSurvive) {
+  Module M = compileOk("int sum(int n) { int t; int i; t = 0;"
+                       "for (i = 1; i <= n; i++) t = t + i; return t; }"
+                       "int main() { return sum(10); }");
+  inlineCallSite(M, findSite(M, "main", "sum"));
+  EXPECT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(runProgram(M).ExitCode, 55);
+}
+
+TEST(Expander, CallInLoopInlines) {
+  Module M = compileOk("int twice(int x) { return x * 2; }"
+                       "int main() { int t; int i; t = 1;"
+                       "for (i = 0; i < 5; i++) t = twice(t); return t; }");
+  inlineCallSite(M, findSite(M, "main", "twice"));
+  EXPECT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(runProgram(M).ExitCode, 32);
+}
+
+TEST(Expander, NestedCloneSitesGetFreshIds) {
+  Module M = compileOk("extern int putchar(int c);"
+                       "int inner() { putchar('i'); return 1; }"
+                       "int outer() { return inner() + 1; }"
+                       "int main() { return outer(); }");
+  uint32_t Site = findSite(M, "main", "outer");
+  ExpansionRecord Record;
+  ASSERT_TRUE(inlineCallSite(M, Site, &Record));
+  EXPECT_EQ(Record.Caller, M.MainId);
+  EXPECT_EQ(Record.Callee, M.findFunction("outer"));
+  // outer's body contains a call to inner; its clone got a fresh id.
+  ASSERT_EQ(Record.ClonedSites.size(), 1u);
+  EXPECT_NE(Record.ClonedSites[0].first, Record.ClonedSites[0].second);
+  EXPECT_EQ(verifyModuleText(M), "") << "fresh ids keep sites unique";
+  EXPECT_EQ(countCallsTo(M, "main", "inner"), 1u);
+  EXPECT_EQ(test::runOk(M).Output, "i");
+}
+
+TEST(Expander, PathQualifiedNames) {
+  Module M = compileOk("int helper(int value) { int local; local = value + 1;"
+                       "return local; }"
+                       "int main() { return helper(1); }");
+  uint32_t Site = findSite(M, "main", "helper");
+  inlineCallSite(M, Site);
+  const Function &Main = M.getFunction(M.MainId);
+  bool FoundQualified = false;
+  for (const std::string &Name : Main.RegNames)
+    if (Name == "helper.local@site" + std::to_string(Site))
+      FoundQualified = true;
+  EXPECT_TRUE(FoundQualified)
+      << "inlined names must be qualified with the path (§5)";
+}
+
+TEST(Expander, RefusesSelfRecursion) {
+  Module M = compileOk("int f(int n) { return n ? f(n - 1) : 0; }"
+                       "int main() { return f(3); }");
+  uint32_t Site = findSite(M, "f", "f");
+  ASSERT_NE(Site, 0u);
+  EXPECT_FALSE(inlineCallSite(M, Site));
+  EXPECT_EQ(verifyModuleText(M), "") << "module untouched";
+}
+
+TEST(Expander, RefusesUnknownSite) {
+  Module M = compileOk("int main() { return 0; }");
+  EXPECT_FALSE(inlineCallSite(M, 12345));
+}
+
+TEST(Expander, RefusesPointerSite) {
+  Module M = compileOk(test::kPointerCallProgram);
+  const Function &Apply = M.getFunction(M.findFunction("apply"));
+  uint32_t PtrSite = 0;
+  for (const BasicBlock &B : Apply.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.Op == Opcode::CallPtr)
+        PtrSite = I.SiteId;
+  ASSERT_NE(PtrSite, 0u);
+  EXPECT_FALSE(inlineCallSite(M, PtrSite));
+}
+
+TEST(Expander, RefusesExternalCallee) {
+  Module M = compileOk("extern int getchar(); int main() { return getchar(); }");
+  const Function &Main = M.getFunction(M.MainId);
+  uint32_t Site = Main.Blocks[0].Instrs[0].SiteId;
+  (void)Site;
+  uint32_t ExtSite = 0;
+  for (const BasicBlock &B : Main.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.Op == Opcode::Call)
+        ExtSite = I.SiteId;
+  ASSERT_NE(ExtSite, 0u);
+  EXPECT_FALSE(inlineCallSite(M, ExtSite));
+}
+
+TEST(Expander, RecursiveCalleeInlinesOneLevel) {
+  // Inlining a call *to* a recursive function absorbs one iteration; the
+  // recursive calls in the clone still target the original (§2.3).
+  Module M = compileOk("int fib(int n) { if (n < 2) return n;"
+                       "return fib(n - 1) + fib(n - 2); }"
+                       "int main() { return fib(10); }");
+  uint32_t Site = findSite(M, "main", "fib");
+  ASSERT_TRUE(inlineCallSite(M, Site));
+  EXPECT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(runProgram(M).ExitCode, 55);
+  EXPECT_EQ(countCallsTo(M, "main", "fib"), 2u)
+      << "the clone's two recursive calls remain";
+}
+
+TEST(Expander, ExecutePlanMarksExpanded) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  ProfileResult P = test::profileInputs(M, {std::string(40, 'x')});
+  InlineResult R = runInlineExpansion(M, P.Data);
+  for (const PlannedSite &S : R.Plan.Sites)
+    EXPECT_NE(S.Status, ArcStatus::ToBeExpanded)
+        << "every planned site must end Expanded";
+  EXPECT_EQ(R.Plan.countStatus(ArcStatus::Expanded), R.Expansions.size());
+  EXPECT_EQ(verifyModuleText(M), "");
+}
+
+TEST(Expander, ChainedInliningUsesExpandedCallee) {
+  // square hottest -> first in linear order; cube absorbs square; main
+  // absorbs the already-expanded cube and accumulate.
+  Module M = compileOk(test::kCallHeavyProgram);
+  ProfileResult P = test::profileInputs(M, {std::string(40, 'x')});
+  InlineOptions Options;
+  Options.CodeGrowthFactor = 10.0; // let everything through
+  Options.MinArcWeight = 1.0;
+  InlineResult R = runInlineExpansion(M, P.Data, Options);
+  // At least cube->square, accumulate->cube, accumulate->square; the
+  // main->accumulate arc depends on a weight tie in the linearization.
+  EXPECT_GE(R.Expansions.size(), 3u);
+  // After full expansion main should reach square's code without calls:
+  ExecResult After = test::runOk(M, std::string(40, 'x'));
+  EXPECT_EQ(After.Stats.FuncEntryCounts[M.findFunction("cube")], 0u);
+  EXPECT_EQ(After.Stats.FuncEntryCounts[M.findFunction("square")], 0u);
+}
+
+TEST(Expander, OutputIdenticalAfterFullInlining) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  std::string Input = "equivalence check input";
+  ExecResult Before = test::runOk(M, Input);
+  ProfileResult P = test::profileInputs(M, {Input});
+  InlineOptions Options;
+  Options.CodeGrowthFactor = 10.0;
+  Options.MinArcWeight = 1.0;
+  runInlineExpansion(M, P.Data, Options);
+  ExecResult After = test::runOk(M, Input);
+  EXPECT_EQ(Before.Output, After.Output);
+  EXPECT_EQ(Before.ExitCode, After.ExitCode);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+//===- tests/IntrinsicsTests.cpp - external function tests --------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Intrinsics.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+using test::compileOk;
+using test::runSource;
+
+namespace {
+
+TEST(Intrinsics, RegistryKnowsAllNames) {
+  for (const std::string &Name : IntrinsicRegistry::getNames())
+    EXPECT_GE(IntrinsicRegistry::lookup(Name), 0) << Name;
+  EXPECT_EQ(IntrinsicRegistry::lookup("no_such_intrinsic"), -1);
+}
+
+TEST(Intrinsics, GetcharReadsStreamThenEof) {
+  EXPECT_EQ(runSource("extern int getchar(); extern int print_int(int v);"
+                      "extern int putchar(int c);"
+                      "int main() { int c; c = getchar();"
+                      "while (c != -1) { putchar(c); c = getchar(); }"
+                      "print_int(getchar()); return 0; }",
+                      "ab"),
+            "ab-1");
+}
+
+TEST(Intrinsics, Getchar2IsIndependent) {
+  EXPECT_EQ(runSource("extern int getchar(); extern int getchar2();"
+                      "extern int putchar(int c);"
+                      "int main() { putchar(getchar()); putchar(getchar2());"
+                      "putchar(getchar()); return 0; }",
+                      "AB", "xy"),
+            "AxB");
+}
+
+TEST(Intrinsics, UngetcharPushesBack) {
+  EXPECT_EQ(runSource("extern int getchar(); extern int ungetchar(int c);"
+                      "extern int putchar(int c);"
+                      "int main() { int c; c = getchar(); ungetchar(c);"
+                      "putchar(getchar()); putchar(getchar()); return 0; }",
+                      "pq"),
+            "pq");
+}
+
+TEST(Intrinsics, PrintIntFormatsNegative) {
+  EXPECT_EQ(runSource("extern int print_int(int v);"
+                      "int main() { print_int(-12345); return 0; }"),
+            "-12345");
+}
+
+TEST(Intrinsics, ExitStopsProgramWithCode) {
+  Module M = compileOk("extern int exit(int code); extern int putchar(int c);"
+                       "int main() { putchar('a'); exit(7); putchar('b');"
+                       "return 0; }");
+  ExecResult R = runProgram(M);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitCode, 7);
+  EXPECT_EQ(R.Output, "a") << "nothing after exit executes";
+}
+
+TEST(Intrinsics, MallocReturnsZeroedDisjointBlocks) {
+  EXPECT_EQ(runSource("extern int malloc(int n); extern int print_int(int v);"
+                      "int main() { int *a; int *b;"
+                      "a = malloc(4); b = malloc(4);"
+                      "a[3] = 9; print_int(b[0]); print_int(a[3]);"
+                      "print_int(b != a); return 0; }"),
+            "091");
+}
+
+TEST(Intrinsics, InputAvailCounts) {
+  EXPECT_EQ(runSource("extern int input_avail(); extern int getchar();"
+                      "extern int print_int(int v);"
+                      "int main() { print_int(input_avail()); getchar();"
+                      "print_int(input_avail()); return 0; }",
+                      "abc"),
+            "32");
+}
+
+TEST(Intrinsics, ReadBlockFillsMemory) {
+  EXPECT_EQ(runSource("extern int read_block(int *buf, int max);"
+                      "extern int print_int(int v); extern int putchar(int c);"
+                      "int buf[16];"
+                      "int main() { int n; n = read_block(&buf[0], 16);"
+                      "print_int(n); putchar(buf[0]); putchar(buf[3]);"
+                      "return 0; }",
+                      "wxyz"),
+            "4wz");
+}
+
+TEST(Intrinsics, ReadBlockRespectsMax) {
+  EXPECT_EQ(runSource("extern int read_block(int *buf, int max);"
+                      "extern int print_int(int v);"
+                      "int buf[4];"
+                      "int main() { print_int(read_block(&buf[0], 2));"
+                      "print_int(read_block(&buf[0], 99)); return 0; }",
+                      "abcd"),
+            "22");
+}
+
+TEST(Intrinsics, WriteBlockEmitsMemory) {
+  EXPECT_EQ(runSource("extern int write_block(int *buf, int n);"
+                      "int buf[4];"
+                      "int main() { buf[0] = 'h'; buf[1] = 'i';"
+                      "write_block(&buf[0], 2); return 0; }"),
+            "hi");
+}
+
+TEST(Intrinsics, UnknownExternTrapsAtCall) {
+  Module M = compileOk("extern int mystery(); int main() { return mystery(); }");
+  ExecResult R = runProgram(M);
+  EXPECT_EQ(R.St, ExecResult::Status::Trapped);
+  EXPECT_NE(R.TrapMessage.find("unknown external function"),
+            std::string::npos);
+}
+
+TEST(Intrinsics, ExternalCallsCountAsDynamicCalls) {
+  Module M = compileOk("extern int putchar(int c);"
+                       "int main() { putchar('x'); putchar('y'); return 0; }");
+  ExecResult R = test::runOk(M);
+  EXPECT_EQ(R.Stats.DynamicCalls, 2u);
+  EXPECT_EQ(R.Stats.ExternalCalls, 2u);
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+//===- tests/IrGenTests.cpp - AST-to-IL lowering tests ------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrPrinter.h"
+#include "ir/IrVerifier.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+using test::compileOk;
+
+namespace {
+
+/// Counts instructions of \p Op in \p F.
+size_t countOps(const Function &F, Opcode Op) {
+  size_t N = 0;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs)
+      N += I.Op == Op ? 1 : 0;
+  return N;
+}
+
+TEST(IrGen, EveryCompiledModuleVerifies) {
+  Module M = compileOk("int main() { return 0; }");
+  EXPECT_EQ(verifyModuleText(M), "");
+}
+
+TEST(IrGen, MainIdResolved) {
+  Module M = compileOk("int f() { return 1; } int main() { return f(); }");
+  EXPECT_EQ(M.MainId, M.findFunction("main"));
+  EXPECT_NE(M.MainId, kNoFunc);
+}
+
+TEST(IrGen, ExternFunctionsHaveNoBody) {
+  Module M = compileOk("extern int getchar(); int main() { return 0; }");
+  const Function &F = M.getFunction(M.findFunction("getchar"));
+  EXPECT_TRUE(F.IsExternal);
+  EXPECT_TRUE(F.Blocks.empty());
+}
+
+TEST(IrGen, GlobalsDeclaredWithSizes) {
+  Module M = compileOk("int g; int buf[32]; int main() { return g; }");
+  ASSERT_GE(M.Globals.size(), 2u);
+  EXPECT_EQ(M.Globals[0].Name, "g");
+  EXPECT_EQ(M.Globals[0].Size, 1);
+  EXPECT_EQ(M.Globals[1].Name, "buf");
+  EXPECT_EQ(M.Globals[1].Size, 32);
+}
+
+TEST(IrGen, GlobalInitializerValue) {
+  Module M = compileOk("int g = -7; int main() { return g; }");
+  ASSERT_EQ(M.Globals[0].Init.size(), 1u);
+  EXPECT_EQ(M.Globals[0].Init[0], -7);
+}
+
+TEST(IrGen, GlobalFunctionPointerInitializer) {
+  Module M = compileOk("int cb(int x) { return x; } int (*h)(int) = cb;"
+                       "int main() { return h(1); }");
+  FuncId Cb = M.findFunction("cb");
+  ASSERT_EQ(M.Globals[0].Init.size(), 1u);
+  EXPECT_EQ(M.Globals[0].Init[0], encodeFuncAddr(Cb));
+  EXPECT_TRUE(M.getFunction(Cb).AddressTaken);
+}
+
+TEST(IrGen, StringLiteralsInterned) {
+  Module M = compileOk(R"(int main() { int *a; int *b; a = "hi"; b = "hi";
+                          return a == b; })");
+  // One .str global holding 'h','i',0; both uses share it.
+  size_t StrGlobals = 0;
+  for (const Global &G : M.Globals)
+    if (G.Name.rfind(".str", 0) == 0) {
+      ++StrGlobals;
+      ASSERT_EQ(G.Size, 3);
+      EXPECT_EQ(G.Init[0], 'h');
+      EXPECT_EQ(G.Init[1], 'i');
+      EXPECT_EQ(G.Init[2], 0);
+    }
+  EXPECT_EQ(StrGlobals, 1u);
+}
+
+TEST(IrGen, ScalarLocalsUseRegistersNotFrame) {
+  Module M = compileOk("int main() { int a; int b; a = 1; b = a; return b; }");
+  EXPECT_EQ(M.getFunction(M.MainId).FrameSize, 0);
+}
+
+TEST(IrGen, ArraysLiveInFrame) {
+  Module M = compileOk("int main() { int a[10]; a[0] = 1; return a[0]; }");
+  EXPECT_EQ(M.getFunction(M.MainId).FrameSize, 10);
+}
+
+TEST(IrGen, AddressTakenScalarSpillsToFrame) {
+  Module M = compileOk(
+      "int main() { int x; int *p; p = &x; *p = 3; return x; }");
+  EXPECT_EQ(M.getFunction(M.MainId).FrameSize, 1);
+}
+
+TEST(IrGen, AddressTakenParamSpills) {
+  Module M = compileOk("int f(int x) { int *p; p = &x; return *p; }"
+                       "int main() { return f(4); }");
+  const Function &F = M.getFunction(M.findFunction("f"));
+  EXPECT_EQ(F.FrameSize, 1);
+  EXPECT_GE(countOps(F, Opcode::Store), 1u) << "entry spill expected";
+}
+
+TEST(IrGen, DirectCallCarriesSiteId) {
+  Module M = compileOk("int f() { return 1; } int main() { return f(); }");
+  const Function &Main = M.getFunction(M.MainId);
+  ASSERT_EQ(countOps(Main, Opcode::Call), 1u);
+  for (const BasicBlock &B : Main.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.Op == Opcode::Call) {
+        EXPECT_NE(I.SiteId, 0u);
+        EXPECT_EQ(I.Callee, M.findFunction("f"));
+      }
+}
+
+TEST(IrGen, DistinctSitesGetDistinctIds) {
+  Module M = compileOk(
+      "int f() { return 1; } int main() { return f() + f(); }");
+  const Function &Main = M.getFunction(M.MainId);
+  std::vector<uint32_t> Ids;
+  for (const BasicBlock &B : Main.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.isCall())
+        Ids.push_back(I.SiteId);
+  ASSERT_EQ(Ids.size(), 2u);
+  EXPECT_NE(Ids[0], Ids[1]);
+}
+
+TEST(IrGen, IndirectCallLowersToCallPtr) {
+  Module M = compileOk(test::kPointerCallProgram);
+  const Function &Apply = M.getFunction(M.findFunction("apply"));
+  EXPECT_EQ(countOps(Apply, Opcode::CallPtr), 1u);
+  EXPECT_EQ(countOps(Apply, Opcode::Call), 0u);
+}
+
+TEST(IrGen, FunctionNameValueLowersToFuncAddr) {
+  Module M = compileOk(test::kPointerCallProgram);
+  const Function &Init = M.getFunction(M.findFunction("init"));
+  EXPECT_EQ(countOps(Init, Opcode::FuncAddr), 2u);
+}
+
+TEST(IrGen, ShortCircuitAndCreatesBranches) {
+  Module M = compileOk(
+      "extern int getchar();"
+      "int main() { int a; a = getchar(); return a != -1 && a != 0; }");
+  const Function &Main = M.getFunction(M.MainId);
+  EXPECT_GE(countOps(Main, Opcode::CondBr), 1u);
+}
+
+TEST(IrGen, VoidCallHasNoDestination) {
+  Module M = compileOk("void f() { } int main() { f(); return 0; }");
+  const Function &Main = M.getFunction(M.MainId);
+  for (const BasicBlock &B : Main.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.Op == Opcode::Call) {
+        EXPECT_EQ(I.Dst, kNoReg);
+      }
+}
+
+TEST(IrGen, FallOffEndReturnsZero) {
+  Module M = compileOk("int f() { int x; x = 2; x = x; }"
+                       "int main() { return f(); }");
+  EXPECT_EQ(verifyModuleText(M), "");
+  ExecResult R = test::runOk(M);
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(IrGen, WhileLoopShape) {
+  Module M = compileOk(
+      "int main() { int i; i = 0; while (i < 5) i = i + 1; return i; }");
+  const Function &Main = M.getFunction(M.MainId);
+  EXPECT_GE(Main.Blocks.size(), 4u);
+  EXPECT_GE(countOps(Main, Opcode::CondBr), 1u);
+  EXPECT_GE(countOps(Main, Opcode::Jump), 1u);
+}
+
+TEST(IrGen, NamedRegistersForLocals) {
+  Module M = compileOk("int main() { int total; total = 3; return total; }");
+  const Function &Main = M.getFunction(M.MainId);
+  bool Found = false;
+  for (const std::string &Name : Main.RegNames)
+    Found |= Name == "total";
+  EXPECT_TRUE(Found);
+}
+
+TEST(IrGen, ParamsOccupyLeadingRegisters) {
+  Module M = compileOk("int f(int a, int b) { return a - b; }"
+                       "int main() { return f(5, 2); }");
+  const Function &F = M.getFunction(M.findFunction("f"));
+  ASSERT_GE(F.RegNames.size(), 2u);
+  EXPECT_EQ(F.RegNames[0], "a");
+  EXPECT_EQ(F.RegNames[1], "b");
+}
+
+TEST(IrGen, BenchSuiteShapedProgramVerifies) {
+  Module M = compileOk(test::kRecursiveProgram);
+  EXPECT_EQ(verifyModuleText(M), "");
+  const Function &Big = M.getFunction(M.findFunction("bigframe"));
+  EXPECT_EQ(Big.FrameSize, 5000);
+}
+
+} // namespace

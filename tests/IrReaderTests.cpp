@@ -1,0 +1,147 @@
+//===- tests/IrReaderTests.cpp - textual IL round-trip tests ------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrReader.h"
+
+#include "core/DeadFunctionElimination.h"
+#include "core/InlinePass.h"
+#include "ir/IrPrinter.h"
+#include "ir/IrVerifier.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+using test::compileOk;
+
+namespace {
+
+/// print -> parse -> print must be a fixpoint, and the reparsed module
+/// must verify and behave identically.
+void expectRoundTrip(const Module &M, const std::string &Input = "") {
+  std::string Text = printModule(M);
+  IrReadResult R = parseModuleText(Text);
+  ASSERT_TRUE(R.Ok) << R.Error << "\nin:\n" << Text;
+  EXPECT_EQ(printModule(R.M), Text);
+  EXPECT_EQ(verifyModuleText(R.M), "");
+  EXPECT_EQ(R.M.NextSiteId, M.NextSiteId);
+  EXPECT_EQ(R.M.MainId, M.MainId);
+  if (M.MainId != kNoFunc) {
+    RunOptions Opts;
+    Opts.Input = Input;
+    ExecResult Before = runProgram(M, Opts);
+    ExecResult After = runProgram(R.M, Opts);
+    EXPECT_EQ(Before.Output, After.Output);
+    EXPECT_EQ(Before.ExitCode, After.ExitCode);
+  }
+}
+
+TEST(IrReader, RoundTripsMinimalModule) {
+  expectRoundTrip(compileOk("int main() { return 42; }"));
+}
+
+TEST(IrReader, RoundTripsCallHeavyProgram) {
+  expectRoundTrip(compileOk(test::kCallHeavyProgram), "round trip!");
+}
+
+TEST(IrReader, RoundTripsPointerCalls) {
+  expectRoundTrip(compileOk(test::kPointerCallProgram), "ab");
+}
+
+TEST(IrReader, RoundTripsRecursiveProgram) {
+  expectRoundTrip(compileOk(test::kRecursiveProgram), "xxxxx");
+}
+
+TEST(IrReader, RoundTripsGlobalsStringsAndFrames) {
+  expectRoundTrip(compileOk(R"(
+extern int putchar(int c);
+int table[4];
+int counter = -3;
+int greet() { int *s; s = "hi\n"; while (*s != 0) { putchar(*s);
+  s = s + 1; } return 0; }
+int main() { int a[6]; a[2] = counter; greet(); return a[2] + 3; }
+)"),
+                  "");
+}
+
+TEST(IrReader, RoundTripsInlinedModule) {
+  // Inlined modules carry path-qualified register names like
+  // "square.x@site3" — the reader must preserve them.
+  Module M = compileOk(test::kCallHeavyProgram);
+  ProfileResult P = test::profileInputs(M, {std::string(30, 'x')});
+  InlineOptions Options;
+  Options.CodeGrowthFactor = 4.0;
+  runInlineExpansion(M, P.Data, Options);
+  expectRoundTrip(M, std::string(30, 'x'));
+}
+
+TEST(IrReader, RoundTripsEliminatedFunctions) {
+  Module M = compileOk("int dead() { return 1; } int main() { return 0; }");
+  eliminateDeadFunctions(M);
+  ASSERT_TRUE(M.getFunction(M.findFunction("dead")).Eliminated);
+  std::string Text = printModule(M);
+  IrReadResult R = parseModuleText(Text);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.M.getFunction(R.M.findFunction("dead")).Eliminated);
+  EXPECT_EQ(printModule(R.M), Text);
+}
+
+TEST(IrReader, MissingHeaderRejected) {
+  IrReadResult R = parseModuleText("int f(params=0, regs=0, frame=0) {\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("module"), std::string::npos);
+}
+
+TEST(IrReader, UnknownMnemonicRejected) {
+  IrReadResult R = parseModuleText("module m\n"
+                                   "int main(params=0, regs=1, frame=0) {\n"
+                                   "bb0:\n"
+                                   "  r0 = frobnicate r0\n"
+                                   "}\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("frobnicate"), std::string::npos);
+  EXPECT_NE(R.Error.find("line 4"), std::string::npos);
+}
+
+TEST(IrReader, InstructionOutsideBlockRejected) {
+  IrReadResult R = parseModuleText("module m\n"
+                                   "int main(params=0, regs=1, frame=0) {\n"
+                                   "  r0 = ld_imm 1\n"
+                                   "}\n");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(IrReader, UnterminatedBodyRejected) {
+  IrReadResult R = parseModuleText("module m\n"
+                                   "int main(params=0, regs=1, frame=0) {\n"
+                                   "bb0:\n"
+                                   "  r0 = ld_imm 1\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unterminated"), std::string::npos);
+}
+
+TEST(IrReader, SiteCounterReconstructed) {
+  Module M = compileOk("int f() { return 1; }"
+                       "int main() { return f() + f(); }");
+  IrReadResult R = parseModuleText(printModule(M));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.M.NextSiteId, 3u);
+}
+
+TEST(IrReader, NegativeImmediates) {
+  IrReadResult R =
+      parseModuleText("module m\n"
+                      "int main(params=0, regs=1, frame=0) {\n"
+                      "bb0:\n"
+                      "  r0 = ld_imm -9223372036854775807\n"
+                      "  ret r0\n"
+                      "}\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.M.getFunction(0).Blocks[0].Instrs[0].Imm,
+            -9223372036854775807ll);
+}
+
+} // namespace

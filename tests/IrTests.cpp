@@ -1,0 +1,168 @@
+//===- tests/IrTests.cpp - IL data structure tests ---------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+#include "ir/IrPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+TEST(Ir, OpcodePredicates) {
+  EXPECT_TRUE(isTerminator(Opcode::Jump));
+  EXPECT_TRUE(isTerminator(Opcode::CondBr));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_FALSE(isTerminator(Opcode::Call));
+  EXPECT_TRUE(isCall(Opcode::Call));
+  EXPECT_TRUE(isCall(Opcode::CallPtr));
+  EXPECT_FALSE(isCall(Opcode::Jump));
+  EXPECT_TRUE(isControlTransfer(Opcode::Jump));
+  EXPECT_TRUE(isControlTransfer(Opcode::CondBr));
+  EXPECT_FALSE(isControlTransfer(Opcode::Ret))
+      << "returns are not Table 1 'control' transfers";
+  EXPECT_FALSE(isControlTransfer(Opcode::Call));
+}
+
+TEST(Ir, FuncAddrEncodingRoundTrips) {
+  for (FuncId Id : {0, 1, 7, 1000}) {
+    int64_t Addr = encodeFuncAddr(Id);
+    EXPECT_EQ(decodeFuncAddr(Addr), Id);
+  }
+  EXPECT_EQ(decodeFuncAddr(0), kNoFunc);
+  EXPECT_EQ(decodeFuncAddr(kGlobalBase), kNoFunc);
+  EXPECT_EQ(decodeFuncAddr(kStackBase + 5), kNoFunc);
+}
+
+TEST(Ir, SegmentsAreDisjoint) {
+  EXPECT_LT(kNullAddr, kGlobalBase);
+  EXPECT_LT(kGlobalBase, kStackBase);
+  EXPECT_LT(kStackBase, kHeapBase);
+  EXPECT_LT(kHeapBase, kFuncAddrBase);
+}
+
+TEST(Ir, AddFunctionAssignsSequentialIds) {
+  Module M;
+  FuncId A = M.addFunction("a", 0, false, false);
+  FuncId B = M.addFunction("b", 2, true, true);
+  EXPECT_EQ(A, 0);
+  EXPECT_EQ(B, 1);
+  EXPECT_EQ(M.getFunction(B).NumParams, 2u);
+  EXPECT_TRUE(M.getFunction(B).ReturnsVoid);
+  EXPECT_TRUE(M.getFunction(B).IsExternal);
+  EXPECT_EQ(M.getFunction(B).NumRegs, 2u) << "params pre-allocate registers";
+}
+
+TEST(Ir, FindFunctionByName) {
+  Module M;
+  M.addFunction("alpha", 0, false, false);
+  M.addFunction("beta", 0, false, false);
+  EXPECT_EQ(M.findFunction("beta"), 1);
+  EXPECT_EQ(M.findFunction("gamma"), kNoFunc);
+}
+
+TEST(Ir, GlobalLayoutIsContiguous) {
+  Module M;
+  M.addGlobal("a", 3);
+  M.addGlobal("b", 1);
+  M.addGlobal("c", 10);
+  EXPECT_EQ(M.getGlobalAddress(0), kGlobalBase);
+  EXPECT_EQ(M.getGlobalAddress(1), kGlobalBase + 3);
+  EXPECT_EQ(M.getGlobalAddress(2), kGlobalBase + 4);
+  EXPECT_EQ(M.getGlobalSegmentSize(), 14);
+}
+
+TEST(Ir, SiteIdsAreUniqueAndMonotonic) {
+  Module M;
+  uint32_t A = M.allocateSiteId();
+  uint32_t B = M.allocateSiteId();
+  EXPECT_NE(A, 0u) << "site id 0 means unassigned";
+  EXPECT_GT(B, A);
+}
+
+TEST(Ir, FunctionSizeCountsAllBlocks) {
+  Module M;
+  FuncId Id = M.addFunction("f", 0, false, false);
+  Function &F = M.getFunction(Id);
+  BlockId B0 = F.addBlock();
+  BlockId B1 = F.addBlock();
+  Reg R = F.addReg();
+  F.getBlock(B0).Instrs.push_back(Instr::makeLdImm(R, 1));
+  F.getBlock(B0).Instrs.push_back(Instr::makeJump(B1));
+  F.getBlock(B1).Instrs.push_back(Instr::makeRet(R));
+  EXPECT_EQ(F.size(), 3u);
+  EXPECT_EQ(M.size(), 3u);
+}
+
+TEST(Ir, ModuleSizeSkipsExternals) {
+  Module M;
+  M.addFunction("ext", 1, false, true);
+  FuncId Id = M.addFunction("f", 0, false, false);
+  Function &F = M.getFunction(Id);
+  BlockId B = F.addBlock();
+  Reg R = F.addReg();
+  F.getBlock(B).Instrs.push_back(Instr::makeLdImm(R, 1));
+  F.getBlock(B).Instrs.push_back(Instr::makeRet(R));
+  EXPECT_EQ(M.size(), 2u);
+}
+
+TEST(Ir, ActivationWordsIncludeFrameAndRegs) {
+  Module M;
+  FuncId Id = M.addFunction("f", 1, false, false);
+  Function &F = M.getFunction(Id);
+  F.FrameSize = 100;
+  F.addReg();
+  // 100 frame + 2 regs + 2 linkage.
+  EXPECT_EQ(F.getActivationWords(), 104);
+}
+
+TEST(Ir, AddRegNamesResizeLazily) {
+  Module M;
+  Function &F = M.getFunction(M.addFunction("f", 0, false, false));
+  Reg A = F.addReg();
+  EXPECT_TRUE(F.RegNames.empty()) << "unnamed registers allocate no names";
+  Reg B = F.addReg("counter");
+  ASSERT_EQ(F.RegNames.size(), 2u);
+  EXPECT_EQ(F.RegNames[static_cast<size_t>(B)], "counter");
+  (void)A;
+}
+
+TEST(IrPrinter, InstrRendering) {
+  Instr I = Instr::makeBinary(Opcode::Add, 3, 1, 2);
+  EXPECT_EQ(printInstr(I), "r3 = add r1, r2");
+  EXPECT_EQ(printInstr(Instr::makeLdImm(0, -7)), "r0 = ld_imm -7");
+  EXPECT_EQ(printInstr(Instr::makeJump(4)), "jump bb4");
+  EXPECT_EQ(printInstr(Instr::makeCondBr(2, 1, 3)),
+            "cond_br r2, bb1, bb3");
+  EXPECT_EQ(printInstr(Instr::makeStore(1, 2)), "store [r1], r2");
+  EXPECT_EQ(printInstr(Instr::makeRet(kNoReg)), "ret");
+}
+
+TEST(IrPrinter, CallRendering) {
+  Instr I = Instr::makeCall(5, 2, {0, 1}, 9);
+  EXPECT_EQ(printInstr(I), "r5 = call f2(r0, r1) site#9");
+  Instr J = Instr::makeCallPtr(kNoReg, 4, {}, 10);
+  EXPECT_EQ(printInstr(J), "call_ptr [r4]() site#10");
+}
+
+TEST(IrPrinter, UsesRegisterNames) {
+  Module M;
+  Function &F = M.getFunction(M.addFunction("f", 0, false, false));
+  Reg R = F.addReg("total");
+  EXPECT_EQ(printInstr(Instr::makeLdImm(R, 1), &F), "r0(total) = ld_imm 1");
+}
+
+TEST(IrPrinter, ModuleHeaderAndGlobals) {
+  Module M;
+  M.Name = "demo";
+  M.addGlobal("g", 2, {7});
+  std::string Text = printModule(M);
+  EXPECT_NE(Text.find("module demo"), std::string::npos);
+  EXPECT_NE(Text.find("global @0 g[2] = {7}"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+//===- tests/IrVerifierTests.cpp - IL verifier tests --------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrVerifier.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+/// A minimal well-formed module: int f() { return 0; } plus main calling it.
+Module makeValidModule() {
+  Module M;
+  FuncId FId = M.addFunction("f", 0, false, false);
+  {
+    Function &F = M.getFunction(FId);
+    BlockId B = F.addBlock();
+    Reg R = F.addReg();
+    F.getBlock(B).Instrs.push_back(Instr::makeLdImm(R, 0));
+    F.getBlock(B).Instrs.push_back(Instr::makeRet(R));
+  }
+  FuncId MainId = M.addFunction("main", 0, false, false);
+  {
+    Function &F = M.getFunction(MainId);
+    BlockId B = F.addBlock();
+    Reg R = F.addReg();
+    F.getBlock(B).Instrs.push_back(
+        Instr::makeCall(R, FId, {}, M.allocateSiteId()));
+    F.getBlock(B).Instrs.push_back(Instr::makeRet(R));
+  }
+  M.MainId = MainId;
+  return M;
+}
+
+TEST(IrVerifier, ValidModulePasses) {
+  Module M = makeValidModule();
+  EXPECT_EQ(verifyModuleText(M), "");
+}
+
+TEST(IrVerifier, CompiledProgramsVerify) {
+  Module M = test::compileOk(test::kCallHeavyProgram);
+  EXPECT_EQ(verifyModuleText(M), "");
+}
+
+TEST(IrVerifier, EmptyBlockReported) {
+  Module M = makeValidModule();
+  M.getFunction(0).addBlock();
+  EXPECT_NE(verifyModuleText(M).find("empty basic block"), std::string::npos);
+}
+
+TEST(IrVerifier, MissingTerminatorReported) {
+  Module M = makeValidModule();
+  M.getFunction(0).Blocks[0].Instrs.pop_back();
+  EXPECT_NE(verifyModuleText(M).find("does not end in a terminator"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, MidBlockTerminatorReported) {
+  Module M = makeValidModule();
+  Function &F = M.getFunction(0);
+  F.Blocks[0].Instrs.insert(F.Blocks[0].Instrs.begin(),
+                            Instr::makeJump(0));
+  EXPECT_NE(verifyModuleText(M).find("terminator in the middle"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, RegisterOutOfRange) {
+  Module M = makeValidModule();
+  M.getFunction(0).Blocks[0].Instrs[0].Dst = 99;
+  EXPECT_NE(verifyModuleText(M).find("out of range"), std::string::npos);
+}
+
+TEST(IrVerifier, BranchTargetOutOfRange) {
+  Module M = makeValidModule();
+  Function &F = M.getFunction(0);
+  F.Blocks[0].Instrs.back() = Instr::makeJump(42);
+  EXPECT_NE(verifyModuleText(M).find("branch target bb42"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, FrameOffsetOutsideFrame) {
+  Module M = makeValidModule();
+  Function &F = M.getFunction(0);
+  F.Blocks[0].Instrs[0] = Instr::makeFrameAddr(0, 5); // FrameSize is 0
+  EXPECT_NE(verifyModuleText(M).find("outside frame"), std::string::npos);
+}
+
+TEST(IrVerifier, GlobalIndexChecked) {
+  Module M = makeValidModule();
+  M.getFunction(0).Blocks[0].Instrs[0] = Instr::makeGlobalAddr(0, 3);
+  EXPECT_NE(verifyModuleText(M).find("global index out of range"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, CallArityMismatch) {
+  Module M = makeValidModule();
+  Function &Main = M.getFunction(M.MainId);
+  Main.Blocks[0].Instrs[0].Args.push_back(0); // f takes no params
+  EXPECT_NE(verifyModuleText(M).find("takes 0"), std::string::npos);
+}
+
+TEST(IrVerifier, DuplicateSiteIds) {
+  Module M = makeValidModule();
+  Function &Main = M.getFunction(M.MainId);
+  Instr Extra = Main.Blocks[0].Instrs[0]; // same SiteId
+  Main.Blocks[0].Instrs.insert(Main.Blocks[0].Instrs.begin(), Extra);
+  EXPECT_NE(verifyModuleText(M).find("duplicate call site id"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, UnassignedSiteId) {
+  Module M = makeValidModule();
+  M.getFunction(M.MainId).Blocks[0].Instrs[0].SiteId = 0;
+  EXPECT_NE(verifyModuleText(M).find("site id is unassigned"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, SiteIdBeyondCounter) {
+  Module M = makeValidModule();
+  M.getFunction(M.MainId).Blocks[0].Instrs[0].SiteId = 999;
+  EXPECT_NE(verifyModuleText(M).find("not allocated from the module"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, VoidReturnMismatch) {
+  Module M = makeValidModule();
+  Function &F = M.getFunction(0);
+  F.ReturnsVoid = true;
+  EXPECT_NE(verifyModuleText(M).find("void function returns a value"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, NonVoidReturnWithoutValue) {
+  Module M = makeValidModule();
+  Function &F = M.getFunction(0);
+  F.Blocks[0].Instrs.back() = Instr::makeRet(kNoReg);
+  EXPECT_NE(verifyModuleText(M).find("returns no value"), std::string::npos);
+}
+
+TEST(IrVerifier, VoidCallWithDestination) {
+  Module M = makeValidModule();
+  M.getFunction(0).ReturnsVoid = true;
+  M.getFunction(0).Blocks[0].Instrs.back() = Instr::makeRet(kNoReg);
+  // main still assigns the result of calling f.
+  EXPECT_NE(verifyModuleText(M).find("void call must not define"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, ExternalWithBodyReported) {
+  Module M = makeValidModule();
+  M.getFunction(0).IsExternal = true;
+  EXPECT_NE(verifyModuleText(M).find("external function has a body"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, NonExternalWithoutBlocks) {
+  Module M = makeValidModule();
+  M.getFunction(0).Blocks.clear();
+  EXPECT_NE(verifyModuleText(M).find("has no blocks"), std::string::npos);
+}
+
+TEST(IrVerifier, CallToEliminatedFunction) {
+  Module M = makeValidModule();
+  M.getFunction(0).Eliminated = true;
+  M.getFunction(0).Blocks.clear();
+  EXPECT_NE(verifyModuleText(M).find("eliminated function"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, ExternalMainRejected) {
+  Module M = makeValidModule();
+  Function &Main = M.getFunction(M.MainId);
+  Main.IsExternal = true;
+  Main.Blocks.clear();
+  EXPECT_NE(verifyModuleText(M).find("main function is external"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, MainWithParamsRejected) {
+  Module M = makeValidModule();
+  M.getFunction(M.MainId).NumParams = 1;
+  EXPECT_NE(verifyModuleText(M).find("main function takes parameters"),
+            std::string::npos);
+}
+
+} // namespace

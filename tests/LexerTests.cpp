@@ -1,0 +1,214 @@
+//===- tests/LexerTests.cpp - MiniC lexer unit tests ------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+/// Lexes everything, asserting no diagnostics unless \p ExpectErrors.
+std::vector<Token> lexAll(std::string_view Text, bool ExpectErrors = false) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Text, Diags);
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = Lex.lex();
+    if (T.is(TokenKind::Eof))
+      break;
+    Tokens.push_back(T);
+    if (Tokens.size() > 10000)
+      break;
+  }
+  EXPECT_EQ(Diags.hasErrors(), ExpectErrors);
+  return Tokens;
+}
+
+std::vector<TokenKind> kindsOf(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(Lexer, EmptyInputIsEof) {
+  DiagnosticEngine Diags;
+  Lexer Lex("", Diags);
+  EXPECT_TRUE(Lex.lex().is(TokenKind::Eof));
+  EXPECT_TRUE(Lex.lex().is(TokenKind::Eof)) << "Eof must be sticky";
+}
+
+TEST(Lexer, Identifiers) {
+  auto Tokens = lexAll("foo _bar a1_b2");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "a1_b2");
+  for (const Token &T : Tokens)
+    EXPECT_TRUE(T.is(TokenKind::Identifier));
+}
+
+TEST(Lexer, Keywords) {
+  auto Kinds = kindsOf(lexAll("int void extern if else while for return "
+                              "break continue"));
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwInt,   TokenKind::KwVoid,  TokenKind::KwExtern,
+      TokenKind::KwIf,    TokenKind::KwElse,  TokenKind::KwWhile,
+      TokenKind::KwFor,   TokenKind::KwReturn, TokenKind::KwBreak,
+      TokenKind::KwContinue};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, KeywordPrefixIsIdentifier) {
+  auto Tokens = lexAll("interior iffy");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Identifier));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Identifier));
+}
+
+TEST(Lexer, DecimalLiterals) {
+  auto Tokens = lexAll("0 7 123456789");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 7);
+  EXPECT_EQ(Tokens[2].IntValue, 123456789);
+}
+
+TEST(Lexer, HexLiterals) {
+  auto Tokens = lexAll("0x0 0xff 0X7B");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 255);
+  EXPECT_EQ(Tokens[2].IntValue, 123);
+}
+
+TEST(Lexer, BadHexLiteral) {
+  auto Tokens = lexAll("0x", /*ExpectErrors=*/true);
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Error));
+}
+
+TEST(Lexer, CharLiterals) {
+  auto Tokens = lexAll(R"('a' '0' '\n' '\t' '\\' '\'' '\0')");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[0].IntValue, 'a');
+  EXPECT_EQ(Tokens[1].IntValue, '0');
+  EXPECT_EQ(Tokens[2].IntValue, '\n');
+  EXPECT_EQ(Tokens[3].IntValue, '\t');
+  EXPECT_EQ(Tokens[4].IntValue, '\\');
+  EXPECT_EQ(Tokens[5].IntValue, '\'');
+  EXPECT_EQ(Tokens[6].IntValue, 0);
+}
+
+TEST(Lexer, UnterminatedCharLiteral) {
+  lexAll("'a", /*ExpectErrors=*/true);
+}
+
+TEST(Lexer, StringLiteralsDecodeEscapes) {
+  auto Tokens = lexAll(R"("hi there" "a\nb" "q\"q")");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "hi there");
+  EXPECT_EQ(Tokens[1].Text, "a\nb");
+  EXPECT_EQ(Tokens[2].Text, "q\"q");
+}
+
+TEST(Lexer, UnterminatedString) {
+  lexAll("\"abc", /*ExpectErrors=*/true);
+}
+
+TEST(Lexer, UnterminatedStringAtNewline) {
+  lexAll("\"abc\nrest", /*ExpectErrors=*/true);
+}
+
+TEST(Lexer, LineComments) {
+  auto Tokens = lexAll("a // comment here\nb");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(Lexer, BlockComments) {
+  auto Tokens = lexAll("a /* multi\nline */ b");
+  ASSERT_EQ(Tokens.size(), 2u);
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  lexAll("a /* never ends", /*ExpectErrors=*/true);
+}
+
+TEST(Lexer, SingleCharOperators) {
+  auto Kinds = kindsOf(lexAll("+ - * / % & | ^ ~ ! < > = ? :"));
+  std::vector<TokenKind> Expected = {
+      TokenKind::Plus,  TokenKind::Minus,   TokenKind::Star,
+      TokenKind::Slash, TokenKind::Percent, TokenKind::Amp,
+      TokenKind::Pipe,  TokenKind::Caret,   TokenKind::Tilde,
+      TokenKind::Bang,  TokenKind::Less,    TokenKind::Greater,
+      TokenKind::Equal, TokenKind::Question, TokenKind::Colon};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto Kinds = kindsOf(lexAll("== != <= >= && || << >> += -= *= /= %= ++ --"));
+  std::vector<TokenKind> Expected = {
+      TokenKind::EqualEqual,  TokenKind::BangEqual,
+      TokenKind::LessEqual,   TokenKind::GreaterEqual,
+      TokenKind::AmpAmp,      TokenKind::PipePipe,
+      TokenKind::LessLess,    TokenKind::GreaterGreater,
+      TokenKind::PlusEqual,   TokenKind::MinusEqual,
+      TokenKind::StarEqual,   TokenKind::SlashEqual,
+      TokenKind::PercentEqual, TokenKind::PlusPlus,
+      TokenKind::MinusMinus};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, MaximalMunch) {
+  // "+++" lexes as "++" "+", "<<=" as "<<" "=".
+  auto Kinds = kindsOf(lexAll("+++ <<="));
+  std::vector<TokenKind> Expected = {TokenKind::PlusPlus, TokenKind::Plus,
+                                     TokenKind::LessLess, TokenKind::Equal};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, Punctuation) {
+  auto Kinds = kindsOf(lexAll("( ) { } [ ] , ;"));
+  std::vector<TokenKind> Expected = {
+      TokenKind::LParen,   TokenKind::RParen,   TokenKind::LBrace,
+      TokenKind::RBrace,   TokenKind::LBracket, TokenKind::RBracket,
+      TokenKind::Comma,    TokenKind::Semicolon};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, UnknownCharacterIsError) {
+  auto Tokens = lexAll("@", /*ExpectErrors=*/true);
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Error));
+}
+
+TEST(Lexer, UnknownEscapeReportsError) {
+  lexAll(R"('\q')", /*ExpectErrors=*/true);
+}
+
+TEST(Lexer, LocationsTrackOffsets) {
+  auto Tokens = lexAll("ab  cd");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Loc.Offset, 0u);
+  EXPECT_EQ(Tokens[1].Loc.Offset, 4u);
+}
+
+TEST(Lexer, WhitespaceVariants) {
+  auto Tokens = lexAll("a\tb\rc\nd");
+  EXPECT_EQ(Tokens.size(), 4u);
+}
+
+TEST(Lexer, TokenKindNamesAreStable) {
+  EXPECT_STREQ(getTokenKindName(TokenKind::PlusEqual), "'+='");
+  EXPECT_STREQ(getTokenKindName(TokenKind::Identifier), "identifier");
+  EXPECT_STREQ(getTokenKindName(TokenKind::Eof), "end of file");
+}
+
+} // namespace

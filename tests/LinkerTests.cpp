@@ -1,0 +1,209 @@
+//===- tests/LinkerTests.cpp - link-time inlining tests (§2.1) ----------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Linker.h"
+
+#include "core/InlinePass.h"
+#include "ir/IrPrinter.h"
+#include "ir/IrReader.h"
+#include "ir/IrVerifier.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+/// Compiles a fragment (no main required).
+Module compileUnit(const char *Source) {
+  CompilationResult C = compileMiniC(Source, "unit", /*RequireMain=*/false);
+  EXPECT_TRUE(C.Ok) << C.Errors;
+  return std::move(C.M);
+}
+
+const char *const UnitMain = R"(
+extern int getchar();
+extern int print_int(int v);
+extern int triple(int x);
+int main() {
+  int c;
+  int t;
+  t = 0;
+  c = getchar();
+  while (c != -1) {
+    t = t + triple(c % 10);
+    c = getchar();
+  }
+  print_int(t);
+  return 0;
+}
+)";
+
+const char *const UnitLib = R"(
+int triple(int x) { return x * 3; }
+)";
+
+TEST(Linker, ResolvesExternAcrossModules) {
+  std::vector<Module> Units;
+  Units.push_back(compileUnit(UnitMain));
+  Units.push_back(compileUnit(UnitLib));
+  LinkResult R = linkModules(std::move(Units), "prog");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(verifyModuleText(R.M), "");
+  FuncId Triple = R.M.findFunction("triple");
+  ASSERT_NE(Triple, kNoFunc);
+  EXPECT_FALSE(R.M.getFunction(Triple).IsExternal)
+      << "the definition must have replaced the extern declaration";
+  ExecResult E = test::runOk(R.M, "123");
+  EXPECT_EQ(E.Output, "30"); // chars 49,50,51: (9+0+1)*3
+}
+
+TEST(Linker, OrderIndependent) {
+  std::vector<Module> A;
+  A.push_back(compileUnit(UnitLib));
+  A.push_back(compileUnit(UnitMain));
+  LinkResult R = linkModules(std::move(A), "prog");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(test::runOk(R.M, "123").Output, "30");
+}
+
+TEST(Linker, DuplicateDefinitionRejected) {
+  std::vector<Module> Units;
+  Units.push_back(compileUnit("int f() { return 1; }"));
+  Units.push_back(compileUnit("int f() { return 2; }"));
+  LinkResult R = linkModules(std::move(Units), "prog");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("duplicate definition"), std::string::npos);
+}
+
+TEST(Linker, SignatureMismatchRejected) {
+  std::vector<Module> Units;
+  Units.push_back(compileUnit("extern int f(int a);"
+                              "int g() { return f(1); }"));
+  Units.push_back(compileUnit("int f(int a, int b) { return a + b; }"));
+  LinkResult R = linkModules(std::move(Units), "prog");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("conflicting signatures"), std::string::npos);
+}
+
+TEST(Linker, GlobalsUnifiedByName) {
+  std::vector<Module> Units;
+  Units.push_back(compileUnit("int shared = 5;"
+                              "int get() { return shared; }"));
+  Units.push_back(compileUnit("int shared;"
+                              "extern int get(); extern int print_int(int v);"
+                              "int main() { shared = shared + 1;"
+                              "print_int(get()); return 0; }"));
+  LinkResult R = linkModules(std::move(Units), "prog");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(test::runOk(R.M).Output, "6")
+      << "both units must see one 'shared' (initialized to 5, bumped once)";
+}
+
+TEST(Linker, ConflictingGlobalInitializersRejected) {
+  std::vector<Module> Units;
+  Units.push_back(compileUnit("int g = 1;"));
+  Units.push_back(compileUnit("int g = 2;"));
+  LinkResult R = linkModules(std::move(Units), "prog");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("duplicate initializer"), std::string::npos);
+}
+
+TEST(Linker, StringLiteralsStayPrivate) {
+  std::vector<Module> Units;
+  Units.push_back(compileUnit("extern int putchar(int c);"
+                              "int a() { int *s; s = \"aa\";"
+                              "putchar(s[0]); return 0; }"));
+  Units.push_back(compileUnit("extern int putchar(int c);"
+                              "extern int a();"
+                              "int main() { int *s; s = \"bb\"; a();"
+                              "putchar(s[0]); return 0; }"));
+  LinkResult R = linkModules(std::move(Units), "prog");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(test::runOk(R.M).Output, "ab");
+}
+
+TEST(Linker, FunctionPointerInitializersRemapped) {
+  // The function-address constant in the global initializer must be
+  // remapped to the linked module's FuncIds.
+  std::vector<Module> Units;
+  Units.push_back(compileUnit("extern int print_int(int v);"
+                              "int cb(int x) { return x * 7; }"
+                              "int (*h)(int) = cb;"));
+  Units.push_back(compileUnit("extern int print_int(int v);"
+                              "int (*other)(int);"
+                              "int main() { return 0; }"));
+  LinkResult R = linkModules(std::move(Units), "prog");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  FuncId Cb = R.M.findFunction("cb");
+  bool Found = false;
+  for (const Global &G : R.M.Globals)
+    if (G.Name == "h") {
+      ASSERT_EQ(G.Init.size(), 1u);
+      EXPECT_EQ(G.Init[0], encodeFuncAddr(Cb));
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Linker, SiteIdsStayUnique) {
+  std::vector<Module> Units;
+  Units.push_back(compileUnit(UnitMain));
+  Units.push_back(compileUnit("extern int print_int(int v);"
+                              "int triple(int x) { print_int(0);"
+                              "return x * 3; }"));
+  LinkResult R = linkModules(std::move(Units), "prog");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(verifyModuleText(R.M), "") << "duplicate site ids would fail";
+}
+
+TEST(Linker, MultipleMainsRejected) {
+  std::vector<Module> Units;
+  Units.push_back(compileUnit("int main() { return 1; }"));
+  Units.push_back(compileUnit("int main() { return 2; }"));
+  LinkResult R = linkModules(std::move(Units), "prog");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Linker, LinkTimeInliningCrossesUnitBoundaries) {
+  // §2.1's whole point: at compile time main's call to triple cannot be
+  // expanded (the body is in another unit); after linking it can.
+  std::vector<Module> Units;
+  Units.push_back(compileUnit(UnitMain));
+  Units.push_back(compileUnit(UnitLib));
+  LinkResult L = linkModules(std::move(Units), "prog");
+  ASSERT_TRUE(L.Ok) << L.Error;
+
+  std::string Input(40, '7');
+  ProfileResult P = test::profileInputs(L.M, {Input});
+  ASSERT_TRUE(P.allRunsOk());
+  InlineOptions Options;
+  Options.CodeGrowthFactor = 4.0;
+  InlineResult R = runInlineExpansion(L.M, P.Data, Options);
+  EXPECT_GE(R.getNumExpanded(), 1u)
+      << "the cross-unit call must now be expandable";
+  ExecResult After = test::runOk(L.M, Input);
+  EXPECT_EQ(After.Stats.FuncEntryCounts[L.M.findFunction("triple")], 0u);
+}
+
+TEST(Linker, RoundTripsThroughTextFormat) {
+  // Serialize units to .il text, parse them back, then link: the §2.1
+  // separate-compilation workflow end to end.
+  std::string TextA = printModule(compileUnit(UnitMain));
+  std::string TextB = printModule(compileUnit(UnitLib));
+  IrReadResult A = parseModuleText(TextA);
+  IrReadResult B = parseModuleText(TextB);
+  ASSERT_TRUE(A.Ok && B.Ok) << A.Error << B.Error;
+  std::vector<Module> Units;
+  Units.push_back(std::move(A.M));
+  Units.push_back(std::move(B.M));
+  LinkResult R = linkModules(std::move(Units), "prog");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(test::runOk(R.M, "123").Output, "30");
+}
+
+} // namespace

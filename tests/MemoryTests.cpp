@@ -1,0 +1,130 @@
+//===- tests/MemoryTests.cpp - flat memory unit tests -------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+Module moduleWithGlobals() {
+  Module M;
+  M.addGlobal("a", 2, {11, 22});
+  M.addGlobal("b", 3, {33});
+  return M;
+}
+
+TEST(Memory, GlobalsInitialized) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 64);
+  EXPECT_EQ(Mem.load(kGlobalBase + 0), 11);
+  EXPECT_EQ(Mem.load(kGlobalBase + 1), 22);
+  EXPECT_EQ(Mem.load(kGlobalBase + 2), 33);
+  EXPECT_EQ(Mem.load(kGlobalBase + 3), 0) << "tail zero-filled";
+  EXPECT_FALSE(Mem.hasTrapped());
+}
+
+TEST(Memory, GlobalStoreRoundTrips) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 64);
+  Mem.store(kGlobalBase + 4, -5);
+  EXPECT_EQ(Mem.load(kGlobalBase + 4), -5);
+}
+
+TEST(Memory, OutOfSegmentAccessTraps) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 64);
+  Mem.load(kGlobalBase + 5); // segment has 5 words (indices 0..4)
+  EXPECT_TRUE(Mem.hasTrapped());
+}
+
+TEST(Memory, NullAccessTraps) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 64);
+  Mem.store(kNullAddr, 1);
+  EXPECT_TRUE(Mem.hasTrapped());
+  EXPECT_NE(Mem.getTrapMessage().find("invalid address"),
+            std::string::npos);
+}
+
+TEST(Memory, FirstTrapMessageSticks) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 64);
+  Mem.load(1);
+  std::string First = Mem.getTrapMessage();
+  Mem.load(2);
+  EXPECT_EQ(Mem.getTrapMessage(), First);
+}
+
+TEST(Memory, StackGrowShrinkTracksPeak) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 100);
+  EXPECT_TRUE(Mem.growStack(40));
+  EXPECT_TRUE(Mem.growStack(30));
+  EXPECT_EQ(Mem.getStackWordsInUse(), 70);
+  Mem.shrinkStack(30);
+  EXPECT_EQ(Mem.getStackWordsInUse(), 40);
+  EXPECT_EQ(Mem.getPeakStackWords(), 70);
+}
+
+TEST(Memory, StackOverflowTrapsAndFails) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 50);
+  EXPECT_TRUE(Mem.growStack(50));
+  EXPECT_FALSE(Mem.growStack(1));
+  EXPECT_TRUE(Mem.hasTrapped());
+  EXPECT_NE(Mem.getTrapMessage().find("stack overflow"),
+            std::string::npos);
+}
+
+TEST(Memory, StackFramesAreZeroedOnGrow) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 100);
+  Mem.growStack(10);
+  Mem.store(kStackBase + 5, 99);
+  Mem.shrinkStack(10);
+  Mem.growStack(10); // the new frame must not see the stale 99
+  EXPECT_EQ(Mem.load(kStackBase + 5), 0);
+}
+
+TEST(Memory, StackAccessBeyondTopTraps) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 100);
+  Mem.growStack(10);
+  Mem.load(kStackBase + 10);
+  EXPECT_TRUE(Mem.hasTrapped());
+}
+
+TEST(Memory, HeapBumpAllocationZeroed) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 64);
+  int64_t A = Mem.allocateHeap(4);
+  int64_t B = Mem.allocateHeap(4);
+  EXPECT_EQ(A, kHeapBase);
+  EXPECT_EQ(B, kHeapBase + 4);
+  EXPECT_EQ(Mem.load(B + 3), 0);
+  Mem.store(A + 1, 7);
+  EXPECT_EQ(Mem.load(A + 1), 7);
+  EXPECT_FALSE(Mem.hasTrapped());
+}
+
+TEST(Memory, NegativeHeapRequestTraps) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 64);
+  EXPECT_EQ(Mem.allocateHeap(-3), 0);
+  EXPECT_TRUE(Mem.hasTrapped());
+}
+
+TEST(Memory, FunctionAddressesAreNotMemory) {
+  Module M = moduleWithGlobals();
+  Memory Mem(M, 64);
+  Mem.load(encodeFuncAddr(0));
+  EXPECT_TRUE(Mem.hasTrapped());
+}
+
+} // namespace

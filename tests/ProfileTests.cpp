@@ -1,0 +1,103 @@
+//===- tests/ProfileTests.cpp - profiler tests --------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profiler.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+using test::compileOk;
+
+namespace {
+
+TEST(Profile, AveragesOverRuns) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  // Inputs of length 2 and 4: cube called 2 and 4 times -> node weight 3.
+  ProfileResult R = test::profileInputs(M, {"ab", "abcd"});
+  ASSERT_TRUE(R.allRunsOk());
+  EXPECT_EQ(R.Data.getNumRuns(), 2u);
+  EXPECT_DOUBLE_EQ(R.Data.getNodeWeight(M.findFunction("cube")), 3.0);
+  EXPECT_DOUBLE_EQ(R.Data.getNodeWeight(M.findFunction("square")), 6.0);
+}
+
+TEST(Profile, ArcWeightsArePerRunAverages) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  ProfileResult R = test::profileInputs(M, {"aa", "aaaa"});
+  ASSERT_TRUE(R.allRunsOk());
+  // Find the call site inside cube (calls square once per cube call).
+  const Function &Cube = M.getFunction(M.findFunction("cube"));
+  uint32_t Site = 0;
+  for (const BasicBlock &B : Cube.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.isCall())
+        Site = I.SiteId;
+  ASSERT_NE(Site, 0u);
+  EXPECT_DOUBLE_EQ(R.Data.getArcWeight(Site), 3.0);
+  EXPECT_EQ(R.Data.getSiteTotal(Site), 6u);
+}
+
+TEST(Profile, CollectsFailures) {
+  Module M = compileOk("extern int getchar();"
+                       "int main() { int z; z = 0;"
+                       "if (getchar() == 'x') return 1 / z; return 0; }");
+  std::vector<RunInput> Inputs = {{"a", ""}, {"x", ""}};
+  ProfileResult R = profileProgram(M, Inputs);
+  EXPECT_FALSE(R.allRunsOk());
+  ASSERT_EQ(R.Failures.size(), 1u);
+  EXPECT_NE(R.Failures[0].find("run 1"), std::string::npos);
+}
+
+TEST(Profile, OutputsRecordedPerRun) {
+  Module M = compileOk("extern int getchar(); extern int putchar(int c);"
+                       "int main() { int c; c = getchar();"
+                       "while (c != -1) { putchar(c + 1); c = getchar(); }"
+                       "return 0; }");
+  ProfileResult R = test::profileInputs(M, {"ab", "z"});
+  ASSERT_EQ(R.Outputs.size(), 2u);
+  EXPECT_EQ(R.Outputs[0], "bc");
+  EXPECT_EQ(R.Outputs[1], "{");
+}
+
+TEST(Profile, DynamicTotalsAccumulate) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  ProfileResult R = test::profileInputs(M, {"ab", "abcd", "x"});
+  EXPECT_GT(R.Data.getAvgInstrs(), 0.0);
+  EXPECT_GT(R.Data.getAvgDynamicCalls(), 0.0);
+  EXPECT_GT(R.Data.getAvgControlTransfers(), 0.0);
+  EXPECT_GT(R.Data.getAvgExternalCalls(), 0.0);
+  EXPECT_EQ(R.Data.getAvgPointerCalls(), 0.0);
+}
+
+TEST(Profile, MaxPeakStackTracked) {
+  Module M = compileOk(test::kRecursiveProgram);
+  ProfileResult R = test::profileInputs(M, {"xx", std::string(11, 'x')});
+  ASSERT_TRUE(R.allRunsOk());
+  EXPECT_GT(R.Data.getMaxPeakStackWords(), 5000);
+}
+
+TEST(Profile, EmptyInputSetYieldsZeroWeights) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  ProfileResult R = test::profileInputs(M, {});
+  EXPECT_EQ(R.Data.getNumRuns(), 0u);
+  EXPECT_EQ(R.Data.getNodeWeight(0), 0.0);
+  EXPECT_EQ(R.Data.getArcWeight(1), 0.0);
+}
+
+TEST(Profile, OutOfRangeQueriesAreZero) {
+  ProfileData D;
+  ExecStats S;
+  S.SiteCounts = {0, 5};
+  S.FuncEntryCounts = {2};
+  D.accumulate(S);
+  EXPECT_EQ(D.getArcWeight(999), 0.0);
+  EXPECT_EQ(D.getNodeWeight(999), 0.0);
+  EXPECT_EQ(D.getNodeWeight(-1), 0.0);
+  EXPECT_DOUBLE_EQ(D.getArcWeight(1), 5.0);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/PropertyTests.cpp - randomized equivalence properties ------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests over randomly generated MiniC programs: the observable
+/// output must be invariant under (a) the classic optimization pipeline,
+/// (b) profile-guided inline expansion at several aggressiveness levels,
+/// and (c) both combined — and the IL verifier must accept every
+/// intermediate module. Each seed is an independent parameterized test so
+/// failures name the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/InlinePass.h"
+#include "driver/Pipeline.h"
+#include "ir/IrVerifier.h"
+#include "opt/PassManager.h"
+#include "suite/Suite.h"
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+using test::compileOk;
+using test::generateRandomProgram;
+
+namespace {
+
+/// Inputs exercising different lengths and characters per seed.
+std::vector<std::string> makeInputs(uint64_t Seed) {
+  return {
+      "",
+      "a",
+      "hello world " + std::to_string(Seed),
+      std::string(17, static_cast<char>('a' + Seed % 26)),
+      "mixed 123 !?" + std::string(Seed % 7, 'z'),
+  };
+}
+
+class RandomProgramProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramProperty, GeneratedProgramCompilesAndTerminates) {
+  uint64_t Seed = GetParam();
+  std::string Source = generateRandomProgram(Seed);
+  Module M = compileOk(Source);
+  ASSERT_FALSE(M.Funcs.empty());
+  EXPECT_EQ(verifyModuleText(M), "");
+  for (const std::string &In : makeInputs(Seed)) {
+    RunOptions Opts;
+    Opts.Input = In;
+    Opts.StepLimit = 20'000'000;
+    ExecResult R = runProgram(M, Opts);
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << " input '" << In
+                        << "': " << R.TrapMessage;
+  }
+}
+
+TEST_P(RandomProgramProperty, OptimizationPreservesOutput) {
+  uint64_t Seed = GetParam();
+  std::string Source = generateRandomProgram(Seed);
+  Module M = compileOk(Source);
+  std::vector<std::string> Outputs;
+  for (const std::string &In : makeInputs(Seed)) {
+    RunOptions Opts;
+    Opts.Input = In;
+    Outputs.push_back(runProgram(M, Opts).Output);
+  }
+  runOptimizationPipeline(M);
+  ASSERT_EQ(verifyModuleText(M), "") << "seed " << Seed;
+  size_t Index = 0;
+  for (const std::string &In : makeInputs(Seed)) {
+    RunOptions Opts;
+    Opts.Input = In;
+    ExecResult R = runProgram(M, Opts);
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << ": " << R.TrapMessage;
+    EXPECT_EQ(R.Output, Outputs[Index]) << "seed " << Seed << " input #"
+                                        << Index;
+    ++Index;
+  }
+}
+
+TEST_P(RandomProgramProperty, InlineExpansionPreservesOutput) {
+  uint64_t Seed = GetParam();
+  std::string Source = generateRandomProgram(Seed);
+
+  // Three aggressiveness levels, including "inline everything possible".
+  for (double Growth : {1.1, 2.0, 16.0}) {
+    Module M = compileOk(Source);
+    std::vector<std::string> Outputs;
+    std::vector<RunInput> ProfileInputs;
+    for (const std::string &In : makeInputs(Seed)) {
+      RunOptions Opts;
+      Opts.Input = In;
+      Outputs.push_back(runProgram(M, Opts).Output);
+      ProfileInputs.push_back(RunInput{In, ""});
+    }
+    ProfileResult P = profileProgram(M, ProfileInputs);
+    ASSERT_TRUE(P.allRunsOk()) << "seed " << Seed;
+
+    InlineOptions Options;
+    Options.CodeGrowthFactor = Growth;
+    Options.MinArcWeight = Growth > 8 ? 1.0 : 10.0;
+    InlineResult IR = runInlineExpansion(M, P.Data, Options);
+    ASSERT_EQ(verifyModuleText(M), "")
+        << "seed " << Seed << " growth " << Growth;
+    EXPECT_LE(static_cast<double>(IR.SizeAfter),
+              static_cast<double>(IR.SizeBefore) * Growth * 1.5)
+        << "post-hoc growth wildly above budget; seed " << Seed;
+
+    size_t Index = 0;
+    for (const std::string &In : makeInputs(Seed)) {
+      RunOptions Opts;
+      Opts.Input = In;
+      ExecResult R = runProgram(M, Opts);
+      EXPECT_TRUE(R.ok()) << "seed " << Seed << ": " << R.TrapMessage;
+      EXPECT_EQ(R.Output, Outputs[Index])
+          << "seed " << Seed << " growth " << Growth << " input #" << Index;
+      ++Index;
+    }
+  }
+}
+
+TEST_P(RandomProgramProperty, FullPipelinePreservesOutput) {
+  uint64_t Seed = GetParam();
+  std::string Source = generateRandomProgram(Seed);
+  std::vector<RunInput> Inputs;
+  for (const std::string &In : makeInputs(Seed))
+    Inputs.push_back(RunInput{In, ""});
+  PipelineOptions Options;
+  Options.Inline.PostInlineOptimize = (Seed % 2) == 0;
+  PipelineResult R =
+      runPipeline(Source, "random" + std::to_string(Seed), Inputs, Options);
+  ASSERT_TRUE(R.Ok) << "seed " << Seed << ": " << R.Error;
+  EXPECT_TRUE(R.outputsMatch()) << "seed " << Seed;
+  EXPECT_EQ(verifyModuleText(R.FinalModule), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
+                         ::testing::Range<uint64_t>(1, 26));
+
+//===----------------------------------------------------------------------===//
+// Targeted properties on the benchmark suite
+//===----------------------------------------------------------------------===//
+
+TEST(SuiteProperty, InlineNeverChangesBenchmarkOutputs) {
+  // Covered in depth by the table benches; here a fast spot check on two
+  // representative benchmarks with reduced runs.
+  for (const char *Name : {"grep", "make"}) {
+    const BenchmarkSpec *B = findBenchmark(Name);
+    ASSERT_NE(B, nullptr);
+    auto Inputs = makeBenchmarkInputs(*B, 3);
+    PipelineResult R = runPipeline(B->Source, B->Name, Inputs);
+    ASSERT_TRUE(R.Ok) << Name << ": " << R.Error;
+    EXPECT_TRUE(R.outputsMatch()) << Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,322 @@
+//===- tests/RandomProgram.cpp ----------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+
+#include "support/Rng.h"
+
+#include <vector>
+
+using namespace impact;
+
+namespace {
+
+/// Builds one random program. Expressions only reference names that are in
+/// scope; division is always by a strictly positive value; array indices
+/// are masked to the (power-of-two) array size; loops have constant
+/// bounds; function K only calls functions < K, so every program
+/// terminates.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(uint64_t Seed) : R(Seed) {}
+
+  std::string build() {
+    Out += "extern int getchar();\n";
+    Out += "extern int print_int(int v);\n";
+    Out += "extern int putchar(int c);\n\n";
+
+    NumGlobals = 2 + static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned G = 0; G != NumGlobals; ++G)
+      Out += "int g" + std::to_string(G) + ";\n";
+    Out += "int arr[8];\n";
+    Out += "int fptab[4];\n\n";
+
+    unsigned NumFuncs = 3 + static_cast<unsigned>(R.nextBelow(5));
+    for (unsigned F = 0; F != NumFuncs; ++F)
+      emitFunction(F);
+
+    emitDispatch(NumFuncs);
+    emitMain(NumFuncs);
+    return Out;
+  }
+
+private:
+  // ----- cost accounting ----------------------------------------------------
+  //
+  // Nested loops multiplying function calls can make a structurally tiny
+  // program exponentially expensive to run. Every emitted construct is
+  // charged Multiplier cost units (Multiplier is the product of enclosing
+  // loop bounds); calls charge the callee's recorded cost. Callees whose
+  // cost would blow the per-function budget are simply not called.
+
+  static constexpr uint64_t kMaxCalleeCost = 4000;
+  static constexpr uint64_t kMaxFuncCost = 200000;
+
+  /// Picks a callable function that fits the remaining budget, or -1.
+  int pickAffordableCallee() {
+    if (CallableFuncs == 0)
+      return -1;
+    unsigned F = static_cast<unsigned>(R.nextBelow(CallableFuncs));
+    uint64_t Charge = Multiplier * FuncCost[F];
+    if (FuncCost[F] > kMaxCalleeCost || CurCost + Charge > kMaxFuncCost)
+      return -1;
+    CurCost += Charge;
+    return static_cast<int>(F);
+  }
+
+  // ----- expressions ------------------------------------------------------
+
+  /// A value expression of bounded depth.
+  std::string expr(unsigned Depth) {
+    CurCost += Multiplier;
+    switch (R.nextBelow(Depth == 0 ? 4 : 8)) {
+    case 0:
+      return std::to_string(R.nextInRange(-20, 99));
+    case 1:
+      return "g" + std::to_string(R.nextBelow(NumGlobals));
+    case 2:
+      if (!Params.empty())
+        return Params[R.nextBelow(Params.size())];
+      return std::to_string(R.nextInRange(0, 9));
+    case 3:
+      if (!LocalVars.empty())
+        return LocalVars[R.nextBelow(LocalVars.size())];
+      return "g0";
+    case 4:
+      return "arr[" + expr(Depth - 1) + " & 7]";
+    case 5: {
+      // Guarded division or remainder.
+      const char *Op = R.nextChance(1, 2) ? " / " : " % ";
+      return "(" + expr(Depth - 1) + Op + "((" + expr(Depth - 1) +
+             " & 7) + 1))";
+    }
+    case 6: {
+      static const char *const Ops[] = {" + ", " - ", " * ", " & ",
+                                        " | ", " ^ ", " < ",  " == "};
+      return "(" + expr(Depth - 1) + Ops[R.nextBelow(8)] + expr(Depth - 1) +
+             ")";
+    }
+    default: {
+      int Picked = R.nextChance(1, 3) ? -1 : pickAffordableCallee();
+      if (Picked < 0)
+        return "(" + expr(Depth - 1) + " ? " + expr(Depth - 1) + " : " +
+               expr(Depth - 1) + ")";
+      unsigned F = static_cast<unsigned>(Picked);
+      std::string Call = "f" + std::to_string(F) + "(";
+      for (unsigned A = 0; A != Arity[F]; ++A) {
+        if (A)
+          Call += ", ";
+        Call += expr(Depth == 0 ? 0 : Depth - 1);
+      }
+      return Call + ")";
+    }
+    }
+  }
+
+  // ----- statements -------------------------------------------------------
+
+  void indent() { Out.append(IndentLevel * 2, ' '); }
+
+  void stmt(unsigned Depth) {
+    switch (R.nextBelow(Depth == 0 ? 3 : 6)) {
+    case 0: {
+      indent();
+      Out += "g" + std::to_string(R.nextBelow(NumGlobals)) + " = " +
+             expr(2) + ";\n";
+      return;
+    }
+    case 1: {
+      if (LocalVars.empty()) {
+        indent();
+        Out += "arr[" + expr(1) + " & 7] = " + expr(2) + ";\n";
+        return;
+      }
+      indent();
+      Out += LocalVars[R.nextBelow(LocalVars.size())] + " = " + expr(2) +
+             ";\n";
+      return;
+    }
+    case 2: {
+      indent();
+      Out += "arr[" + expr(1) + " & 7] = " + expr(2) + ";\n";
+      return;
+    }
+    case 3: {
+      indent();
+      Out += "if (" + expr(2) + ") {\n";
+      ++IndentLevel;
+      stmt(Depth - 1);
+      --IndentLevel;
+      indent();
+      if (R.nextChance(1, 2)) {
+        Out += "} else {\n";
+        ++IndentLevel;
+        stmt(Depth - 1);
+        --IndentLevel;
+        indent();
+      }
+      Out += "}\n";
+      return;
+    }
+    case 4: {
+      std::string Var = "i" + std::to_string(LoopCounter++);
+      uint64_t Bound = 1 + R.nextBelow(5);
+      indent();
+      Out += "for (int " + Var + " = 0; " + Var + " < " +
+             std::to_string(Bound) + "; " + Var + " = " + Var +
+             " + 1) {\n";
+      // The counter joins the *read-only* pool (Params); putting it in
+      // LocalVars would let the body assign it and break termination.
+      Params.push_back(Var);
+      Multiplier *= Bound;
+      ++IndentLevel;
+      stmt(Depth - 1);
+      --IndentLevel;
+      Multiplier /= Bound;
+      Params.pop_back();
+      indent();
+      Out += "}\n";
+      return;
+    }
+    default: {
+      indent();
+      Out += expr(2) + ";\n";
+      return;
+    }
+    }
+  }
+
+  // ----- functions --------------------------------------------------------
+
+  void emitFunction(unsigned Index) {
+    // f0 is always unary so the function-pointer table has a guaranteed
+    // candidate.
+    unsigned NumParams =
+        Index == 0 ? 1 : static_cast<unsigned>(R.nextBelow(4));
+    Arity.push_back(NumParams);
+    CallableFuncs = Index; // function Index may only call f0..f(Index-1)
+
+    Params.clear();
+    LocalVars.clear();
+    CurCost = 0;
+    Multiplier = 1;
+    Out += "int f" + std::to_string(Index) + "(";
+    for (unsigned P = 0; P != NumParams; ++P) {
+      if (P)
+        Out += ", ";
+      std::string Name = "p" + std::to_string(P);
+      Out += "int " + Name;
+      Params.push_back(Name);
+    }
+    Out += ") {\n";
+    IndentLevel = 1;
+
+    unsigned NumLocals = 1 + static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned L = 0; L != NumLocals; ++L) {
+      std::string Name = "v" + std::to_string(L);
+      indent();
+      Out += "int " + Name + " = " + expr(1) + ";\n";
+      LocalVars.push_back(Name);
+    }
+
+    unsigned NumStmts = 2 + static_cast<unsigned>(R.nextBelow(6));
+    for (unsigned S = 0; S != NumStmts; ++S)
+      stmt(2);
+
+    indent();
+    Out += "return " + expr(2) + ";\n";
+    Out += "}\n\n";
+    FuncCost.push_back(CurCost + 1);
+  }
+
+  /// Emits a function-pointer table over the cheap unary functions plus a
+  /// dispatcher, so every random program also exercises CallPtr, FuncAddr
+  /// and the ### pseudo node.
+  void emitDispatch(unsigned NumFuncs) {
+    std::vector<unsigned> Unary;
+    for (unsigned F = 0; F != NumFuncs; ++F)
+      if (Arity[F] == 1 && FuncCost[F] <= kMaxCalleeCost)
+        Unary.push_back(F);
+    if (Unary.empty())
+      Unary.push_back(0); // f0 is unary by construction
+
+    DispatchCost = 4;
+    Out += "int init_tab() {\n";
+    for (unsigned Slot = 0; Slot != 4; ++Slot) {
+      unsigned F = Unary[R.nextBelow(Unary.size())];
+      if (FuncCost[F] > DispatchCost)
+        DispatchCost = FuncCost[F] + 4;
+      Out += "  fptab[" + std::to_string(Slot) + "] = f" +
+             std::to_string(F) + ";\n";
+    }
+    Out += "  return 0;\n}\n\n";
+
+    Out += "int dispatch(int which, int x) {\n";
+    Out += "  int (*h)(int);\n";
+    Out += "  h = fptab[which & 3];\n";
+    Out += "  return h(x);\n}\n\n";
+  }
+
+  void emitMain(unsigned NumFuncs) {
+    CallableFuncs = NumFuncs;
+    Params.clear();
+    LocalVars.clear();
+    CurCost = 0;
+    Multiplier = 32; // stand-in for the per-character main loop
+    LocalVars.push_back("c");
+    LocalVars.push_back("acc");
+
+    Out += "int main() {\n";
+    Out += "  int c = 0;\n";
+    Out += "  int acc = 0;\n";
+    Out += "  init_tab();\n";
+    Out += "  c = getchar();\n";
+    Out += "  while (c != -1) {\n";
+    IndentLevel = 2;
+    unsigned NumStmts = 2 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned S = 0; S != NumStmts; ++S)
+      stmt(2);
+    if (R.nextChance(2, 3) &&
+        CurCost + Multiplier * DispatchCost < kMaxFuncCost) {
+      CurCost += Multiplier * DispatchCost;
+      indent();
+      Out += "acc = acc + dispatch(c & 3, acc & 15);\n";
+    }
+    indent();
+    Out += "acc = acc + " + expr(2) + " + c;\n";
+    Out += "    c = getchar();\n";
+    Out += "  }\n";
+    Out += "  print_int(acc);\n";
+    Out += "  putchar('\\n');\n";
+    for (unsigned G = 0; G != NumGlobals; ++G) {
+      Out += "  print_int(g" + std::to_string(G) + ");\n";
+      Out += "  putchar(' ');\n";
+    }
+    Out += "  putchar('\\n');\n";
+    Out += "  return 0;\n";
+    Out += "}\n";
+  }
+
+  Rng R;
+  std::string Out;
+  std::vector<uint64_t> FuncCost;
+  uint64_t CurCost = 0;
+  uint64_t Multiplier = 1;
+  uint64_t DispatchCost = 4;
+  unsigned NumGlobals = 0;
+  unsigned CallableFuncs = 0;
+  std::vector<unsigned> Arity;
+  std::vector<std::string> Params;
+  std::vector<std::string> LocalVars;
+  unsigned IndentLevel = 0;
+  unsigned LoopCounter = 0;
+};
+
+} // namespace
+
+std::string test::generateRandomProgram(uint64_t Seed) {
+  return ProgramBuilder(Seed).build();
+}

@@ -1,0 +1,27 @@
+//===- tests/RandomProgram.h - Random MiniC programs for property tests ---===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_TESTS_RANDOMPROGRAM_H
+#define IMPACT_TESTS_RANDOMPROGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace impact {
+namespace test {
+
+/// Generates a deterministic, always-terminating MiniC program from
+/// \p Seed. The program defines several functions calling each other in a
+/// DAG (no recursion), uses globals, arrays, loops with constant bounds,
+/// and guarded division; main consumes the input stream and prints an
+/// input-dependent result. Used to property-test that optimization and
+/// inline expansion preserve observable output.
+std::string generateRandomProgram(uint64_t Seed);
+
+} // namespace test
+} // namespace impact
+
+#endif // IMPACT_TESTS_RANDOMPROGRAM_H

@@ -1,0 +1,57 @@
+//===- tests/ReportTests.cpp - table formatting tests -------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Report.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+TEST(Report, TableAlignsColumns) {
+  TableWriter T({"benchmark", "value"});
+  T.addRow({"cccp", "17%"});
+  T.addRow({"compress-long", "4%"});
+  std::string Text = T.render();
+  // Header, separator, two rows.
+  EXPECT_NE(Text.find("benchmark"), std::string::npos);
+  EXPECT_NE(Text.find("cccp"), std::string::npos);
+  // All lines equal length (trailing alignment).
+  size_t FirstLineLen = Text.find('\n');
+  EXPECT_NE(Text.find("-"), std::string::npos);
+  (void)FirstLineLen;
+}
+
+TEST(Report, SeparatorRows) {
+  TableWriter T({"a", "b"});
+  T.addRow({"1", "2"});
+  T.addSeparator();
+  T.addRow({"AVG", "1.5"});
+  std::string Text = T.render();
+  size_t Dashes = 0;
+  for (size_t Pos = Text.find("--"); Pos != std::string::npos;
+       Pos = Text.find("--", Pos + 2))
+    ++Dashes;
+  EXPECT_GE(Dashes, 2u) << "header separator plus explicit separator";
+}
+
+TEST(Report, PercentAndCountFormats) {
+  EXPECT_EQ(formatPercent(16.49), "16.5%");
+  EXPECT_EQ(formatPercent(0.0), "0.0%");
+  EXPECT_EQ(formatCount(3653.4), "3653");
+  EXPECT_EQ(formatCount(0.6), "1");
+}
+
+TEST(Report, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  // Population stddev of {2,4} is 1.
+  EXPECT_DOUBLE_EQ(stddev({2.0, 4.0}), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+//===- tests/SemaTests.cpp - MiniC semantic analysis tests -------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+struct SemaRun {
+  bool Ok = false;
+  std::string Errors;
+  std::unique_ptr<TranslationUnit> TU;
+};
+
+SemaRun analyze(std::string_view Text, bool RequireMain = false) {
+  SemaRun Result;
+  SourceManager SM("test", std::string(Text));
+  DiagnosticEngine Diags;
+  Parser P(SM.getText(), Diags);
+  Result.TU = P.parseTranslationUnit();
+  EXPECT_FALSE(Diags.hasErrors()) << "test inputs must parse cleanly";
+  SemaOptions Opts;
+  Opts.RequireMain = RequireMain;
+  Sema S(Diags, Opts);
+  Result.Ok = S.analyze(*Result.TU);
+  Result.Errors = Diags.render(SM);
+  return Result;
+}
+
+void expectError(std::string_view Text, std::string_view Needle) {
+  SemaRun R = analyze(Text);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Errors.find(Needle), std::string::npos)
+      << "missing '" << Needle << "' in:\n"
+      << R.Errors;
+}
+
+TEST(Sema, AcceptsValidProgram) {
+  EXPECT_TRUE(analyze("int g; int f(int x) { return x + g; }").Ok);
+}
+
+TEST(Sema, UndeclaredIdentifier) {
+  expectError("int f() { return nope; }", "undeclared identifier 'nope'");
+}
+
+TEST(Sema, RedefinitionSameScope) {
+  expectError("int f() { int x; int x; return 0; }", "redefinition of 'x'");
+}
+
+TEST(Sema, ShadowingInNestedScopeIsAllowed) {
+  EXPECT_TRUE(analyze("int f() { int x; { int x; x = 1; } return x; }").Ok);
+}
+
+TEST(Sema, GlobalRedefinition) {
+  expectError("int g; int g;", "redefinition of 'g'");
+}
+
+TEST(Sema, ForwardCallWithoutPrototype) {
+  EXPECT_TRUE(analyze("int f() { return g(); } int g() { return 1; }").Ok);
+}
+
+TEST(Sema, MutualRecursionResolves) {
+  EXPECT_TRUE(analyze("int even(int n) { return n == 0 ? 1 : odd(n - 1); }"
+                      "int odd(int n) { return n == 0 ? 0 : even(n - 1); }")
+                  .Ok);
+}
+
+TEST(Sema, CallArityChecked) {
+  expectError("int f(int a, int b) { return 0; } int g() { return f(1); }",
+              "expects 2 arguments, got 1");
+}
+
+TEST(Sema, AssignToRValueRejected) {
+  expectError("int f() { 1 = 2; return 0; }", "not an lvalue");
+}
+
+TEST(Sema, AssignToArrayNameRejected) {
+  expectError("int f() { int a[4]; a = 0; return 0; }", "not an lvalue");
+}
+
+TEST(Sema, AssignThroughPointerAllowed) {
+  EXPECT_TRUE(analyze("int f(int *p) { *p = 3; p[1] = 4; return 0; }").Ok);
+}
+
+TEST(Sema, IncrementNeedsLValue) {
+  expectError("int f() { return (1 + 2)++; }", "not an lvalue");
+}
+
+TEST(Sema, DerefNonPointerRejected) {
+  expectError("int f(int x) { return *x; }", "dereference a non-pointer");
+}
+
+TEST(Sema, IndexNonPointerRejected) {
+  expectError("int f(int x) { return x[0]; }",
+              "subscripted value is not a pointer or array");
+}
+
+TEST(Sema, ArrayDecaysToPointer) {
+  EXPECT_TRUE(analyze("int f() { int a[4]; int *p; p = a; return p[0]; }").Ok);
+}
+
+TEST(Sema, AddressOfVariableAllowed) {
+  SemaRun R = analyze("int f() { int x; int *p; p = &x; return *p; }");
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST(Sema, AddressOfMarksVariable) {
+  SemaRun R = analyze("int f() { int x; return *(&x); }");
+  ASSERT_TRUE(R.Ok);
+  // Walk to the VarDecl and check the flag.
+  auto *F = cast<FunctionDecl>(R.TU->Decls.at(0).get());
+  auto *Body = cast<CompoundStmt>(F->getBody());
+  auto *DS = cast<DeclStmt>(Body->getBody().at(0).get());
+  EXPECT_TRUE(DS->getVar()->isAddressTaken());
+}
+
+TEST(Sema, AddressOfArrayRejected) {
+  expectError("int f() { int a[4]; return *(&a); }", "redundant");
+}
+
+TEST(Sema, AddressOfRValueRejected) {
+  expectError("int f() { return *(&(1 + 2)); }", "address of an rvalue");
+}
+
+TEST(Sema, FunctionNameAsValueMarksAddressTaken) {
+  SemaRun R = analyze("int cb(int x) { return x; } int (*h)(int);"
+                      "int f() { h = cb; return 0; }");
+  ASSERT_TRUE(R.Ok);
+  auto *Cb = R.TU->findFunction("cb");
+  EXPECT_TRUE(Cb->isAddressTaken());
+}
+
+TEST(Sema, DirectCallDoesNotMarkAddressTaken) {
+  SemaRun R = analyze("int cb(int x) { return x; }"
+                      "int f() { return cb(1); }");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_FALSE(R.TU->findFunction("cb")->isAddressTaken());
+}
+
+TEST(Sema, IndirectCallThroughFuncPtr) {
+  EXPECT_TRUE(analyze("int cb(int x) { return x; } int (*h)(int);"
+                      "int f() { h = cb; return h(3); }")
+                  .Ok);
+}
+
+TEST(Sema, IndirectCallArityChecked) {
+  expectError("int (*h)(int, int); int f() { return h(1); }",
+              "indirect call expects 2 arguments, got 1");
+}
+
+TEST(Sema, CallingNonFunctionRejected) {
+  expectError("int f(int x) { return x(1); }",
+              "not a function or function pointer");
+}
+
+TEST(Sema, VoidFunctionReturnValueRejected) {
+  expectError("void f() { return 3; }", "cannot return a value");
+}
+
+TEST(Sema, NonVoidReturnWithoutValueRejected) {
+  expectError("int f() { return; }", "must return a value");
+}
+
+TEST(Sema, VoidCallInExpressionRejected) {
+  expectError("void v() { } int f() { return v() + 1; }",
+              "binary operand must have scalar type");
+}
+
+TEST(Sema, BreakOutsideLoopRejected) {
+  expectError("int f() { break; return 0; }", "'break' outside a loop");
+}
+
+TEST(Sema, ContinueOutsideLoopRejected) {
+  expectError("int f() { continue; return 0; }", "'continue' outside a loop");
+}
+
+TEST(Sema, BreakInsideLoopAccepted) {
+  EXPECT_TRUE(
+      analyze("int f() { while (1) { break; } return 0; }").Ok);
+}
+
+TEST(Sema, GlobalInitializerMustBeConstant) {
+  expectError("int a; int b = a;", "must be an integer constant");
+}
+
+TEST(Sema, GlobalInitializerNegatedLiteral) {
+  EXPECT_TRUE(analyze("int g = -5;").Ok);
+}
+
+TEST(Sema, GlobalInitializerFunctionAddress) {
+  EXPECT_TRUE(analyze("int cb(int x) { return x; } int (*h)(int) = cb;").Ok);
+}
+
+TEST(Sema, MainRequiredWhenAsked) {
+  SemaRun R = analyze("int f() { return 0; }");
+  EXPECT_TRUE(R.Ok) << "no-main fragments allowed when not required";
+
+  SourceManager SM("t", "int f() { return 0; }");
+  DiagnosticEngine Diags;
+  Parser P(SM.getText(), Diags);
+  auto TU = P.parseTranslationUnit();
+  Sema S(Diags); // RequireMain defaults to true
+  EXPECT_FALSE(S.analyze(*TU));
+}
+
+TEST(Sema, MainWithParamsRejected) {
+  SourceManager SM("t", "int main(int x) { return 0; }");
+  DiagnosticEngine Diags;
+  Parser P(SM.getText(), Diags);
+  auto TU = P.parseTranslationUnit();
+  Sema S(Diags);
+  EXPECT_FALSE(S.analyze(*TU));
+}
+
+TEST(Sema, ForInitScopesOverLoop) {
+  EXPECT_TRUE(
+      analyze("int f() { for (int i = 0; i < 3; i++) { i = i; } return 0; }")
+          .Ok);
+  expectError("int f() { for (int i = 0; i < 3; i++) { } return i; }",
+              "undeclared identifier 'i'");
+}
+
+TEST(Sema, ConditionMustBeScalar) {
+  expectError("void v() { } int f() { if (v()) return 1; return 0; }",
+              "if condition must have scalar type");
+}
+
+TEST(Sema, PointerArithmeticTypes) {
+  SemaRun R = analyze("int f(int *p) { return *(p + 2); }");
+  EXPECT_TRUE(R.Ok);
+}
+
+} // namespace

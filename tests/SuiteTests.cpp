@@ -1,0 +1,174 @@
+//===- tests/SuiteTests.cpp - benchmark suite tests ---------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+#include "suite/Workloads.h"
+
+#include "driver/Compilation.h"
+#include "ir/IrVerifier.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+TEST(Suite, HasTheTwelvePaperBenchmarks) {
+  const auto &Suite = getBenchmarkSuite();
+  ASSERT_EQ(Suite.size(), 12u);
+  const char *Expected[] = {"cccp", "cmp",  "compress", "eqn",
+                            "espresso", "grep", "lex",  "make",
+                            "tar",  "tee",  "wc",   "yacc"};
+  for (size_t I = 0; I != 12; ++I)
+    EXPECT_EQ(Suite[I].Name, Expected[I]) << "paper order";
+}
+
+TEST(Suite, FindBenchmarkByName) {
+  EXPECT_NE(findBenchmark("grep"), nullptr);
+  EXPECT_EQ(findBenchmark("nonesuch"), nullptr);
+}
+
+TEST(Suite, InputsAreDeterministic) {
+  const BenchmarkSpec *B = findBenchmark("cccp");
+  auto A = makeBenchmarkInputs(*B, 3);
+  auto C = makeBenchmarkInputs(*B, 3);
+  ASSERT_EQ(A.size(), 3u);
+  for (size_t I = 0; I != 3; ++I) {
+    EXPECT_EQ(A[I].Input, C[I].Input);
+    EXPECT_EQ(A[I].Input2, C[I].Input2);
+  }
+}
+
+TEST(Suite, DefaultRunsMatchTable1Shape) {
+  EXPECT_EQ(findBenchmark("cmp")->DefaultRuns, 16u);
+  EXPECT_EQ(findBenchmark("lex")->DefaultRuns, 4u);
+  EXPECT_EQ(findBenchmark("tar")->DefaultRuns, 14u);
+  EXPECT_EQ(findBenchmark("yacc")->DefaultRuns, 8u);
+}
+
+TEST(Suite, CmpGetsTwoStreams) {
+  auto Inputs = makeBenchmarkInputs(*findBenchmark("cmp"), 3);
+  for (const RunInput &In : Inputs)
+    EXPECT_FALSE(In.Input2.empty());
+  // Run 0 is the identical pair.
+  EXPECT_EQ(Inputs[0].Input, Inputs[0].Input2);
+  // Run 2 is dissimilar.
+  EXPECT_NE(Inputs[2].Input, Inputs[2].Input2);
+}
+
+/// Every benchmark compiles, verifies, and runs cleanly on two inputs.
+class BenchmarkPrograms : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BenchmarkPrograms, CompilesVerifiesAndRuns) {
+  const BenchmarkSpec *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  CompilationResult C = compileMiniC(B->Source, B->Name);
+  ASSERT_TRUE(C.Ok) << C.Errors;
+  EXPECT_EQ(verifyModuleText(C.M), "");
+
+  auto Inputs = makeBenchmarkInputs(*B, 2);
+  for (const RunInput &In : Inputs) {
+    RunOptions Opts;
+    Opts.Input = In.Input;
+    Opts.Input2 = In.Input2;
+    ExecResult R = runProgram(C.M, Opts);
+    EXPECT_TRUE(R.ok()) << B->Name << ": " << R.TrapMessage;
+    EXPECT_FALSE(R.Output.empty()) << B->Name << " produced no output";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BenchmarkPrograms,
+                         ::testing::Values("cccp", "cmp", "compress", "eqn",
+                                           "espresso", "grep", "lex", "make",
+                                           "tar", "tee", "wc", "yacc"),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Workload generators
+//===----------------------------------------------------------------------===//
+
+TEST(Workloads, CLikeSourceHasMacrosAndComments) {
+  Rng R(1);
+  std::string Text = generateCLikeSource(R, 50);
+  EXPECT_NE(Text.find("#define "), std::string::npos);
+  EXPECT_NE(Text.find("//"), std::string::npos);
+  EXPECT_NE(Text.find("/*"), std::string::npos);
+}
+
+TEST(Workloads, MutateChangesRequestedPositionsOnly) {
+  Rng R(2);
+  std::string Base = generateWordText(R, 100);
+  std::string Mutated = mutateText(R, Base, 5);
+  EXPECT_EQ(Base.size(), Mutated.size());
+  size_t Diffs = 0;
+  for (size_t I = 0; I != Base.size(); ++I)
+    Diffs += Base[I] != Mutated[I] ? 1 : 0;
+  EXPECT_LE(Diffs, 5u);
+}
+
+TEST(Workloads, TruthTableShape) {
+  Rng R(3);
+  std::string Text = generateTruthTable(R, 6, 10);
+  // Header + 10 lines of width-6 cubes over {0,1,-}.
+  ASSERT_EQ(Text.substr(0, 4), "6 10");
+  size_t Lines = 0;
+  for (char C : Text)
+    Lines += C == '\n' ? 1 : 0;
+  EXPECT_EQ(Lines, 11u);
+}
+
+TEST(Workloads, GrepInputFirstLineIsPattern) {
+  Rng R(4);
+  std::string Text = generateGrepInput(R, 20);
+  size_t Nl = Text.find('\n');
+  ASSERT_NE(Nl, std::string::npos);
+  EXPECT_GE(Nl, 2u);
+}
+
+TEST(Workloads, MakefileDepsPointForward) {
+  Rng R(5);
+  std::string Text = generateMakefile(R, 10);
+  // Every line "tK: tA tB" must have A,B > K; just check parse shape here.
+  EXPECT_EQ(Text.substr(0, 2), "t0");
+  size_t Lines = 0;
+  for (char C : Text)
+    Lines += C == '\n' ? 1 : 0;
+  EXPECT_EQ(Lines, 10u);
+}
+
+TEST(Workloads, ArchiveRecordsSizedCorrectly) {
+  Rng R(6);
+  std::string Text = generateArchiveInput(R, 3);
+  // Parse: "<name> <size>\n<size chars>\n" three times.
+  size_t Pos = 0;
+  for (int F = 0; F != 3; ++F) {
+    size_t Space = Text.find(' ', Pos);
+    ASSERT_NE(Space, std::string::npos);
+    size_t Nl = Text.find('\n', Space);
+    ASSERT_NE(Nl, std::string::npos);
+    unsigned Size = std::stoul(Text.substr(Space + 1, Nl - Space - 1));
+    ASSERT_EQ(Text[Nl + 1 + Size], '\n') << "content length must match";
+    Pos = Nl + 1 + Size + 1;
+  }
+}
+
+TEST(Workloads, GrammarContainsSeparatorAndSamples) {
+  Rng R(7);
+  std::string Text = generateGrammar(R, 2);
+  EXPECT_NE(Text.find("S=aSb;"), std::string::npos);
+  EXPECT_NE(Text.find("\n@\n"), std::string::npos);
+}
+
+TEST(Workloads, CompressibleTextHasRepeats) {
+  Rng R(8);
+  std::string Text = generateCompressibleText(R, 2000);
+  EXPECT_GE(Text.size(), 2000u);
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+//===- tests/SupportTests.cpp - support library unit tests ------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace impact;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Animal {
+  enum class Kind { Dog, Cat } K;
+  explicit Animal(Kind K) : K(K) {}
+};
+struct Dog : Animal {
+  Dog() : Animal(Kind::Dog) {}
+  static bool classof(const Animal *A) { return A->K == Kind::Dog; }
+};
+struct Cat : Animal {
+  Cat() : Animal(Kind::Cat) {}
+  static bool classof(const Animal *A) { return A->K == Kind::Cat; }
+};
+
+TEST(Casting, IsaMatchesKind) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_TRUE(isa<Dog>(A));
+  EXPECT_FALSE(isa<Cat>(A));
+}
+
+TEST(Casting, CastReturnsTypedPointer) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_EQ(cast<Dog>(A), &D);
+}
+
+TEST(Casting, DynCastReturnsNullOnMismatch) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_EQ(dyn_cast<Cat>(A), nullptr);
+  EXPECT_EQ(dyn_cast<Dog>(A), &D);
+}
+
+TEST(Casting, DynCastIfPresentHandlesNull) {
+  Animal *A = nullptr;
+  EXPECT_EQ(dyn_cast_if_present<Dog>(A), nullptr);
+}
+
+TEST(Casting, ConstOverloads) {
+  Dog D;
+  const Animal *A = &D;
+  EXPECT_TRUE(isa<Dog>(A));
+  EXPECT_EQ(cast<Dog>(A), &D);
+  EXPECT_EQ(dyn_cast<Cat>(A), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// SourceManager
+//===----------------------------------------------------------------------===//
+
+TEST(SourceManager, FirstLineFirstColumn) {
+  SourceManager SM("buf", "hello\nworld\n");
+  LineColumn LC = SM.getLineColumn(SourceLoc(0));
+  EXPECT_EQ(LC.Line, 1u);
+  EXPECT_EQ(LC.Column, 1u);
+}
+
+TEST(SourceManager, SecondLine) {
+  SourceManager SM("buf", "hello\nworld\n");
+  LineColumn LC = SM.getLineColumn(SourceLoc(6));
+  EXPECT_EQ(LC.Line, 2u);
+  EXPECT_EQ(LC.Column, 1u);
+}
+
+TEST(SourceManager, MidLineColumn) {
+  SourceManager SM("buf", "hello\nworld\n");
+  LineColumn LC = SM.getLineColumn(SourceLoc(8));
+  EXPECT_EQ(LC.Line, 2u);
+  EXPECT_EQ(LC.Column, 3u);
+}
+
+TEST(SourceManager, InvalidLocationIsLineZero) {
+  SourceManager SM("buf", "text");
+  EXPECT_EQ(SM.getLineColumn(SourceLoc()).Line, 0u);
+}
+
+TEST(SourceManager, LineTextWithoutNewline) {
+  SourceManager SM("buf", "alpha\nbeta\ngamma");
+  EXPECT_EQ(SM.getLineText(SourceLoc(6)), "beta");
+  EXPECT_EQ(SM.getLineText(SourceLoc(11)), "gamma");
+}
+
+TEST(SourceManager, EmptyBuffer) {
+  SourceManager SM("buf", "");
+  EXPECT_EQ(SM.getLineColumn(SourceLoc(0)).Line, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine D;
+  D.warning(SourceLoc(0), "w");
+  D.note(SourceLoc(0), "n");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(0), "e");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.getNumErrors(), 1u);
+  EXPECT_EQ(D.getDiagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, RenderIncludesLocationAndSeverity) {
+  SourceManager SM("f.mc", "ab\ncd\n");
+  DiagnosticEngine D;
+  D.error(SourceLoc(3), "bad thing");
+  std::string Text = D.render(SM);
+  EXPECT_NE(Text.find("f.mc:2:1: error: bad thing"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtils, SplitKeepsEmptyFields) {
+  auto Fields = splitString("a,,b", ',');
+  ASSERT_EQ(Fields.size(), 3u);
+  EXPECT_EQ(Fields[0], "a");
+  EXPECT_EQ(Fields[1], "");
+  EXPECT_EQ(Fields[2], "b");
+}
+
+TEST(StringUtils, SplitNoSeparator) {
+  auto Fields = splitString("abc", ',');
+  ASSERT_EQ(Fields.size(), 1u);
+  EXPECT_EQ(Fields[0], "abc");
+}
+
+TEST(StringUtils, TrimBothEnds) {
+  EXPECT_EQ(trimString("  x y \t\n"), "x y");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("#define X", "#define "));
+  EXPECT_FALSE(startsWith("#def", "#define "));
+}
+
+TEST(StringUtils, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringUtils, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcde", 4), "abcde");
+}
+
+TEST(StringUtils, FormatWithCommas) {
+  EXPECT_EQ(formatWithCommas(0), "0");
+  EXPECT_EQ(formatWithCommas(999), "999");
+  EXPECT_EQ(formatWithCommas(1000), "1,000");
+  EXPECT_EQ(formatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(formatWithCommas(-1234567), "-1,234,567");
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I != 10; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u) << "all five values should eventually appear";
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(11);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(R.nextChance(0, 10));
+    EXPECT_TRUE(R.nextChance(10, 10));
+  }
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/TailRecursionTests.cpp - tail recursion elimination tests --------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/TailRecursionElimination.h"
+
+#include "callgraph/CallGraphBuilder.h"
+#include "core/InlinePass.h"
+#include "ir/IrVerifier.h"
+#include "opt/PassManager.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+using test::compileOk;
+
+namespace {
+
+size_t countCalls(const Function &F) {
+  size_t N = 0;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs)
+      N += I.isCall() ? 1 : 0;
+  return N;
+}
+
+TEST(TailRecursion, RewritesCountdownLoop) {
+  Module M = compileOk("int down(int n, int acc) {"
+                       "if (n == 0) return acc;"
+                       "return down(n - 1, acc + n); }"
+                       "int main() { return down(10, 0); }");
+  Function &Down = M.getFunction(M.findFunction("down"));
+  ASSERT_EQ(countCalls(Down), 1u);
+  EXPECT_TRUE(runTailRecursionElimination(Down));
+  EXPECT_EQ(countCalls(Down), 0u);
+  EXPECT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(runProgram(M).ExitCode, 55);
+}
+
+TEST(TailRecursion, SwappedArgumentsStageCorrectly) {
+  // f(p1, p0) must swap, not duplicate, the parameter registers.
+  Module M = compileOk("extern int print_int(int v);"
+                       "int spin(int a, int b, int n) {"
+                       "if (n == 0) return a * 100 + b;"
+                       "return spin(b, a, n - 1); }"
+                       "int main() { print_int(spin(3, 7, 5));"
+                       "return 0; }");
+  runTailRecursionElimination(M);
+  EXPECT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(test::runOk(M).Output, "703");
+}
+
+TEST(TailRecursion, NonTailCallUntouched) {
+  // fib's recursive calls feed an addition: not tail position.
+  Module M = compileOk("int fib(int n) { if (n < 2) return n;"
+                       "return fib(n - 1) + fib(n - 2); }"
+                       "int main() { return fib(10); }");
+  EXPECT_FALSE(runTailRecursionElimination(M));
+  EXPECT_EQ(runProgram(M).ExitCode, 55);
+}
+
+TEST(TailRecursion, SkipsFunctionsWithFrames) {
+  // A reused frame would carry the previous iteration's array contents.
+  Module M = compileOk("int walk(int n) { int buf[4]; buf[0] = n;"
+                       "if (n == 0) return buf[0];"
+                       "return walk(n - 1); }"
+                       "int main() { return walk(5); }");
+  EXPECT_FALSE(runTailRecursionElimination(M));
+}
+
+TEST(TailRecursion, VoidTailCall) {
+  Module M = compileOk("extern int putchar(int c);"
+                       "int g;"
+                       "void pump(int n) { if (n == 0) return;"
+                       "g = g + n; pump(n - 1); }"
+                       "int main() { g = 0; pump(4); return g; }");
+  EXPECT_TRUE(runTailRecursionElimination(M));
+  EXPECT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(runProgram(M).ExitCode, 10);
+}
+
+TEST(TailRecursion, DeepRecursionNoLongerOverflows) {
+  Module M = compileOk("int down(int n) { if (n == 0) return 0;"
+                       "return down(n - 1); }"
+                       "extern int getchar();"
+                       "int main() { int d; d = 0;"
+                       "while (getchar() != -1) d = d + 1000;"
+                       "return down(d); }");
+  RunOptions Opts;
+  Opts.Input = std::string(20, 'x'); // depth 20000
+  Opts.StackWords = 4000;            // far too small for real recursion
+  ExecResult Before = runProgram(M, Opts);
+  EXPECT_EQ(Before.St, ExecResult::Status::Trapped);
+
+  runTailRecursionElimination(M);
+  ExecResult After = runProgram(M, Opts);
+  EXPECT_TRUE(After.ok()) << After.TrapMessage;
+  EXPECT_EQ(After.ExitCode, 0);
+}
+
+TEST(TailRecursion, RemovesRecursionFromCallGraph) {
+  Module M = compileOk("int down(int n) { if (n == 0) return 0;"
+                       "return down(n - 1); }"
+                       "int main() { return down(9); }");
+  CallGraph Before = buildCallGraph(M, nullptr);
+  EXPECT_TRUE(Before.isRecursive(M.findFunction("down")));
+  runTailRecursionElimination(M);
+  CallGraph After = buildCallGraph(M, nullptr);
+  EXPECT_FALSE(After.isRecursive(M.findFunction("down")))
+      << "TRE must take the function off its cycle";
+}
+
+TEST(TailRecursion, UnlocksFullCallElimination) {
+  // Inlining a call *to* a recursive function only absorbs its first
+  // iteration (§2.3): the inlined clone still calls down recursively.
+  // After TRE the function is an ordinary loop, so the same expansion
+  // removes every dynamic call.
+  const char *Src = "int down(int n, int acc) {"
+                    "if (n == 0) return acc;"
+                    "return down(n - 1, acc + n); }"
+                    "extern int getchar(); extern int print_int(int v);"
+                    "int main() { int c; int t; t = 0; c = getchar();"
+                    "while (c != -1) { t = t + down(c % 8, 0);"
+                    "c = getchar(); } print_int(t); return 0; }";
+
+  std::string Input(40, 'g'); // 'g' % 8 == 7: seven recursion levels/call
+  std::string ExpectedOutput;
+  auto RemainingCalls = [&](bool Tre) {
+    Module M = compileOk(Src);
+    if (Tre)
+      runTailRecursionElimination(M);
+    ProfileResult P = test::profileInputs(M, {Input});
+    InlineOptions Options;
+    Options.CodeGrowthFactor = 4.0; // the program is tiny; don't let the
+                                    // size budget mask the recursion story
+    runInlineExpansion(M, P.Data, Options);
+    EXPECT_EQ(verifyModuleText(M), "");
+    ExecResult E = test::runOk(M, Input);
+    if (ExpectedOutput.empty())
+      ExpectedOutput = E.Output;
+    EXPECT_EQ(E.Output, ExpectedOutput) << "behaviour must not change";
+    // Subtract the unavoidable external calls (getchar/print_int).
+    return E.Stats.DynamicCalls - E.Stats.ExternalCalls;
+  };
+  uint64_t Without = RemainingCalls(false);
+  uint64_t With = RemainingCalls(true);
+  EXPECT_GT(Without, 0u) << "recursive calls survive plain inlining";
+  EXPECT_EQ(With, 0u) << "TRE + inlining removes every user-level call";
+}
+
+TEST(TailRecursion, PipelineFlagPreservesBehaviour) {
+  Module M = compileOk(test::kRecursiveProgram);
+  ExecResult Before = test::runOk(M, "abcdefgh");
+  OptOptions Opts;
+  Opts.TailRecursionElimination = true;
+  runOptimizationPipeline(M, Opts);
+  EXPECT_EQ(verifyModuleText(M), "");
+  ExecResult After = test::runOk(M, "abcdefgh");
+  EXPECT_EQ(Before.Output, After.Output);
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+//===- tests/WeightEstimateTests.cpp - redistribution + static estimates ------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WeightRedistribution.h"
+#include "profile/StaticEstimator.h"
+
+#include "core/InlinePass.h"
+#include "suite/Suite.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+using test::compileOk;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Arc-weight redistribution (§2.2)
+//===----------------------------------------------------------------------===//
+
+struct Redistributed {
+  Module M;
+  ProfileData Pre;
+  RedistributedWeights Est;
+  ProfileData Post;
+};
+
+Redistributed expandAndEstimate(const char *Source, const std::string &Input,
+                                InlineOptions Options = InlineOptions()) {
+  Redistributed R{compileOk(Source), {}, {}, {}};
+  ProfileResult Pre = test::profileInputs(R.M, {Input});
+  EXPECT_TRUE(Pre.allRunsOk());
+  R.Pre = Pre.Data;
+  InlineResult IR = runInlineExpansion(R.M, R.Pre, Options);
+  R.Est = redistributeWeights(R.M, R.Pre, IR.Expansions);
+  ProfileResult Post = test::profileInputs(R.M, {Input});
+  EXPECT_TRUE(Post.allRunsOk());
+  R.Post = Post.Data;
+  return R;
+}
+
+TEST(WeightRedistribution, NoExpansionsIsIdentity) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  ProfileResult P = test::profileInputs(M, {"abc"});
+  RedistributedWeights Est = redistributeWeights(M, P.Data, {});
+  for (uint32_t S = 0; S != M.NextSiteId; ++S)
+    EXPECT_DOUBLE_EQ(Est.ArcWeight[S], P.Data.getArcWeight(S));
+}
+
+TEST(WeightRedistribution, MatchesReprofileOnUniformCallee) {
+  // square behaves identically from every entry: the uniform-attribution
+  // estimate is exact, site by site.
+  InlineOptions Options;
+  Options.CodeGrowthFactor = 8.0;
+  Options.MinArcWeight = 1.0;
+  Redistributed R = expandAndEstimate(test::kCallHeavyProgram,
+                                      std::string(30, 'x'), Options);
+  for (uint32_t S = 0; S != R.M.NextSiteId; ++S)
+    EXPECT_NEAR(R.Est.ArcWeight[S], R.Post.getArcWeight(S), 1e-6)
+        << "site " << S;
+}
+
+TEST(WeightRedistribution, TotalCallVolumeInvariant) {
+  // Independent of attribution accuracy: total arc weight equals the
+  // re-profiled total dynamic calls.
+  InlineOptions Options;
+  Options.CodeGrowthFactor = 3.0;
+  Redistributed R = expandAndEstimate(test::kCallHeavyProgram,
+                                      std::string(40, 'q'), Options);
+  EXPECT_NEAR(R.Est.getTotalArcWeight(), R.Post.getAvgDynamicCalls(), 1e-6);
+}
+
+TEST(WeightRedistribution, ExpandedSitesDropToZero) {
+  InlineOptions Options;
+  Options.CodeGrowthFactor = 3.0;
+  Module M = compileOk(test::kCallHeavyProgram);
+  ProfileResult Pre = test::profileInputs(M, {std::string(30, 'x')});
+  InlineResult IR = runInlineExpansion(M, Pre.Data, Options);
+  ASSERT_FALSE(IR.Expansions.empty());
+  RedistributedWeights Est = redistributeWeights(M, Pre.Data, IR.Expansions);
+  for (const ExpansionRecord &Rec : IR.Expansions)
+    EXPECT_DOUBLE_EQ(Est.ArcWeight[Rec.SiteId], 0.0);
+}
+
+TEST(WeightRedistribution, SuiteBenchmarksStayClose) {
+  // On real programs the estimate should track the re-profiled truth
+  // closely in aggregate (within 2% of total call volume).
+  for (const char *Name : {"compress", "make"}) {
+    const BenchmarkSpec *B = findBenchmark(Name);
+    Module M = compileOk(B->Source);
+    auto Inputs = makeBenchmarkInputs(*B, 2);
+    ProfileResult Pre = profileProgram(M, Inputs);
+    ASSERT_TRUE(Pre.allRunsOk());
+    InlineResult IR = runInlineExpansion(M, Pre.Data);
+    RedistributedWeights Est = redistributeWeights(M, Pre.Data,
+                                                   IR.Expansions);
+    ProfileResult Post = profileProgram(M, Inputs);
+    ASSERT_TRUE(Post.allRunsOk());
+    double Truth = Post.Data.getAvgDynamicCalls();
+    EXPECT_NEAR(Est.getTotalArcWeight(), Truth, Truth * 0.02 + 1.0)
+        << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Structure-only estimates (§4.2)
+//===----------------------------------------------------------------------===//
+
+TEST(LoopDepth, StraightLineIsZero) {
+  Module M = compileOk("int main() { int x; x = 1; return x; }");
+  auto Depth = computeLoopDepths(M.getFunction(M.MainId));
+  for (unsigned D : Depth)
+    EXPECT_EQ(D, 0u);
+}
+
+TEST(LoopDepth, SingleLoopBodyIsOne) {
+  Module M = compileOk("extern int putchar(int c);"
+                       "int main() { int i;"
+                       "for (i = 0; i < 3; i++) putchar('x');"
+                       "return 0; }");
+  const Function &Main = M.getFunction(M.MainId);
+  auto Depth = computeLoopDepths(Main);
+  // The block containing the call must be at depth 1.
+  bool Checked = false;
+  for (size_t B = 0; B != Main.Blocks.size(); ++B)
+    for (const Instr &I : Main.Blocks[B].Instrs)
+      if (I.isCall()) {
+        EXPECT_EQ(Depth[B], 1u);
+        Checked = true;
+      }
+  EXPECT_TRUE(Checked);
+  EXPECT_EQ(Depth[0], 0u) << "entry stays outside the loop";
+}
+
+TEST(LoopDepth, NestedLoopsStack) {
+  Module M = compileOk("extern int putchar(int c);"
+                       "int main() { int i; int j;"
+                       "for (i = 0; i < 3; i++)"
+                       "  for (j = 0; j < 3; j++) putchar('x');"
+                       "return 0; }");
+  const Function &Main = M.getFunction(M.MainId);
+  auto Depth = computeLoopDepths(Main);
+  unsigned CallDepth = 0;
+  for (size_t B = 0; B != Main.Blocks.size(); ++B)
+    for (const Instr &I : Main.Blocks[B].Instrs)
+      if (I.isCall())
+        CallDepth = Depth[B];
+  EXPECT_EQ(CallDepth, 2u);
+}
+
+TEST(StaticEstimator, LoopSitesOutweighStraightLine) {
+  Module M = compileOk("int leaf(int x) { return x + 1; }"
+                       "int main() { int i; int t; t = leaf(0);"
+                       "for (i = 0; i < 9; i++) t = t + leaf(i);"
+                       "return t; }");
+  ProfileData Est = estimateProfileFromStructure(M);
+  // Find the two sites.
+  uint32_t Straight = 0, Looped = 0;
+  const Function &Main = M.getFunction(M.MainId);
+  auto Depth = computeLoopDepths(Main);
+  for (size_t B = 0; B != Main.Blocks.size(); ++B)
+    for (const Instr &I : Main.Blocks[B].Instrs)
+      if (I.isCall())
+        (Depth[B] == 0 ? Straight : Looped) = I.SiteId;
+  ASSERT_NE(Straight, 0u);
+  ASSERT_NE(Looped, 0u);
+  EXPECT_GT(Est.getArcWeight(Looped), Est.getArcWeight(Straight));
+  EXPECT_DOUBLE_EQ(Est.getArcWeight(Straight), 1.0);
+  EXPECT_DOUBLE_EQ(Est.getArcWeight(Looped), 10.0);
+}
+
+TEST(StaticEstimator, EntryCountsPropagateDown) {
+  Module M = compileOk("int inner(int x) { return x; }"
+                       "int outer(int x) { int i; int t; t = 0;"
+                       "for (i = 0; i < 4; i++) t = t + inner(i);"
+                       "return t; }"
+                       "int main() { int i; int t; t = 0;"
+                       "for (i = 0; i < 4; i++) t = t + outer(i);"
+                       "return t; }");
+  ProfileData Est = estimateProfileFromStructure(M);
+  // outer entered ~10 (one loop level), inner ~100 (two multiplications).
+  EXPECT_DOUBLE_EQ(Est.getNodeWeight(M.findFunction("outer")), 10.0);
+  EXPECT_DOUBLE_EQ(Est.getNodeWeight(M.findFunction("inner")), 100.0);
+  EXPECT_DOUBLE_EQ(Est.getNodeWeight(M.MainId), 1.0);
+}
+
+TEST(StaticEstimator, RecursionStaysFinite) {
+  Module M = compileOk("int fib(int n) { if (n < 2) return n;"
+                       "return fib(n - 1) + fib(n - 2); }"
+                       "int main() { return fib(10); }");
+  ProfileData Est = estimateProfileFromStructure(M);
+  EXPECT_GT(Est.getNodeWeight(M.findFunction("fib")), 0.0);
+  EXPECT_LT(Est.getNodeWeight(M.findFunction("fib")), 1e12);
+}
+
+TEST(StaticEstimator, DrivesTheInlinerEndToEnd) {
+  // The whole stack runs on fake weights and behaviour is preserved.
+  const BenchmarkSpec *B = findBenchmark("compress");
+  Module M = compileOk(B->Source);
+  auto Inputs = makeBenchmarkInputs(*B, 2);
+  ProfileResult Real = profileProgram(M, Inputs);
+  ASSERT_TRUE(Real.allRunsOk());
+
+  ProfileData Est = estimateProfileFromStructure(M);
+  InlineResult R = runInlineExpansion(M, Est);
+  EXPECT_GT(R.getNumExpanded(), 0u)
+      << "loop nesting alone must find something in compress";
+  ProfileResult Post = profileProgram(M, Inputs);
+  ASSERT_TRUE(Post.allRunsOk());
+  EXPECT_EQ(Post.Outputs, Real.Outputs);
+  EXPECT_LT(Post.Data.getAvgDynamicCalls(), Real.Data.getAvgDynamicCalls());
+}
+
+} // namespace
