@@ -6,11 +6,43 @@
 
 #include "BenchCommon.h"
 
+#include "support/StringUtils.h"
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace impact;
 using namespace impact::bench;
+
+namespace {
+
+unsigned ConfiguredJobs = 0; // 0 = hardware
+double TotalWallSeconds = 0.0;
+double TotalCpuSeconds = 0.0;
+unsigned BatchesRun = 0;
+unsigned LastThreadsUsed = 1;
+
+} // namespace
+
+void impact::bench::initBenchHarness(int argc, char **argv) {
+  if (const char *Env = std::getenv("IMPACT_JOBS"))
+    ConfiguredJobs = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+  for (int I = 1; I < argc; ++I) {
+    if ((std::strcmp(argv[I], "--jobs") == 0 ||
+         std::strcmp(argv[I], "-j") == 0) &&
+        I + 1 < argc)
+      ConfiguredJobs =
+          static_cast<unsigned>(std::strtoul(argv[I + 1], nullptr, 10));
+  }
+}
+
+unsigned impact::bench::getConfiguredJobs() { return ConfiguredJobs; }
+
+FunctionDefinitionCache &impact::bench::getSharedDefinitionCache() {
+  static FunctionDefinitionCache Cache;
+  return Cache;
+}
 
 unsigned impact::bench::countSourceLines(const std::string &Source) {
   unsigned Lines = 0;
@@ -19,18 +51,46 @@ unsigned impact::bench::countSourceLines(const std::string &Source) {
   return Lines;
 }
 
+std::vector<BatchJob>
+impact::bench::makeSuiteBatchJobs(const PipelineOptions &Options,
+                                  unsigned RunsOverride) {
+  std::vector<BatchJob> Jobs;
+  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+    BatchJob Job;
+    Job.Name = B.Name;
+    Job.Source = B.Source;
+    Job.Inputs = makeBenchmarkInputs(B, RunsOverride);
+    Job.Options = Options;
+    Jobs.push_back(std::move(Job));
+  }
+  return Jobs;
+}
+
 std::vector<SuiteRun>
 impact::bench::runSuiteExperiment(const PipelineOptions &Options,
                                   unsigned RunsOverride) {
+  std::vector<BatchJob> Jobs = makeSuiteBatchJobs(Options, RunsOverride);
+
+  BatchOptions Batch;
+  Batch.Jobs = ConfiguredJobs;
+  Batch.ExternalCache = &getSharedDefinitionCache();
+  BatchResult R = runBatchPipeline(Jobs, Batch);
+
+  TotalWallSeconds += R.WallSeconds;
+  TotalCpuSeconds += R.getCpuSeconds();
+  LastThreadsUsed = R.ThreadsUsed;
+  ++BatchesRun;
+
+  const std::vector<BenchmarkSpec> &Suite = getBenchmarkSuite();
   std::vector<SuiteRun> Results;
-  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    const BenchmarkSpec &B = Suite[I];
     SuiteRun Run;
     Run.Name = B.Name;
     Run.InputDescription = B.InputDescription;
     Run.Runs = RunsOverride == 0 ? B.DefaultRuns : RunsOverride;
     Run.SourceLines = countSourceLines(B.Source);
-    std::vector<RunInput> Inputs = makeBenchmarkInputs(B, Run.Runs);
-    Run.Result = runPipeline(B.Source, B.Name, Inputs, Options);
+    Run.Result = std::move(R.Results[I]);
     if (!Run.Result.Ok) {
       std::fprintf(stderr, "benchmark %s failed: %s\n", B.Name.c_str(),
                    Run.Result.Error.c_str());
@@ -45,6 +105,24 @@ impact::bench::runSuiteExperiment(const PipelineOptions &Options,
     Results.push_back(std::move(Run));
   }
   return Results;
+}
+
+std::string impact::bench::renderBenchFooter() {
+  FunctionCacheStats Cache = getSharedDefinitionCache().getStats();
+  std::string Out;
+  Out += "[batch] " + std::to_string(BatchesRun) + " suite batch(es), " +
+         std::to_string(LastThreadsUsed) + " thread(s): " +
+         formatDuration(TotalWallSeconds) + " wall / " +
+         formatDuration(TotalCpuSeconds) + " cpu";
+  if (TotalWallSeconds > 0.0)
+    Out += " (speedup " +
+           formatDouble(TotalCpuSeconds / TotalWallSeconds, 2) + "x)";
+  Out += "\n[cache] " + std::to_string(Cache.Hits) + " hits / " +
+         std::to_string(Cache.Misses) + " misses (" +
+         formatPercent(Cache.getHitRate() * 100.0) + "), " +
+         std::to_string(Cache.Entries) + " entries, " +
+         std::to_string(Cache.InstrsServed) + " cached IL served\n";
+  return Out;
 }
 
 const std::vector<PaperTable4Row> &impact::bench::getPaperTable4() {

@@ -9,11 +9,20 @@
 /// experiment (compile → profile → inline → re-profile) over the 12-program
 /// suite and hands each bench the per-benchmark PipelineResult.
 ///
+/// All suite experiments go through driver/BatchPipeline: the 12 programs
+/// run `--jobs` pipelines at a time (default: one per hardware thread;
+/// also settable via the IMPACT_JOBS environment variable) and share one
+/// process-wide function-definition cache, so an ablation sweep that
+/// recompiles the suite per configuration point pays the pre-opt cost
+/// once. Results are bit-identical to the serial pipeline at any job
+/// count; see the ParallelDeterminism property test.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IMPACT_BENCH_BENCHCOMMON_H
 #define IMPACT_BENCH_BENCHCOMMON_H
 
+#include "driver/BatchPipeline.h"
 #include "driver/Pipeline.h"
 #include "driver/Report.h"
 #include "suite/Suite.h"
@@ -33,14 +42,36 @@ struct SuiteRun {
   PipelineResult Result;
 };
 
-/// Runs the experiment over all 12 benchmarks. \p RunsOverride scales the
-/// number of profiled inputs (0 = each benchmark's Table 1 default).
-/// Aborts the process with a message if any benchmark fails (outputs must
-/// also match before/after inlining — the harness enforces the soundness
-/// property on every run).
+/// Parses `--jobs N` / `-j N` from \p argv (falling back to the
+/// IMPACT_JOBS environment variable) and installs the result as the job
+/// count for every subsequent runSuiteExperiment. Call first in main().
+void initBenchHarness(int argc, char **argv);
+
+/// The installed worker count; 0 means one per hardware thread.
+unsigned getConfiguredJobs();
+
+/// The process-wide function-definition cache shared by every suite batch
+/// this bench runs (ablation sweeps hit it across configurations).
+FunctionDefinitionCache &getSharedDefinitionCache();
+
+/// One BatchJob per suite benchmark (\p RunsOverride 0 = Table 1 runs).
+std::vector<BatchJob> makeSuiteBatchJobs(const PipelineOptions &Options =
+                                             PipelineOptions(),
+                                         unsigned RunsOverride = 0);
+
+/// Runs the experiment over all 12 benchmarks as one parallel batch. \p
+/// RunsOverride scales the number of profiled inputs (0 = each benchmark's
+/// Table 1 default). Aborts the process with a message if any benchmark
+/// fails (outputs must also match before/after inlining — the harness
+/// enforces the soundness property on every run).
 std::vector<SuiteRun> runSuiteExperiment(const PipelineOptions &Options =
                                              PipelineOptions(),
                                          unsigned RunsOverride = 0);
+
+/// Timing/cache footer for the batches run so far: wall vs cpu seconds,
+/// realized parallelism, definition-cache hit counters. Benches print it
+/// after their tables.
+std::string renderBenchFooter();
 
 /// Lines of MiniC in \p Source (the Table 1 "C lines" analogue).
 unsigned countSourceLines(const std::string &Source);

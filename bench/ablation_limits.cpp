@@ -23,7 +23,8 @@
 using namespace impact;
 using namespace impact::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchHarness(argc, argv);
   std::printf("Ablation: code-size budget (CodeGrowthFactor)\n\n");
   {
     TableWriter T({"budget", "avg call dec", "avg code inc", "expansions",
@@ -138,5 +139,6 @@ int main() {
     }
     std::printf("%s\n", T.render().c_str());
   }
+  std::printf("%s", renderBenchFooter().c_str());
   return 0;
 }

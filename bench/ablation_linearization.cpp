@@ -43,7 +43,8 @@ void reportPolicy(TableWriter &T, const char *Label,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchHarness(argc, argv);
   std::printf("Ablation: linearization policy (paper: random placement, "
               "then sort by execution count)\n\n");
 
@@ -68,5 +69,6 @@ int main() {
   }
 
   std::printf("%s\n", T.render().c_str());
+  std::printf("%s", renderBenchFooter().c_str());
   return 0;
 }

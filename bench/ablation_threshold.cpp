@@ -22,7 +22,8 @@
 using namespace impact;
 using namespace impact::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchHarness(argc, argv);
   std::printf("Ablation: arc-weight threshold (paper default: 10)\n\n");
 
   TableWriter T({"threshold", "avg call dec", "avg code inc",
@@ -45,5 +46,6 @@ int main() {
               std::to_string(SafeSites)});
   }
   std::printf("%s\n", T.render().c_str());
+  std::printf("%s", renderBenchFooter().c_str());
   return 0;
 }

@@ -15,9 +15,11 @@
 
 #include "callgraph/CallGraphBuilder.h"
 #include "core/InlinePass.h"
+#include "driver/BatchPipeline.h"
 #include "driver/Compilation.h"
 #include "profile/Profiler.h"
 #include "suite/Suite.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
@@ -26,6 +28,19 @@ using namespace impact;
 namespace {
 
 const BenchmarkSpec &grepSpec() { return *findBenchmark("grep"); }
+
+/// One batch job per suite program with \p Runs profiled inputs each.
+std::vector<BatchJob> makeSuiteJobs(unsigned Runs) {
+  std::vector<BatchJob> Jobs;
+  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+    BatchJob Job;
+    Job.Name = B.Name;
+    Job.Source = B.Source;
+    Job.Inputs = makeBenchmarkInputs(B, Runs);
+    Jobs.push_back(std::move(Job));
+  }
+  return Jobs;
+}
 
 void BM_CompileGrep(benchmark::State &State) {
   const BenchmarkSpec &B = grepSpec();
@@ -111,6 +126,75 @@ void BM_InlineWholeSuite(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_InlineWholeSuite);
+
+// The headline batch measurement: the whole 12-program experiment
+// (compile → profile → inline → re-profile per program) at increasing
+// worker counts. Wall-clock time should fall roughly linearly up to the
+// core count; the cache counters show the shared function-definition
+// cache working across programs. Results are bit-identical at every
+// thread count (the ParallelDeterminism property test enforces this).
+void BM_BatchPipelineSuite(benchmark::State &State) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  std::vector<BatchJob> Jobs = makeSuiteJobs(/*Runs=*/2);
+  uint64_t Hits = 0, Misses = 0;
+  double CpuSeconds = 0.0;
+  for (auto _ : State) {
+    BatchOptions Options;
+    Options.Jobs = Threads;
+    BatchResult R = runBatchPipeline(Jobs, Options);
+    if (!R.allOk()) {
+      State.SkipWithError("batch pipeline job failed");
+      return;
+    }
+    Hits += R.Aggregate.CacheHits;
+    Misses += R.Aggregate.CacheMisses;
+    CpuSeconds += R.getCpuSeconds();
+    benchmark::DoNotOptimize(R.Results.size());
+  }
+  State.counters["cache_hits"] = static_cast<double>(Hits);
+  State.counters["cache_misses"] = static_cast<double>(Misses);
+  State.counters["cpu_s_per_batch"] =
+      CpuSeconds / static_cast<double>(State.iterations());
+}
+BENCHMARK(BM_BatchPipelineSuite)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The ablation-sweep shape: the same suite recompiled many times (here,
+// once per iteration) against a persistent function-definition cache.
+// Arg(1) keeps the cache across iterations — after the first, every
+// pre-opt body is served from cache; Arg(0) disables caching.
+void BM_SuiteSweepDefinitionCache(benchmark::State &State) {
+  bool UseCache = State.range(0) != 0;
+  std::vector<BatchJob> Jobs = makeSuiteJobs(/*Runs=*/2);
+  FunctionDefinitionCache Cache;
+  uint64_t Hits = 0, Misses = 0;
+  for (auto _ : State) {
+    BatchOptions Options;
+    Options.Jobs = 1;
+    Options.UseDefinitionCache = UseCache;
+    if (UseCache)
+      Options.ExternalCache = &Cache;
+    BatchResult R = runBatchPipeline(Jobs, Options);
+    if (!R.allOk()) {
+      State.SkipWithError("batch pipeline job failed");
+      return;
+    }
+    Hits += R.Aggregate.CacheHits;
+    Misses += R.Aggregate.CacheMisses;
+    benchmark::DoNotOptimize(R.Results.size());
+  }
+  State.counters["cache_hits"] = static_cast<double>(Hits);
+  State.counters["cache_misses"] = static_cast<double>(Misses);
+}
+BENCHMARK(BM_SuiteSweepDefinitionCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

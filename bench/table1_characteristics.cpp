@@ -25,7 +25,8 @@
 using namespace impact;
 using namespace impact::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchHarness(argc, argv);
   std::printf("Table 1: Benchmark characteristics\n");
   std::printf("(paper: Hwu & Chang, PLDI 1989, Table 1)\n\n");
 
@@ -50,5 +51,6 @@ int main() {
   std::printf("total profiled execution: %s IL instructions "
               "(paper: >3 billion; scale-free metrics)\n",
               formatWithCommas(static_cast<int64_t>(TotalIl)).c_str());
+  std::printf("%s", renderBenchFooter().c_str());
   return 0;
 }

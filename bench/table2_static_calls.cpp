@@ -22,7 +22,8 @@
 using namespace impact;
 using namespace impact::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchHarness(argc, argv);
   std::printf("Table 2: Static function call characteristics\n");
   std::printf("(paper: Hwu & Chang, PLDI 1989, Table 2; paper averages: "
               "unsafe ~65%%, safe ~11%%)\n\n");
@@ -55,5 +56,6 @@ int main() {
   std::printf("%s\n", T.render().c_str());
   std::printf("paper AVG:        external+pointer ~24%%, unsafe ~65%%, "
               "safe ~11%%\n");
+  std::printf("%s", renderBenchFooter().c_str());
   return 0;
 }

@@ -21,7 +21,8 @@
 using namespace impact;
 using namespace impact::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchHarness(argc, argv);
   std::printf("Table 3: Dynamic function call behaviour (pre-inline)\n");
   std::printf("(paper: Hwu & Chang, PLDI 1989, Table 3; paper average: "
               "safe sites cover ~69%% of dynamic calls)\n\n");
@@ -51,5 +52,6 @@ int main() {
   std::printf("%s\n", T.render().c_str());
   std::printf("paper AVG: safe ~69%% of dynamic calls; unsafe dynamic "
               "share \"amazingly small\"\n");
+  std::printf("%s", renderBenchFooter().c_str());
   return 0;
 }

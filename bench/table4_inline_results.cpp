@@ -23,7 +23,8 @@
 using namespace impact;
 using namespace impact::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchHarness(argc, argv);
   std::printf("Table 4: Inline expansion results\n");
   std::printf("(paper: Hwu & Chang, PLDI 1989, Table 4; columns marked "
               "[paper] are its values)\n\n");
@@ -87,5 +88,6 @@ int main() {
   std::printf("calls as share of post-inline control transfers: %s "
               "(paper: ~1%%)\n",
               formatPercent(100 * Calls / (Calls + Cts)).c_str());
+  std::printf("%s", renderBenchFooter().c_str());
   return 0;
 }

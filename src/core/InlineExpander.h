@@ -40,6 +40,9 @@ struct ExpansionRecord {
   /// (original callee site id, fresh clone site id) for every call site in
   /// the duplicated body.
   std::vector<std::pair<uint32_t, uint32_t>> ClonedSites;
+
+  friend bool operator==(const ExpansionRecord &,
+                         const ExpansionRecord &) = default;
 };
 
 /// Expands the direct call with id \p SiteId in place. Returns false (and

@@ -36,6 +36,9 @@ struct PlannedSite {
   double Weight = 0.0;
   ArcStatus Status = ArcStatus::NotExpandable;
   CostVerdict Verdict = CostVerdict::NotInlinable;
+
+  /// Exact equality; the parallel-determinism test compares whole plans.
+  friend bool operator==(const PlannedSite &, const PlannedSite &) = default;
 };
 
 /// The decision output: per-site statuses plus the physical expansion
@@ -51,6 +54,8 @@ struct InlinePlan {
 
   size_t countStatus(ArcStatus S) const;
   const PlannedSite *findSite(uint32_t SiteId) const;
+
+  friend bool operator==(const InlinePlan &, const InlinePlan &) = default;
 };
 
 /// Selects expansion sites: visits expandable arcs from the most to the

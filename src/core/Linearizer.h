@@ -37,6 +37,8 @@ struct Linearization {
     return Position[static_cast<size_t>(A)] <
            Position[static_cast<size_t>(B)];
   }
+
+  friend bool operator==(const Linearization &, const Linearization &) = default;
 };
 
 /// Computes the sequence over all non-external functions of \p M.

@@ -1,0 +1,94 @@
+//===- driver/BatchPipeline.cpp --------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchPipeline.h"
+
+#include "driver/Report.h"
+#include "support/Stopwatch.h"
+#include "support/ThreadPool.h"
+
+using namespace impact;
+
+bool BatchResult::allOk() const { return firstFailure() < 0; }
+
+int BatchResult::firstFailure() const {
+  for (size_t I = 0; I != Results.size(); ++I)
+    if (!Results[I].Ok)
+      return static_cast<int>(I);
+  return -1;
+}
+
+BatchResult impact::runBatchPipeline(const std::vector<BatchJob> &Jobs,
+                                     const BatchOptions &Options) {
+  BatchResult Result;
+  Result.Results.resize(Jobs.size());
+
+  FunctionDefinitionCache LocalCache;
+  FunctionDefinitionCache *Cache = Options.ExternalCache;
+  if (!Cache && Options.UseDefinitionCache)
+    Cache = &LocalCache;
+
+  Stopwatch Wall;
+  {
+    ThreadPool Pool(Options.Jobs);
+    Result.ThreadsUsed = Pool.getThreadCount();
+    for (size_t I = 0; I != Jobs.size(); ++I) {
+      Pool.submit([&Jobs, &Result, Cache, I] {
+        const BatchJob &Job = Jobs[I];
+        PipelineOptions JobOptions = Job.Options;
+        JobOptions.DefCache = Cache;
+        Result.Results[I] =
+            runPipeline(Job.Source, Job.Name, Job.Inputs, JobOptions);
+      });
+    }
+    Pool.wait();
+  }
+  Result.WallSeconds = Wall.seconds();
+
+  for (const PipelineResult &R : Result.Results)
+    Result.Aggregate.merge(R.Stats);
+  if (Cache)
+    Result.Cache = Cache->getStats();
+  return Result;
+}
+
+std::string impact::renderBatchReport(const std::vector<BatchJob> &Jobs,
+                                      const BatchResult &Result) {
+  TableWriter T({"job", "status", "compile", "pre-opt", "profile", "inline",
+                 "re-profile", "total", "cache"});
+  for (size_t I = 0; I != Result.Results.size(); ++I) {
+    const PipelineResult &R = Result.Results[I];
+    const PipelineStats &S = R.Stats;
+    std::string CacheCell =
+        std::to_string(S.CacheHits) + "h/" + std::to_string(S.CacheMisses) +
+        "m";
+    T.addRow({I < Jobs.size() ? Jobs[I].Name : std::to_string(I),
+              R.Ok ? "ok" : "FAILED", formatDuration(S.CompileSeconds),
+              formatDuration(S.PreOptSeconds),
+              formatDuration(S.ProfileSeconds),
+              formatDuration(S.InlineSeconds),
+              formatDuration(S.ReProfileSeconds),
+              formatDuration(S.getTotalSeconds()), CacheCell});
+  }
+
+  std::string Out = T.render();
+  Out += "\nbatch: " + std::to_string(Result.ThreadsUsed) + " thread(s), " +
+         formatDuration(Result.WallSeconds) + " wall, " +
+         formatDuration(Result.getCpuSeconds()) + " cpu (speedup " +
+         formatCount(Result.getSpeedup() * 100.0) + "% of serial)\n";
+  Out += "cache: " + std::to_string(Result.Aggregate.CacheHits) + " hits / " +
+         std::to_string(Result.Aggregate.CacheMisses) + " misses this batch" +
+         " (" + formatPercent(Result.Cache.getHitRate() * 100.0) +
+         " lifetime hit rate, " + std::to_string(Result.Cache.Entries) +
+         " entries, " + std::to_string(Result.Cache.InstrsServed) +
+         " cached IL served)\n";
+  Out += "pre-opt work: " +
+         std::to_string(Result.Aggregate.PreOpt.InstrsProcessed) +
+         " IL processed across " +
+         std::to_string(Result.Aggregate.PreOpt.FunctionsVisited) +
+         " function(s)\n";
+  return Out;
+}

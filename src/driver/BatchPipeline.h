@@ -1,0 +1,91 @@
+//===- driver/BatchPipeline.h - Parallel whole-suite experiments -----------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs many independent compile→profile→inline→re-profile pipelines
+/// concurrently on a work-stealing thread pool, sharing one sharded
+/// function-definition cache between all jobs. This is the batch form of
+/// the paper's §4 experiment: every table and ablation iterates the same
+/// 12-program suite, so the suite is the natural unit of parallelism.
+///
+/// Determinism contract: each job is self-contained (own module, own
+/// profile, fixed linearization seed) and the shared cache only ever
+/// returns bodies identical to what recomputation would produce, so
+/// `runBatchPipeline(Jobs, N threads)` yields results bit-identical to
+/// running each job through `runPipeline` serially — enforced by the
+/// ParallelDeterminism property test. Only the timing fields and cache
+/// hit/miss split may differ between runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_DRIVER_BATCHPIPELINE_H
+#define IMPACT_DRIVER_BATCHPIPELINE_H
+
+#include "driver/FunctionCache.h"
+#include "driver/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace impact {
+
+/// One program's experiment: source, inputs, and the full pipeline knobs.
+/// Jobs carry their own options so a batch can mix configurations (an
+/// ablation sweep batches all its points at once).
+struct BatchJob {
+  std::string Name;
+  std::string Source;
+  std::vector<RunInput> Inputs;
+  PipelineOptions Options;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  unsigned Jobs = 0;
+  /// Share a function-definition cache across the batch's pre-opt stages.
+  bool UseDefinitionCache = true;
+  /// Use this cache instead of a batch-local one, e.g. to persist entries
+  /// across the successive batches of an ablation sweep. Overrides
+  /// UseDefinitionCache.
+  FunctionDefinitionCache *ExternalCache = nullptr;
+};
+
+struct BatchResult {
+  /// One result per job, in job order (independent of completion order).
+  std::vector<PipelineResult> Results;
+  /// Wall time of the whole batch (the parallel speedup numerator is the
+  /// sum of per-job Stats.getTotalSeconds()).
+  double WallSeconds = 0.0;
+  unsigned ThreadsUsed = 1;
+  /// Per-job stats summed: cpu seconds per phase, cache hits/misses.
+  PipelineStats Aggregate;
+  /// Cache-lifetime counters (== Aggregate's hit/miss for a batch-local
+  /// cache; larger for an external cache reused across batches).
+  FunctionCacheStats Cache;
+
+  bool allOk() const;
+  /// Index of the first failed job, or -1.
+  int firstFailure() const;
+  /// Sum of per-job pipeline cpu time — what a serial run would cost.
+  double getCpuSeconds() const { return Aggregate.getTotalSeconds(); }
+  /// CPU-seconds / wall-seconds: the realized parallelism.
+  double getSpeedup() const {
+    return WallSeconds == 0.0 ? 0.0 : getCpuSeconds() / WallSeconds;
+  }
+};
+
+/// Runs every job's pipeline, \p Options.Jobs at a time.
+BatchResult runBatchPipeline(const std::vector<BatchJob> &Jobs,
+                             const BatchOptions &Options = BatchOptions());
+
+/// Renders the per-job phase-timing table plus the batch summary (threads,
+/// wall vs cpu time, cache hit rate) with driver/Report's TableWriter.
+std::string renderBatchReport(const std::vector<BatchJob> &Jobs,
+                              const BatchResult &Result);
+
+} // namespace impact
+
+#endif // IMPACT_DRIVER_BATCHPIPELINE_H

@@ -1,0 +1,113 @@
+//===- driver/FunctionCache.cpp --------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/FunctionCache.h"
+
+#include "ir/IrPrinter.h"
+
+using namespace impact;
+
+FunctionDefinitionCache::FunctionDefinitionCache(unsigned ShardCount) {
+  if (ShardCount == 0)
+    ShardCount = 1;
+  Shards.reserve(ShardCount);
+  for (unsigned I = 0; I != ShardCount; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+std::string FunctionDefinitionCache::makeKey(const Function &F,
+                                             const OptOptions &Opts) {
+  std::string Key;
+  Key.reserve(64 + F.size() * 24);
+  // Option fingerprint: every knob that steers the pre-opt pipeline.
+  Key += 'o';
+  Key += static_cast<char>('0' + Opts.ConstantFolding);
+  Key += static_cast<char>('0' + Opts.JumpOptimization);
+  Key += static_cast<char>('0' + Opts.CopyPropagation);
+  Key += static_cast<char>('0' + Opts.DeadCodeElimination);
+  Key += static_cast<char>('0' + Opts.TailRecursionElimination);
+  Key += 'i';
+  Key += std::to_string(Opts.MaxIterations);
+  // Signature and body, rendered exactly (printInstr includes register
+  // names, immediates, targets, callee ids, and site ids). The function
+  // name is deliberately excluded: renaming cannot affect the optimizer.
+  Key += "|s";
+  Key += std::to_string(F.NumParams);
+  Key += ',';
+  Key += std::to_string(F.NumRegs);
+  Key += ',';
+  Key += std::to_string(F.FrameSize);
+  Key += ',';
+  Key += static_cast<char>('0' + F.ReturnsVoid);
+  Key += static_cast<char>('0' + F.AddressTaken);
+  for (const BasicBlock &B : F.Blocks) {
+    Key += ";b\n";
+    for (const Instr &I : B.Instrs) {
+      Key += printInstr(I, &F);
+      Key += '\n';
+    }
+  }
+  return Key;
+}
+
+FunctionDefinitionCache::Shard &
+FunctionDefinitionCache::shardFor(const std::string &Key) {
+  size_t H = std::hash<std::string>{}(Key);
+  return *Shards[H % Shards.size()];
+}
+
+bool FunctionDefinitionCache::lookup(const std::string &Key, Function &F) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const CachedBody &Body = It->second;
+  F.NumRegs = Body.NumRegs;
+  F.FrameSize = Body.FrameSize;
+  F.Blocks = Body.Blocks;
+  F.RegNames = Body.RegNames;
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  InstrsServed.fetch_add(Body.Size, std::memory_order_relaxed);
+  return true;
+}
+
+void FunctionDefinitionCache::insert(const std::string &Key,
+                                     const Function &F) {
+  CachedBody Body;
+  Body.NumRegs = F.NumRegs;
+  Body.FrameSize = F.FrameSize;
+  Body.Blocks = F.Blocks;
+  Body.RegNames = F.RegNames;
+  Body.Size = F.size();
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Map.emplace(Key, std::move(Body));
+}
+
+FunctionCacheStats FunctionDefinitionCache::getStats() const {
+  FunctionCacheStats Stats;
+  Stats.Hits = Hits.load(std::memory_order_relaxed);
+  Stats.Misses = Misses.load(std::memory_order_relaxed);
+  Stats.InstrsServed = InstrsServed.load(std::memory_order_relaxed);
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    Stats.Entries += S->Map.size();
+  }
+  return Stats;
+}
+
+void FunctionDefinitionCache::clear() {
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    S->Map.clear();
+  }
+  Hits.store(0, std::memory_order_relaxed);
+  Misses.store(0, std::memory_order_relaxed);
+  InstrsServed.store(0, std::memory_order_relaxed);
+}

@@ -7,7 +7,9 @@
 #include "driver/Pipeline.h"
 
 #include "callgraph/CallGraphBuilder.h"
+#include "driver/FunctionCache.h"
 #include "ir/IrVerifier.h"
+#include "support/Stopwatch.h"
 
 using namespace impact;
 
@@ -32,6 +34,31 @@ void fillClassMetrics(PhaseMetrics &Metrics, const Classification &Classes) {
   Metrics.DynSafe = Classes.sumDynamic(SiteClass::Safe);
 }
 
+/// Pre-inline optimization, optionally memoized through the shared
+/// function-definition cache. The cached body is exactly what re-running
+/// the (deterministic) passes would produce, so the transformed module is
+/// identical either way; only the wall time and the hit/miss counters
+/// differ.
+void runPreOpt(Module &M, const PipelineOptions &Options,
+               PipelineStats &Stats) {
+  for (Function &F : M.Funcs) {
+    if (F.IsExternal)
+      continue;
+    if (Options.DefCache) {
+      std::string Key = FunctionDefinitionCache::makeKey(F, Options.PreOpt);
+      if (Options.DefCache->lookup(Key, F)) {
+        ++Stats.CacheHits;
+        continue;
+      }
+      runOptimizationPipeline(F, Options.PreOpt, &Stats.PreOpt);
+      Options.DefCache->insert(Key, F);
+      ++Stats.CacheMisses;
+    } else {
+      runOptimizationPipeline(F, Options.PreOpt, &Stats.PreOpt);
+    }
+  }
+}
+
 } // namespace
 
 PipelineResult impact::runPipeline(Module M,
@@ -47,7 +74,9 @@ PipelineResult impact::runPipeline(Module M,
   // 1. Pre-inline classic optimization (§4.4: constant folding and jump
   // optimization run before the inline expansion procedure).
   if (Options.RunPreOpt) {
-    runOptimizationPipeline(M, Options.PreOpt);
+    Stopwatch PreOptTimer;
+    runPreOpt(M, Options, Result.Stats);
+    Result.Stats.PreOptSeconds = PreOptTimer.seconds();
     if (std::string V = verifyModuleText(M); !V.empty()) {
       Result.Error = "module failed verification after pre-opt:\n" + V;
       return Result;
@@ -55,7 +84,9 @@ PipelineResult impact::runPipeline(Module M,
   }
 
   // 2. Profile on representative inputs.
+  Stopwatch ProfileTimer;
   ProfileResult PreProfile = profileProgram(M, Inputs, Options.Run);
+  Result.Stats.ProfileSeconds = ProfileTimer.seconds();
   if (!PreProfile.allRunsOk()) {
     Result.Error = "pre-inline profiling failed: " + PreProfile.Failures[0];
     return Result;
@@ -64,7 +95,9 @@ PipelineResult impact::runPipeline(Module M,
   Result.OutputsBefore = std::move(PreProfile.Outputs);
 
   // 3. Recompile with profile-guided inline expansion.
+  Stopwatch InlineTimer;
   Result.Inline = runInlineExpansion(M, PreProfile.Data, Options.Inline);
+  Result.Stats.InlineSeconds = InlineTimer.seconds();
   fillClassMetrics(Result.Before, Result.Inline.Classes);
   if (std::string V = verifyModuleText(M); !V.empty()) {
     Result.Error = "module failed verification after inline expansion:\n" + V;
@@ -72,7 +105,9 @@ PipelineResult impact::runPipeline(Module M,
   }
 
   // 4. Measure by re-profiling on the same inputs.
+  Stopwatch ReProfileTimer;
   ProfileResult PostProfile = profileProgram(M, Inputs, Options.Run);
+  Result.Stats.ReProfileSeconds = ReProfileTimer.seconds();
   if (!PostProfile.allRunsOk()) {
     Result.Error = "post-inline profiling failed: " + PostProfile.Failures[0];
     return Result;
@@ -100,11 +135,16 @@ PipelineResult impact::runPipeline(Module M,
 PipelineResult impact::runPipeline(std::string_view Source, std::string Name,
                                    const std::vector<RunInput> &Inputs,
                                    const PipelineOptions &Options) {
+  Stopwatch CompileTimer;
   CompilationResult C = compileMiniC(Source, std::move(Name));
+  double CompileSeconds = CompileTimer.seconds();
   if (!C.Ok) {
     PipelineResult Result;
     Result.Error = "compilation failed:\n" + C.Errors;
+    Result.Stats.CompileSeconds = CompileSeconds;
     return Result;
   }
-  return runPipeline(std::move(C.M), Inputs, Options);
+  PipelineResult Result = runPipeline(std::move(C.M), Inputs, Options);
+  Result.Stats.CompileSeconds = CompileSeconds;
+  return Result;
 }

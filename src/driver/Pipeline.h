@@ -26,6 +26,8 @@
 
 namespace impact {
 
+class FunctionDefinitionCache;
+
 struct PipelineOptions {
   /// Pre-inline optimization (the paper applies constant folding and jump
   /// optimization before inline expansion).
@@ -34,6 +36,46 @@ struct PipelineOptions {
   InlineOptions Inline;
   /// Step/stack limits for every profiled run.
   RunOptions Run;
+  /// Optional function-definition cache for the pre-opt stage (see
+  /// driver/FunctionCache.h). When set, post-pre-opt bodies are memoized
+  /// across pipeline runs; the batch pipeline shares one cache between all
+  /// its jobs. A hit is bit-identical to re-running the passes, so results
+  /// never depend on cache state.
+  FunctionDefinitionCache *DefCache = nullptr;
+};
+
+/// Wall-clock and work counters for one pipeline run, per phase. Purely
+/// observational: none of these feed back into compilation, so two runs of
+/// the same job produce identical modules and metrics regardless of
+/// timing, threading, or cache state.
+struct PipelineStats {
+  double CompileSeconds = 0.0;
+  double PreOptSeconds = 0.0;
+  double ProfileSeconds = 0.0;
+  double InlineSeconds = 0.0;
+  double ReProfileSeconds = 0.0;
+  /// Per-pass breakdown of the pre-opt stage (cache hits skip it).
+  OptStats PreOpt;
+  /// Function-definition cache effectiveness for this run (0/0 when no
+  /// cache was attached).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+
+  double getTotalSeconds() const {
+    return CompileSeconds + PreOptSeconds + ProfileSeconds + InlineSeconds +
+           ReProfileSeconds;
+  }
+
+  void merge(const PipelineStats &Other) {
+    CompileSeconds += Other.CompileSeconds;
+    PreOptSeconds += Other.PreOptSeconds;
+    ProfileSeconds += Other.ProfileSeconds;
+    InlineSeconds += Other.InlineSeconds;
+    ReProfileSeconds += Other.ReProfileSeconds;
+    PreOpt.merge(Other.PreOpt);
+    CacheHits += Other.CacheHits;
+    CacheMisses += Other.CacheMisses;
+  }
 };
 
 /// Dynamic metrics of one phase (pre- or post-inline), averaged per run.
@@ -59,6 +101,10 @@ struct PhaseMetrics {
     return AvgCalls == 0.0 ? AvgControlTransfers
                            : AvgControlTransfers / AvgCalls;
   }
+
+  /// Exact (bitwise) equality — the parallel-determinism property test
+  /// asserts batch and serial pipelines agree on every field.
+  friend bool operator==(const PhaseMetrics &, const PhaseMetrics &) = default;
 };
 
 struct PipelineResult {
@@ -78,6 +124,9 @@ struct PipelineResult {
 
   /// The inlined module (post everything).
   Module FinalModule;
+
+  /// Per-phase wall times, pre-opt pass breakdown, and cache counters.
+  PipelineStats Stats;
 
   /// Table 4's "call dec": percentage of dynamic calls eliminated.
   double getCallDecreasePercent() const {

@@ -70,6 +70,14 @@ std::string impact::formatCount(double Value) {
   return std::to_string(static_cast<long long>(std::llround(Value)));
 }
 
+std::string impact::formatDuration(double Seconds) {
+  if (Seconds >= 1.0)
+    return formatDouble(Seconds, 2) + "s";
+  if (Seconds >= 1e-3)
+    return formatDouble(Seconds * 1e3, 1) + "ms";
+  return formatCount(Seconds * 1e6) + "us";
+}
+
 double impact::mean(const std::vector<double> &Values) {
   if (Values.empty())
     return 0.0;

@@ -35,6 +35,9 @@ private:
 std::string formatPercent(double Value);
 /// Rounds to a whole number string ("3653").
 std::string formatCount(double Value);
+/// Human duration with a unit chosen by magnitude: "1.24s", "38.1ms",
+/// "940us". Used by the batch pipeline's phase-timing reports.
+std::string formatDuration(double Seconds);
 /// Mean of \p Values (0 when empty).
 double mean(const std::vector<double> &Values);
 /// Population standard deviation of \p Values.

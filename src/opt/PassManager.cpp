@@ -11,34 +11,69 @@
 #include "opt/DeadCodeElimination.h"
 #include "opt/JumpOptimization.h"
 #include "opt/TailRecursionElimination.h"
+#include "support/Stopwatch.h"
 
 using namespace impact;
 
-bool impact::runOptimizationPipeline(Function &F, const OptOptions &Opts) {
+namespace {
+
+/// Runs one pass, charging its wall time and effect to \p Timing.
+template <typename PassFn>
+bool runTimed(PassTiming *Timing, Function &F, PassFn Pass) {
+  if (!Timing)
+    return Pass(F);
+  Stopwatch W;
+  bool Changed = Pass(F);
+  Timing->Seconds += W.seconds();
+  Timing->Invocations += 1;
+  Timing->Changes += Changed ? 1 : 0;
+  return Changed;
+}
+
+} // namespace
+
+bool impact::runOptimizationPipeline(Function &F, const OptOptions &Opts,
+                                     OptStats *Stats) {
+  Stopwatch Total;
+  if (Stats)
+    Stats->FunctionsVisited += 1;
   bool EverChanged = false;
   for (unsigned Iter = 0; Iter != Opts.MaxIterations; ++Iter) {
+    if (Stats) {
+      Stats->Iterations += 1;
+      Stats->InstrsProcessed += F.size();
+    }
     bool Changed = false;
     if (Opts.TailRecursionElimination)
-      Changed |= runTailRecursionElimination(F);
+      Changed |= runTimed(Stats ? &Stats->TailRecursionElimination : nullptr,
+                          F,
+                          [](Function &G) { return runTailRecursionElimination(G); });
     if (Opts.CopyPropagation)
-      Changed |= runCopyPropagation(F);
+      Changed |= runTimed(Stats ? &Stats->CopyPropagation : nullptr, F,
+                          [](Function &G) { return runCopyPropagation(G); });
     if (Opts.ConstantFolding)
-      Changed |= runConstantFolding(F);
+      Changed |= runTimed(Stats ? &Stats->ConstantFolding : nullptr, F,
+                          [](Function &G) { return runConstantFolding(G); });
     if (Opts.JumpOptimization)
-      Changed |= runJumpOptimization(F);
+      Changed |= runTimed(Stats ? &Stats->JumpOptimization : nullptr, F,
+                          [](Function &G) { return runJumpOptimization(G); });
     if (Opts.DeadCodeElimination)
-      Changed |= runDeadCodeElimination(F);
+      Changed |= runTimed(Stats ? &Stats->DeadCodeElimination : nullptr, F,
+                          [](Function &G) { return runDeadCodeElimination(G); });
     EverChanged |= Changed;
     if (!Changed)
       break;
   }
+  if (Stats)
+    Stats->TotalSeconds += Total.seconds();
   return EverChanged;
 }
 
-bool impact::runOptimizationPipeline(Module &M, const OptOptions &Opts) {
+bool impact::runOptimizationPipeline(Module &M, const OptOptions &Opts,
+                                     OptStats *Stats) {
   bool Changed = false;
   for (Function &F : M.Funcs)
     if (!F.IsExternal)
-      Changed |= runOptimizationPipeline(F, Opts);
+      Changed |= runOptimizationPipeline(F, Opts, Stats);
   return Changed;
 }

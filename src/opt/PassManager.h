@@ -9,6 +9,8 @@
 
 #include "ir/Ir.h"
 
+#include <cstdint>
+
 namespace impact {
 
 /// Which classic optimizations to run and how often to iterate the
@@ -24,12 +26,67 @@ struct OptOptions {
   unsigned MaxIterations = 4;
 };
 
+/// Wall time and effect counters for one pass across a pipeline run.
+/// Timing is observability only — no optimization decision reads it — so
+/// counters never perturb the transformed IL.
+struct PassTiming {
+  double Seconds = 0.0;
+  uint64_t Invocations = 0;
+  uint64_t Changes = 0;
+
+  void merge(const PassTiming &Other) {
+    Seconds += Other.Seconds;
+    Invocations += Other.Invocations;
+    Changes += Other.Changes;
+  }
+};
+
+/// Per-pass and aggregate counters for one or more pipeline runs.
+struct OptStats {
+  PassTiming TailRecursionElimination;
+  PassTiming CopyPropagation;
+  PassTiming ConstantFolding;
+  PassTiming JumpOptimization;
+  PassTiming DeadCodeElimination;
+  /// Functions the pipeline was invoked on.
+  uint64_t FunctionsVisited = 0;
+  /// Fixpoint iterations across all functions.
+  uint64_t Iterations = 0;
+  /// IL instructions fed to the pass sequence, summed per iteration — the
+  /// work metric the function-definition cache saves.
+  uint64_t InstrsProcessed = 0;
+  double TotalSeconds = 0.0;
+
+  void merge(const OptStats &Other) {
+    TailRecursionElimination.merge(Other.TailRecursionElimination);
+    CopyPropagation.merge(Other.CopyPropagation);
+    ConstantFolding.merge(Other.ConstantFolding);
+    JumpOptimization.merge(Other.JumpOptimization);
+    DeadCodeElimination.merge(Other.DeadCodeElimination);
+    FunctionsVisited += Other.FunctionsVisited;
+    Iterations += Other.Iterations;
+    InstrsProcessed += Other.InstrsProcessed;
+    TotalSeconds += Other.TotalSeconds;
+  }
+};
+
 /// Runs the enabled passes on \p F until a fixpoint or MaxIterations.
-/// Returns true on any change.
-bool runOptimizationPipeline(Function &F, const OptOptions &Opts = OptOptions());
+/// Accumulates per-pass wall time and work counters into \p Stats when
+/// non-null. Returns true on any change.
+bool runOptimizationPipeline(Function &F, const OptOptions &Opts,
+                             OptStats *Stats);
+inline bool runOptimizationPipeline(Function &F,
+                                    const OptOptions &Opts = OptOptions()) {
+  return runOptimizationPipeline(F, Opts, nullptr);
+}
 
 /// Runs the pipeline on every non-external function.
-bool runOptimizationPipeline(Module &M, const OptOptions &Opts = OptOptions());
+bool runOptimizationPipeline(Module &M, const OptOptions &Opts,
+                             OptStats *Stats);
+inline bool runOptimizationPipeline(Module &M,
+                                    const OptOptions &Opts = OptOptions()) {
+  return runOptimizationPipeline(M, Opts, nullptr);
+}
 
 } // namespace impact
 

@@ -1,0 +1,39 @@
+//===- support/Stopwatch.h - Monotonic wall-clock timing -------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny steady-clock stopwatch for the pass/pipeline timing counters.
+/// Timing is observability only: no compilation decision may depend on it,
+/// so the batch pipeline stays bit-identical to the serial one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_SUPPORT_STOPWATCH_H
+#define IMPACT_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace impact {
+
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  void restart() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace impact
+
+#endif // IMPACT_SUPPORT_STOPWATCH_H

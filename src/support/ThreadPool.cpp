@@ -1,0 +1,104 @@
+//===- support/ThreadPool.cpp ----------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace impact;
+
+unsigned ThreadPool::getDefaultThreadCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  if (ThreadCount == 0)
+    ThreadCount = getDefaultThreadCount();
+  Queues.reserve(ThreadCount);
+  for (unsigned I = 0; I != ThreadCount; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I != ThreadCount; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> Lock(SleepMutex);
+    Stopping.store(true);
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  // Count before publishing so a worker can never decrement first.
+  Pending.fetch_add(1, std::memory_order_relaxed);
+  Queued.fetch_add(1, std::memory_order_relaxed);
+  unsigned Q = static_cast<unsigned>(
+      NextQueue.fetch_add(1, std::memory_order_relaxed) % Queues.size());
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Q]->Mutex);
+    Queues[Q]->Tasks.push_back(std::move(Task));
+  }
+  {
+    // Empty critical section pairs with the sleep predicate re-check.
+    std::lock_guard<std::mutex> Lock(SleepMutex);
+  }
+  WorkAvailable.notify_one();
+}
+
+bool ThreadPool::tryPop(unsigned Index, std::function<void()> &Task) {
+  WorkerQueue &Q = *Queues[Index];
+  std::lock_guard<std::mutex> Lock(Q.Mutex);
+  if (Q.Tasks.empty())
+    return false;
+  Task = std::move(Q.Tasks.front());
+  Q.Tasks.pop_front();
+  Queued.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::trySteal(unsigned Thief, std::function<void()> &Task) {
+  for (size_t Offset = 1; Offset != Queues.size(); ++Offset) {
+    WorkerQueue &Q = *Queues[(Thief + Offset) % Queues.size()];
+    std::lock_guard<std::mutex> Lock(Q.Mutex);
+    if (Q.Tasks.empty())
+      continue;
+    Task = std::move(Q.Tasks.back());
+    Q.Tasks.pop_back();
+    Queued.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  for (;;) {
+    std::function<void()> Task;
+    if (tryPop(Index, Task) || trySteal(Index, Task)) {
+      Task();
+      if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> Lock(SleepMutex);
+        AllDone.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(SleepMutex);
+    WorkAvailable.wait(Lock, [this] {
+      return Stopping.load() || Queued.load(std::memory_order_relaxed) != 0;
+    });
+    if (Stopping.load() && Queued.load(std::memory_order_relaxed) == 0)
+      return;
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(SleepMutex);
+  AllDone.wait(Lock,
+               [this] { return Pending.load(std::memory_order_acquire) == 0; });
+}

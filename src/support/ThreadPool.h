@@ -1,0 +1,86 @@
+//===- support/ThreadPool.h - Work-stealing thread pool --------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the batch pipeline. Each worker
+/// owns a deque: submissions are distributed round-robin, a worker pops
+/// from the front of its own deque and steals from the back of a
+/// neighbour's when it runs dry. Tasks must not throw.
+///
+/// Determinism contract: the pool schedules *independent* jobs; it provides
+/// no ordering guarantees between tasks, so callers must write results to
+/// pre-sized slots (never append under a lock) and must not let one job's
+/// behaviour depend on another's completion order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_SUPPORT_THREADPOOL_H
+#define IMPACT_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace impact {
+
+class ThreadPool {
+public:
+  /// \p ThreadCount workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned ThreadCount = 0);
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task; runs on some worker thread.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  unsigned getThreadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// hardware_concurrency, clamped to at least 1.
+  static unsigned getDefaultThreadCount();
+
+private:
+  struct WorkerQueue {
+    std::mutex Mutex;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Index);
+  /// Pops from the front of worker \p Index's own queue.
+  bool tryPop(unsigned Index, std::function<void()> &Task);
+  /// Steals from the back of some other worker's queue.
+  bool trySteal(unsigned Thief, std::function<void()> &Task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  /// Tasks submitted but not yet executed (queued anywhere).
+  std::atomic<uint64_t> Queued{0};
+  /// Tasks submitted but not yet finished (superset of Queued).
+  std::atomic<uint64_t> Pending{0};
+  std::atomic<uint64_t> NextQueue{0};
+  std::atomic<bool> Stopping{false};
+
+  std::mutex SleepMutex;
+  std::condition_variable WorkAvailable; // workers sleep here
+  std::condition_variable AllDone;       // wait() sleeps here
+};
+
+} // namespace impact
+
+#endif // IMPACT_SUPPORT_THREADPOOL_H

@@ -1,0 +1,335 @@
+//===- tests/BatchPipelineTests.cpp - batch pipeline unit/smoke tests ---------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the batch-pipeline building blocks — the work-stealing
+/// ThreadPool and the sharded FunctionDefinitionCache — plus smoke tests
+/// that runBatchPipeline agrees with the serial runPipeline on the shared
+/// test programs. The exhaustive randomized equivalence check lives in
+/// ParallelDeterminismTests.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchPipeline.h"
+#include "driver/Pipeline.h"
+#include "ir/IrPrinter.h"
+#include "opt/PassManager.h"
+#include "support/ThreadPool.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace impact;
+using test::compileOk;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ExecutesEveryTask) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 200; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 200);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+  for (int I = 0; I != 10; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 11);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturns) {
+  ThreadPool Pool(2);
+  Pool.wait(); // must not hang
+}
+
+TEST(ThreadPool, SubmitFromWithinTask) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([&] {
+    Count.fetch_add(1);
+    for (int I = 0; I != 5; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1); });
+  });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 6);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(3);
+    for (int I = 0; I != 50; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1); });
+  }
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST(ThreadPool, ThreadCounts) {
+  EXPECT_GE(ThreadPool::getDefaultThreadCount(), 1u);
+  ThreadPool Explicit(3);
+  EXPECT_EQ(Explicit.getThreadCount(), 3u);
+  ThreadPool Default(0);
+  EXPECT_EQ(Default.getThreadCount(), ThreadPool::getDefaultThreadCount());
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionDefinitionCache
+//===----------------------------------------------------------------------===//
+
+/// The first non-external function of the call-heavy test program.
+Function &firstDefined(Module &M) {
+  for (Function &F : M.Funcs)
+    if (!F.IsExternal)
+      return F;
+  ADD_FAILURE() << "no defined function";
+  return M.Funcs.front();
+}
+
+TEST(FunctionCache, KeyIgnoresFunctionName) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  Function &F = firstDefined(M);
+  OptOptions Opts;
+  std::string Key = FunctionDefinitionCache::makeKey(F, Opts);
+  std::string SavedName = F.Name;
+  F.Name = "renamed_function";
+  EXPECT_EQ(FunctionDefinitionCache::makeKey(F, Opts), Key);
+  F.Name = SavedName;
+}
+
+TEST(FunctionCache, KeyDependsOnOptions) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  Function &F = firstDefined(M);
+  OptOptions A, B;
+  B.DeadCodeElimination = false;
+  OptOptions C;
+  C.MaxIterations = 2;
+  std::string KeyA = FunctionDefinitionCache::makeKey(F, A);
+  EXPECT_NE(FunctionDefinitionCache::makeKey(F, B), KeyA);
+  EXPECT_NE(FunctionDefinitionCache::makeKey(F, C), KeyA);
+}
+
+TEST(FunctionCache, KeyDependsOnBody) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  Function &F = firstDefined(M);
+  OptOptions Opts;
+  std::string Key = FunctionDefinitionCache::makeKey(F, Opts);
+  Module M2 = compileOk(test::kPointerCallProgram);
+  Function &G = firstDefined(M2);
+  EXPECT_NE(FunctionDefinitionCache::makeKey(G, Opts), Key);
+}
+
+TEST(FunctionCache, HitSplicesIdenticalBody) {
+  OptOptions Opts;
+  FunctionDefinitionCache Cache;
+
+  // Optimize one copy the normal way and insert it.
+  Module M1 = compileOk(test::kCallHeavyProgram);
+  Function &F1 = firstDefined(M1);
+  std::string Key = FunctionDefinitionCache::makeKey(F1, Opts);
+  Function Scratch = F1;
+  EXPECT_FALSE(Cache.lookup(Key, Scratch)); // cold cache
+  runOptimizationPipeline(F1, Opts);
+  Cache.insert(Key, F1);
+
+  // A fresh compile must hit and end up bit-identical to re-optimizing.
+  Module M2 = compileOk(test::kCallHeavyProgram);
+  Function &F2 = firstDefined(M2);
+  ASSERT_EQ(FunctionDefinitionCache::makeKey(F2, Opts), Key);
+  EXPECT_TRUE(Cache.lookup(Key, F2));
+  EXPECT_EQ(printFunction(F2), printFunction(F1));
+  EXPECT_EQ(F2.NumRegs, F1.NumRegs);
+  EXPECT_EQ(F2.FrameSize, F1.FrameSize);
+}
+
+TEST(FunctionCache, StatsAndClear) {
+  OptOptions Opts;
+  FunctionDefinitionCache Cache;
+  Module M = compileOk(test::kCallHeavyProgram);
+  Function &F = firstDefined(M);
+  std::string Key = FunctionDefinitionCache::makeKey(F, Opts);
+
+  Function Scratch = F;
+  EXPECT_FALSE(Cache.lookup(Key, Scratch));
+  runOptimizationPipeline(F, Opts);
+  Cache.insert(Key, F);
+  Function Scratch2 = firstDefined(M);
+  EXPECT_TRUE(Cache.lookup(Key, Scratch2));
+
+  FunctionCacheStats S = Cache.getStats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.InstrsServed, F.size());
+  EXPECT_DOUBLE_EQ(S.getHitRate(), 0.5);
+
+  Cache.clear();
+  S = Cache.getStats();
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Misses, 0u);
+  EXPECT_EQ(S.Entries, 0u);
+  Function Scratch3 = firstDefined(M);
+  EXPECT_FALSE(Cache.lookup(Key, Scratch3));
+}
+
+//===----------------------------------------------------------------------===//
+// Batch vs serial smoke tests
+//===----------------------------------------------------------------------===//
+
+std::vector<BatchJob> makeTestJobs() {
+  const struct {
+    const char *Name;
+    const char *Source;
+  } Programs[] = {
+      {"call_heavy", test::kCallHeavyProgram},
+      {"recursive", test::kRecursiveProgram},
+      {"pointer_call", test::kPointerCallProgram},
+  };
+  std::vector<BatchJob> Jobs;
+  for (const auto &P : Programs) {
+    BatchJob Job;
+    Job.Name = P.Name;
+    Job.Source = P.Source;
+    Job.Inputs = {RunInput{"abcdef", ""}, RunInput{"x", ""},
+                  RunInput{"", ""}};
+    Jobs.push_back(std::move(Job));
+  }
+  return Jobs;
+}
+
+/// Everything observable must match; timing/cache counters are exempt by
+/// design (they live in PipelineResult::Stats).
+void expectSameResult(const PipelineResult &A, const PipelineResult &B,
+                      const std::string &Tag) {
+  ASSERT_EQ(A.Ok, B.Ok) << Tag;
+  EXPECT_EQ(A.Error, B.Error) << Tag;
+  EXPECT_TRUE(A.Before == B.Before) << Tag;
+  EXPECT_TRUE(A.After == B.After) << Tag;
+  EXPECT_TRUE(A.Inline.Linear == B.Inline.Linear) << Tag;
+  EXPECT_TRUE(A.Inline.Plan == B.Inline.Plan) << Tag;
+  EXPECT_TRUE(A.Inline.Expansions == B.Inline.Expansions) << Tag;
+  EXPECT_EQ(A.Inline.EliminatedFunctions, B.Inline.EliminatedFunctions)
+      << Tag;
+  EXPECT_EQ(A.Inline.SizeBefore, B.Inline.SizeBefore) << Tag;
+  EXPECT_EQ(A.Inline.SizeAfter, B.Inline.SizeAfter) << Tag;
+  EXPECT_EQ(A.OutputsBefore, B.OutputsBefore) << Tag;
+  EXPECT_EQ(A.OutputsAfter, B.OutputsAfter) << Tag;
+  EXPECT_EQ(printModule(A.FinalModule), printModule(B.FinalModule)) << Tag;
+}
+
+TEST(BatchPipeline, MatchesSerialPipeline) {
+  std::vector<BatchJob> Jobs = makeTestJobs();
+
+  std::vector<PipelineResult> Serial;
+  for (const BatchJob &Job : Jobs)
+    Serial.push_back(
+        runPipeline(Job.Source, Job.Name, Job.Inputs, Job.Options));
+
+  for (unsigned Threads : {1u, 4u}) {
+    BatchOptions Options;
+    Options.Jobs = Threads;
+    BatchResult R = runBatchPipeline(Jobs, Options);
+    ASSERT_TRUE(R.allOk()) << "threads=" << Threads;
+    ASSERT_EQ(R.Results.size(), Jobs.size());
+    for (size_t I = 0; I != Jobs.size(); ++I)
+      expectSameResult(Serial[I], R.Results[I],
+                       Jobs[I].Name + " threads=" +
+                           std::to_string(Threads));
+  }
+}
+
+TEST(BatchPipeline, CacheDisabledStillMatches) {
+  std::vector<BatchJob> Jobs = makeTestJobs();
+  BatchOptions Cached;
+  Cached.Jobs = 2;
+  BatchOptions Uncached;
+  Uncached.Jobs = 2;
+  Uncached.UseDefinitionCache = false;
+  BatchResult A = runBatchPipeline(Jobs, Cached);
+  BatchResult B = runBatchPipeline(Jobs, Uncached);
+  ASSERT_TRUE(A.allOk());
+  ASSERT_TRUE(B.allOk());
+  for (size_t I = 0; I != Jobs.size(); ++I)
+    expectSameResult(A.Results[I], B.Results[I], Jobs[I].Name);
+  EXPECT_EQ(B.Aggregate.CacheHits + B.Aggregate.CacheMisses, 0u);
+}
+
+TEST(BatchPipeline, AggregateSumsCacheCounters) {
+  std::vector<BatchJob> Jobs = makeTestJobs();
+  BatchResult R = runBatchPipeline(Jobs);
+  ASSERT_TRUE(R.allOk());
+  EXPECT_EQ(R.Aggregate.CacheHits + R.Aggregate.CacheMisses,
+            R.Cache.Hits + R.Cache.Misses);
+  EXPECT_GT(R.Aggregate.CacheMisses, 0u); // cold cache must miss
+  EXPECT_GT(R.ThreadsUsed, 0u);
+  EXPECT_GE(R.WallSeconds, 0.0);
+  EXPECT_GE(R.getCpuSeconds(), 0.0);
+}
+
+TEST(BatchPipeline, ExternalCachePersistsAcrossBatches) {
+  std::vector<BatchJob> Jobs = makeTestJobs();
+  FunctionDefinitionCache Cache;
+  BatchOptions Options;
+  Options.Jobs = 2;
+  Options.ExternalCache = &Cache;
+
+  BatchResult First = runBatchPipeline(Jobs, Options);
+  ASSERT_TRUE(First.allOk());
+  EXPECT_EQ(First.Aggregate.CacheHits, 0u);
+
+  BatchResult Second = runBatchPipeline(Jobs, Options);
+  ASSERT_TRUE(Second.allOk());
+  // Every pre-opt body is now served from the first batch's entries.
+  EXPECT_EQ(Second.Aggregate.CacheMisses, 0u);
+  EXPECT_EQ(Second.Aggregate.CacheHits, First.Aggregate.CacheMisses);
+  for (size_t I = 0; I != Jobs.size(); ++I)
+    expectSameResult(First.Results[I], Second.Results[I], Jobs[I].Name);
+}
+
+TEST(BatchPipeline, FailedJobIsIsolated) {
+  std::vector<BatchJob> Jobs = makeTestJobs();
+  BatchJob Bad;
+  Bad.Name = "broken";
+  Bad.Source = "int main( { return }";
+  Bad.Inputs = {RunInput{"", ""}};
+  Jobs.insert(Jobs.begin() + 1, Bad);
+
+  BatchResult R = runBatchPipeline(Jobs);
+  EXPECT_FALSE(R.allOk());
+  EXPECT_EQ(R.firstFailure(), 1);
+  ASSERT_EQ(R.Results.size(), Jobs.size());
+  EXPECT_FALSE(R.Results[1].Ok);
+  EXPECT_FALSE(R.Results[1].Error.empty());
+  EXPECT_TRUE(R.Results[0].Ok);
+  EXPECT_TRUE(R.Results[2].Ok);
+  EXPECT_TRUE(R.Results[3].Ok);
+}
+
+TEST(BatchPipeline, ReportNamesEveryJob) {
+  std::vector<BatchJob> Jobs = makeTestJobs();
+  BatchResult R = runBatchPipeline(Jobs);
+  ASSERT_TRUE(R.allOk());
+  std::string Report = renderBatchReport(Jobs, R);
+  for (const BatchJob &Job : Jobs)
+    EXPECT_NE(Report.find(Job.Name), std::string::npos) << Job.Name;
+  EXPECT_NE(Report.find("cache"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+//===- tests/GoldenRoundTripTests.cpp - print/parse/verify/re-run golden ------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden round-trip over the whole benchmark suite: run each program
+/// through the full pipeline, print the post-inline module, parse it back
+/// with IrReader, and demand (a) the verifier accepts the reparse, (b)
+/// re-printing reproduces the text byte for byte, and (c) the reparsed
+/// module still computes the same outputs the pipeline measured. This
+/// pins the textual IL format as a faithful serialization of everything
+/// inline expansion produces — nested expansions, pointer calls,
+/// eliminated functions, renamed registers and all.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/IrPrinter.h"
+#include "ir/IrReader.h"
+#include "ir/IrVerifier.h"
+#include "suite/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+class GoldenRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenRoundTrip, PostInlineModuleSurvivesPrintParseRerun) {
+  const BenchmarkSpec *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr) << GetParam();
+
+  std::vector<RunInput> Inputs = makeBenchmarkInputs(*B, 2);
+  PipelineResult R = runPipeline(B->Source, B->Name, Inputs);
+  ASSERT_TRUE(R.Ok) << B->Name << ": " << R.Error;
+  ASSERT_TRUE(R.outputsMatch()) << B->Name;
+
+  // Print → parse: the text must be accepted by the reader.
+  std::string Printed = printModule(R.FinalModule);
+  IrReadResult Reparsed = parseModuleText(Printed);
+  ASSERT_TRUE(Reparsed.Ok) << B->Name << ": " << Reparsed.Error;
+
+  // The reparsed module must satisfy every structural invariant.
+  EXPECT_EQ(verifyModuleText(Reparsed.M), "") << B->Name;
+
+  // Re-print: byte-identical, so the format loses nothing.
+  EXPECT_EQ(printModule(Reparsed.M), Printed) << B->Name;
+
+  // Re-run: the reparsed program computes what the pipeline measured.
+  ASSERT_EQ(R.OutputsAfter.size(), Inputs.size());
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    RunOptions Opts;
+    Opts.Input = Inputs[I].Input;
+    Opts.Input2 = Inputs[I].Input2;
+    ExecResult E = runProgram(Reparsed.M, Opts);
+    EXPECT_TRUE(E.ok()) << B->Name << " input #" << I << ": "
+                        << E.TrapMessage;
+    EXPECT_EQ(E.Output, R.OutputsAfter[I]) << B->Name << " input #" << I;
+  }
+}
+
+std::vector<std::string> suiteNames() {
+  std::vector<std::string> Names;
+  for (const BenchmarkSpec &B : getBenchmarkSuite())
+    Names.push_back(B.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, GoldenRoundTrip,
+                         ::testing::ValuesIn(suiteNames()),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace

@@ -189,4 +189,96 @@ TEST(IrVerifier, MainWithParamsRejected) {
             std::string::npos);
 }
 
+//===----------------------------------------------------------------------===//
+// Negative coverage: one test per documented invariant. Each corrupts a
+// valid module in exactly one way and checks the specific diagnostic.
+//===----------------------------------------------------------------------===//
+
+TEST(IrVerifier, MainIdOutOfRange) {
+  Module M = makeValidModule();
+  M.MainId = 99;
+  EXPECT_NE(verifyModuleText(M).find("MainId is out of range"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, CondBrFalseTargetOutOfRange) {
+  Module M = makeValidModule();
+  Function &F = M.getFunction(0);
+  // True target valid, false target not: Target2 must be checked too.
+  F.Blocks[0].Instrs.back() = Instr::makeCondBr(0, 0, 42);
+  EXPECT_NE(verifyModuleText(M).find("branch target bb42"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, CondBrMissingCondition) {
+  Module M = makeValidModule();
+  Function &F = M.getFunction(0);
+  F.Blocks[0].Instrs.back() = Instr::makeCondBr(kNoReg, 0, 0);
+  EXPECT_NE(verifyModuleText(M).find("missing required condition"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, MovMissingSource) {
+  Module M = makeValidModule();
+  Function &F = M.getFunction(0);
+  F.Blocks[0].Instrs[0] = Instr::makeMov(0, kNoReg);
+  EXPECT_NE(verifyModuleText(M).find("missing required source"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, ArgumentRegisterOutOfRange) {
+  Module M = makeValidModule();
+  Function &Main = M.getFunction(M.MainId);
+  Main.Blocks[0].Instrs[0].Args.push_back(99);
+  EXPECT_NE(verifyModuleText(M).find("argument register r99 out of range"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, CallPtrMissingCalleeAddress) {
+  Module M = makeValidModule();
+  Function &Main = M.getFunction(M.MainId);
+  Main.Blocks[0].Instrs[0] =
+      Instr::makeCallPtr(0, kNoReg, {}, M.allocateSiteId());
+  EXPECT_NE(verifyModuleText(M).find("missing required callee address"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, DirectCallToInvalidFunctionId) {
+  Module M = makeValidModule();
+  M.getFunction(M.MainId).Blocks[0].Instrs[0].Callee = 77;
+  EXPECT_NE(verifyModuleText(M).find("direct call to invalid function id"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, FuncAddrOfInvalidFunctionId) {
+  Module M = makeValidModule();
+  M.getFunction(0).Blocks[0].Instrs[0] = Instr::makeFuncAddr(0, 77);
+  EXPECT_NE(verifyModuleText(M).find("func_addr of invalid function id"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, ParameterCountExceedsRegisterCount) {
+  Module M = makeValidModule();
+  Function &F = M.getFunction(0);
+  F.NumParams = F.NumRegs + 1;
+  EXPECT_NE(verifyModuleText(M).find("parameter count exceeds register"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, NegativeFrameSize) {
+  Module M = makeValidModule();
+  M.getFunction(0).FrameSize = -1;
+  EXPECT_NE(verifyModuleText(M).find("negative frame size"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, EliminatedFunctionWithBody) {
+  Module M = makeValidModule();
+  // Eliminated but the body was not dropped: distinct from the
+  // call-to-eliminated diagnostic, which CallToEliminatedFunction covers.
+  M.getFunction(0).Eliminated = true;
+  EXPECT_NE(verifyModuleText(M).find("eliminated function has a body"),
+            std::string::npos);
+}
+
 } // namespace
