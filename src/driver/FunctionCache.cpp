@@ -43,10 +43,18 @@ std::string FunctionDefinitionCache::makeKey(const Function &F,
   Key += ',';
   Key += static_cast<char>('0' + F.ReturnsVoid);
   Key += static_cast<char>('0' + F.AddressTaken);
+  Key += static_cast<char>('0' + F.Eliminated);
   for (const BasicBlock &B : F.Blocks) {
     Key += ";b\n";
     for (const Instr &I : B.Instrs) {
       Key += printInstr(I, &F);
+      // Tail-recursion elimination rewrites only calls whose callee is the
+      // enclosing function, so self-call status is part of the body's
+      // optimization-relevant identity: a wrapper whose printed body is
+      // byte-identical to a self-recursive function's must not share its
+      // key.
+      if (I.Op == Opcode::Call && I.Callee == F.Id)
+        Key += " @self";
       Key += '\n';
     }
   }

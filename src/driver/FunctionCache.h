@@ -16,6 +16,9 @@
 /// The key is exact, not probabilistic: the full printed body (which
 /// renders every instruction field, register name, signature flag, and the
 /// register/frame counts) plus a fingerprint of the optimization options.
+/// Calls that target the function itself are marked in the key, because
+/// tail-recursion elimination treats them differently from calls to any
+/// other function with the same printed body.
 /// Because the optimizer is deterministic, splicing a cached body is
 /// bit-identical to re-running the passes, which is what keeps the batch
 /// pipeline's output equal to the serial pipeline's.

@@ -38,12 +38,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> Task) {
   // Count before publishing so a worker can never decrement first.
   Pending.fetch_add(1, std::memory_order_relaxed);
-  Queued.fetch_add(1, std::memory_order_relaxed);
   unsigned Q = static_cast<unsigned>(
       NextQueue.fetch_add(1, std::memory_order_relaxed) % Queues.size());
   {
     std::lock_guard<std::mutex> Lock(Queues[Q]->Mutex);
     Queues[Q]->Tasks.push_back(std::move(Task));
+    // Queued counts popable tasks, so it must rise only once the task is
+    // in a queue: incrementing before the push lets a worker's wait
+    // predicate pass, fail tryPop/trySteal, and spin until the push
+    // lands. Inside the lock the pop's decrement cannot precede this.
+    Queued.fetch_add(1, std::memory_order_relaxed);
   }
   {
     // Empty critical section pairs with the sleep predicate re-check.

@@ -136,6 +136,41 @@ TEST(FunctionCache, KeyDependsOnBody) {
   EXPECT_NE(FunctionDefinitionCache::makeKey(G, Opts), Key);
 }
 
+TEST(FunctionCache, KeySeparatesSelfCallFromIdenticalWrapper) {
+  // Site ids restart per module, so the collision is cross-module (two
+  // batch jobs sharing the cache): rec (f0) tail-calls itself from its
+  // module's first call site; wrap calls helper (also f0) from *its*
+  // module's first call site, printing to the very same bytes (callee id,
+  // registers, site id). Tail-recursion elimination rewrites only the
+  // self-call, so the two bodies optimize differently and must never
+  // share a cache key.
+  Module MRec = compileOk("int rec(int n) { if (n == 0) return 0;"
+                          "return rec(n - 1); }"
+                          "int main() { return rec(3); }");
+  Module MWrap = compileOk("int helper(int n) { return n; }"
+                           "int wrap(int n) { if (n == 0) return 0;"
+                           "return helper(n - 1); }"
+                           "int main() { return wrap(3); }");
+  Function &Rec = MRec.getFunction(MRec.findFunction("rec"));
+  Function &Wrap = MWrap.getFunction(MWrap.findFunction("wrap"));
+
+  // Premise: the printed bodies really are byte-identical.
+  ASSERT_EQ(Rec.Blocks.size(), Wrap.Blocks.size());
+  for (size_t B = 0; B != Rec.Blocks.size(); ++B) {
+    ASSERT_EQ(Rec.Blocks[B].size(), Wrap.Blocks[B].size());
+    for (size_t I = 0; I != Rec.Blocks[B].size(); ++I)
+      ASSERT_EQ(printInstr(Rec.Blocks[B].Instrs[I], &Rec),
+                printInstr(Wrap.Blocks[B].Instrs[I], &Wrap));
+  }
+
+  OptOptions Opts;
+  EXPECT_NE(FunctionDefinitionCache::makeKey(Rec, Opts),
+            FunctionDefinitionCache::makeKey(Wrap, Opts));
+  Opts.TailRecursionElimination = true;
+  EXPECT_NE(FunctionDefinitionCache::makeKey(Rec, Opts),
+            FunctionDefinitionCache::makeKey(Wrap, Opts));
+}
+
 TEST(FunctionCache, HitSplicesIdenticalBody) {
   OptOptions Opts;
   FunctionDefinitionCache Cache;

@@ -10,9 +10,13 @@
 /// one thread and at an oversubscribed four threads, with the shared
 /// function-definition cache active) must produce identical PhaseMetrics,
 /// identical inline decisions (linearization, plan, expansion records,
-/// eliminated functions), and byte-identical printed modules. A final test
-/// asserts the same over the full 12-program benchmark suite, which is the
-/// configuration every table/ablation bench runs in.
+/// eliminated functions), and byte-identical printed modules. Seeds vary
+/// the pipeline knobs, including tail-recursion elimination — the pass
+/// whose result depends on function identity and so stresses the cache
+/// key — and a dedicated regression pits a self-recursive function against
+/// a byte-identical wrapper. A final test asserts the same over the full
+/// 12-program benchmark suite, which is the configuration every
+/// table/ablation bench runs in.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -86,6 +90,10 @@ TEST_P(ParallelDeterminism, BatchMatchesSerialAtAnyThreadCount) {
 
   PipelineOptions Options;
   Options.Inline.PostInlineOptimize = (Seed % 2) == 0;
+  // Every third seed enables the one pre-opt pass whose rewrite depends on
+  // the function's own identity (self-call status), not just its printed
+  // body — exactly the configuration a body-keyed cache can get wrong.
+  Options.PreOpt.TailRecursionElimination = (Seed % 3) == 0;
 
   PipelineResult Serial = runPipeline(
       Source, "random" + std::to_string(Seed), Inputs, Options);
@@ -113,6 +121,67 @@ TEST_P(ParallelDeterminism, BatchMatchesSerialAtAnyThreadCount) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminism,
                          ::testing::Range<uint64_t>(1, 33));
+
+// Cache-key regression across two jobs sharing the batch cache. In
+// RecSource, rec (f0) tail-calls itself from its module's first call
+// site; in WrapSource, wrap calls helper (also f0) from *its* module's
+// first call site, so wrap's body prints to the very same bytes as rec's
+// (same callee id, registers, site id) — but helper computes something
+// else entirely, and only rec's call is a *self*-call. With
+// TailRecursionElimination on, only rec may be rewritten into a loop; a
+// cache keyed on printed bytes alone splices one function's post-opt body
+// into the other and diverges from the serial (uncached) pipeline in
+// profiles, printed IR, and program output.
+TEST(ParallelDeterminism, TreWrapperDoesNotCollideWithSelfRecursion) {
+  const char *RecSource =
+      "int rec(int n, int acc) { if (n == 0) return acc;"
+      "return rec(n - 1, acc + n); }"
+      "extern int getchar(); extern int print_int(int v);"
+      "int main() { int c; int t; t = 0; c = getchar();"
+      "while (c != -1) { t = t + rec(c % 8, 1);"
+      "c = getchar(); } print_int(t); return 0; }";
+  const char *WrapSource =
+      "int helper(int n, int acc) { return acc - n; }"
+      "int wrap(int n, int acc) { if (n == 0) return acc;"
+      "return helper(n - 1, acc + n); }"
+      "extern int getchar(); extern int print_int(int v);"
+      "int main() { int c; int t; t = 0; c = getchar();"
+      "while (c != -1) { t = t + wrap(c % 8, 1);"
+      "c = getchar(); } print_int(t); return 0; }";
+
+  std::vector<RunInput> Inputs;
+  Inputs.push_back(RunInput{"abcdefgh", ""});
+  Inputs.push_back(RunInput{"", ""});
+
+  PipelineOptions Options;
+  Options.PreOpt.TailRecursionElimination = true;
+
+  std::vector<BatchJob> Jobs(2);
+  Jobs[0].Name = "tre-rec";
+  Jobs[0].Source = RecSource;
+  Jobs[1].Name = "tre-wrap";
+  Jobs[1].Source = WrapSource;
+  std::vector<PipelineResult> Serial;
+  for (BatchJob &Job : Jobs) {
+    Job.Inputs = Inputs;
+    Job.Options = Options;
+    Serial.push_back(runPipeline(Job.Source, Job.Name, Job.Inputs,
+                                 Job.Options));
+    ASSERT_TRUE(Serial.back().Ok) << Job.Name << ": "
+                                  << Serial.back().Error;
+  }
+
+  for (unsigned Threads : {1u, 4u}) {
+    BatchOptions Batch;
+    Batch.Jobs = Threads;
+    BatchResult R = runBatchPipeline(Jobs, Batch);
+    ASSERT_EQ(R.Results.size(), 2u);
+    for (size_t I = 0; I != Jobs.size(); ++I)
+      expectBitIdentical(Serial[I], R.Results[I],
+                         Jobs[I].Name + " threads=" +
+                             std::to_string(Threads));
+  }
+}
 
 // The configuration the benches actually run: the whole 12-program suite
 // as one batch, shared cache, parallel workers.
