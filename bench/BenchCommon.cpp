@@ -6,11 +6,17 @@
 
 #include "BenchCommon.h"
 
+#include "driver/DecisionTrace.h"
+#include "profile/ProfileIO.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
 
 using namespace impact;
 using namespace impact::bench;
@@ -18,22 +24,61 @@ using namespace impact::bench;
 namespace {
 
 unsigned ConfiguredJobs = 0; // 0 = hardware
+std::string TraceOutPath;    // --trace-out=FILE (JSONL decision traces)
+std::string ProfileOutDir;   // --profile-out=DIR (one .profile per program)
+std::string ProfileInDir;    // --profile-in=DIR (skip the measuring runs)
 double TotalWallSeconds = 0.0;
 double TotalCpuSeconds = 0.0;
 unsigned BatchesRun = 0;
 unsigned LastThreadsUsed = 1;
 
+/// Strictly parses one job-count source; bad input is diagnosed and
+/// ignored (the previous setting stands), clamps are diagnosed and used.
+void applyJobCount(const char *What, const char *Text) {
+  unsigned Jobs = 0;
+  std::string Diag;
+  if (!parseJobCount(Text, Jobs, &Diag)) {
+    std::fprintf(stderr, "[bench] ignoring %s: %s\n", What, Diag.c_str());
+    return;
+  }
+  if (!Diag.empty())
+    std::fprintf(stderr, "[bench] %s: %s\n", What, Diag.c_str());
+  ConfiguredJobs = Jobs;
+}
+
+/// "--<name>=VALUE" option; returns true and fills \p Value on match.
+bool matchOption(const char *Arg, const char *Name, std::string &Value) {
+  std::string Prefix = std::string("--") + Name + "=";
+  if (std::strncmp(Arg, Prefix.c_str(), Prefix.size()) != 0)
+    return false;
+  Value = Arg + Prefix.size();
+  return true;
+}
+
+std::string profileFilePath(const std::string &Dir, const std::string &Name) {
+  return (std::filesystem::path(Dir) / (Name + ".profile")).string();
+}
+
 } // namespace
 
 void impact::bench::initBenchHarness(int argc, char **argv) {
   if (const char *Env = std::getenv("IMPACT_JOBS"))
-    ConfiguredJobs = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+    applyJobCount("IMPACT_JOBS", Env);
   for (int I = 1; I < argc; ++I) {
     if ((std::strcmp(argv[I], "--jobs") == 0 ||
          std::strcmp(argv[I], "-j") == 0) &&
-        I + 1 < argc)
-      ConfiguredJobs =
-          static_cast<unsigned>(std::strtoul(argv[I + 1], nullptr, 10));
+        I + 1 < argc) {
+      applyJobCount(argv[I], argv[I + 1]);
+      ++I;
+      continue;
+    }
+    std::string Value;
+    if (matchOption(argv[I], "trace-out", Value))
+      TraceOutPath = Value;
+    else if (matchOption(argv[I], "profile-out", Value))
+      ProfileOutDir = Value;
+    else if (matchOption(argv[I], "profile-in", Value))
+      ProfileInDir = Value;
   }
 }
 
@@ -71,10 +116,65 @@ impact::bench::runSuiteExperiment(const PipelineOptions &Options,
                                   unsigned RunsOverride) {
   std::vector<BatchJob> Jobs = makeSuiteBatchJobs(Options, RunsOverride);
 
+  // --profile-in=DIR: drive every job from its saved profile instead of
+  // re-running the interpreter. The loaded profiles must outlive the
+  // batch; a deque keeps the pointers stable.
+  std::deque<ProfileData> LoadedProfiles;
+  if (!ProfileInDir.empty()) {
+    for (BatchJob &Job : Jobs) {
+      std::string Path = profileFilePath(ProfileInDir, Job.Name);
+      std::string Error;
+      ProfileData Profile;
+      if (!loadProfileFromFile(Path, Profile, &Error)) {
+        std::fprintf(stderr, "[bench] --profile-in: %s\n", Error.c_str());
+        std::exit(1);
+      }
+      LoadedProfiles.push_back(std::move(Profile));
+      Job.Options.ProfileIn = &LoadedProfiles.back();
+    }
+  }
+
   BatchOptions Batch;
   Batch.Jobs = ConfiguredJobs;
   Batch.ExternalCache = &getSharedDefinitionCache();
   BatchResult R = runBatchPipeline(Jobs, Batch);
+
+  // --profile-out=DIR: persist each job's measured profile for later
+  // --profile-in runs.
+  if (!ProfileOutDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(ProfileOutDir, Ec);
+    for (size_t I = 0; I != Jobs.size(); ++I) {
+      if (!R.Results[I].Ok)
+        continue;
+      std::string Error;
+      if (!saveProfileToFile(profileFilePath(ProfileOutDir, Jobs[I].Name),
+                             R.Results[I].ProfileBefore, &Error)) {
+        std::fprintf(stderr, "[bench] --profile-out: %s\n", Error.c_str());
+        std::exit(1);
+      }
+    }
+  }
+
+  // --trace-out=FILE: append every job's per-site decision trace as JSON
+  // lines (truncating on the first batch of the process).
+  if (!TraceOutPath.empty()) {
+    static bool TraceFileStarted = false;
+    std::ofstream Trace(TraceOutPath, TraceFileStarted
+                                          ? std::ios::app
+                                          : std::ios::trunc);
+    if (!Trace) {
+      std::fprintf(stderr, "[bench] --trace-out: cannot open '%s'\n",
+                   TraceOutPath.c_str());
+      std::exit(1);
+    }
+    TraceFileStarted = true;
+    for (size_t I = 0; I != Jobs.size(); ++I)
+      if (R.Results[I].Ok)
+        Trace << renderDecisionTraceJson(R.Results[I].Inline.Plan,
+                                         R.Results[I].FinalModule,
+                                         Jobs[I].Name);
+  }
 
   TotalWallSeconds += R.WallSeconds;
   TotalCpuSeconds += R.getCpuSeconds();

@@ -42,9 +42,19 @@ struct SuiteRun {
   PipelineResult Result;
 };
 
-/// Parses `--jobs N` / `-j N` from \p argv (falling back to the
-/// IMPACT_JOBS environment variable) and installs the result as the job
-/// count for every subsequent runSuiteExperiment. Call first in main().
+/// Parses the shared bench flags from \p argv and installs them for every
+/// subsequent runSuiteExperiment. Call first in main().
+///
+///   --jobs N / -j N   worker threads (also the IMPACT_JOBS environment
+///                     variable; strictly parsed and clamped to
+///                     [1, hardware threads] — see support/ThreadPool.h's
+///                     parseJobCount)
+///   --profile-out=DIR write each program's measured profile to
+///                     DIR/<name>.profile (profile/ProfileIO.h format)
+///   --profile-in=DIR  drive inline expansion from saved profiles instead
+///                     of re-running the interpreter's measuring runs
+///   --trace-out=FILE  write every program's per-site inline decision
+///                     trace as JSON lines (driver/DecisionTrace.h)
 void initBenchHarness(int argc, char **argv);
 
 /// The installed worker count; 0 means one per hardware thread.

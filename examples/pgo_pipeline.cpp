@@ -10,20 +10,63 @@
 /// row. Useful for exploring the tradeoff space interactively.
 ///
 ///   pgo_pipeline [benchmark] [threshold] [growth-factor] [stack-bound]
-///   e.g. pgo_pipeline compress 10 1.25 2048
+///                [--trace] [--trace-out=FILE]
+///                [--profile-out=FILE] [--profile-in=FILE]
+///   e.g. pgo_pipeline compress 10 1.25 2048 --trace
+///
+/// --trace prints the planner's per-site decision table (why each call
+/// site was or was not expanded, with the numbers behind the verdict);
+/// --trace-out= writes the same trace as JSON lines. --profile-out= saves
+/// the measured profile; --profile-in= drives the compile from a saved
+/// profile without re-running the interpreter's measuring runs.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/DecisionTrace.h"
 #include "driver/Pipeline.h"
+#include "profile/ProfileIO.h"
 #include "suite/Suite.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 using namespace impact;
 
+namespace {
+
+bool matchOption(const char *Arg, const char *Name, std::string &Value) {
+  std::string Prefix = std::string("--") + Name + "=";
+  if (std::strncmp(Arg, Prefix.c_str(), Prefix.size()) != 0)
+    return false;
+  Value = Arg + Prefix.size();
+  return true;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
-  const char *Name = argc > 1 ? argv[1] : "compress";
+  bool PrintTrace = false;
+  std::string TraceOutPath, ProfileOutPath, ProfileInPath;
+  std::vector<const char *> Positional;
+  for (int I = 1; I < argc; ++I) {
+    std::string Value;
+    if (std::strcmp(argv[I], "--trace") == 0)
+      PrintTrace = true;
+    else if (matchOption(argv[I], "trace-out", Value))
+      TraceOutPath = Value;
+    else if (matchOption(argv[I], "profile-out", Value))
+      ProfileOutPath = Value;
+    else if (matchOption(argv[I], "profile-in", Value))
+      ProfileInPath = Value;
+    else
+      Positional.push_back(argv[I]);
+  }
+
+  const char *Name = Positional.size() > 0 ? Positional[0] : "compress";
   const BenchmarkSpec *B = findBenchmark(Name);
   if (!B) {
     std::fprintf(stderr, "unknown benchmark '%s'\n", Name);
@@ -31,12 +74,23 @@ int main(int argc, char **argv) {
   }
 
   PipelineOptions Options;
-  if (argc > 2)
-    Options.Inline.MinArcWeight = std::atof(argv[2]);
-  if (argc > 3)
-    Options.Inline.CodeGrowthFactor = std::atof(argv[3]);
-  if (argc > 4)
-    Options.Inline.StackBound = std::atoll(argv[4]);
+  if (Positional.size() > 1)
+    Options.Inline.MinArcWeight = std::atof(Positional[1]);
+  if (Positional.size() > 2)
+    Options.Inline.CodeGrowthFactor = std::atof(Positional[2]);
+  if (Positional.size() > 3)
+    Options.Inline.StackBound = std::atoll(Positional[3]);
+  Options.EmitDecisionTrace = PrintTrace;
+
+  ProfileData LoadedProfile;
+  if (!ProfileInPath.empty()) {
+    std::string Error;
+    if (!loadProfileFromFile(ProfileInPath, LoadedProfile, &Error)) {
+      std::fprintf(stderr, "--profile-in: %s\n", Error.c_str());
+      return 2;
+    }
+    Options.ProfileIn = &LoadedProfile;
+  }
 
   std::printf("benchmark=%s threshold=%.1f growth=%.2fx stack-bound=%lld\n",
               B->Name.c_str(), Options.Inline.MinArcWeight,
@@ -48,6 +102,26 @@ int main(int argc, char **argv) {
   if (!R.Ok) {
     std::fprintf(stderr, "pipeline failed: %s\n", R.Error.c_str());
     return 1;
+  }
+
+  if (!ProfileOutPath.empty()) {
+    std::string Error;
+    if (!saveProfileToFile(ProfileOutPath, R.ProfileBefore, &Error)) {
+      std::fprintf(stderr, "--profile-out: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("profile saved to %s\n", ProfileOutPath.c_str());
+  }
+  if (PrintTrace)
+    std::printf("%s", R.DecisionTrace.c_str());
+  if (!TraceOutPath.empty()) {
+    std::ofstream Trace(TraceOutPath, std::ios::trunc);
+    if (!Trace) {
+      std::fprintf(stderr, "--trace-out: cannot open '%s'\n",
+                   TraceOutPath.c_str());
+      return 1;
+    }
+    Trace << renderDecisionTraceJson(R.Inline.Plan, R.FinalModule, B->Name);
   }
 
   std::printf("outputs preserved: %s\n", R.outputsMatch() ? "yes" : "NO");

@@ -61,11 +61,23 @@ CostResult impact::computeArcCost(const SiteInfo &Site, const CallGraph &G,
                                   const Linearization &L,
                                   const CostEstimates &Est,
                                   const InlineOptions &Options) {
-  constexpr double Infinity = std::numeric_limits<double>::infinity();
-  auto Reject = [](CostVerdict V) {
-    return CostResult{V, std::numeric_limits<double>::infinity()};
+  CostResult Result;
+
+  // Fill the decision numbers up front so every verdict — acceptance or
+  // any of the INFINITY hazards — carries the figures it was decided on.
+  DecisionNumbers &N = Result.Numbers;
+  N.Weight = Site.Weight;
+  N.WeightThreshold = Options.MinArcWeight;
+  N.MaxCalleeSize = Options.MaxCalleeSize;
+  N.ProgramSize = Est.ProgramSize;
+  N.ProgramSizeBudget = Est.ProgramSizeBudget;
+  N.StackBound = Options.StackBound;
+
+  auto Reject = [&Result](CostVerdict V) {
+    Result.Verdict = V;
+    Result.Cost = std::numeric_limits<double>::infinity();
+    return Result;
   };
-  (void)Infinity;
 
   if (Site.Class == SiteClass::External || Site.Class == SiteClass::Pointer)
     return Reject(CostVerdict::NotInlinable);
@@ -73,6 +85,12 @@ CostResult impact::computeArcCost(const SiteInfo &Site, const CallGraph &G,
   FuncId Caller = Site.Caller;
   FuncId Callee = Site.Callee;
   assert(Callee != kNoFunc && "direct site without callee");
+
+  N.CalleeSize = Est.FuncSize[static_cast<size_t>(Callee)];
+  N.CalleeStackWords = Est.StackWords[static_cast<size_t>(Callee)];
+  N.CallerRecursive = Options.TreatExternalCyclesAsRecursion
+                          ? G.isOnCycle(Caller)
+                          : G.isRecursive(Caller);
 
   // Recursion: an arc inside one SCC can never be absorbed. Which SCC
   // counts as recursion is the pessimism knob (see InlineOptions).
@@ -91,25 +109,21 @@ CostResult impact::computeArcCost(const SiteInfo &Site, const CallGraph &G,
 
   // Stack explosion hazard (§2.3.2), using the *current* stack estimate,
   // which grows as the callee absorbs other functions.
-  bool CallerRecursive = Options.TreatExternalCyclesAsRecursion
-                             ? G.isOnCycle(Caller)
-                             : G.isRecursive(Caller);
-  if (CallerRecursive &&
-      Est.StackWords[static_cast<size_t>(Callee)] > Options.StackBound)
+  if (N.CallerRecursive && N.CalleeStackWords > Options.StackBound)
     return Reject(CostVerdict::StackHazard);
 
   // Weight threshold.
   if (Site.Weight < Options.MinArcWeight)
     return Reject(CostVerdict::LowWeight);
 
-  uint64_t CalleeSize = Est.FuncSize[static_cast<size_t>(Callee)];
-  if (Options.MaxCalleeSize != 0 && CalleeSize > Options.MaxCalleeSize)
+  if (Options.MaxCalleeSize != 0 && N.CalleeSize > Options.MaxCalleeSize)
     return Reject(CostVerdict::CalleeTooLarge);
 
   // Code explosion hazard (§2.3.1).
-  if (Est.ProgramSize + CalleeSize > Est.ProgramSizeBudget)
+  if (Est.ProgramSize + N.CalleeSize > Est.ProgramSizeBudget)
     return Reject(CostVerdict::BudgetExceeded);
 
-  return CostResult{CostVerdict::Acceptable,
-                    static_cast<double>(CalleeSize)};
+  Result.Verdict = CostVerdict::Acceptable;
+  Result.Cost = static_cast<double>(N.CalleeSize);
+  return Result;
 }

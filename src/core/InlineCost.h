@@ -78,11 +78,39 @@ struct CostEstimates {
   void applyExpansion(FuncId Caller, FuncId Callee);
 };
 
+/// The concrete numbers the cost function compared when it ruled on an
+/// arc — the payload of the decision trace (§3.4). Every figure is the
+/// *estimate at decision time*: sizes and stack words grow as earlier
+/// acceptances are applied, so two sites with the same callee can
+/// legitimately carry different numbers.
+struct DecisionNumbers {
+  /// Arc weight vs. the weight threshold.
+  double Weight = 0.0;
+  double WeightThreshold = 0.0;
+  /// Callee size estimate vs. the per-callee cap (0 = uncapped).
+  uint64_t CalleeSize = 0;
+  uint64_t MaxCalleeSize = 0;
+  /// Whole-program size estimate before this arc vs. the hard budget; an
+  /// accepted arc grows the program to ProgramSize + CalleeSize.
+  uint64_t ProgramSize = 0;
+  uint64_t ProgramSizeBudget = 0;
+  /// Callee activation estimate vs. the recursion stack bound.
+  int64_t CalleeStackWords = 0;
+  int64_t StackBound = 0;
+  /// Whether the caller sits on a recursion cycle (arms the stack hazard).
+  bool CallerRecursive = false;
+
+  friend bool operator==(const DecisionNumbers &,
+                         const DecisionNumbers &) = default;
+};
+
 struct CostResult {
   CostVerdict Verdict = CostVerdict::Acceptable;
   /// The callee's current estimated size when Acceptable; +infinity
   /// otherwise.
   double Cost = 0.0;
+  /// What the verdict was decided on.
+  DecisionNumbers Numbers;
 };
 
 /// Evaluates the cost function for one classified site.

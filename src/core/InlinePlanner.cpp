@@ -79,6 +79,7 @@ InlinePlan impact::planInlining(const Module &M, const CallGraph &G,
     assert(Info && "planned site missing from classification");
     CostResult Cost = computeArcCost(*Info, G, L, Est, Options);
     P.Verdict = Cost.Verdict;
+    P.Numbers = Cost.Numbers;
     switch (Cost.Verdict) {
     case CostVerdict::Acceptable:
       P.Status = ArcStatus::ToBeExpanded;

@@ -36,6 +36,9 @@ struct PlannedSite {
   double Weight = 0.0;
   ArcStatus Status = ArcStatus::NotExpandable;
   CostVerdict Verdict = CostVerdict::NotInlinable;
+  /// The figures the cost function compared when it ruled on this site —
+  /// the payload of the decision trace (driver/DecisionTrace.h).
+  DecisionNumbers Numbers;
 
   /// Exact equality; the parallel-determinism test compares whole plans.
   friend bool operator==(const PlannedSite &, const PlannedSite &) = default;

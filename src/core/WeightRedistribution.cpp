@@ -39,22 +39,38 @@ impact::redistributeWeights(const Module &M, const ProfileData &PreProfile,
     if (Ratio > 1.0)
       Ratio = 1.0;
 
+    // Snapshot the originals' weights before this record rewrites any of
+    // them: for a self-recursive callee the expanded site is itself one
+    // of the cloned originals, and every pair's attribution must read
+    // the pre-record value.
+    std::vector<double> OrigWeight(Rec.ClonedSites.size());
+    for (size_t I = 0; I != Rec.ClonedSites.size(); ++I)
+      OrigWeight[I] = R.ArcWeight[Rec.ClonedSites[I].first];
+
     // ClonedSites lists every call site of the callee body at expansion
     // time: the clone inherits the attributed share, the original keeps
     // the remainder.
-    for (const auto &[Orig, Fresh] : Rec.ClonedSites) {
+    double ReentryW = 0.0;
+    for (size_t I = 0; I != Rec.ClonedSites.size(); ++I) {
+      auto [Orig, Fresh] = Rec.ClonedSites[I];
       assert(Fresh < R.ArcWeight.size() && "fresh site beyond module");
-      double Moved = R.ArcWeight[Orig] * Ratio;
+      double Moved = OrigWeight[I] * Ratio;
       R.ArcWeight[Fresh] = Moved;
-      R.ArcWeight[Orig] -= Moved;
+      R.ArcWeight[Orig] = OrigWeight[I] - Moved;
+      // The clone of the expanded site itself (only possible when the
+      // callee is self-recursive) still calls the callee: its share of
+      // the entries survives the expansion.
+      if (Orig == Rec.SiteId)
+        ReentryW += Moved;
     }
 
     // The expanded calls no longer happen; the callee is entered that
-    // much less often.
+    // much less often, except for entries re-created by a cloned self
+    // arc.
     R.ArcWeight[Rec.SiteId] = 0.0;
-    R.NodeWeight[static_cast<size_t>(Rec.Callee)] -= ArcW;
-    if (R.NodeWeight[static_cast<size_t>(Rec.Callee)] < 0.0)
-      R.NodeWeight[static_cast<size_t>(Rec.Callee)] = 0.0;
+    double NewNodeW = CalleeW - ArcW + ReentryW;
+    R.NodeWeight[static_cast<size_t>(Rec.Callee)] =
+        NewNodeW < 0.0 ? 0.0 : NewNodeW;
   }
   return R;
 }

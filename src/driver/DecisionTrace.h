@@ -1,0 +1,56 @@
+//===- driver/DecisionTrace.h - Per-arc inline decision trace ------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the planner's per-site rulings (core/InlinePlanner.h) for
+/// humans and for tools. Every Rejected / NotExpandable site carries a
+/// concrete reason with the numbers the cost function actually compared —
+/// "weight 3.00 < threshold 10.00", "program 1200 + callee 300 > budget
+/// 1400" — so a surprising plan can be audited line by line instead of
+/// re-deriving the cost function by hand.
+///
+/// Two forms over the same data:
+///  - renderDecisionTraceTable: fixed-width TableWriter table, one row per
+///    site, for terminals and golden tests;
+///  - renderDecisionTraceJson: one JSON object per line (JSONL), for
+///    scripts; written by the benches' --trace-out= flag.
+///
+/// Both render from the post-inline module: dead-function elimination
+/// marks bodies Eliminated but keeps the Function entries, so FuncIds and
+/// names stay valid after expansion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_DRIVER_DECISIONTRACE_H
+#define IMPACT_DRIVER_DECISIONTRACE_H
+
+#include "core/InlinePlanner.h"
+#include "ir/Ir.h"
+
+#include <string>
+#include <string_view>
+
+namespace impact {
+
+/// One sentence explaining \p P's verdict, always quoting the numbers it
+/// was decided on. \p M resolves function names (and distinguishes
+/// external callees from pointer sites).
+std::string formatDecisionReason(const PlannedSite &P, const Module &M);
+
+/// The whole plan as a fixed-width table (site / caller / callee / weight /
+/// status / verdict / reason), sites in plan order.
+std::string renderDecisionTraceTable(const InlinePlan &Plan, const Module &M);
+
+/// The whole plan as JSON lines: one object per site carrying the names,
+/// weight, status, verdict, every DecisionNumbers field, and the reason.
+/// A non-empty \p Program is emitted as a leading "program" field, so
+/// whole-suite trace files (--trace-out=) stay self-describing.
+std::string renderDecisionTraceJson(const InlinePlan &Plan, const Module &M,
+                                    std::string_view Program = {});
+
+} // namespace impact
+
+#endif // IMPACT_DRIVER_DECISIONTRACE_H

@@ -7,6 +7,7 @@
 #include "driver/Pipeline.h"
 
 #include "callgraph/CallGraphBuilder.h"
+#include "driver/DecisionTrace.h"
 #include "driver/FunctionCache.h"
 #include "ir/IrVerifier.h"
 #include "support/Stopwatch.h"
@@ -83,26 +84,35 @@ PipelineResult impact::runPipeline(Module M,
     }
   }
 
-  // 2. Profile on representative inputs.
-  Stopwatch ProfileTimer;
-  ProfileResult PreProfile = profileProgram(M, Inputs, Options.Run);
-  Result.Stats.ProfileSeconds = ProfileTimer.seconds();
-  if (!PreProfile.allRunsOk()) {
-    Result.Error = "pre-inline profiling failed: " + PreProfile.Failures[0];
-    return Result;
+  // 2. Profile on representative inputs — unless a saved profile drives
+  // this compile (PipelineOptions::ProfileIn), in which case the
+  // interpreter never runs and OutputsBefore stays empty.
+  if (Options.ProfileIn) {
+    Result.ProfileBefore = *Options.ProfileIn;
+  } else {
+    Stopwatch ProfileTimer;
+    ProfileResult PreProfile = profileProgram(M, Inputs, Options.Run);
+    Result.Stats.ProfileSeconds = ProfileTimer.seconds();
+    if (!PreProfile.allRunsOk()) {
+      Result.Error = "pre-inline profiling failed: " + PreProfile.Failures[0];
+      return Result;
+    }
+    Result.ProfileBefore = std::move(PreProfile.Data);
+    Result.OutputsBefore = std::move(PreProfile.Outputs);
   }
-  fillDynamicMetrics(Result.Before, M, PreProfile.Data);
-  Result.OutputsBefore = std::move(PreProfile.Outputs);
+  fillDynamicMetrics(Result.Before, M, Result.ProfileBefore);
 
   // 3. Recompile with profile-guided inline expansion.
   Stopwatch InlineTimer;
-  Result.Inline = runInlineExpansion(M, PreProfile.Data, Options.Inline);
+  Result.Inline = runInlineExpansion(M, Result.ProfileBefore, Options.Inline);
   Result.Stats.InlineSeconds = InlineTimer.seconds();
   fillClassMetrics(Result.Before, Result.Inline.Classes);
   if (std::string V = verifyModuleText(M); !V.empty()) {
     Result.Error = "module failed verification after inline expansion:\n" + V;
     return Result;
   }
+  if (Options.EmitDecisionTrace)
+    Result.DecisionTrace = renderDecisionTraceTable(Result.Inline.Plan, M);
 
   // 4. Measure by re-profiling on the same inputs.
   Stopwatch ReProfileTimer;

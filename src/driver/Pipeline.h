@@ -42,6 +42,17 @@ struct PipelineOptions {
   /// its jobs. A hit is bit-identical to re-running the passes, so results
   /// never depend on cache state.
   FunctionDefinitionCache *DefCache = nullptr;
+  /// When set, the measuring profile runs (step 2) are skipped and inline
+  /// expansion is driven by this previously saved profile instead
+  /// (profile/ProfileIO.h). The serialization is exact, so a reloaded
+  /// profile reproduces the measuring run's InlinePlan bit for bit.
+  /// OutputsBefore stays empty in this mode (nothing was executed), which
+  /// makes outputsMatch() vacuously true.
+  const ProfileData *ProfileIn = nullptr;
+  /// When true, render the planner's per-site rulings into
+  /// PipelineResult::DecisionTrace (the human table form of
+  /// driver/DecisionTrace.h).
+  bool EmitDecisionTrace = false;
 };
 
 /// Wall-clock and work counters for one pipeline run, per phase. Purely
@@ -122,6 +133,13 @@ struct PipelineResult {
   std::vector<std::string> OutputsBefore;
   std::vector<std::string> OutputsAfter;
 
+  /// The pre-inline profile that drove planning: measured in step 2, or a
+  /// copy of *ProfileIn when the measuring runs were skipped. This is what
+  /// --profile-out= persists (profile/ProfileIO.h).
+  ProfileData ProfileBefore;
+  /// Per-site decision trace table; filled when EmitDecisionTrace is set.
+  std::string DecisionTrace;
+
   /// The inlined module (post everything).
   Module FinalModule;
 
@@ -138,7 +156,11 @@ struct PipelineResult {
   double getCodeIncreasePercent() const {
     return Inline.getCodeIncreasePercent();
   }
-  bool outputsMatch() const { return OutputsBefore == OutputsAfter; }
+  /// Vacuously true when there are no "before" outputs to compare — i.e.
+  /// when ProfileIn skipped the measuring runs.
+  bool outputsMatch() const {
+    return OutputsBefore.empty() || OutputsBefore == OutputsAfter;
+  }
 };
 
 /// Runs the whole experiment on \p Source over \p Inputs.

@@ -8,7 +8,6 @@
 
 #include "support/StringUtils.h"
 
-#include <cassert>
 #include <cmath>
 #include <sstream>
 
@@ -18,7 +17,11 @@ TableWriter::TableWriter(std::vector<std::string> Headers)
     : Headers(std::move(Headers)) {}
 
 void TableWriter::addRow(std::vector<std::string> Cells) {
-  assert(Cells.size() == Headers.size() && "row arity mismatch");
+  // Deterministic arity repair instead of assert-only: short rows pad
+  // with empty cells, long rows drop the excess, so a mismatched caller
+  // renders a readable (if gappy) table in release builds instead of
+  // columns silently overflowing the computed widths.
+  Cells.resize(Headers.size());
   Rows.push_back(std::move(Cells));
 }
 
@@ -67,6 +70,12 @@ std::string impact::formatPercent(double Value) {
 }
 
 std::string impact::formatCount(double Value) {
+  // llround on a non-finite value is undefined; the cost function's
+  // INFINITY verdicts flow through report code, so render them readably.
+  if (std::isnan(Value))
+    return "nan";
+  if (std::isinf(Value))
+    return Value < 0.0 ? "-inf" : "inf";
   return std::to_string(static_cast<long long>(std::llround(Value)));
 }
 

@@ -20,6 +20,8 @@ public:
   /// (row labels), the rest right-aligned.
   explicit TableWriter(std::vector<std::string> Headers);
 
+  /// Adds one row. Arity mismatches are repaired deterministically:
+  /// missing cells render empty, extra cells are dropped.
   void addRow(std::vector<std::string> Cells);
   /// Adds a horizontal separator before the next row.
   void addSeparator();
@@ -33,7 +35,8 @@ private:
 
 /// "12.3%" with one decimal.
 std::string formatPercent(double Value);
-/// Rounds to a whole number string ("3653").
+/// Rounds to a whole number string ("3653"); non-finite values render as
+/// "inf" / "-inf" / "nan".
 std::string formatCount(double Value);
 /// Human duration with a unit chosen by magnitude: "1.24s", "38.1ms",
 /// "940us". Used by the batch pipeline's phase-timing reports.

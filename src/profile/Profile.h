@@ -19,6 +19,8 @@
 #include "interp/Interpreter.h"
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace impact {
@@ -56,7 +58,17 @@ public:
   size_t getNumSites() const { return SiteTotals.size(); }
   size_t getNumFuncs() const { return FuncEntryTotals.size(); }
 
+  /// Exact equality over every accumulated total — what "bit-identical
+  /// round trip" means for the profile/ProfileIO serialization (all state
+  /// is integral, so text round trips lose nothing).
+  friend bool operator==(const ProfileData &, const ProfileData &) = default;
+
 private:
+  /// The serializers (profile/ProfileIO.h) read and rebuild the raw totals.
+  friend std::string saveProfile(const ProfileData &Profile);
+  friend bool loadProfile(std::string_view Text, ProfileData &Out,
+                          std::string *Error);
+
   double average(uint64_t Total) const {
     return NumRuns == 0 ? 0.0 : static_cast<double>(Total) / NumRuns;
   }

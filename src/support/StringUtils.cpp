@@ -7,6 +7,7 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 
 using namespace impact;
@@ -41,6 +42,12 @@ bool impact::startsWith(std::string_view Text, std::string_view Prefix) {
 }
 
 std::string impact::formatDouble(double Value, unsigned Digits) {
+  // printf's non-finite spellings vary by platform ("nan" vs "-nan(...)");
+  // pin them down so tables and golden traces render identically anywhere.
+  if (std::isnan(Value))
+    return "nan";
+  if (std::isinf(Value))
+    return Value < 0.0 ? "-inf" : "inf";
   char Buffer[64];
   std::snprintf(Buffer, sizeof(Buffer), "%.*f", static_cast<int>(Digits),
                 Value);

@@ -6,11 +6,47 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/StringUtils.h"
+
+#include <charconv>
+
 using namespace impact;
 
 unsigned ThreadPool::getDefaultThreadCount() {
   unsigned N = std::thread::hardware_concurrency();
   return N == 0 ? 1 : N;
+}
+
+bool impact::parseJobCount(std::string_view Text, unsigned &Out,
+                           std::string *Diag) {
+  std::string_view Token = trimString(Text);
+  long long Value = 0;
+  auto [Ptr, Ec] = std::from_chars(Token.data(), Token.data() + Token.size(),
+                                   Value);
+  if (Token.empty() || Ec != std::errc() ||
+      Ptr != Token.data() + Token.size()) {
+    if (Diag)
+      *Diag = "invalid job count '" + std::string(Text) +
+              "' (expected a positive integer)";
+    return false;
+  }
+
+  unsigned Max = ThreadPool::getDefaultThreadCount();
+  if (Value < 1) {
+    if (Diag)
+      *Diag = "job count " + std::to_string(Value) + " clamped to 1";
+    Out = 1;
+  } else if (static_cast<unsigned long long>(Value) > Max) {
+    if (Diag)
+      *Diag = "job count " + std::to_string(Value) + " clamped to " +
+              std::to_string(Max) + " (hardware threads)";
+    Out = Max;
+  } else {
+    if (Diag)
+      Diag->clear();
+    Out = static_cast<unsigned>(Value);
+  }
+  return true;
 }
 
 ThreadPool::ThreadPool(unsigned ThreadCount) {

@@ -26,10 +26,25 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace impact {
+
+/// Strictly parses a worker-count string (a `--jobs N` operand or the
+/// IMPACT_JOBS environment variable) into \p Out, clamped to
+/// [1, ThreadPool::getDefaultThreadCount()].
+///
+/// Unlike a bare strtoul, this rejects empty input and trailing garbage
+/// ("4x", "2 4") outright — returning false with \p Out untouched — and
+/// turns out-of-range requests (0, negatives, more threads than the
+/// hardware has) into the nearest sane value instead of accepting them
+/// verbatim. \p Diag, when non-null, receives a one-line explanation
+/// whenever the function returns false *or* had to clamp.
+bool parseJobCount(std::string_view Text, unsigned &Out,
+                   std::string *Diag = nullptr);
 
 class ThreadPool {
 public:

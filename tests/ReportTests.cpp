@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 using namespace impact;
 
 namespace {
@@ -39,11 +42,51 @@ TEST(Report, SeparatorRows) {
   EXPECT_GE(Dashes, 2u) << "header separator plus explicit separator";
 }
 
+TEST(Report, ShortRowsPadWithEmptyCells) {
+  TableWriter T({"a", "b", "c"});
+  T.addRow({"1"});
+  T.addRow({"2", "3", "4"});
+  std::string Text = T.render();
+  // Four lines: header, separator, two rows — the short row must not
+  // break rendering and the full row's cells all appear.
+  size_t Lines = 0;
+  for (char C : Text)
+    Lines += C == '\n' ? 1 : 0;
+  EXPECT_EQ(Lines, 4u);
+  EXPECT_NE(Text.find("4"), std::string::npos);
+}
+
+TEST(Report, LongRowsTruncateToHeaderArity) {
+  TableWriter T({"a", "b"});
+  T.addRow({"1", "2", "SPILL"});
+  std::string Text = T.render();
+  EXPECT_EQ(Text.find("SPILL"), std::string::npos)
+      << "extra cells must be dropped, not rendered:\n"
+      << Text;
+  EXPECT_NE(Text.find("2"), std::string::npos);
+}
+
 TEST(Report, PercentAndCountFormats) {
   EXPECT_EQ(formatPercent(16.49), "16.5%");
   EXPECT_EQ(formatPercent(0.0), "0.0%");
   EXPECT_EQ(formatCount(3653.4), "3653");
   EXPECT_EQ(formatCount(0.6), "1");
+}
+
+TEST(Report, NonFiniteCountsRenderReadably) {
+  // The cost function's INFINITY verdicts reach report code; llround on
+  // them is undefined, so the formatter must special-case them.
+  double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(formatCount(Inf), "inf");
+  EXPECT_EQ(formatCount(-Inf), "-inf");
+  EXPECT_EQ(formatCount(std::nan("")), "nan");
+}
+
+TEST(Report, NonFinitePercentsRenderReadably) {
+  double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(formatPercent(Inf), "inf%");
+  EXPECT_EQ(formatPercent(-Inf), "-inf%");
+  EXPECT_EQ(formatPercent(std::nan("")), "nan%");
 }
 
 TEST(Report, MeanAndStddev) {

@@ -9,9 +9,12 @@
 #include "support/Rng.h"
 #include "support/SourceManager.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 using namespace impact;
@@ -166,6 +169,15 @@ TEST(StringUtils, FormatDouble) {
   EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
 }
 
+TEST(StringUtils, FormatDoubleNonFinite) {
+  // snprintf spells these differently across platforms ("inf" vs "INF");
+  // the formatter pins one spelling so tables and goldens are portable.
+  double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(formatDouble(Inf, 2), "inf");
+  EXPECT_EQ(formatDouble(-Inf, 2), "-inf");
+  EXPECT_EQ(formatDouble(std::nan(""), 2), "nan");
+}
+
 TEST(StringUtils, Padding) {
   EXPECT_EQ(padLeft("ab", 4), "  ab");
   EXPECT_EQ(padRight("ab", 4), "ab  ");
@@ -178,6 +190,65 @@ TEST(StringUtils, FormatWithCommas) {
   EXPECT_EQ(formatWithCommas(1000), "1,000");
   EXPECT_EQ(formatWithCommas(1234567), "1,234,567");
   EXPECT_EQ(formatWithCommas(-1234567), "-1,234,567");
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool: job-count parsing
+//===----------------------------------------------------------------------===//
+
+TEST(ParseJobCount, AcceptsPlainPositiveInteger) {
+  unsigned Out = 0;
+  std::string Diag = "stale";
+  ASSERT_TRUE(parseJobCount("1", Out, &Diag));
+  EXPECT_EQ(Out, 1u);
+  EXPECT_TRUE(Diag.empty()) << Diag;
+}
+
+TEST(ParseJobCount, TrimsSurroundingWhitespace) {
+  // "1" never clamps, so this passes on single-core machines too.
+  unsigned Out = 0;
+  ASSERT_TRUE(parseJobCount("  1  ", Out));
+  EXPECT_EQ(Out, 1u);
+}
+
+TEST(ParseJobCount, ClampsZeroAndNegativeToOne) {
+  unsigned Out = 0;
+  std::string Diag;
+  ASSERT_TRUE(parseJobCount("0", Out, &Diag));
+  EXPECT_EQ(Out, 1u);
+  EXPECT_NE(Diag.find("clamped to 1"), std::string::npos) << Diag;
+
+  Diag.clear();
+  ASSERT_TRUE(parseJobCount("-3", Out, &Diag));
+  EXPECT_EQ(Out, 1u);
+  EXPECT_NE(Diag.find("clamped to 1"), std::string::npos) << Diag;
+}
+
+TEST(ParseJobCount, ClampsHugeValuesToHardwareConcurrency) {
+  unsigned Out = 0;
+  std::string Diag;
+  ASSERT_TRUE(parseJobCount("100000", Out, &Diag));
+  EXPECT_EQ(Out, ThreadPool::getDefaultThreadCount());
+  EXPECT_NE(Diag.find("clamped"), std::string::npos) << Diag;
+}
+
+TEST(ParseJobCount, RejectsNonNumericInput) {
+  unsigned Out = 77;
+  std::string Diag;
+  EXPECT_FALSE(parseJobCount("4x", Out, &Diag));
+  EXPECT_NE(Diag.find("invalid job count"), std::string::npos) << Diag;
+  EXPECT_FALSE(parseJobCount("2 4", Out, &Diag));
+  EXPECT_FALSE(parseJobCount("", Out, &Diag));
+  EXPECT_FALSE(parseJobCount("jobs", Out, &Diag));
+  // Rejection leaves the caller's previous value untouched.
+  EXPECT_EQ(Out, 77u);
+}
+
+TEST(ParseJobCount, RejectsOverflowingInput) {
+  unsigned Out = 0;
+  std::string Diag;
+  EXPECT_FALSE(parseJobCount("99999999999999999999999999", Out, &Diag));
+  EXPECT_NE(Diag.find("invalid job count"), std::string::npos) << Diag;
 }
 
 //===----------------------------------------------------------------------===//

@@ -86,6 +86,55 @@ TEST(WeightRedistribution, ExpandedSitesDropToZero) {
     EXPECT_DOUBLE_EQ(Est.ArcWeight[Rec.SiteId], 0.0);
 }
 
+TEST(WeightRedistribution, SelfRecursiveCalleeKeepsCloneEntries) {
+  // Expanding a self arc T (g -> g) clones g's body — including T itself —
+  // back into g: the clone of T still calls g, so its share of the entries
+  // survives the expansion. The old code subtracted the full arc weight
+  // from g's node weight and lost those re-created entries. (The planner
+  // never emits such a record — same-SCC arcs are rejected — but
+  // redistributeWeights is a public API whose contract covers it.)
+  Module M = compileOk("int g(int n) { if (n < 1) return 0;"
+                       "return g(n - 1); }"
+                       "int main() { return g(5); }");
+  ProfileResult P = test::profileInputs(M, {""});
+  ASSERT_TRUE(P.allRunsOk());
+
+  FuncId G = M.findFunction("g");
+  ASSERT_NE(G, kNoFunc);
+  uint32_t MainSite = 0, SelfSite = 0;
+  for (const Function &F : M.Funcs)
+    for (const auto &Blk : F.Blocks)
+      for (const Instr &I : Blk.Instrs)
+        if (I.isCall())
+          (F.Id == M.MainId ? MainSite : SelfSite) = I.SiteId;
+  ASSERT_NE(MainSite, 0u);
+  ASSERT_NE(SelfSite, 0u);
+
+  double MainW = P.Data.getArcWeight(MainSite); // 1: main enters g once
+  double SelfW = P.Data.getArcWeight(SelfSite); // 5: g recurses five times
+  ASSERT_GT(SelfW, 0.0);
+
+  ExpansionRecord Rec;
+  Rec.SiteId = SelfSite;
+  Rec.Caller = G;
+  Rec.Callee = G;
+  uint32_t Clone = M.allocateSiteId();
+  Rec.ClonedSites = {{SelfSite, Clone}};
+
+  RedistributedWeights R = redistributeWeights(M, P.Data, {Rec});
+
+  // The expanded site drops to zero; its clone inherits the share of the
+  // body's executions attributed to the expanded arc.
+  EXPECT_DOUBLE_EQ(R.ArcWeight[SelfSite], 0.0);
+  double Ratio = SelfW / (MainW + SelfW);
+  EXPECT_DOUBLE_EQ(R.ArcWeight[Clone], SelfW * Ratio);
+
+  // g is still entered through main's arc *and* through the clone; the
+  // old code reported MainW alone.
+  EXPECT_DOUBLE_EQ(R.NodeWeight[static_cast<size_t>(G)],
+                   MainW + R.ArcWeight[Clone]);
+}
+
 TEST(WeightRedistribution, SuiteBenchmarksStayClose) {
   // On real programs the estimate should track the re-profiled truth
   // closely in aggregate (within 2% of total call volume).
