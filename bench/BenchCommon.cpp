@@ -8,9 +8,11 @@
 
 #include "driver/DecisionTrace.h"
 #include "profile/ProfileIO.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,10 +29,14 @@ unsigned ConfiguredJobs = 0; // 0 = hardware
 std::string TraceOutPath;    // --trace-out=FILE (JSONL decision traces)
 std::string ProfileOutDir;   // --profile-out=DIR (one .profile per program)
 std::string ProfileInDir;    // --profile-in=DIR (skip the measuring runs)
+FaultPlan ConfiguredFaults;  // --faults= / IMPACT_FAULTS
+bool FaultsConfigured = false;
+unsigned ConfiguredRetries = 0; // --retries=N
 double TotalWallSeconds = 0.0;
 double TotalCpuSeconds = 0.0;
 unsigned BatchesRun = 0;
 unsigned LastThreadsUsed = 1;
+std::vector<UnitFailure> QuarantinedFailures; // across all batches
 
 /// Strictly parses one job-count source; bad input is diagnosed and
 /// ignored (the previous setting stands), clamps are diagnosed and used.
@@ -59,11 +65,41 @@ std::string profileFilePath(const std::string &Dir, const std::string &Name) {
   return (std::filesystem::path(Dir) / (Name + ".profile")).string();
 }
 
+/// Strictly parses a fault spec. Unlike a bad --jobs value (diagnosed and
+/// ignored), a bad fault spec is fatal: the caller asked for a specific
+/// failure to be injected, and running without it would silently test
+/// nothing. Exit code 2 distinguishes "bad invocation" from "experiment
+/// failed" (1).
+void applyFaultSpec(const char *What, const char *Text) {
+  std::string Diag;
+  if (!parseFaultPlan(Text, ConfiguredFaults, &Diag)) {
+    std::fprintf(stderr, "[bench] %s: %s\n", What, Diag.c_str());
+    std::exit(2);
+  }
+  FaultsConfigured = !ConfiguredFaults.empty();
+}
+
+/// Strictly parses --retries=N (a non-negative integer, nothing else).
+void applyRetries(const char *What, const std::string &Text) {
+  unsigned Value = 0;
+  const char *First = Text.data();
+  const char *Last = First + Text.size();
+  auto [Ptr, Ec] = std::from_chars(First, Last, Value);
+  if (Ec != std::errc() || Ptr != Last || Text.empty()) {
+    std::fprintf(stderr, "[bench] %s: expected a non-negative integer, got '%s'\n",
+                 What, Text.c_str());
+    std::exit(2);
+  }
+  ConfiguredRetries = Value;
+}
+
 } // namespace
 
 void impact::bench::initBenchHarness(int argc, char **argv) {
   if (const char *Env = std::getenv("IMPACT_JOBS"))
     applyJobCount("IMPACT_JOBS", Env);
+  if (const char *Env = std::getenv("IMPACT_FAULTS"))
+    applyFaultSpec("IMPACT_FAULTS", Env);
   for (int I = 1; I < argc; ++I) {
     if ((std::strcmp(argv[I], "--jobs") == 0 ||
          std::strcmp(argv[I], "-j") == 0) &&
@@ -79,10 +115,20 @@ void impact::bench::initBenchHarness(int argc, char **argv) {
       ProfileOutDir = Value;
     else if (matchOption(argv[I], "profile-in", Value))
       ProfileInDir = Value;
+    else if (matchOption(argv[I], "faults", Value))
+      applyFaultSpec("--faults", Value.c_str());
+    else if (matchOption(argv[I], "retries", Value))
+      applyRetries("--retries", Value);
   }
 }
 
 unsigned impact::bench::getConfiguredJobs() { return ConfiguredJobs; }
+
+const FaultPlan *impact::bench::getConfiguredFaults() {
+  return FaultsConfigured ? &ConfiguredFaults : nullptr;
+}
+
+unsigned impact::bench::getConfiguredRetries() { return ConfiguredRetries; }
 
 FunctionDefinitionCache &impact::bench::getSharedDefinitionCache() {
   static FunctionDefinitionCache Cache;
@@ -106,6 +152,10 @@ impact::bench::makeSuiteBatchJobs(const PipelineOptions &Options,
     Job.Source = B.Source;
     Job.Inputs = makeBenchmarkInputs(B, RunsOverride);
     Job.Options = Options;
+    if (!Job.Options.Faults)
+      Job.Options.Faults = getConfiguredFaults();
+    if (Job.Options.RetryAttempts == 0)
+      Job.Options.RetryAttempts = ConfiguredRetries;
     Jobs.push_back(std::move(Job));
   }
   return Jobs;
@@ -169,11 +219,14 @@ impact::bench::runSuiteExperiment(const PipelineOptions &Options,
       std::exit(1);
     }
     TraceFileStarted = true;
-    for (size_t I = 0; I != Jobs.size(); ++I)
+    for (size_t I = 0; I != Jobs.size(); ++I) {
       if (R.Results[I].Ok)
         Trace << renderDecisionTraceJson(R.Results[I].Inline.Plan,
                                          R.Results[I].FinalModule,
                                          Jobs[I].Name);
+      else
+        Trace << renderUnitFailureJson(R.Results[I].Failure, Jobs[I].Name);
+    }
   }
 
   TotalWallSeconds += R.WallSeconds;
@@ -181,8 +234,13 @@ impact::bench::runSuiteExperiment(const PipelineOptions &Options,
   LastThreadsUsed = R.ThreadsUsed;
   ++BatchesRun;
 
+  // Quarantine, don't abort: every benchmark keeps its row (tables skip
+  // failed ones), the batch as a whole succeeds as long as at least one
+  // unit ran. Soundness stays fatal — a unit that *ran* and changed its
+  // output after inlining is a miscompile, not a containable failure.
   const std::vector<BenchmarkSpec> &Suite = getBenchmarkSuite();
   std::vector<SuiteRun> Results;
+  size_t FailedUnits = 0;
   for (size_t I = 0; I != Jobs.size(); ++I) {
     const BenchmarkSpec &B = Suite[I];
     SuiteRun Run;
@@ -192,17 +250,22 @@ impact::bench::runSuiteExperiment(const PipelineOptions &Options,
     Run.SourceLines = countSourceLines(B.Source);
     Run.Result = std::move(R.Results[I]);
     if (!Run.Result.Ok) {
-      std::fprintf(stderr, "benchmark %s failed: %s\n", B.Name.c_str(),
-                   Run.Result.Error.c_str());
-      std::exit(1);
-    }
-    if (!Run.Result.outputsMatch()) {
+      ++FailedUnits;
+      QuarantinedFailures.push_back(Run.Result.Failure);
+      std::fprintf(stderr, "[failed] %s\n",
+                   Run.Result.Failure.render().c_str());
+    } else if (!Run.Result.outputsMatch()) {
       std::fprintf(stderr,
                    "benchmark %s: output changed after inline expansion\n",
                    B.Name.c_str());
       std::exit(1);
     }
     Results.push_back(std::move(Run));
+  }
+  if (FailedUnits == Jobs.size() && !Jobs.empty()) {
+    std::fprintf(stderr, "[bench] all %zu units failed; aborting\n",
+                 FailedUnits);
+    std::exit(1);
   }
   return Results;
 }
@@ -222,6 +285,13 @@ std::string impact::bench::renderBenchFooter() {
          formatPercent(Cache.getHitRate() * 100.0) + "), " +
          std::to_string(Cache.Entries) + " entries, " +
          std::to_string(Cache.InstrsServed) + " cached IL served\n";
+  if (!QuarantinedFailures.empty()) {
+    Out += "[failed] " + std::to_string(QuarantinedFailures.size()) +
+           " unit(s) quarantined across " + std::to_string(BatchesRun) +
+           " batch(es)\n";
+    for (const UnitFailure &F : QuarantinedFailures)
+      Out += "[failed]   " + F.render() + "\n";
+  }
   return Out;
 }
 

@@ -54,11 +54,25 @@ struct SuiteRun {
 ///   --profile-in=DIR  drive inline expansion from saved profiles instead
 ///                     of re-running the interpreter's measuring runs
 ///   --trace-out=FILE  write every program's per-site inline decision
-///                     trace as JSON lines (driver/DecisionTrace.h)
+///                     trace as JSON lines (driver/DecisionTrace.h);
+///                     quarantined units appear as "failed":true records
+///   --faults=SPEC     deterministic fault plan (support/FaultInjection.h
+///                     grammar; also the IMPACT_FAULTS environment
+///                     variable). A malformed spec aborts the bench with
+///                     exit code 2 — a typo never silently disarms a fault
+///   --retries=N       bounded retry attempts for transient faults
+///                     (PipelineOptions::RetryAttempts; default 0)
 void initBenchHarness(int argc, char **argv);
 
 /// The installed worker count; 0 means one per hardware thread.
 unsigned getConfiguredJobs();
+
+/// The installed fault plan (--faults= / IMPACT_FAULTS); null when none
+/// was configured.
+const FaultPlan *getConfiguredFaults();
+
+/// The installed retry budget (--retries=).
+unsigned getConfiguredRetries();
 
 /// The process-wide function-definition cache shared by every suite batch
 /// this bench runs (ablation sweeps hit it across configurations).
@@ -71,16 +85,23 @@ std::vector<BatchJob> makeSuiteBatchJobs(const PipelineOptions &Options =
 
 /// Runs the experiment over all 12 benchmarks as one parallel batch. \p
 /// RunsOverride scales the number of profiled inputs (0 = each benchmark's
-/// Table 1 default). Aborts the process with a message if any benchmark
-/// fails (outputs must also match before/after inlining — the harness
-/// enforces the soundness property on every run).
+/// Table 1 default).
+///
+/// Failure containment: a failing benchmark is quarantined, not fatal —
+/// its SuiteRun is returned with Result.Ok == false (tables must skip such
+/// rows), a "[failed]" line goes to stderr, and --trace-out= records the
+/// failure as a "failed":true JSONL object. The process aborts only when
+/// every benchmark fails (nothing to report) or when a benchmark that ran
+/// produces different output after inlining — the soundness property stays
+/// fatal on every run.
 std::vector<SuiteRun> runSuiteExperiment(const PipelineOptions &Options =
                                              PipelineOptions(),
                                          unsigned RunsOverride = 0);
 
 /// Timing/cache footer for the batches run so far: wall vs cpu seconds,
-/// realized parallelism, definition-cache hit counters. Benches print it
-/// after their tables.
+/// realized parallelism, definition-cache hit counters, and one
+/// "[failed]" line per quarantined unit. Benches print it after their
+/// tables.
 std::string renderBenchFooter();
 
 /// Lines of MiniC in \p Source (the Table 1 "C lines" analogue).

@@ -37,6 +37,8 @@ int main(int argc, char **argv) {
       std::vector<double> CallDec, CodeInc;
       size_t Expansions = 0, Rejections = 0;
       for (const SuiteRun &Run : Suite) {
+        if (!Run.Result.Ok)
+          continue;
         CallDec.push_back(Run.Result.getCallDecreasePercent());
         CodeInc.push_back(Run.Result.getCodeIncreasePercent());
         Expansions += Run.Result.Inline.getNumExpanded();
@@ -129,6 +131,8 @@ int main() {
       std::vector<double> CallDec, CodeInc;
       size_t Expansions = 0;
       for (const SuiteRun &Run : Suite) {
+        if (!Run.Result.Ok)
+          continue;
         CallDec.push_back(Run.Result.getCallDecreasePercent());
         CodeInc.push_back(Run.Result.getCodeIncreasePercent());
         Expansions += Run.Result.Inline.getNumExpanded();

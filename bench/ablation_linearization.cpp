@@ -30,6 +30,8 @@ void reportPolicy(TableWriter &T, const char *Label,
   std::vector<double> CallDec, CodeInc;
   size_t Expansions = 0, OrderViolations = 0;
   for (const SuiteRun &Run : Suite) {
+    if (!Run.Result.Ok)
+      continue;
     CallDec.push_back(Run.Result.getCallDecreasePercent());
     CodeInc.push_back(Run.Result.getCodeIncreasePercent());
     Expansions += Run.Result.Inline.getNumExpanded();

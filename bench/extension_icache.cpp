@@ -76,8 +76,13 @@ int main() {
       PipelineResult Post =
           runPipeline(B->Source, B->Name, Inputs, Options);
       if (!Pre.Ok || !Post.Ok) {
-        std::fprintf(stderr, "%s failed to build\n", Name);
-        return 1;
+        // Quarantine: drop this benchmark's row, keep the table.
+        if (!Post.Ok)
+          std::fprintf(stderr, "[failed] %s\n",
+                       Post.Failure.render().c_str());
+        else
+          std::fprintf(stderr, "[failed] %s failed to build\n", Name);
+        continue;
       }
 
       std::vector<std::string> Row = {Name};

@@ -35,6 +35,8 @@ int main(int argc, char **argv) {
   TableWriter T({"benchmark", "MiniC lines", "runs", "IL's", "control",
                  "input description"});
   for (const SuiteRun &Run : Suite) {
+    if (!Run.Result.Ok)
+      continue;
     const PhaseMetrics &Before = Run.Result.Before;
     T.addRow({Run.Name, std::to_string(Run.SourceLines),
               std::to_string(Run.Runs),
@@ -46,8 +48,9 @@ int main(int argc, char **argv) {
 
   double TotalIl = 0.0;
   for (const SuiteRun &Run : Suite)
-    TotalIl += Run.Result.Before.AvgInstrs *
-               static_cast<double>(Run.Runs);
+    if (Run.Result.Ok)
+      TotalIl += Run.Result.Before.AvgInstrs *
+                 static_cast<double>(Run.Runs);
   std::printf("total profiled execution: %s IL instructions "
               "(paper: >3 billion; scale-free metrics)\n",
               formatWithCommas(static_cast<int64_t>(TotalIl)).c_str());

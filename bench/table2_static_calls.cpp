@@ -34,6 +34,8 @@ int main(int argc, char **argv) {
                  "safe", "sites/line"});
   std::vector<double> Ext, Ptr, Unsafe, Safe;
   for (const SuiteRun &Run : Suite) {
+    if (!Run.Result.Ok)
+      continue;
     const Classification &C = Run.Result.Inline.Classes;
     double Total = static_cast<double>(C.getTotalSites());
     auto Pct = [&](SiteClass Class) {

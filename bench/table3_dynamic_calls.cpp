@@ -33,6 +33,8 @@ int main(int argc, char **argv) {
                  "safe"});
   std::vector<double> Ext, Ptr, Unsafe, Safe;
   for (const SuiteRun &Run : Suite) {
+    if (!Run.Result.Ok)
+      continue;
     const PhaseMetrics &B = Run.Result.Before;
     double Total = B.DynExternal + B.DynPointer + B.DynUnsafe + B.DynSafe;
     auto Pct = [&](double Part) {

@@ -37,6 +37,8 @@ int main(int argc, char **argv) {
   std::vector<double> CodeInc, CallDec, IlPerCall, CtPerCall;
   for (size_t I = 0; I != Suite.size(); ++I) {
     const SuiteRun &Run = Suite[I];
+    if (!Run.Result.Ok)
+      continue;
     const PaperTable4Row &P = Paper[I];
     CodeInc.push_back(Run.Result.getCodeIncreasePercent());
     CallDec.push_back(Run.Result.getCallDecreasePercent());
@@ -62,6 +64,8 @@ int main(int argc, char **argv) {
   // §4.4 follow-up: class mix of the dynamic calls that remain.
   double Ext = 0, Ptr = 0, Unsafe = 0, Safe = 0;
   for (const SuiteRun &Run : Suite) {
+    if (!Run.Result.Ok)
+      continue;
     Ext += Run.Result.After.DynExternal;
     Ptr += Run.Result.After.DynPointer;
     Unsafe += Run.Result.After.DynUnsafe;
@@ -82,6 +86,8 @@ int main(int argc, char **argv) {
   // §4.4: after expansion, calls vs control transfers.
   double Calls = 0, Cts = 0;
   for (const SuiteRun &Run : Suite) {
+    if (!Run.Result.Ok)
+      continue;
     Calls += Run.Result.After.AvgCalls;
     Cts += Run.Result.After.AvgControlTransfers;
   }

@@ -40,16 +40,47 @@ BatchResult impact::runBatchPipeline(const std::vector<BatchJob> &Jobs,
         const BatchJob &Job = Jobs[I];
         PipelineOptions JobOptions = Job.Options;
         JobOptions.DefCache = Cache;
-        Result.Results[I] =
-            runPipeline(Job.Source, Job.Name, Job.Inputs, JobOptions);
+        // runPipeline contains every failure (including thrown
+        // exceptions) as a failed result; the catch-all below is the
+        // last line of defense keeping the pool's no-throw contract if
+        // a future pipeline path leaks.
+        try {
+          Result.Results[I] =
+              runPipeline(Job.Source, Job.Name, Job.Inputs, JobOptions);
+        } catch (const std::exception &E) {
+          PipelineResult &R = Result.Results[I];
+          R = PipelineResult();
+          R.Error = std::string("pipeline threw: ") + E.what();
+          R.Failure = {Job.Name, "pipeline", "exception", E.what(), 1};
+          R.Stats.UnitsFailed = 1;
+        } catch (...) {
+          PipelineResult &R = Result.Results[I];
+          R = PipelineResult();
+          R.Error = "pipeline threw an unknown exception";
+          R.Failure = {Job.Name, "pipeline", "exception",
+                       "unknown exception", 1};
+          R.Stats.UnitsFailed = 1;
+        }
       });
     }
     Pool.wait();
   }
   Result.WallSeconds = Wall.seconds();
 
-  for (const PipelineResult &R : Result.Results)
+  for (size_t I = 0; I != Result.Results.size(); ++I) {
+    const PipelineResult &R = Result.Results[I];
     Result.Aggregate.merge(R.Stats);
+    if (R.Ok)
+      continue;
+    UnitFailure F = R.Failure;
+    if (F.Unit.empty())
+      F.Unit = I < Jobs.size() ? Jobs[I].Name : std::to_string(I);
+    if (F.Stage.empty())
+      F.Stage = "pipeline";
+    if (F.Detail.empty())
+      F.Detail = R.Error;
+    Result.Failures.push_back(std::move(F));
+  }
   if (Cache)
     Result.Cache = Cache->getStats();
   return Result;
@@ -90,5 +121,17 @@ std::string impact::renderBatchReport(const std::vector<BatchJob> &Jobs,
          " IL processed across " +
          std::to_string(Result.Aggregate.PreOpt.FunctionsVisited) +
          " function(s)\n";
+  // Quarantine footer: only present when something failed, so fault-free
+  // reports stay bit-identical to the pre-containment format.
+  if (!Result.Failures.empty()) {
+    Out += "[failed] " + std::to_string(Result.Failures.size()) +
+           " unit(s) quarantined, batch completed\n";
+    for (const UnitFailure &F : Result.Failures) {
+      std::string Detail = F.Detail.substr(0, F.Detail.find('\n'));
+      Out += "[failed]   " + F.Unit + ": stage=" + F.Stage +
+             " reason=" + F.Reason + " attempts=" +
+             std::to_string(F.Attempts) + " — " + Detail + "\n";
+    }
+  }
   return Out;
 }

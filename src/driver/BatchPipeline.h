@@ -19,6 +19,15 @@
 /// ParallelDeterminism property test. Only the timing fields and cache
 /// hit/miss split may differ between runs.
 ///
+/// Failure containment: one unit failing — malformed source, a verifier
+/// violation, an interpreter trap or step-limit exhaustion, a thrown
+/// exception, or an injected fault (support/FaultInjection.h) — is
+/// quarantined as a structured UnitFailure on its own result slot; every
+/// other job runs to completion and stays bit-identical to a batch where
+/// the failing unit never existed. Failed units insert nothing into the
+/// shared function-definition cache past the point of failure, so the
+/// cache is never poisoned across jobs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IMPACT_DRIVER_BATCHPIPELINE_H
@@ -65,6 +74,9 @@ struct BatchResult {
   /// Cache-lifetime counters (== Aggregate's hit/miss for a batch-local
   /// cache; larger for an external cache reused across batches).
   FunctionCacheStats Cache;
+  /// Quarantine records of every failed job, in job order (one per
+  /// failed Results slot; empty when allOk()).
+  std::vector<UnitFailure> Failures;
 
   bool allOk() const;
   /// Index of the first failed job, or -1.

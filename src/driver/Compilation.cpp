@@ -9,16 +9,34 @@
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
 #include "irgen/IrGen.h"
+#include "support/FaultInjection.h"
 #include "support/SourceManager.h"
 
 using namespace impact;
 
+namespace {
+
+/// Consults \p Faults at a frontend boundary. A diag-kind rule reports an
+/// injected error (so the stage fails the same clean way a real
+/// diagnostic does); throw/oom kinds propagate out of reach().
+void reachCompileSite(FaultSession *Faults, const char *Site,
+                      DiagnosticEngine &Diags) {
+  if (!Faults)
+    return;
+  if (Faults->reach(Site) == FaultKind::Diagnostic)
+    Diags.error(SourceLoc(), std::string("injected diagnostic at ") + Site);
+}
+
+} // namespace
+
 CompilationResult impact::compileMiniC(std::string_view Source,
-                                       std::string Name, bool RequireMain) {
+                                       std::string Name, bool RequireMain,
+                                       FaultSession *Faults) {
   CompilationResult Result;
   SourceManager SM(Name, std::string(Source));
   DiagnosticEngine Diags;
 
+  reachCompileSite(Faults, "parse", Diags);
   Parser P(SM.getText(), Diags);
   std::unique_ptr<TranslationUnit> TU = P.parseTranslationUnit();
   if (Diags.hasErrors()) {
@@ -26,14 +44,16 @@ CompilationResult impact::compileMiniC(std::string_view Source,
     return Result;
   }
 
+  reachCompileSite(Faults, "sema", Diags);
   SemaOptions SOpts;
   SOpts.RequireMain = RequireMain;
   Sema S(Diags, SOpts);
-  if (!S.analyze(*TU)) {
+  if (Diags.hasErrors() || !S.analyze(*TU)) {
     Result.Errors = Diags.render(SM);
     return Result;
   }
 
+  reachCompileSite(Faults, "irgen", Diags);
   IrGen Gen(Diags);
   Result.M = Gen.generate(*TU, std::move(Name));
   if (Diags.hasErrors()) {

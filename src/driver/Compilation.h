@@ -14,6 +14,8 @@
 
 namespace impact {
 
+class FaultSession;
+
 /// Outcome of compiling one MiniC source buffer.
 struct CompilationResult {
   bool Ok = false;
@@ -23,9 +25,14 @@ struct CompilationResult {
 };
 
 /// Lex + parse + sema + IL generation. When \p RequireMain is false the
-/// source may be a fragment without a main function.
+/// source may be a fragment without a main function. \p Faults, when
+/// non-null, is consulted at the parse/sema/irgen boundaries
+/// (support/FaultInjection.h): diag-kind rules report an injected
+/// diagnostic (a clean failure), throw/oom-kind rules propagate their
+/// exceptions to the caller's containment layer.
 CompilationResult compileMiniC(std::string_view Source, std::string Name,
-                               bool RequireMain = true);
+                               bool RequireMain = true,
+                               FaultSession *Faults = nullptr);
 
 } // namespace impact
 

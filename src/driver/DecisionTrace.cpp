@@ -6,6 +6,7 @@
 
 #include "driver/DecisionTrace.h"
 
+#include "driver/Pipeline.h"
 #include "driver/Report.h"
 #include "support/StringUtils.h"
 
@@ -134,5 +135,20 @@ std::string impact::renderDecisionTraceJson(const InlinePlan &Plan,
     Out += N.CallerRecursive ? "true" : "false";
     Out += ",\"reason\":\"" + jsonEscape(formatDecisionReason(P, M)) + "\"}\n";
   }
+  return Out;
+}
+
+std::string impact::renderUnitFailureJson(const UnitFailure &F,
+                                          std::string_view Program) {
+  std::string Out = "{";
+  if (!Program.empty())
+    Out += "\"program\":\"" + jsonEscape(Program) + "\",";
+  else
+    Out += "\"program\":\"" + jsonEscape(F.Unit) + "\",";
+  Out += "\"failed\":true";
+  Out += ",\"stage\":\"" + jsonEscape(F.Stage) + "\"";
+  Out += ",\"reason\":\"" + jsonEscape(F.Reason) + "\"";
+  Out += ",\"attempts\":" + std::to_string(F.Attempts);
+  Out += ",\"detail\":\"" + jsonEscape(F.Detail) + "\"}\n";
   return Out;
 }

@@ -35,6 +35,8 @@
 
 namespace impact {
 
+struct UnitFailure;
+
 /// One sentence explaining \p P's verdict, always quoting the numbers it
 /// was decided on. \p M resolves function names (and distinguishes
 /// external callees from pointer sites).
@@ -50,6 +52,13 @@ std::string renderDecisionTraceTable(const InlinePlan &Plan, const Module &M);
 /// whole-suite trace files (--trace-out=) stay self-describing.
 std::string renderDecisionTraceJson(const InlinePlan &Plan, const Module &M,
                                     std::string_view Program = {});
+
+/// A quarantined unit's trace record: one JSONL object with
+/// "failed":true plus the failure's stage, reason, attempts, and detail,
+/// so whole-suite trace files (--trace-out=) account for every unit even
+/// when one produced no plan. \p Program defaults to the failure's unit.
+std::string renderUnitFailureJson(const UnitFailure &F,
+                                  std::string_view Program = {});
 
 } // namespace impact
 

@@ -87,6 +87,13 @@ bool FunctionDefinitionCache::lookup(const std::string &Key, Function &F) {
 
 void FunctionDefinitionCache::insert(const std::string &Key,
                                      const Function &F) {
+  // Anti-poisoning backstop: a live function with no body is the
+  // signature of a half-built clone; storing it would splice an empty
+  // body into every later unit that hits this key.
+  if (F.Blocks.empty() && !F.Eliminated && !F.IsExternal) {
+    RejectedInserts.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   CachedBody Body;
   Body.NumRegs = F.NumRegs;
   Body.FrameSize = F.FrameSize;
@@ -103,6 +110,7 @@ FunctionCacheStats FunctionDefinitionCache::getStats() const {
   Stats.Hits = Hits.load(std::memory_order_relaxed);
   Stats.Misses = Misses.load(std::memory_order_relaxed);
   Stats.InstrsServed = InstrsServed.load(std::memory_order_relaxed);
+  Stats.RejectedInserts = RejectedInserts.load(std::memory_order_relaxed);
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> Lock(S->Mutex);
     Stats.Entries += S->Map.size();
@@ -118,4 +126,5 @@ void FunctionDefinitionCache::clear() {
   Hits.store(0, std::memory_order_relaxed);
   Misses.store(0, std::memory_order_relaxed);
   InstrsServed.store(0, std::memory_order_relaxed);
+  RejectedInserts.store(0, std::memory_order_relaxed);
 }

@@ -27,6 +27,13 @@
 /// so concurrent pipeline jobs rarely contend; hit/miss counters are
 /// atomics.
 ///
+/// Poisoning semantics: a failing unit must never plant an entry other
+/// units would splice. The pipeline guarantees this structurally — insert
+/// only runs after a function's pass pipeline completed, and any fault
+/// unwinds before the insert — and the cache backstops it: insert()
+/// rejects structurally invalid bodies (no blocks on a live function),
+/// counting them in RejectedInserts instead of storing them.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IMPACT_DRIVER_FUNCTIONCACHE_H
@@ -53,6 +60,9 @@ struct FunctionCacheStats {
   /// IL instructions of the bodies served from cache — the pass-pipeline
   /// work (per iteration) that was not redone.
   uint64_t InstrsServed = 0;
+  /// Structurally invalid bodies insert() refused to store (always 0 in
+  /// a healthy pipeline; see the poisoning note above).
+  uint64_t RejectedInserts = 0;
 
   double getHitRate() const {
     uint64_t Total = Hits + Misses;
@@ -74,7 +84,8 @@ public:
   /// and frame counts, register names) into \p F and returns true.
   bool lookup(const std::string &Key, Function &F);
 
-  /// Records \p F's post-optimization body under \p Key.
+  /// Records \p F's post-optimization body under \p Key. Refuses (and
+  /// counts) structurally invalid bodies — the anti-poisoning backstop.
   void insert(const std::string &Key, const Function &F);
 
   FunctionCacheStats getStats() const;
@@ -102,6 +113,7 @@ private:
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> InstrsServed{0};
+  std::atomic<uint64_t> RejectedInserts{0};
 };
 
 } // namespace impact

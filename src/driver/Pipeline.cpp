@@ -10,9 +10,21 @@
 #include "driver/DecisionTrace.h"
 #include "driver/FunctionCache.h"
 #include "ir/IrVerifier.h"
+#include "support/FaultInjection.h"
 #include "support/Stopwatch.h"
 
+#include <new>
+
 using namespace impact;
+
+std::string UnitFailure::render() const {
+  std::string Out = "unit '" + Unit + "' failed at " + Stage + " (" +
+                    Reason + ") after " + std::to_string(Attempts) +
+                    " attempt(s)";
+  if (!Detail.empty())
+    Out += ": " + Detail;
+  return Out;
+}
 
 namespace {
 
@@ -35,51 +47,107 @@ void fillClassMetrics(PhaseMetrics &Metrics, const Classification &Classes) {
   Metrics.DynSafe = Classes.sumDynamic(SiteClass::Safe);
 }
 
+/// Marks \p Result failed with both the legacy Error string and the
+/// structured quarantine record.
+void failUnit(PipelineResult &Result, std::string Unit, std::string Stage,
+              std::string Reason, std::string Detail,
+              std::string LegacyError) {
+  Result.Ok = false;
+  Result.Error = std::move(LegacyError);
+  Result.Failure.Unit = std::move(Unit);
+  Result.Failure.Stage = std::move(Stage);
+  Result.Failure.Reason = std::move(Reason);
+  Result.Failure.Detail = std::move(Detail);
+}
+
+/// Maps an interpreter failure status onto a UnitFailure reason class.
+const char *profileFailureReason(const ProfileResult &P) {
+  if (!P.RunFailures.empty() &&
+      P.RunFailures.front().Status == ExecResult::Status::StepLimitExceeded)
+    return "step-limit";
+  return "trap";
+}
+
 /// Pre-inline optimization, optionally memoized through the shared
 /// function-definition cache. The cached body is exactly what re-running
 /// the (deterministic) passes would produce, so the transformed module is
 /// identical either way; only the wall time and the hit/miss counters
 /// differ.
-void runPreOpt(Module &M, const PipelineOptions &Options,
-               PipelineStats &Stats) {
+///
+/// Fault sites: "pass" before each function's pass pipeline,
+/// "cache-lookup"/"cache-insert" around the cache calls. A fault firing
+/// here unwinds before the insert, so a failing unit can never leave a
+/// partially optimized (poisoned) body behind for other units to splice.
+/// Returns false (diagnostic-kind fault) after filling \p Result.
+bool runPreOpt(Module &M, const PipelineOptions &Options,
+               PipelineResult &Result, FaultSession &Faults) {
+  PipelineStats &Stats = Result.Stats;
   for (Function &F : M.Funcs) {
     if (F.IsExternal)
       continue;
+    if (Faults.reach("pass") == FaultKind::Diagnostic) {
+      failUnit(Result, M.Name, "pre-opt", "diagnostic",
+               "injected diagnostic at pass (function '" + F.Name + "')",
+               "pre-opt failed: injected diagnostic at pass");
+      return false;
+    }
     if (Options.DefCache) {
       std::string Key = FunctionDefinitionCache::makeKey(F, Options.PreOpt);
+      if (Faults.reach("cache-lookup") == FaultKind::Diagnostic) {
+        failUnit(Result, M.Name, "pre-opt", "diagnostic",
+                 "injected diagnostic at cache-lookup",
+                 "pre-opt failed: injected diagnostic at cache-lookup");
+        return false;
+      }
       if (Options.DefCache->lookup(Key, F)) {
         ++Stats.CacheHits;
         continue;
       }
       runOptimizationPipeline(F, Options.PreOpt, &Stats.PreOpt);
+      if (Faults.reach("cache-insert") == FaultKind::Diagnostic) {
+        failUnit(Result, M.Name, "pre-opt", "diagnostic",
+                 "injected diagnostic at cache-insert",
+                 "pre-opt failed: injected diagnostic at cache-insert");
+        return false;
+      }
       Options.DefCache->insert(Key, F);
       ++Stats.CacheMisses;
     } else {
       runOptimizationPipeline(F, Options.PreOpt, &Stats.PreOpt);
     }
   }
+  return true;
 }
 
-} // namespace
-
-PipelineResult impact::runPipeline(Module M,
-                                   const std::vector<RunInput> &Inputs,
-                                   const PipelineOptions &Options) {
+/// One attempt at the module pipeline (steps 1-4). \p Stage tracks the
+/// current boundary so the exception-containment wrapper can attribute a
+/// throw to the right stage after unwinding.
+PipelineResult runModuleAttempt(Module M,
+                                const std::vector<RunInput> &Inputs,
+                                const PipelineOptions &Options,
+                                FaultSession &Faults, const char *&Stage) {
   PipelineResult Result;
+  std::string Unit = M.Name;
 
+  Stage = "verify";
   if (std::string V = verifyModuleText(M); !V.empty()) {
-    Result.Error = "module failed verification before the pipeline:\n" + V;
+    failUnit(Result, Unit, "verify", "diagnostic", V,
+             "module failed verification before the pipeline:\n" + V);
     return Result;
   }
 
   // 1. Pre-inline classic optimization (§4.4: constant folding and jump
   // optimization run before the inline expansion procedure).
   if (Options.RunPreOpt) {
+    Stage = "pre-opt";
     Stopwatch PreOptTimer;
-    runPreOpt(M, Options, Result.Stats);
+    bool PreOptOk = runPreOpt(M, Options, Result, Faults);
     Result.Stats.PreOptSeconds = PreOptTimer.seconds();
+    if (!PreOptOk)
+      return Result;
     if (std::string V = verifyModuleText(M); !V.empty()) {
-      Result.Error = "module failed verification after pre-opt:\n" + V;
+      failUnit(Result, Unit, "pre-opt", "diagnostic", V,
+               "module failed verification after pre-opt:\n" + V);
       return Result;
     }
   }
@@ -90,11 +158,25 @@ PipelineResult impact::runPipeline(Module M,
   if (Options.ProfileIn) {
     Result.ProfileBefore = *Options.ProfileIn;
   } else {
+    Stage = "profile";
+    RunOptions Run = Options.Run;
+    if (std::optional<FaultKind> K = Faults.reach("profile")) {
+      if (*K == FaultKind::StepLimit) {
+        Run.StepLimit = 1; // exhausts on the first instruction
+      } else {
+        failUnit(Result, Unit, "profile", "diagnostic",
+                 "injected diagnostic at profile",
+                 "pre-inline profiling failed: injected diagnostic");
+        return Result;
+      }
+    }
     Stopwatch ProfileTimer;
-    ProfileResult PreProfile = profileProgram(M, Inputs, Options.Run);
+    ProfileResult PreProfile = profileProgram(M, Inputs, Run);
     Result.Stats.ProfileSeconds = ProfileTimer.seconds();
     if (!PreProfile.allRunsOk()) {
-      Result.Error = "pre-inline profiling failed: " + PreProfile.Failures[0];
+      failUnit(Result, Unit, "profile", profileFailureReason(PreProfile),
+               PreProfile.Failures[0],
+               "pre-inline profiling failed: " + PreProfile.Failures[0]);
       return Result;
     }
     Result.ProfileBefore = std::move(PreProfile.Data);
@@ -103,23 +185,45 @@ PipelineResult impact::runPipeline(Module M,
   fillDynamicMetrics(Result.Before, M, Result.ProfileBefore);
 
   // 3. Recompile with profile-guided inline expansion.
+  Stage = "inline";
+  if (Faults.reach("expand") == FaultKind::Diagnostic) {
+    failUnit(Result, Unit, "inline", "diagnostic",
+             "injected diagnostic at expand",
+             "inline expansion failed: injected diagnostic");
+    return Result;
+  }
   Stopwatch InlineTimer;
   Result.Inline = runInlineExpansion(M, Result.ProfileBefore, Options.Inline);
   Result.Stats.InlineSeconds = InlineTimer.seconds();
   fillClassMetrics(Result.Before, Result.Inline.Classes);
   if (std::string V = verifyModuleText(M); !V.empty()) {
-    Result.Error = "module failed verification after inline expansion:\n" + V;
+    failUnit(Result, Unit, "inline", "diagnostic", V,
+             "module failed verification after inline expansion:\n" + V);
     return Result;
   }
   if (Options.EmitDecisionTrace)
     Result.DecisionTrace = renderDecisionTraceTable(Result.Inline.Plan, M);
 
   // 4. Measure by re-profiling on the same inputs.
+  Stage = "re-profile";
+  RunOptions ReRun = Options.Run;
+  if (std::optional<FaultKind> K = Faults.reach("reprofile")) {
+    if (*K == FaultKind::StepLimit) {
+      ReRun.StepLimit = 1;
+    } else {
+      failUnit(Result, Unit, "re-profile", "diagnostic",
+               "injected diagnostic at reprofile",
+               "post-inline profiling failed: injected diagnostic");
+      return Result;
+    }
+  }
   Stopwatch ReProfileTimer;
-  ProfileResult PostProfile = profileProgram(M, Inputs, Options.Run);
+  ProfileResult PostProfile = profileProgram(M, Inputs, ReRun);
   Result.Stats.ReProfileSeconds = ReProfileTimer.seconds();
   if (!PostProfile.allRunsOk()) {
-    Result.Error = "post-inline profiling failed: " + PostProfile.Failures[0];
+    failUnit(Result, Unit, "re-profile", profileFailureReason(PostProfile),
+             PostProfile.Failures[0],
+             "post-inline profiling failed: " + PostProfile.Failures[0]);
     return Result;
   }
   fillDynamicMetrics(Result.After, M, PostProfile.Data);
@@ -142,19 +246,107 @@ PipelineResult impact::runPipeline(Module M,
   return Result;
 }
 
+/// Containment wrapper: converts anything the attempt throws — injected
+/// faults, simulated allocation failures, and real defects alike — into a
+/// structured UnitFailure on a failed result, so a ThreadPool task
+/// running this unit can never terminate the batch.
+PipelineResult runGuardedModuleAttempt(Module M,
+                                       const std::vector<RunInput> &Inputs,
+                                       const PipelineOptions &Options,
+                                       FaultSession &Faults) {
+  std::string Unit = M.Name;
+  const char *Stage = "verify";
+  try {
+    return runModuleAttempt(std::move(M), Inputs, Options, Faults, Stage);
+  } catch (const FaultInjectedError &E) {
+    PipelineResult Result;
+    failUnit(Result, Unit, Stage, "fault-injected", E.what(),
+             std::string(Stage) + " failed: " + E.what());
+    return Result;
+  } catch (const std::bad_alloc &) {
+    PipelineResult Result;
+    failUnit(Result, Unit, Stage, "oom", "allocation failure",
+             std::string(Stage) + " failed: allocation failure");
+    return Result;
+  } catch (const std::exception &E) {
+    PipelineResult Result;
+    failUnit(Result, Unit, Stage, "exception", E.what(),
+             std::string(Stage) + " failed: " + E.what());
+    return Result;
+  }
+}
+
+/// Shared retry loop. \p Attempt runs one guarded attempt with a fresh
+/// FaultSession; transient faults (their MaxAttempts exhausted) stop
+/// firing on later attempts, so a retried unit converges to the result a
+/// fault-free run would have produced.
+template <typename AttemptFn>
+PipelineResult runWithRetries(const std::string &Name,
+                              const PipelineOptions &Options,
+                              AttemptFn &&Attempt) {
+  unsigned MaxAttempts = 1 + Options.RetryAttempts;
+  for (unsigned A = 1;; ++A) {
+    FaultSession Faults(Options.Faults, Name, A);
+    PipelineResult Result = Attempt(Faults, A == MaxAttempts);
+    if (Options.Faults)
+      Result.FaultSiteHits = Faults.getSiteHits();
+    Result.Failure.Attempts = A;
+    Result.Stats.Retries = A - 1;
+    Result.Stats.UnitsFailed = Result.Ok ? 0 : 1;
+    if (Result.Ok || A == MaxAttempts)
+      return Result;
+  }
+}
+
+} // namespace
+
+PipelineResult impact::runPipeline(Module M,
+                                   const std::vector<RunInput> &Inputs,
+                                   const PipelineOptions &Options) {
+  std::string Name = M.Name;
+  return runWithRetries(Name, Options, [&](FaultSession &Faults,
+                                           bool LastAttempt) {
+    // Earlier attempts work on a copy so a retry restarts from the
+    // caller's module; the last one may consume it.
+    if (LastAttempt)
+      return runGuardedModuleAttempt(std::move(M), Inputs, Options, Faults);
+    Module Copy = M;
+    return runGuardedModuleAttempt(std::move(Copy), Inputs, Options, Faults);
+  });
+}
+
 PipelineResult impact::runPipeline(std::string_view Source, std::string Name,
                                    const std::vector<RunInput> &Inputs,
                                    const PipelineOptions &Options) {
-  Stopwatch CompileTimer;
-  CompilationResult C = compileMiniC(Source, std::move(Name));
-  double CompileSeconds = CompileTimer.seconds();
-  if (!C.Ok) {
+  return runWithRetries(Name, Options, [&](FaultSession &Faults,
+                                           bool /*LastAttempt*/) {
+    Stopwatch CompileTimer;
     PipelineResult Result;
-    Result.Error = "compilation failed:\n" + C.Errors;
-    Result.Stats.CompileSeconds = CompileSeconds;
+    try {
+      CompilationResult C =
+          compileMiniC(Source, Name, /*RequireMain=*/true, &Faults);
+      double CompileSeconds = CompileTimer.seconds();
+      if (!C.Ok) {
+        failUnit(Result, Name, "compile", "diagnostic", C.Errors,
+                 "compilation failed:\n" + C.Errors);
+        Result.Stats.CompileSeconds = CompileSeconds;
+        return Result;
+      }
+      Result = runGuardedModuleAttempt(std::move(C.M), Inputs, Options,
+                                       Faults);
+      Result.Stats.CompileSeconds = CompileSeconds;
+      return Result;
+    } catch (const FaultInjectedError &E) {
+      failUnit(Result, Name, "compile", "fault-injected", E.what(),
+               std::string("compilation failed: ") + E.what());
+    } catch (const std::bad_alloc &) {
+      failUnit(Result, Name, "compile", "oom", "allocation failure",
+               "compilation failed: allocation failure");
+    } catch (const std::exception &E) {
+      failUnit(Result, Name, "compile", "exception", E.what(),
+               std::string("compilation failed: ") + E.what());
+    }
+    Result.Stats.CompileSeconds = CompileTimer.seconds();
     return Result;
-  }
-  PipelineResult Result = runPipeline(std::move(C.M), Inputs, Options);
-  Result.Stats.CompileSeconds = CompileSeconds;
-  return Result;
+  });
 }

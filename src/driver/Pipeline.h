@@ -22,11 +22,36 @@
 #include "profile/Profiler.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace impact {
 
 class FunctionDefinitionCache;
+struct FaultPlan;
+
+/// Structured description of one unit's pipeline failure — the quarantine
+/// record the batch pipeline and the bench harness report instead of
+/// aborting the process. Every failure path (diagnostics, verifier
+/// violations, interpreter traps and step-limit exhaustion, thrown
+/// exceptions, injected faults) converges here.
+struct UnitFailure {
+  /// The compilation unit (job name / module name).
+  std::string Unit;
+  /// Pipeline stage that failed: "compile", "verify", "pre-opt",
+  /// "profile", "inline", or "re-profile".
+  std::string Stage;
+  /// Failure class: "diagnostic", "trap", "step-limit", "oom",
+  /// "fault-injected", or "exception".
+  std::string Reason;
+  /// Human detail: rendered diagnostics, trap message, or what().
+  std::string Detail;
+  /// Attempts consumed (> 1 when a retry policy was configured).
+  unsigned Attempts = 1;
+
+  /// "unit 'wc' failed at profile (step-limit) after 1 attempt(s): ...".
+  std::string render() const;
+};
 
 struct PipelineOptions {
   /// Pre-inline optimization (the paper applies constant folding and jump
@@ -53,6 +78,15 @@ struct PipelineOptions {
   /// PipelineResult::DecisionTrace (the human table form of
   /// driver/DecisionTrace.h).
   bool EmitDecisionTrace = false;
+  /// Deterministic fault plan (support/FaultInjection.h), normally parsed
+  /// from IMPACT_FAULTS. Each attempt opens its own FaultSession, so
+  /// injection is reproducible at any batch thread count. Null = inert.
+  const FaultPlan *Faults = nullptr;
+  /// Extra attempts after a failed one (bounded retry for transient
+  /// faults). 0 = fail fast. Retries recompile from source (or re-run a
+  /// copy of the input module), so a successful retry is bit-identical
+  /// to a run that never failed.
+  unsigned RetryAttempts = 0;
 };
 
 /// Wall-clock and work counters for one pipeline run, per phase. Purely
@@ -71,6 +105,11 @@ struct PipelineStats {
   /// cache was attached).
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  /// 1 when this run ended in a quarantined UnitFailure (sums to the
+  /// batch's failed-unit count through merge()).
+  uint64_t UnitsFailed = 0;
+  /// Attempts beyond the first consumed by the retry policy.
+  uint64_t Retries = 0;
 
   double getTotalSeconds() const {
     return CompileSeconds + PreOptSeconds + ProfileSeconds + InlineSeconds +
@@ -86,6 +125,8 @@ struct PipelineStats {
     PreOpt.merge(Other.PreOpt);
     CacheHits += Other.CacheHits;
     CacheMisses += Other.CacheMisses;
+    UnitsFailed += Other.UnitsFailed;
+    Retries += Other.Retries;
   }
 };
 
@@ -121,6 +162,13 @@ struct PhaseMetrics {
 struct PipelineResult {
   bool Ok = false;
   std::string Error;
+  /// Structured form of Error: the stage, reason class, and detail the
+  /// batch pipeline quarantines and reports. Meaningful only when !Ok.
+  UnitFailure Failure;
+  /// Arrivals per fault site (sorted by site), recorded whenever
+  /// PipelineOptions::Faults is non-null — including an empty plan, which
+  /// is how the fault-matrix test discovers each site's occurrence range.
+  std::vector<std::pair<std::string, uint64_t>> FaultSiteHits;
 
   PhaseMetrics Before;
   PhaseMetrics After;

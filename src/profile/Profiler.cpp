@@ -17,9 +17,12 @@ ProfileResult impact::profileProgram(const Module &M,
     Opts.Input = Inputs[I].Input;
     Opts.Input2 = Inputs[I].Input2;
     ExecResult R = runProgram(M, Opts);
-    if (!R.ok())
+    if (!R.ok()) {
       Result.Failures.push_back("run " + std::to_string(I) + ": " +
                                 R.TrapMessage);
+      Result.RunFailures.push_back(
+          {static_cast<unsigned>(I), R.St, R.TrapMessage});
+    }
     Result.Data.accumulate(R.Stats);
     Result.Outputs.push_back(std::move(R.Output));
   }

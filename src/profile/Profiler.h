@@ -20,12 +20,26 @@ struct RunInput {
   std::string Input2;
 };
 
+/// One non-Exited profiled run, with the interpreter status preserved so
+/// the pipeline's failure containment can distinguish a trap (the
+/// program's fault) from step-limit exhaustion (the harness's limit).
+struct ProfileRunFailure {
+  unsigned RunIndex = 0;
+  ExecResult::Status Status = ExecResult::Status::Trapped;
+  /// The interpreter's trap message ("division by zero", "step limit
+  /// exceeded", ...).
+  std::string Message;
+};
+
 /// Outcome of profiling a program over a set of inputs.
 struct ProfileResult {
   ProfileData Data;
   /// Non-Exited runs, as "run <i>: <message>" strings; profiling is only
   /// trustworthy when this is empty.
   std::vector<std::string> Failures;
+  /// The same failures with the interpreter status preserved (parallel to
+  /// Failures, same order).
+  std::vector<ProfileRunFailure> RunFailures;
   /// Outputs of each run, in input order (used by equivalence tests).
   std::vector<std::string> Outputs;
 

@@ -117,11 +117,32 @@ bool ThreadPool::trySteal(unsigned Thief, std::function<void()> &Task) {
   return false;
 }
 
+std::string ThreadPool::getFirstTaskError() const {
+  std::lock_guard<std::mutex> Lock(TaskErrorMutex);
+  return FirstTaskError;
+}
+
+void ThreadPool::runContained(std::function<void()> &Task) {
+  try {
+    Task();
+  } catch (const std::exception &E) {
+    if (TasksFailed.fetch_add(1, std::memory_order_relaxed) == 0) {
+      std::lock_guard<std::mutex> Lock(TaskErrorMutex);
+      FirstTaskError = E.what();
+    }
+  } catch (...) {
+    if (TasksFailed.fetch_add(1, std::memory_order_relaxed) == 0) {
+      std::lock_guard<std::mutex> Lock(TaskErrorMutex);
+      FirstTaskError = "unknown exception";
+    }
+  }
+}
+
 void ThreadPool::workerLoop(unsigned Index) {
   for (;;) {
     std::function<void()> Task;
     if (tryPop(Index, Task) || trySteal(Index, Task)) {
-      Task();
+      runContained(Task);
       if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> Lock(SleepMutex);
         AllDone.notify_all();

@@ -8,7 +8,14 @@
 /// A small work-stealing thread pool for the batch pipeline. Each worker
 /// owns a deque: submissions are distributed round-robin, a worker pops
 /// from the front of its own deque and steals from the back of a
-/// neighbour's when it runs dry. Tasks must not throw.
+/// neighbour's when it runs dry.
+///
+/// Tasks should not throw — the batch pipeline converts every unit
+/// failure into a result value before it reaches the pool. As a last
+/// line of defense, a task that does throw is contained rather than
+/// terminating the process: the exception is swallowed, the failure is
+/// counted (getTasksFailed) and its first message kept
+/// (getFirstTaskError), and the worker moves on to the next task.
 ///
 /// Determinism contract: the pool schedules *independent* jobs; it provides
 /// no ordering guarantees between tasks, so callers must write results to
@@ -66,6 +73,15 @@ public:
     return static_cast<unsigned>(Workers.size());
   }
 
+  /// Tasks that escaped with an exception since construction (0 in a
+  /// healthy batch — see the containment note above).
+  uint64_t getTasksFailed() const {
+    return TasksFailed.load(std::memory_order_relaxed);
+  }
+
+  /// what() of the first contained exception, or "" when none.
+  std::string getFirstTaskError() const;
+
   /// hardware_concurrency, clamped to at least 1.
   static unsigned getDefaultThreadCount();
 
@@ -84,8 +100,15 @@ private:
   std::vector<std::unique_ptr<WorkerQueue>> Queues;
   std::vector<std::thread> Workers;
 
+  /// Runs one task, containing any escaping exception.
+  void runContained(std::function<void()> &Task);
+
   /// Tasks submitted but not yet executed (queued anywhere).
   std::atomic<uint64_t> Queued{0};
+  /// Tasks whose exceptions were contained (see class comment).
+  std::atomic<uint64_t> TasksFailed{0};
+  mutable std::mutex TaskErrorMutex;
+  std::string FirstTaskError;
   /// Tasks submitted but not yet finished (superset of Queued).
   std::atomic<uint64_t> Pending{0};
   std::atomic<uint64_t> NextQueue{0};

@@ -355,6 +355,31 @@ TEST(BatchPipeline, FailedJobIsIsolated) {
   EXPECT_TRUE(R.Results[0].Ok);
   EXPECT_TRUE(R.Results[2].Ok);
   EXPECT_TRUE(R.Results[3].Ok);
+
+  // The failure is quarantined as a structured record, not just a string.
+  ASSERT_EQ(R.Failures.size(), 1u);
+  EXPECT_EQ(R.Failures[0].Unit, "broken");
+  EXPECT_EQ(R.Failures[0].Stage, "compile");
+  EXPECT_EQ(R.Failures[0].Reason, "diagnostic");
+  EXPECT_FALSE(R.Failures[0].Detail.empty());
+  EXPECT_EQ(R.Results[1].Failure.Unit, "broken");
+
+  // The report footer names the quarantined unit; a clean batch's report
+  // must not mention failures at all.
+  std::string Report = renderBatchReport(Jobs, R);
+  EXPECT_NE(Report.find("[failed]"), std::string::npos);
+  EXPECT_NE(Report.find("broken"), std::string::npos);
+
+  // The surviving jobs are bit-identical to a batch without the bad unit.
+  Jobs.erase(Jobs.begin() + 1);
+  BatchResult Clean = runBatchPipeline(Jobs);
+  ASSERT_TRUE(Clean.allOk());
+  EXPECT_TRUE(Clean.Failures.empty());
+  EXPECT_EQ(renderBatchReport(Jobs, Clean).find("[failed]"),
+            std::string::npos);
+  expectSameResult(Clean.Results[0], R.Results[0], "job0");
+  expectSameResult(Clean.Results[1], R.Results[2], "job2");
+  expectSameResult(Clean.Results[2], R.Results[3], "job3");
 }
 
 TEST(BatchPipeline, ReportNamesEveryJob) {

@@ -1,0 +1,191 @@
+//===- tests/FuzzTests.cpp - mutation fuzzing of the frontend and IL reader ---===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzz tier: deterministic token-level mutations of random MiniC
+/// programs and of printed IL, fed to the frontend, the IL reader, and
+/// the batch pipeline. The contract under corruption is narrow and
+/// absolute — every input either compiles cleanly or is rejected with a
+/// rendered diagnostic; nothing may crash, hang (all runs are
+/// step-limited), or silently accept garbage (whatever compiles must
+/// still verify and execute within limits or trap cleanly).
+///
+/// Seed count: IMPACT_FUZZ_SEEDS (default 64). Each seed derives both a
+/// generator seed and an independent mutation seed, so raising the count
+/// widens coverage without re-running old cases differently.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchPipeline.h"
+#include "driver/Compilation.h"
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/IrPrinter.h"
+#include "ir/IrReader.h"
+#include "ir/IrVerifier.h"
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+using namespace impact;
+
+namespace {
+
+unsigned fuzzSeedCount() {
+  const char *Env = std::getenv("IMPACT_FUZZ_SEEDS");
+  if (!Env)
+    return 64;
+  unsigned Count = 0;
+  const char *Last = Env + std::string_view(Env).size();
+  auto [Ptr, Ec] = std::from_chars(Env, Last, Count);
+  if (Ec != std::errc() || Ptr != Last || Count == 0)
+    return 64;
+  return Count;
+}
+
+/// Compiles a (possibly corrupted) source and enforces the no-crash /
+/// no-hang / no-silent-acceptance contract. Returns true when it
+/// compiled cleanly.
+bool checkFrontendContract(const std::string &Source,
+                           const std::string &Tag) {
+  CompilationResult C =
+      compileMiniC(Source, "fuzz", /*RequireMain=*/true);
+  if (!C.Ok) {
+    // Rejection must come with a diagnostic, never silently.
+    EXPECT_FALSE(C.Errors.empty()) << Tag;
+    return false;
+  }
+  // Whatever compiles must still be a structurally valid module...
+  EXPECT_EQ(verifyModuleText(C.M), "") << Tag;
+  // ...and run to a clean end state within a bounded step budget:
+  // normal exit, a clean trap, or step-limit exhaustion. (The interpreter
+  // cannot hang — the limit is the hang guard.)
+  RunOptions Run;
+  Run.StepLimit = 200000;
+  ExecResult R = runProgram(C.M, Run);
+  if (R.St == ExecResult::Status::Trapped)
+    EXPECT_FALSE(R.TrapMessage.empty()) << Tag;
+  return true;
+}
+
+TEST(Fuzz, MutatedSourceNeverCrashesFrontend) {
+  unsigned Accepted = 0, Rejected = 0;
+  for (unsigned Seed = 0; Seed != fuzzSeedCount(); ++Seed) {
+    std::string Source = test::generateRandomProgram(Seed);
+    std::string Mutated = test::mutateProgramText(Source, Seed * 31 + 7);
+    std::string Tag = "seed=" + std::to_string(Seed);
+    if (checkFrontendContract(Mutated, Tag))
+      ++Accepted;
+    else
+      ++Rejected;
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  // The mutator must produce both outcomes across the corpus; all-accept
+  // would mean it never breaks anything, all-reject that it only ever
+  // shreds the program into trivially invalid text.
+  EXPECT_GT(Rejected, 0u);
+  EXPECT_GT(Accepted, 0u);
+}
+
+TEST(Fuzz, DoublyMutatedSourceNeverCrashesFrontend) {
+  // A second, independent round of corruption reaches states a single
+  // mutation batch cannot (e.g. re-breaking a still-valid neighborhood).
+  for (unsigned Seed = 0; Seed != fuzzSeedCount(); ++Seed) {
+    std::string Source = test::generateRandomProgram(Seed);
+    std::string M1 = test::mutateProgramText(Source, Seed ^ 0x5bd1e995u);
+    std::string M2 = test::mutateProgramText(M1, Seed * 2654435761u + 1);
+    checkFrontendContract(M2, "seed=" + std::to_string(Seed));
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+TEST(Fuzz, MutatedIlNeverCrashesReader) {
+  for (unsigned Seed = 0; Seed != fuzzSeedCount(); ++Seed) {
+    std::string Source = test::generateRandomProgram(Seed);
+    CompilationResult C = compileMiniC(Source, "fuzz");
+    ASSERT_TRUE(C.Ok) << "seed=" << Seed;
+    std::string Il = printModule(C.M);
+    std::string Mutated = test::mutateProgramText(Il, Seed * 131 + 17);
+    std::string Tag = "seed=" + std::to_string(Seed);
+
+    IrReadResult R = parseModuleText(Mutated);
+    if (!R.Ok) {
+      EXPECT_FALSE(R.Error.empty()) << Tag;
+      continue;
+    }
+    // Accepted IL must either verify or be rejected by the verifier with
+    // a concrete message — silent structural corruption is the failure
+    // mode this test exists to catch.
+    std::string V = verifyModuleText(R.M);
+    if (!V.empty())
+      continue;
+    RunOptions Run;
+    Run.StepLimit = 200000;
+    ExecResult E = runProgram(R.M, Run);
+    if (E.St == ExecResult::Status::Trapped)
+      EXPECT_FALSE(E.TrapMessage.empty()) << Tag;
+  }
+}
+
+TEST(Fuzz, BatchAgreesWithSerialOnMutatedCorpus) {
+  // The same mutated corpus through the full pipeline, serial vs 4 jobs:
+  // per-unit success and failure classification must agree exactly, and
+  // failures must be quarantined (the batch itself always completes).
+  unsigned Seeds = std::min(fuzzSeedCount(), 16u); // full pipeline is pricier
+  std::vector<BatchJob> Jobs;
+  for (unsigned Seed = 0; Seed != Seeds; ++Seed) {
+    BatchJob Job;
+    Job.Name = "fuzz" + std::to_string(Seed);
+    Job.Source = test::mutateProgramText(test::generateRandomProgram(Seed),
+                                         Seed * 977 + 3);
+    Job.Inputs = {RunInput{"ab", ""}};
+    Job.Options.Run.StepLimit = 200000;
+    Jobs.push_back(std::move(Job));
+  }
+
+  BatchOptions Serial, Wide;
+  Serial.Jobs = 1;
+  Wide.Jobs = 4;
+  BatchResult A = runBatchPipeline(Jobs, Serial);
+  BatchResult B = runBatchPipeline(Jobs, Wide);
+  ASSERT_EQ(A.Results.size(), Jobs.size());
+  ASSERT_EQ(B.Results.size(), Jobs.size());
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    EXPECT_EQ(A.Results[I].Ok, B.Results[I].Ok) << Jobs[I].Name;
+    EXPECT_EQ(A.Results[I].Error, B.Results[I].Error) << Jobs[I].Name;
+    EXPECT_EQ(A.Results[I].Failure.Stage, B.Results[I].Failure.Stage)
+        << Jobs[I].Name;
+    EXPECT_EQ(A.Results[I].Failure.Reason, B.Results[I].Failure.Reason)
+        << Jobs[I].Name;
+    if (!A.Results[I].Ok) {
+      EXPECT_FALSE(A.Results[I].Error.empty()) << Jobs[I].Name;
+      EXPECT_EQ(A.Results[I].Failure.Unit, Jobs[I].Name);
+    }
+  }
+  EXPECT_EQ(A.Failures.size(), B.Failures.size());
+}
+
+TEST(Fuzz, MutatorIsDeterministicAndProductive) {
+  for (unsigned Seed = 0; Seed != 8; ++Seed) {
+    std::string Source = test::generateRandomProgram(Seed);
+    std::string A = test::mutateProgramText(Source, 42 + Seed);
+    std::string B = test::mutateProgramText(Source, 42 + Seed);
+    EXPECT_EQ(A, B) << Seed;           // same seed, same corruption
+    EXPECT_NE(A, Source) << Seed;      // never the identity
+    EXPECT_NE(test::mutateProgramText(Source, 43 + Seed), A) << Seed;
+  }
+}
+
+} // namespace

@@ -8,6 +8,7 @@
 
 #include "support/Rng.h"
 
+#include <utility>
 #include <vector>
 
 using namespace impact;
@@ -319,4 +320,155 @@ private:
 
 std::string test::generateRandomProgram(uint64_t Seed) {
   return ProgramBuilder(Seed).build();
+}
+
+namespace {
+
+/// Splits \p Source into tokens a mutator can permute: identifier/number
+/// runs, single punctuation characters, and whitespace runs (kept so that
+/// rejoining preserves line structure for diagnostics).
+std::vector<std::string> tokenize(const std::string &Source) {
+  std::vector<std::string> Tokens;
+  size_t I = 0;
+  auto IsWord = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+           (C >= '0' && C <= '9') || C == '_';
+  };
+  auto IsSpace = [](char C) { return C == ' ' || C == '\t' || C == '\n'; };
+  while (I != Source.size()) {
+    size_t Start = I;
+    if (IsWord(Source[I])) {
+      while (I != Source.size() && IsWord(Source[I]))
+        ++I;
+    } else if (IsSpace(Source[I])) {
+      while (I != Source.size() && IsSpace(Source[I]))
+        ++I;
+    } else {
+      ++I;
+    }
+    Tokens.push_back(Source.substr(Start, I - Start));
+  }
+  return Tokens;
+}
+
+bool isBlank(const std::string &Token) {
+  for (char C : Token)
+    if (C != ' ' && C != '\t' && C != '\n')
+      return false;
+  return true;
+}
+
+/// Index of a random non-whitespace token, or -1 if there is none.
+int pickToken(Rng &R, const std::vector<std::string> &Tokens) {
+  if (Tokens.empty())
+    return -1;
+  for (int Tries = 0; Tries != 16; ++Tries) {
+    size_t I = R.nextBelow(Tokens.size());
+    if (!isBlank(Tokens[I]))
+      return static_cast<int>(I);
+  }
+  return -1;
+}
+
+} // namespace
+
+std::string test::mutateProgramText(const std::string &Source,
+                                    uint64_t Seed) {
+  // Distinct stream from generateRandomProgram's so that mutating a
+  // program built from the same seed is not correlated with its shape.
+  Rng R(Seed ^ 0xf00dfacecafebeefull);
+  std::vector<std::string> Tokens = tokenize(Source);
+
+  // Every fifth seed mutates values only — one numeric literal nudged to a
+  // different number — which keeps a well-formed input well-formed. This
+  // guarantees the fuzz corpus also exercises the *accepted* path (the
+  // compiled-garbage-must-still-verify-and-run half of the contract), not
+  // just the rejection path.
+  if (Seed % 5 == 0) {
+    std::vector<size_t> Numeric;
+    for (size_t I = 0; I != Tokens.size(); ++I) {
+      const std::string &T = Tokens[I];
+      bool AllDigits = !T.empty();
+      for (char C : T)
+        AllDigits = AllDigits && C >= '0' && C <= '9';
+      if (AllDigits)
+        Numeric.push_back(I);
+    }
+    if (!Numeric.empty()) {
+      size_t I = Numeric[R.nextBelow(Numeric.size())];
+      uint64_t Value = 0;
+      for (char C : Tokens[I].substr(0, 6))
+        Value = Value * 10 + static_cast<uint64_t>(C - '0');
+      Tokens[I] = std::to_string((Value + 1) % 100);
+      std::string Out;
+      for (const std::string &T : Tokens)
+        Out += T;
+      if (Out != Source)
+        return Out;
+      // The nudge collapsed to the identity (e.g. "7" -> "7" via % 100
+      // wraparound is impossible, but a duplicate literal elsewhere is
+      // not); fall through to the aggressive mutations.
+    }
+  }
+
+  // Replacement pool: structure-breaking punctuation, keywords that change
+  // parse context, extreme literals, and identifiers that dodge the symbol
+  // table.
+  static const char *const Pool[] = {
+      "{",   "}",      "(",     ")",          ";",        ",",
+      "int", "return", "while", "if",         "else",     "extern",
+      "0",   "1",      "-1",    "2147483647", "-2147483648",
+      "x",   "zz_undeclared", "main", "=",    "*",        "/",
+  };
+  constexpr size_t PoolSize = sizeof(Pool) / sizeof(Pool[0]);
+
+  unsigned NumMutations = 1 + static_cast<unsigned>(R.nextBelow(4));
+  for (unsigned M = 0; M != NumMutations && !Tokens.empty(); ++M) {
+    switch (R.nextBelow(6)) {
+    case 0: { // delete
+      int I = pickToken(R, Tokens);
+      if (I >= 0)
+        Tokens.erase(Tokens.begin() + I);
+      break;
+    }
+    case 1: { // duplicate
+      int I = pickToken(R, Tokens);
+      if (I >= 0)
+        Tokens.insert(Tokens.begin() + I, Tokens[static_cast<size_t>(I)]);
+      break;
+    }
+    case 2: { // swap two tokens
+      int A = pickToken(R, Tokens);
+      int B = pickToken(R, Tokens);
+      if (A >= 0 && B >= 0)
+        std::swap(Tokens[static_cast<size_t>(A)],
+                  Tokens[static_cast<size_t>(B)]);
+      break;
+    }
+    case 3: { // replace from the pool
+      int I = pickToken(R, Tokens);
+      if (I >= 0)
+        Tokens[static_cast<size_t>(I)] = Pool[R.nextBelow(PoolSize)];
+      break;
+    }
+    case 4: { // insert from the pool (with space padding)
+      size_t I = R.nextBelow(Tokens.size() + 1);
+      Tokens.insert(Tokens.begin() + static_cast<long>(I),
+                    std::string(" ") + Pool[R.nextBelow(PoolSize)] + " ");
+      break;
+    }
+    default: { // truncate (drop a suffix)
+      size_t Keep = 1 + R.nextBelow(Tokens.size());
+      Tokens.resize(Keep);
+      break;
+    }
+    }
+  }
+
+  std::string Out;
+  for (const std::string &T : Tokens)
+    Out += T;
+  if (Out == Source)
+    Out += "}"; // degenerate seed: force a visible corruption
+  return Out;
 }

@@ -21,6 +21,14 @@ namespace test {
 /// inline expansion preserve observable output.
 std::string generateRandomProgram(uint64_t Seed);
 
+/// Deterministically corrupts \p Source for the fuzz tier: applies a few
+/// token-level mutations (delete / duplicate / swap / replace / insert /
+/// truncate) drawn from \p Seed. Works on any line-oriented text — MiniC
+/// source and printed IL alike — and is guaranteed to return a string
+/// different from \p Source (for non-trivial inputs), so every fuzz case
+/// actually exercises an error path or a semantics-preserving accept.
+std::string mutateProgramText(const std::string &Source, uint64_t Seed);
+
 } // namespace test
 } // namespace impact
 

@@ -6,6 +6,7 @@
 
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjection.h"
 #include "support/Rng.h"
 #include "support/SourceManager.h"
 #include "support/StringUtils.h"
@@ -293,6 +294,190 @@ TEST(Rng, ChanceExtremes) {
     EXPECT_FALSE(R.nextChance(0, 10));
     EXPECT_TRUE(R.nextChance(10, 10));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjection: parseFaultPlan
+//===----------------------------------------------------------------------===//
+
+TEST(ParseFaultPlan, ParsesSingleRule) {
+  FaultPlan Plan;
+  std::string Diag = "stale";
+  ASSERT_TRUE(parseFaultPlan("profile:throw@3", Plan, &Diag));
+  EXPECT_TRUE(Diag.empty()); // success clears the diagnostic
+  ASSERT_EQ(Plan.Rules.size(), 1u);
+  EXPECT_TRUE(Plan.Rules[0].Unit.empty());
+  EXPECT_EQ(Plan.Rules[0].Site, "profile");
+  EXPECT_EQ(Plan.Rules[0].Kind, FaultKind::Throw);
+  EXPECT_EQ(Plan.Rules[0].Occurrence, 3u);
+  EXPECT_EQ(Plan.Rules[0].MaxAttempts, 0u);
+}
+
+TEST(ParseFaultPlan, ParsesUnitScopedTransientRule) {
+  FaultPlan Plan;
+  ASSERT_TRUE(parseFaultPlan("wc/expand:diag@2x1", Plan));
+  ASSERT_EQ(Plan.Rules.size(), 1u);
+  EXPECT_EQ(Plan.Rules[0].Unit, "wc");
+  EXPECT_EQ(Plan.Rules[0].Site, "expand");
+  EXPECT_EQ(Plan.Rules[0].Kind, FaultKind::Diagnostic);
+  EXPECT_EQ(Plan.Rules[0].Occurrence, 2u);
+  EXPECT_EQ(Plan.Rules[0].MaxAttempts, 1u);
+}
+
+TEST(ParseFaultPlan, ParsesMultipleRulesWithWhitespace) {
+  FaultPlan Plan;
+  ASSERT_TRUE(parseFaultPlan(" pass:oom@1 , profile:steplimit@1 ", Plan));
+  ASSERT_EQ(Plan.Rules.size(), 2u);
+  EXPECT_EQ(Plan.Rules[0].Kind, FaultKind::Oom);
+  EXPECT_EQ(Plan.Rules[1].Kind, FaultKind::StepLimit);
+}
+
+TEST(ParseFaultPlan, EmptySpecIsEmptyPlan) {
+  FaultPlan Plan;
+  ASSERT_TRUE(parseFaultPlan("", Plan));
+  EXPECT_TRUE(Plan.empty());
+  ASSERT_TRUE(parseFaultPlan("   ", Plan));
+  EXPECT_TRUE(Plan.empty());
+}
+
+TEST(ParseFaultPlan, ReplacesPriorRules) {
+  FaultPlan Plan;
+  ASSERT_TRUE(parseFaultPlan("profile:throw@1", Plan));
+  ASSERT_TRUE(parseFaultPlan("expand:oom@2", Plan));
+  ASSERT_EQ(Plan.Rules.size(), 1u);
+  EXPECT_EQ(Plan.Rules[0].Site, "expand");
+}
+
+TEST(ParseFaultPlan, RejectsMalformedSpecs) {
+  const char *Bad[] = {
+      "profile",               // no kind
+      "profile:throw",         // no occurrence
+      "profile:throw@",        // empty occurrence
+      "profile:throw@0",       // occurrence must be positive
+      "profile:throw@x",       // garbage occurrence
+      "profile:throw@1x",      // empty attempts
+      "profile:throw@1x0",     // attempts must be positive
+      "profile:throw@2junk",   // trailing garbage
+      "bogus:throw@1",         // unknown site
+      "profile:explode@1",     // unknown kind
+      "pass:steplimit@1",      // steplimit outside profile/reprofile
+      "a/b/pass:throw@1",      // unknown site "b/pass"
+      "profile:throw@1,,pass:throw@1", // empty rule
+      ",",                     // only empty rules
+  };
+  for (const char *Spec : Bad) {
+    FaultPlan Plan;
+    std::string Diag;
+    EXPECT_FALSE(parseFaultPlan(Spec, Plan, &Diag)) << Spec;
+    EXPECT_FALSE(Diag.empty()) << Spec;
+  }
+}
+
+TEST(ParseFaultPlan, DiagnosticNamesOffendingRule) {
+  FaultPlan Plan;
+  std::string Diag;
+  EXPECT_FALSE(parseFaultPlan("profile:throw@1,bogus:oom@1", Plan, &Diag));
+  EXPECT_NE(Diag.find("bogus"), std::string::npos);
+}
+
+TEST(ParseFaultPlan, RenderRoundTrips) {
+  const char *Specs[] = {
+      "profile:throw@3",
+      "wc/expand:diag@2x1",
+      "pass:oom@1,reprofile:steplimit@1",
+  };
+  for (const char *Spec : Specs) {
+    FaultPlan Plan;
+    ASSERT_TRUE(parseFaultPlan(Spec, Plan)) << Spec;
+    std::string Rendered = renderFaultPlan(Plan);
+    EXPECT_EQ(Rendered, Spec);
+    FaultPlan Again;
+    ASSERT_TRUE(parseFaultPlan(Rendered, Again)) << Rendered;
+    EXPECT_EQ(renderFaultPlan(Again), Rendered);
+  }
+}
+
+TEST(ParseFaultPlan, KnownSitesListedInDiagnostic) {
+  FaultPlan Plan;
+  std::string Diag;
+  EXPECT_FALSE(parseFaultPlan("nowhere:throw@1", Plan, &Diag));
+  for (const std::string &Site : getKnownFaultSites())
+    EXPECT_NE(Diag.find(Site), std::string::npos) << Site;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjection: FaultSession
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSessionTest, InertWithoutPlan) {
+  FaultSession Default;
+  EXPECT_FALSE(Default.isActive());
+  EXPECT_EQ(Default.reach("profile"), std::nullopt);
+  EXPECT_TRUE(Default.getSiteHits().empty());
+
+  FaultSession NullPlan(nullptr, "wc");
+  EXPECT_FALSE(NullPlan.isActive());
+  EXPECT_EQ(NullPlan.reach("profile"), std::nullopt);
+}
+
+TEST(FaultSessionTest, EmptyPlanCountsArrivals) {
+  FaultPlan Empty;
+  FaultSession S(&Empty, "wc");
+  EXPECT_TRUE(S.isActive());
+  EXPECT_EQ(S.reach("pass"), std::nullopt);
+  EXPECT_EQ(S.reach("pass"), std::nullopt);
+  EXPECT_EQ(S.reach("profile"), std::nullopt);
+  auto Hits = S.getSiteHits();
+  ASSERT_EQ(Hits.size(), 2u);
+  EXPECT_EQ(Hits[0].first, "pass");
+  EXPECT_EQ(Hits[0].second, 2u);
+  EXPECT_EQ(Hits[1].first, "profile");
+  EXPECT_EQ(Hits[1].second, 1u);
+}
+
+TEST(FaultSessionTest, FiresAtExactOccurrence) {
+  FaultPlan Plan;
+  ASSERT_TRUE(parseFaultPlan("pass:diag@3", Plan));
+  FaultSession S(&Plan, "wc");
+  EXPECT_EQ(S.reach("pass"), std::nullopt);
+  EXPECT_EQ(S.reach("pass"), std::nullopt);
+  EXPECT_EQ(S.reach("pass"), FaultKind::Diagnostic);
+  EXPECT_EQ(S.reach("pass"), std::nullopt); // only the 3rd arrival
+}
+
+TEST(FaultSessionTest, ThrowAndOomKindsThrow) {
+  FaultPlan Plan;
+  ASSERT_TRUE(parseFaultPlan("pass:throw@1,profile:oom@1", Plan));
+  FaultSession S(&Plan, "wc");
+  EXPECT_THROW((void)S.reach("pass"), FaultInjectedError);
+  EXPECT_THROW((void)S.reach("profile"), std::bad_alloc);
+}
+
+TEST(FaultSessionTest, UnitScopeGates) {
+  FaultPlan Plan;
+  ASSERT_TRUE(parseFaultPlan("wc/pass:throw@1", Plan));
+  FaultSession Other(&Plan, "grep");
+  EXPECT_EQ(Other.reach("pass"), std::nullopt);
+  FaultSession Match(&Plan, "wc");
+  EXPECT_THROW((void)Match.reach("pass"), FaultInjectedError);
+}
+
+TEST(FaultSessionTest, TransientRuleStopsAfterMaxAttempts) {
+  FaultPlan Plan;
+  ASSERT_TRUE(parseFaultPlan("pass:diag@1x2", Plan));
+  FaultSession A1(&Plan, "wc", /*Attempt=*/1);
+  EXPECT_EQ(A1.reach("pass"), FaultKind::Diagnostic);
+  FaultSession A2(&Plan, "wc", /*Attempt=*/2);
+  EXPECT_EQ(A2.reach("pass"), FaultKind::Diagnostic);
+  FaultSession A3(&Plan, "wc", /*Attempt=*/3);
+  EXPECT_EQ(A3.reach("pass"), std::nullopt);
+}
+
+TEST(FaultSessionTest, FormatFaultKindNames) {
+  EXPECT_STREQ(formatFaultKind(FaultKind::Throw), "throw");
+  EXPECT_STREQ(formatFaultKind(FaultKind::Diagnostic), "diag");
+  EXPECT_STREQ(formatFaultKind(FaultKind::Oom), "oom");
+  EXPECT_STREQ(formatFaultKind(FaultKind::StepLimit), "steplimit");
 }
 
 } // namespace
