@@ -32,6 +32,10 @@ std::string ProfileInDir;    // --profile-in=DIR (skip the measuring runs)
 FaultPlan ConfiguredFaults;  // --faults= / IMPACT_FAULTS
 bool FaultsConfigured = false;
 unsigned ConfiguredRetries = 0; // --retries=N
+bool AnalyzeConfigured = false; // --analyze / IMPACT_ANALYZE
+AnalysisOptions ConfiguredAnalysis;
+size_t TotalWarnFindings = 0;  // across all batches
+size_t TotalErrorFindings = 0; // (error findings also quarantine units)
 double TotalWallSeconds = 0.0;
 double TotalCpuSeconds = 0.0;
 unsigned BatchesRun = 0;
@@ -79,6 +83,23 @@ void applyFaultSpec(const char *What, const char *Text) {
   FaultsConfigured = !ConfiguredFaults.empty();
 }
 
+/// Strictly parses an analyzer rule spec ("0"/"off" disable). Like a bad
+/// fault spec, a malformed rule selection is fatal: the caller asked for
+/// specific rules, and silently analyzing with different ones would
+/// misreport.
+void applyAnalyzeSpec(const char *What, const std::string &Text) {
+  if (Text == "0" || Text == "off") {
+    AnalyzeConfigured = false;
+    return;
+  }
+  std::string Diag;
+  if (!parseAnalysisRules(Text, ConfiguredAnalysis, &Diag)) {
+    std::fprintf(stderr, "[bench] %s: %s\n", What, Diag.c_str());
+    std::exit(2);
+  }
+  AnalyzeConfigured = true;
+}
+
 /// Strictly parses --retries=N (a non-negative integer, nothing else).
 void applyRetries(const char *What, const std::string &Text) {
   unsigned Value = 0;
@@ -100,6 +121,8 @@ void impact::bench::initBenchHarness(int argc, char **argv) {
     applyJobCount("IMPACT_JOBS", Env);
   if (const char *Env = std::getenv("IMPACT_FAULTS"))
     applyFaultSpec("IMPACT_FAULTS", Env);
+  if (const char *Env = std::getenv("IMPACT_ANALYZE"))
+    applyAnalyzeSpec("IMPACT_ANALYZE", Env);
   for (int I = 1; I < argc; ++I) {
     if ((std::strcmp(argv[I], "--jobs") == 0 ||
          std::strcmp(argv[I], "-j") == 0) &&
@@ -119,6 +142,10 @@ void impact::bench::initBenchHarness(int argc, char **argv) {
       applyFaultSpec("--faults", Value.c_str());
     else if (matchOption(argv[I], "retries", Value))
       applyRetries("--retries", Value);
+    else if (matchOption(argv[I], "analyze", Value))
+      applyAnalyzeSpec("--analyze", Value);
+    else if (std::strcmp(argv[I], "--analyze") == 0)
+      applyAnalyzeSpec("--analyze", "all");
   }
 }
 
@@ -129,6 +156,12 @@ const FaultPlan *impact::bench::getConfiguredFaults() {
 }
 
 unsigned impact::bench::getConfiguredRetries() { return ConfiguredRetries; }
+
+bool impact::bench::getConfiguredAnalyze() { return AnalyzeConfigured; }
+
+const AnalysisOptions &impact::bench::getConfiguredAnalysisOptions() {
+  return ConfiguredAnalysis;
+}
 
 FunctionDefinitionCache &impact::bench::getSharedDefinitionCache() {
   static FunctionDefinitionCache Cache;
@@ -156,6 +189,10 @@ impact::bench::makeSuiteBatchJobs(const PipelineOptions &Options,
       Job.Options.Faults = getConfiguredFaults();
     if (Job.Options.RetryAttempts == 0)
       Job.Options.RetryAttempts = ConfiguredRetries;
+    if (AnalyzeConfigured && !Job.Options.Analyze) {
+      Job.Options.Analyze = true;
+      Job.Options.Analysis = ConfiguredAnalysis;
+    }
     Jobs.push_back(std::move(Job));
   }
   return Jobs;
@@ -226,7 +263,25 @@ impact::bench::runSuiteExperiment(const PipelineOptions &Options,
                                          Jobs[I].Name);
       else
         Trace << renderUnitFailureJson(R.Results[I].Failure, Jobs[I].Name);
+      // Analyzer findings ride along as their own JSONL records — also
+      // for quarantined units, whose error findings are the failure.
+      if (Jobs[I].Options.Analyze)
+        Trace << R.Results[I].Analysis.renderJsonl(Jobs[I].Name);
     }
+  }
+
+  // Warn-severity analyzer findings go to stderr (error findings surface
+  // through the quarantine path below).
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    if (!Jobs[I].Options.Analyze)
+      continue;
+    TotalWarnFindings += R.Results[I].Analysis.countSeverity(Severity::Warn);
+    TotalErrorFindings +=
+        R.Results[I].Analysis.countSeverity(Severity::Error);
+    for (const Finding &F : R.Results[I].Analysis.Findings)
+      if (F.Sev == Severity::Warn)
+        std::fprintf(stderr, "[analyze] %s: %s\n", Jobs[I].Name.c_str(),
+                     F.render().c_str());
   }
 
   TotalWallSeconds += R.WallSeconds;
@@ -285,6 +340,12 @@ std::string impact::bench::renderBenchFooter() {
          formatPercent(Cache.getHitRate() * 100.0) + "), " +
          std::to_string(Cache.Entries) + " entries, " +
          std::to_string(Cache.InstrsServed) + " cached IL served\n";
+  // The analyze line appears only when the analyzer ran, so analysis-off
+  // footers stay bit-identical to the previous format.
+  if (AnalyzeConfigured)
+    Out += "[analyze] " + std::to_string(TotalWarnFindings) +
+           " warning(s), " + std::to_string(TotalErrorFindings) +
+           " error(s) across " + std::to_string(BatchesRun) + " batch(es)\n";
   if (!QuarantinedFailures.empty()) {
     Out += "[failed] " + std::to_string(QuarantinedFailures.size()) +
            " unit(s) quarantined across " + std::to_string(BatchesRun) +

@@ -62,6 +62,14 @@ struct SuiteRun {
 ///                     exit code 2 — a typo never silently disarms a fault
 ///   --retries=N       bounded retry attempts for transient faults
 ///                     (PipelineOptions::RetryAttempts; default 0)
+///   --analyze[=SPEC]  run the static analyzer (analysis/Analyzer.h) on
+///                     every post-inline module (also the IMPACT_ANALYZE
+///                     environment variable; "0"/"off" disable). SPEC
+///                     selects rules ("all", "dead-store,uninit-read",
+///                     "all,-dead-store"); a malformed spec aborts with
+///                     exit code 2. Warn findings go to stderr and the
+///                     --trace-out JSONL; error findings quarantine the
+///                     unit like any other pipeline failure
 void initBenchHarness(int argc, char **argv);
 
 /// The installed worker count; 0 means one per hardware thread.
@@ -73,6 +81,12 @@ const FaultPlan *getConfiguredFaults();
 
 /// The installed retry budget (--retries=).
 unsigned getConfiguredRetries();
+
+/// True when --analyze / IMPACT_ANALYZE enabled the analyzer.
+bool getConfiguredAnalyze();
+
+/// The installed rule selection (meaningful when getConfiguredAnalyze()).
+const AnalysisOptions &getConfiguredAnalysisOptions();
 
 /// The process-wide function-definition cache shared by every suite batch
 /// this bench runs (ablation sweeps hit it across configurations).

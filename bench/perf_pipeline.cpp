@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyzer.h"
 #include "callgraph/CallGraphBuilder.h"
 #include "core/InlinePass.h"
 #include "driver/BatchPipeline.h"
@@ -126,6 +127,40 @@ void BM_InlineWholeSuite(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_InlineWholeSuite);
+
+// The static analyzer's cost over the whole post-inline suite: CFG
+// construction, the three dataflow analyses, and the four inliner
+// audits per program. This is the marginal cost of running the batch
+// pipeline with --analyze.
+void BM_AnalyzeWholeSuite(benchmark::State &State) {
+  struct Prepared {
+    Module M;
+    ProfileData Profile;
+    InlineResult Inline;
+  };
+  std::vector<Prepared> Programs;
+  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+    CompilationResult C = compileMiniC(B.Source, B.Name);
+    ProfileResult P = profileProgram(C.M, makeBenchmarkInputs(B, 2));
+    InlineResult R = runInlineExpansion(C.M, P.Data);
+    Programs.push_back(
+        Prepared{std::move(C.M), std::move(P.Data), std::move(R)});
+  }
+  AnalysisOptions Options;
+  uint64_t Findings = 0;
+  for (auto _ : State) {
+    for (const Prepared &P : Programs) {
+      AnalysisReport Report = analyzeModule(P.M, Options);
+      analyzeInlineInvariants(P.M, P.Inline, P.Profile, Options, Report);
+      Findings += Report.Findings.size();
+      benchmark::DoNotOptimize(Report.Findings.size());
+    }
+  }
+  State.counters["findings_per_suite"] =
+      static_cast<double>(Findings) /
+      static_cast<double>(State.iterations());
+}
+BENCHMARK(BM_AnalyzeWholeSuite)->Unit(benchmark::kMillisecond);
 
 // The headline batch measurement: the whole 12-program experiment
 // (compile → profile → inline → re-profile per program) at increasing

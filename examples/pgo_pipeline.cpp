@@ -10,7 +10,7 @@
 /// row. Useful for exploring the tradeoff space interactively.
 ///
 ///   pgo_pipeline [benchmark] [threshold] [growth-factor] [stack-bound]
-///                [--trace] [--trace-out=FILE]
+///                [--trace] [--trace-out=FILE] [--analyze[=RULES]]
 ///                [--profile-out=FILE] [--profile-in=FILE]
 ///   e.g. pgo_pipeline compress 10 1.25 2048 --trace
 ///
@@ -19,9 +19,13 @@
 /// --trace-out= writes the same trace as JSON lines. --profile-out= saves
 /// the measured profile; --profile-in= drives the compile from a saved
 /// profile without re-running the interpreter's measuring runs.
+/// --analyze runs the static analyzer on the post-inline module and
+/// prints every finding; RULES selects rules ("all", "dead-store",
+/// "all,-uninit-read", ...). Error findings fail the pipeline.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyzer.h"
 #include "driver/DecisionTrace.h"
 #include "driver/Pipeline.h"
 #include "profile/ProfileIO.h"
@@ -50,13 +54,24 @@ bool matchOption(const char *Arg, const char *Name, std::string &Value) {
 
 int main(int argc, char **argv) {
   bool PrintTrace = false;
+  bool Analyze = false;
+  AnalysisOptions AnalysisOpts;
   std::string TraceOutPath, ProfileOutPath, ProfileInPath;
   std::vector<const char *> Positional;
   for (int I = 1; I < argc; ++I) {
     std::string Value;
     if (std::strcmp(argv[I], "--trace") == 0)
       PrintTrace = true;
-    else if (matchOption(argv[I], "trace-out", Value))
+    else if (std::strcmp(argv[I], "--analyze") == 0)
+      Analyze = true;
+    else if (matchOption(argv[I], "analyze", Value)) {
+      std::string Error;
+      if (!parseAnalysisRules(Value, AnalysisOpts, &Error)) {
+        std::fprintf(stderr, "--analyze: %s\n", Error.c_str());
+        return 2;
+      }
+      Analyze = true;
+    } else if (matchOption(argv[I], "trace-out", Value))
       TraceOutPath = Value;
     else if (matchOption(argv[I], "profile-out", Value))
       ProfileOutPath = Value;
@@ -81,6 +96,8 @@ int main(int argc, char **argv) {
   if (Positional.size() > 3)
     Options.Inline.StackBound = std::atoll(Positional[3]);
   Options.EmitDecisionTrace = PrintTrace;
+  Options.Analyze = Analyze;
+  Options.Analysis = AnalysisOpts;
 
   ProfileData LoadedProfile;
   if (!ProfileInPath.empty()) {
@@ -114,6 +131,12 @@ int main(int argc, char **argv) {
   }
   if (PrintTrace)
     std::printf("%s", R.DecisionTrace.c_str());
+  if (Analyze) {
+    if (R.Analysis.Findings.empty())
+      std::printf("analyze: clean\n");
+    else
+      std::printf("%s", R.Analysis.renderText().c_str());
+  }
   if (!TraceOutPath.empty()) {
     std::ofstream Trace(TraceOutPath, std::ios::trunc);
     if (!Trace) {

@@ -1,0 +1,546 @@
+//===- analysis/Analyzer.cpp ---------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+
+#include "core/WeightRedistribution.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+using namespace impact;
+
+const char *impact::getSeverityName(Severity S) {
+  return S == Severity::Warn ? "warn" : "error";
+}
+
+std::string Finding::render() const {
+  std::string Out = getSeverityName(Sev);
+  Out += "[";
+  Out += Rule;
+  Out += "] ";
+  Out += Function.empty() ? "<module>" : Function;
+  if (Block >= 0) {
+    Out += " bb" + std::to_string(Block);
+    if (Instr >= 0)
+      Out += "#" + std::to_string(Instr);
+  }
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+bool impact::parseAnalysisRules(std::string_view Spec, AnalysisOptions &Out,
+                                std::string *Error) {
+  struct RuleFlag {
+    const char *Name;
+    bool AnalysisOptions::*Flag;
+  };
+  static constexpr RuleFlag Rules[] = {
+      {kRuleUninitRead, &AnalysisOptions::UninitRead},
+      {kRuleUnreachableBlock, &AnalysisOptions::UnreachableBlock},
+      {kRuleDeadStore, &AnalysisOptions::DeadStore},
+      {kRuleAuditSafeExpansion, &AnalysisOptions::AuditSafeExpansion},
+      {kRuleAuditCallGraph, &AnalysisOptions::AuditCallGraph},
+      {kRuleAuditWeightConservation,
+       &AnalysisOptions::AuditWeightConservation},
+      {kRuleAuditLinearization, &AnalysisOptions::AuditLinearization},
+  };
+  auto SetAll = [&](bool Value) {
+    for (const RuleFlag &R : Rules)
+      Out.*(R.Flag) = Value;
+  };
+
+  std::string_view Trimmed = trimString(Spec);
+  if (Trimmed.empty() || Trimmed == "all" || Trimmed == "1" ||
+      Trimmed == "on") {
+    SetAll(true);
+    return true;
+  }
+
+  // A spec that names rules positively starts from nothing enabled;
+  // "all,-x" style specs start from everything.
+  bool SawPositive = false;
+  for (std::string_view Token : splitString(Trimmed, ',')) {
+    std::string_view T = trimString(Token);
+    if (!T.empty() && T != "all" && T[0] != '-')
+      SawPositive = true;
+  }
+  SetAll(!SawPositive);
+
+  for (std::string_view Token : splitString(Trimmed, ',')) {
+    std::string_view T = trimString(Token);
+    if (T.empty())
+      continue;
+    if (T == "all") {
+      SetAll(true);
+      continue;
+    }
+    bool Enable = true;
+    if (T[0] == '-') {
+      Enable = false;
+      T = T.substr(1);
+    }
+    bool Known = false;
+    for (const RuleFlag &R : Rules)
+      if (T == R.Name) {
+        Out.*(R.Flag) = Enable;
+        Known = true;
+        break;
+      }
+    if (!Known) {
+      if (Error) {
+        *Error = "unknown analysis rule '" + std::string(T) + "'; valid: all";
+        for (const RuleFlag &R : Rules)
+          *Error += std::string(", ") + R.Name;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t AnalysisReport::countSeverity(Severity S) const {
+  size_t N = 0;
+  for (const Finding &F : Findings)
+    N += F.Sev == S;
+  return N;
+}
+
+void AnalysisReport::sortFindings() {
+  std::stable_sort(Findings.begin(), Findings.end(),
+                   [](const Finding &A, const Finding &B) {
+                     return std::tie(A.Function, A.Block, A.Instr, A.Rule,
+                                     A.Message) <
+                            std::tie(B.Function, B.Block, B.Instr, B.Rule,
+                                     B.Message);
+                   });
+}
+
+std::string AnalysisReport::renderText() const {
+  std::string Out;
+  for (const Finding &F : Findings) {
+    Out += F.render();
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string AnalysisReport::renderJsonl(std::string_view Program) const {
+  std::string Out;
+  for (const Finding &F : Findings) {
+    Out += "{";
+    if (!Program.empty())
+      Out += "\"program\":\"" + jsonEscape(Program) + "\",";
+    Out += "\"severity\":\"" + std::string(getSeverityName(F.Sev)) + "\"";
+    Out += ",\"rule\":\"" + jsonEscape(F.Rule) + "\"";
+    Out += ",\"function\":\"" + jsonEscape(F.Function) + "\"";
+    Out += ",\"block\":" + std::to_string(F.Block);
+    Out += ",\"instr\":" + std::to_string(F.Instr);
+    Out += ",\"message\":\"" + jsonEscape(F.Message) + "\"}\n";
+  }
+  return Out;
+}
+
+namespace {
+
+/// "register r3" or "register r3 ('sum')" when the function names it.
+std::string describeReg(const Function &F, Reg R) {
+  std::string Out = "register r" + std::to_string(R);
+  size_t Index = static_cast<size_t>(R);
+  if (Index < F.RegNames.size() && !F.RegNames[Index].empty())
+    Out += " ('" + F.RegNames[Index] + "')";
+  return Out;
+}
+
+void addFinding(AnalysisReport &Report, std::string Function, BlockId Block,
+                int Instr, Severity Sev, const char *Rule,
+                std::string Message) {
+  Finding F;
+  F.Function = std::move(Function);
+  F.Block = Block;
+  F.Instr = Instr;
+  F.Sev = Sev;
+  F.Rule = Rule;
+  F.Message = std::move(Message);
+  Report.Findings.push_back(std::move(F));
+}
+
+/// True for instructions whose only effect is the register they write;
+/// a dead destination makes the whole instruction dead. Calls are
+/// excluded (the call happens regardless of whether its result is read),
+/// as is Load, whose address check is an observable trap.
+bool isPureValueProducer(Opcode Op) {
+  switch (Op) {
+  case Opcode::Load:
+  case Opcode::Call:
+  case Opcode::CallPtr:
+  case Opcode::Store:
+  case Opcode::Jump:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return false;
+  case Opcode::Div:
+  case Opcode::Rem:
+    return false; // may trap on zero divisor
+  default:
+    return true;
+  }
+}
+
+void checkUninitReads(const Function &F, const Cfg &G,
+                      const ReachingDefsAnalysis &Reach,
+                      AnalysisReport &Report) {
+  std::vector<Reg> Uses;
+  std::vector<bool> Defined(F.NumRegs);
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    // Facts in unreachable blocks have no boundary feeding them; the
+    // unreachable-block rule reports those blocks instead.
+    if (!G.isReachable(static_cast<BlockId>(B)))
+      continue;
+    for (uint32_t R = 0; R != F.NumRegs; ++R)
+      Defined[R] = Reach.anyDefReaches(Reach.ReachIn[B], static_cast<Reg>(R));
+    const BasicBlock &Block = F.Blocks[B];
+    for (size_t Idx = 0; Idx != Block.Instrs.size(); ++Idx) {
+      const Instr &I = Block.Instrs[Idx];
+      Uses.clear();
+      collectUses(I, Uses);
+      for (Reg U : Uses) {
+        if (static_cast<uint32_t>(U) >= F.NumRegs)
+          continue; // out-of-range registers are the verifier's finding
+        if (!Defined[static_cast<size_t>(U)])
+          addFinding(Report, F.Name, static_cast<BlockId>(B),
+                     static_cast<int>(Idx), Severity::Warn, kRuleUninitRead,
+                     describeReg(F, U) +
+                         " is read but no definition reaches this use "
+                         "(the interpreter will see 0)");
+      }
+      Reg D = instrDef(I);
+      if (D != kNoReg && static_cast<uint32_t>(D) < F.NumRegs)
+        Defined[static_cast<size_t>(D)] = true;
+    }
+  }
+}
+
+void checkUnreachableBlocks(const Function &F, const Cfg &G,
+                            AnalysisReport &Report) {
+  for (size_t B = 1; B < F.Blocks.size(); ++B)
+    if (!G.isReachable(static_cast<BlockId>(B)))
+      addFinding(Report, F.Name, static_cast<BlockId>(B), -1, Severity::Warn,
+                 kRuleUnreachableBlock,
+                 "block is unreachable from the entry (" +
+                     std::to_string(F.Blocks[B].size()) + " instruction(s))");
+}
+
+void checkDeadStores(const Function &F, const Cfg &G,
+                     const LivenessAnalysis &Live, AnalysisReport &Report) {
+  std::vector<Reg> Uses;
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    if (!G.isReachable(static_cast<BlockId>(B)))
+      continue;
+    BitVector LiveNow = Live.LiveOut[B];
+    const BasicBlock &Block = F.Blocks[B];
+    for (size_t Idx = Block.Instrs.size(); Idx-- != 0;) {
+      const Instr &I = Block.Instrs[Idx];
+      Reg D = instrDef(I);
+      if (D != kNoReg && static_cast<uint32_t>(D) < F.NumRegs) {
+        if (!LiveNow.test(static_cast<size_t>(D)) &&
+            isPureValueProducer(I.Op))
+          addFinding(Report, F.Name, static_cast<BlockId>(B),
+                     static_cast<int>(Idx), Severity::Warn, kRuleDeadStore,
+                     "value written to " + describeReg(F, D) +
+                         " is never read (dead store)");
+        LiveNow.reset(static_cast<size_t>(D));
+      }
+      Uses.clear();
+      collectUses(I, Uses);
+      for (Reg U : Uses)
+        if (static_cast<uint32_t>(U) < F.NumRegs)
+          LiveNow.set(static_cast<size_t>(U));
+    }
+  }
+}
+
+} // namespace
+
+AnalysisReport impact::analyzeModule(const Module &M,
+                                     const AnalysisOptions &Options) {
+  AnalysisReport Report;
+  for (const Function &F : M.Funcs) {
+    if (F.IsExternal || F.Eliminated || F.Blocks.empty())
+      continue;
+    Cfg G(F);
+    if (Options.UnreachableBlock)
+      checkUnreachableBlocks(F, G, Report);
+    if (Options.UninitRead) {
+      ReachingDefsAnalysis Reach = computeReachingDefs(F, G);
+      checkUninitReads(F, G, Reach, Report);
+    }
+    if (Options.DeadStore) {
+      LivenessAnalysis Live = computeLiveness(F, G);
+      checkDeadStores(F, G, Live, Report);
+    }
+  }
+  Report.sortFindings();
+  return Report;
+}
+
+namespace {
+
+std::string auditFuncName(const Module &M, FuncId Id) {
+  if (Id < 0 || static_cast<size_t>(Id) >= M.Funcs.size())
+    return "<func#" + std::to_string(Id) + ">";
+  return M.Funcs[static_cast<size_t>(Id)].Name;
+}
+
+/// (a) Every physically expanded site must have been classified safe and
+/// planned ToBeExpanded (marked Expanded by the expander).
+void auditSafeExpansion(const Module &M, const InlineResult &Inline,
+                        AnalysisReport &Report) {
+  for (const ExpansionRecord &Rec : Inline.Expansions) {
+    std::string Caller = auditFuncName(M, Rec.Caller);
+    const SiteInfo *Info = Inline.Classes.findSite(Rec.SiteId);
+    if (!Info) {
+      addFinding(Report, Caller, -1, -1, Severity::Error,
+                 kRuleAuditSafeExpansion,
+                 "expanded site " + std::to_string(Rec.SiteId) +
+                     " does not appear in the call-site classification");
+    } else if (Info->Class != SiteClass::Safe) {
+      addFinding(Report, Caller, -1, -1, Severity::Error,
+                 kRuleAuditSafeExpansion,
+                 "expanded site " + std::to_string(Rec.SiteId) + " ('" +
+                     Caller + "' -> '" + auditFuncName(M, Rec.Callee) +
+                     "') was classified " +
+                     getSiteClassName(Info->Class) + ", not safe");
+    }
+    const PlannedSite *P = Inline.Plan.findSite(Rec.SiteId);
+    if (!P) {
+      addFinding(Report, Caller, -1, -1, Severity::Error,
+                 kRuleAuditSafeExpansion,
+                 "expanded site " + std::to_string(Rec.SiteId) +
+                     " does not appear in the inline plan");
+    } else if (P->Status != ArcStatus::Expanded) {
+      addFinding(Report, Caller, -1, -1, Severity::Error,
+                 kRuleAuditSafeExpansion,
+                 "expanded site " + std::to_string(Rec.SiteId) +
+                     " has plan status " + getArcStatusName(P->Status) +
+                     ", expected expanded");
+    }
+  }
+}
+
+/// (b) Post-expansion call-graph arc consistency: remaining sites carry
+/// valid, unique, in-range ids; direct arcs point at live functions with
+/// matching arity; expanded arcs are gone; every planned expansion has a
+/// record.
+void auditCallGraph(const Module &M, const InlineResult &Inline,
+                    AnalysisReport &Report) {
+  std::vector<bool> Seen(M.NextSiteId, false);
+  for (const Function &F : M.Funcs) {
+    for (size_t B = 0; B != F.Blocks.size(); ++B) {
+      const BasicBlock &Block = F.Blocks[B];
+      for (size_t Idx = 0; Idx != Block.Instrs.size(); ++Idx) {
+        const Instr &I = Block.Instrs[Idx];
+        if (!I.isCall())
+          continue;
+        BlockId Bl = static_cast<BlockId>(B);
+        int In = static_cast<int>(Idx);
+        if (I.SiteId == 0 || I.SiteId >= M.NextSiteId) {
+          addFinding(Report, F.Name, Bl, In, Severity::Error,
+                     kRuleAuditCallGraph,
+                     "call carries dangling site id " +
+                         std::to_string(I.SiteId) + " (module NextSiteId " +
+                         std::to_string(M.NextSiteId) + ")");
+          continue;
+        }
+        if (Seen[I.SiteId])
+          addFinding(Report, F.Name, Bl, In, Severity::Error,
+                     kRuleAuditCallGraph,
+                     "site id " + std::to_string(I.SiteId) +
+                         " appears on more than one call");
+        Seen[I.SiteId] = true;
+        if (const PlannedSite *P = Inline.Plan.findSite(I.SiteId);
+            P && P->Status == ArcStatus::Expanded)
+          addFinding(Report, F.Name, Bl, In, Severity::Error,
+                     kRuleAuditCallGraph,
+                     "site " + std::to_string(I.SiteId) +
+                         " is marked expanded but the call is still present");
+        if (I.Op != Opcode::Call)
+          continue;
+        if (I.Callee < 0 || static_cast<size_t>(I.Callee) >= M.Funcs.size()) {
+          addFinding(Report, F.Name, Bl, In, Severity::Error,
+                     kRuleAuditCallGraph,
+                     "direct call at site " + std::to_string(I.SiteId) +
+                         " names nonexistent function #" +
+                         std::to_string(I.Callee));
+          continue;
+        }
+        const Function &Callee = M.Funcs[static_cast<size_t>(I.Callee)];
+        if (Callee.Eliminated)
+          addFinding(Report, F.Name, Bl, In, Severity::Error,
+                     kRuleAuditCallGraph,
+                     "direct call at site " + std::to_string(I.SiteId) +
+                         " targets eliminated function '" + Callee.Name +
+                         "'");
+        if (I.Args.size() != Callee.NumParams)
+          addFinding(Report, F.Name, Bl, In, Severity::Error,
+                     kRuleAuditCallGraph,
+                     "arity mismatch at site " + std::to_string(I.SiteId) +
+                         ": passes " + std::to_string(I.Args.size()) +
+                         " argument(s) to '" + Callee.Name +
+                         "' which takes " +
+                         std::to_string(Callee.NumParams));
+      }
+    }
+  }
+  // Every planned expansion must have actually happened.
+  std::vector<bool> Recorded(M.NextSiteId, false);
+  for (const ExpansionRecord &Rec : Inline.Expansions)
+    if (Rec.SiteId < Recorded.size())
+      Recorded[Rec.SiteId] = true;
+  for (const PlannedSite &P : Inline.Plan.Sites)
+    if (P.Status == ArcStatus::Expanded &&
+        (P.SiteId >= Recorded.size() || !Recorded[P.SiteId]))
+      addFinding(Report, auditFuncName(M, P.Caller), -1, -1, Severity::Error,
+                 kRuleAuditCallGraph,
+                 "site " + std::to_string(P.SiteId) +
+                     " is marked expanded but has no expansion record");
+}
+
+/// (c) Weight conservation. Entries to a function come only from its
+/// incoming arcs (main's initial activation, address-taken targets, and
+/// externals aside), and redistribution moves arc weight around without
+/// creating or destroying call volume: for every auditable function H,
+///
+///   NodeWeight(H)  ==  sum of ArcWeight over all sites whose callee is H
+///
+/// must survive redistribution — the expanded arc's weight leaves both
+/// sides, and the re-entry credit of a self-recursive clone enters both
+/// sides. The site->callee map is taken from the classification and
+/// extended through the records' clone pairs, so the audit is immune to
+/// post-inline cleanup deleting specialized (constant-folded) clones.
+void auditWeightConservation(const Module &M, const InlineResult &Inline,
+                             const ProfileData &PreProfile, double Tolerance,
+                             AnalysisReport &Report) {
+  RedistributedWeights R =
+      redistributeWeights(M, PreProfile, Inline.Expansions);
+
+  for (size_t F = 0; F != R.NodeWeight.size(); ++F)
+    if (R.NodeWeight[F] < -Tolerance)
+      addFinding(Report, auditFuncName(M, static_cast<FuncId>(F)), -1, -1,
+                 Severity::Error, kRuleAuditWeightConservation,
+                 "redistributed node weight is negative (" +
+                     formatDouble(R.NodeWeight[F], 6) + ")");
+  for (size_t S = 0; S != R.ArcWeight.size(); ++S)
+    if (R.ArcWeight[S] < -Tolerance)
+      addFinding(Report, "", -1, -1, Severity::Error,
+                 kRuleAuditWeightConservation,
+                 "redistributed arc weight of site " + std::to_string(S) +
+                     " is negative (" + formatDouble(R.ArcWeight[S], 6) +
+                     ")");
+
+  std::vector<FuncId> SiteCallee(R.ArcWeight.size(), kNoFunc);
+  for (const SiteInfo &S : Inline.Classes.Sites)
+    if (S.SiteId < SiteCallee.size())
+      SiteCallee[S.SiteId] = S.Callee;
+  for (const ExpansionRecord &Rec : Inline.Expansions)
+    for (const auto &[Orig, Fresh] : Rec.ClonedSites)
+      if (Fresh < SiteCallee.size() && Orig < SiteCallee.size())
+        SiteCallee[Fresh] = SiteCallee[Orig];
+
+  std::vector<double> Incoming(M.Funcs.size(), 0.0);
+  for (size_t S = 0; S != SiteCallee.size(); ++S)
+    if (SiteCallee[S] != kNoFunc &&
+        static_cast<size_t>(SiteCallee[S]) < Incoming.size())
+      Incoming[static_cast<size_t>(SiteCallee[S])] += R.ArcWeight[S];
+
+  for (const Function &F : M.Funcs) {
+    // Main is entered once without an arc; address-taken functions can be
+    // entered through pointer arcs whose targets the profile cannot
+    // attribute; externals have no audited body.
+    if (F.Id == M.MainId || F.IsExternal || F.AddressTaken)
+      continue;
+    double Node = R.NodeWeight[static_cast<size_t>(F.Id)];
+    double In = Incoming[static_cast<size_t>(F.Id)];
+    double Bound = Tolerance * std::max({1.0, Node, In});
+    if (std::abs(Node - In) > Bound)
+      addFinding(Report, F.Name, -1, -1, Severity::Error,
+                 kRuleAuditWeightConservation,
+                 "node weight " + formatDouble(Node, 6) +
+                     " does not match incoming arc weight " +
+                     formatDouble(In, 6) +
+                     " after redistribution (difference " +
+                     formatDouble(Node - In, 6) + " entries/run)");
+  }
+}
+
+/// (d) The expansion sequence must respect the linear order: each
+/// expanded callee precedes its caller, and callers are visited in
+/// non-decreasing sequence position (callees fully expanded before any
+/// of their callers).
+void auditLinearization(const Module &M, const InlineResult &Inline,
+                        AnalysisReport &Report) {
+  const Linearization &L = Inline.Linear;
+  size_t LastPos = 0;
+  bool First = true;
+  for (const ExpansionRecord &Rec : Inline.Expansions) {
+    if (Rec.Caller < 0 ||
+        static_cast<size_t>(Rec.Caller) >= L.Position.size() ||
+        Rec.Callee < 0 ||
+        static_cast<size_t>(Rec.Callee) >= L.Position.size()) {
+      addFinding(Report, auditFuncName(M, Rec.Caller), -1, -1,
+                 Severity::Error, kRuleAuditLinearization,
+                 "expansion record for site " + std::to_string(Rec.SiteId) +
+                     " names a function outside the linear sequence");
+      continue;
+    }
+    if (!L.precedes(Rec.Callee, Rec.Caller))
+      addFinding(Report, auditFuncName(M, Rec.Caller), -1, -1,
+                 Severity::Error, kRuleAuditLinearization,
+                 "expansion of site " + std::to_string(Rec.SiteId) +
+                     ": callee '" + auditFuncName(M, Rec.Callee) +
+                     "' (position " +
+                     std::to_string(L.Position[static_cast<size_t>(
+                         Rec.Callee)]) +
+                     ") does not precede caller '" +
+                     auditFuncName(M, Rec.Caller) + "' (position " +
+                     std::to_string(
+                         L.Position[static_cast<size_t>(Rec.Caller)]) +
+                     ")");
+    size_t Pos = L.Position[static_cast<size_t>(Rec.Caller)];
+    if (!First && Pos < LastPos)
+      addFinding(Report, auditFuncName(M, Rec.Caller), -1, -1,
+                 Severity::Error, kRuleAuditLinearization,
+                 "expansion order regressed: caller '" +
+                     auditFuncName(M, Rec.Caller) + "' (position " +
+                     std::to_string(Pos) +
+                     ") was expanded into after a caller at position " +
+                     std::to_string(LastPos));
+    LastPos = std::max(LastPos, Pos);
+    First = false;
+  }
+}
+
+} // namespace
+
+void impact::analyzeInlineInvariants(const Module &M,
+                                     const InlineResult &Inline,
+                                     const ProfileData &PreProfile,
+                                     const AnalysisOptions &Options,
+                                     AnalysisReport &Report) {
+  if (Options.AuditSafeExpansion)
+    auditSafeExpansion(M, Inline, Report);
+  if (Options.AuditCallGraph)
+    auditCallGraph(M, Inline, Report);
+  if (Options.AuditWeightConservation)
+    auditWeightConservation(M, Inline, PreProfile, Options.WeightTolerance,
+                            Report);
+  if (Options.AuditLinearization)
+    auditLinearization(M, Inline, Report);
+  Report.sortFindings();
+}

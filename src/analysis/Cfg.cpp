@@ -1,0 +1,80 @@
+//===- analysis/Cfg.cpp --------------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace impact;
+
+Cfg::Cfg(const Function &F) {
+  size_t N = F.Blocks.size();
+  Succs.resize(N);
+  Preds.resize(N);
+  Reachable.assign(N, false);
+  if (N == 0)
+    return;
+
+  for (size_t B = 0; B != N; ++B) {
+    const BasicBlock &Block = F.Blocks[B];
+    if (Block.empty())
+      continue; // malformed; verifier reports it, graph stays edge-free
+    const Instr &Term = Block.getTerminator();
+    auto AddEdge = [&](BlockId To) {
+      if (To < 0 || static_cast<size_t>(To) >= N)
+        return; // out-of-range target: verifier's problem, not an edge
+      std::vector<BlockId> &S = Succs[B];
+      if (std::find(S.begin(), S.end(), To) != S.end())
+        return; // dedupe cond_br with equal targets
+      S.push_back(To);
+      Preds[static_cast<size_t>(To)].push_back(static_cast<BlockId>(B));
+    };
+    switch (Term.Op) {
+    case Opcode::Jump:
+      AddEdge(Term.Target);
+      break;
+    case Opcode::CondBr:
+      AddEdge(Term.Target);
+      AddEdge(Term.Target2);
+      break;
+    default:
+      break; // Ret (or malformed non-terminator): no successors
+    }
+  }
+
+  // Iterative DFS from the entry; post-order collected on unwind, then
+  // reversed. The explicit stack keeps deep single-chain CFGs (long
+  // straight-line programs) off the call stack.
+  std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  std::vector<BlockId> Post;
+  Post.reserve(N);
+  Stack.emplace_back(0, 0);
+  State[0] = 1;
+  Reachable[0] = true;
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    const std::vector<BlockId> &S = Succs[static_cast<size_t>(Block)];
+    if (NextSucc < S.size()) {
+      BlockId To = S[NextSucc++];
+      if (State[static_cast<size_t>(To)] == 0) {
+        State[static_cast<size_t>(To)] = 1;
+        Reachable[static_cast<size_t>(To)] = true;
+        Stack.emplace_back(To, 0);
+      }
+    } else {
+      State[static_cast<size_t>(Block)] = 2;
+      Post.push_back(Block);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+}
+
+std::vector<BlockId> Cfg::getPostOrder() const {
+  return std::vector<BlockId>(Rpo.rbegin(), Rpo.rend());
+}

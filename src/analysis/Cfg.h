@@ -1,0 +1,69 @@
+//===- analysis/Cfg.h - Explicit control-flow graph over the IL ----------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An explicit per-function control-flow graph derived from block
+/// terminators: successor and predecessor lists, entry reachability, and a
+/// reverse post-order for fast dataflow convergence. The IL guarantees one
+/// terminator per block (ir/IrVerifier.h), so edges come only from the
+/// last instruction: Jump contributes one successor, CondBr two (possibly
+/// the same block twice in degenerate input; the edge list is deduplicated
+/// so dataflow confluence never double-counts a predecessor), Ret none.
+///
+/// The graph is a value type over a snapshot of the function — it does not
+/// observe later mutation. Analyses (analysis/Dataflow.h) and the rule
+/// engine (analysis/Analyzer.h) build one per function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_ANALYSIS_CFG_H
+#define IMPACT_ANALYSIS_CFG_H
+
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace impact {
+
+class Cfg {
+public:
+  /// Builds the graph for \p F. The function must be well formed (every
+  /// block non-empty with a trailing terminator and in-range targets);
+  /// run the IrVerifier first on untrusted modules.
+  explicit Cfg(const Function &F);
+
+  size_t getNumBlocks() const { return Succs.size(); }
+
+  const std::vector<BlockId> &getSuccessors(BlockId B) const {
+    return Succs[static_cast<size_t>(B)];
+  }
+  const std::vector<BlockId> &getPredecessors(BlockId B) const {
+    return Preds[static_cast<size_t>(B)];
+  }
+
+  /// True when \p B is reachable from the entry block (block 0).
+  bool isReachable(BlockId B) const {
+    return Reachable[static_cast<size_t>(B)];
+  }
+
+  /// Reachable blocks in reverse post-order of a depth-first walk from the
+  /// entry — the iteration order that makes forward dataflow converge in
+  /// few passes. Unreachable blocks are absent.
+  const std::vector<BlockId> &getReversePostOrder() const { return Rpo; }
+
+  /// getReversePostOrder() reversed, for backward analyses.
+  std::vector<BlockId> getPostOrder() const;
+
+private:
+  std::vector<std::vector<BlockId>> Succs;
+  std::vector<std::vector<BlockId>> Preds;
+  std::vector<bool> Reachable;
+  std::vector<BlockId> Rpo;
+};
+
+} // namespace impact
+
+#endif // IMPACT_ANALYSIS_CFG_H

@@ -1,0 +1,191 @@
+//===- analysis/Dataflow.cpp ---------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+using namespace impact;
+
+void impact::collectUses(const Instr &I, std::vector<Reg> &Uses) {
+  auto Add = [&](Reg R) {
+    if (R != kNoReg)
+      Uses.push_back(R);
+  };
+  switch (I.Op) {
+  case Opcode::LdImm:
+  case Opcode::FrameAddr:
+  case Opcode::GlobalAddr:
+  case Opcode::FuncAddr:
+  case Opcode::Jump:
+    break; // no register inputs
+  case Opcode::Store:
+    Add(I.Src1); // address
+    Add(I.Src2); // value
+    break;
+  case Opcode::Call:
+  case Opcode::CallPtr:
+    Add(I.Src1); // callee address for CallPtr; kNoReg for Call
+    for (Reg A : I.Args)
+      Add(A);
+    break;
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    Add(I.Src1);
+    break;
+  default: // Mov, arithmetic, comparisons, unaries, Load
+    Add(I.Src1);
+    Add(I.Src2);
+    break;
+  }
+}
+
+Reg impact::instrDef(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::Store:
+  case Opcode::Jump:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return kNoReg;
+  default:
+    return I.Dst; // kNoReg for void calls
+  }
+}
+
+DominatorAnalysis impact::computeDominators(const Function &F, const Cfg &G) {
+  size_t N = F.Blocks.size();
+  DominatorAnalysis Result;
+  Result.Dom.assign(N, BitVector(N));
+  if (N == 0)
+    return Result;
+
+  std::vector<DataflowBlockState> States(N);
+  for (size_t B = 0; B != N; ++B) {
+    States[B].Gen = BitVector(N);
+    States[B].Gen.set(B); // every block dominates itself
+    States[B].Kill = BitVector(N);
+  }
+  // Entry boundary: nothing flows in, so Dom(entry) solves to {entry}.
+  BitVector Boundary(N);
+  BitVector Interior(N, /*Value=*/true);
+  solveDataflow(G, DataflowDirection::Forward,
+                DataflowConfluence::Intersection, Boundary, Interior, States);
+  for (size_t B = 0; B != N; ++B)
+    Result.Dom[B] = std::move(States[B].Out);
+  return Result;
+}
+
+LivenessAnalysis impact::computeLiveness(const Function &F, const Cfg &G) {
+  size_t N = F.Blocks.size();
+  size_t R = F.NumRegs;
+  LivenessAnalysis Result;
+  Result.LiveIn.assign(N, BitVector(R));
+  Result.LiveOut.assign(N, BitVector(R));
+  if (N == 0)
+    return Result;
+
+  std::vector<DataflowBlockState> States(N);
+  std::vector<Reg> Uses;
+  for (size_t B = 0; B != N; ++B) {
+    BitVector Gen(R);  // upward-exposed uses
+    BitVector Kill(R); // defined before any use in the block
+    const BasicBlock &Block = F.Blocks[B];
+    for (const Instr &I : Block.Instrs) {
+      Uses.clear();
+      collectUses(I, Uses);
+      for (Reg U : Uses)
+        if (static_cast<uint32_t>(U) < R && !Kill.test(static_cast<size_t>(U)))
+          Gen.set(static_cast<size_t>(U));
+      Reg D = instrDef(I);
+      if (D != kNoReg && static_cast<uint32_t>(D) < R)
+        Kill.set(static_cast<size_t>(D));
+    }
+    States[B].Gen = std::move(Gen);
+    States[B].Kill = std::move(Kill);
+  }
+  BitVector Boundary(R); // nothing live past a return
+  BitVector Interior(R);
+  solveDataflow(G, DataflowDirection::Backward, DataflowConfluence::Union,
+                Boundary, Interior, States);
+  for (size_t B = 0; B != N; ++B) {
+    Result.LiveIn[B] = std::move(States[B].In);
+    Result.LiveOut[B] = std::move(States[B].Out);
+  }
+  return Result;
+}
+
+ReachingDefsAnalysis impact::computeReachingDefs(const Function &F,
+                                                 const Cfg &G) {
+  size_t N = F.Blocks.size();
+  ReachingDefsAnalysis Result;
+  Result.DefsOfReg.assign(F.NumRegs, {});
+
+  // Enumerate definition sites: parameter pseudo-defs first, then every
+  // register-writing instruction in (block, instr) order.
+  for (uint32_t P = 0; P != F.NumParams && P < F.NumRegs; ++P) {
+    Result.DefsOfReg[P].push_back(static_cast<uint32_t>(Result.Defs.size()));
+    Result.Defs.push_back(Definition{-1, -1, static_cast<Reg>(P)});
+  }
+  for (size_t B = 0; B != N; ++B) {
+    const BasicBlock &Block = F.Blocks[B];
+    for (size_t Idx = 0; Idx != Block.Instrs.size(); ++Idx) {
+      Reg D = instrDef(Block.Instrs[Idx]);
+      if (D == kNoReg || static_cast<uint32_t>(D) >= F.NumRegs)
+        continue;
+      Result.DefsOfReg[static_cast<size_t>(D)].push_back(
+          static_cast<uint32_t>(Result.Defs.size()));
+      Result.Defs.push_back(Definition{static_cast<BlockId>(B),
+                                       static_cast<int>(Idx), D});
+    }
+  }
+
+  size_t NumDefs = Result.Defs.size();
+  Result.ReachIn.assign(N, BitVector(NumDefs));
+  Result.ReachOut.assign(N, BitVector(NumDefs));
+  if (N == 0)
+    return Result;
+
+  std::vector<DataflowBlockState> States(N);
+  for (size_t B = 0; B != N; ++B) {
+    BitVector Gen(NumDefs);
+    BitVector Kill(NumDefs);
+    const BasicBlock &Block = F.Blocks[B];
+    for (size_t Idx = 0; Idx != Block.Instrs.size(); ++Idx) {
+      Reg D = instrDef(Block.Instrs[Idx]);
+      if (D == kNoReg || static_cast<uint32_t>(D) >= F.NumRegs)
+        continue;
+      // A new definition of D kills every other definition of D ...
+      for (uint32_t Other : Result.DefsOfReg[static_cast<size_t>(D)]) {
+        Kill.set(Other);
+        Gen.reset(Other);
+      }
+      // ... and generates itself. Find this site's index: defs are in
+      // (block, instr) order, so scan the register's list.
+      for (uint32_t Own : Result.DefsOfReg[static_cast<size_t>(D)]) {
+        const Definition &Def = Result.Defs[Own];
+        if (Def.Block == static_cast<BlockId>(B) &&
+            Def.Instr == static_cast<int>(Idx)) {
+          Gen.set(Own);
+          Kill.reset(Own);
+          break;
+        }
+      }
+    }
+    States[B].Gen = std::move(Gen);
+    States[B].Kill = std::move(Kill);
+  }
+
+  // Entry boundary: the parameter pseudo-definitions.
+  BitVector Boundary(NumDefs);
+  for (uint32_t P = 0; P != F.NumParams && P < F.NumRegs; ++P)
+    Boundary.set(P);
+  BitVector Interior(NumDefs);
+  solveDataflow(G, DataflowDirection::Forward, DataflowConfluence::Union,
+                Boundary, Interior, States);
+  for (size_t B = 0; B != N; ++B) {
+    Result.ReachIn[B] = std::move(States[B].In);
+    Result.ReachOut[B] = std::move(States[B].Out);
+  }
+  return Result;
+}

@@ -1,0 +1,96 @@
+//===- analysis/Dataflow.h - Dominators, liveness, reaching defs ---------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three concrete intraprocedural analyses the impact-lint rules are
+/// built on, all instances of the worklist solver
+/// (analysis/DataflowSolver.h) over the explicit CFG (analysis/Cfg.h):
+///
+///  - Dominators: must-analysis, forward, intersection confluence.
+///    Dom(entry) = {entry}; Dom(n) = {n} ∪ ∩_{p∈preds} Dom(p).
+///  - Liveness: may-analysis, backward, union confluence, one bit per
+///    virtual register. LiveOut(exit) = ∅.
+///  - Reaching definitions: may-analysis, forward, union confluence, one
+///    bit per static definition (instruction writing a register), plus one
+///    pseudo-definition per parameter register at the entry.
+///
+/// All three tolerate degenerate input — unreachable blocks, empty
+/// functions — because the analyzer runs them on anything the verifier
+/// accepted, including fuzz survivors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_ANALYSIS_DATAFLOW_H
+#define IMPACT_ANALYSIS_DATAFLOW_H
+
+#include "analysis/DataflowSolver.h"
+
+#include <vector>
+
+namespace impact {
+
+/// Dominator sets per block (one bit per block).
+struct DominatorAnalysis {
+  /// Dom[b] bit d set ⇔ block d dominates block b. Meaningful only for
+  /// blocks reachable from the entry.
+  std::vector<BitVector> Dom;
+
+  bool dominates(BlockId A, BlockId B) const {
+    return Dom[static_cast<size_t>(B)].test(static_cast<size_t>(A));
+  }
+};
+
+DominatorAnalysis computeDominators(const Function &F, const Cfg &G);
+
+/// Live registers at block boundaries (one bit per virtual register).
+struct LivenessAnalysis {
+  std::vector<BitVector> LiveIn;
+  std::vector<BitVector> LiveOut;
+};
+
+LivenessAnalysis computeLiveness(const Function &F, const Cfg &G);
+
+/// One static definition site: instruction \p Instr of block \p Block
+/// writes register \p Def. Parameters get pseudo-definitions with
+/// Block == -1 (they are defined on function entry).
+struct Definition {
+  BlockId Block = -1;
+  int Instr = -1;
+  Reg Def = kNoReg;
+};
+
+/// Reaching definitions: which definition sites may reach each block.
+struct ReachingDefsAnalysis {
+  /// All definition sites, in (block, instr) order; parameter
+  /// pseudo-definitions first. Bit i of the sets refers to Defs[i].
+  std::vector<Definition> Defs;
+  std::vector<BitVector> ReachIn;
+  std::vector<BitVector> ReachOut;
+  /// DefsOfReg[r] lists the indices into Defs that write register r.
+  std::vector<std::vector<uint32_t>> DefsOfReg;
+
+  /// True when any definition of \p R (including parameter entry defs)
+  /// is in \p Facts.
+  bool anyDefReaches(const BitVector &Facts, Reg R) const {
+    for (uint32_t D : DefsOfReg[static_cast<size_t>(R)])
+      if (Facts.test(D))
+        return true;
+    return false;
+  }
+};
+
+ReachingDefsAnalysis computeReachingDefs(const Function &F, const Cfg &G);
+
+/// The registers instruction \p I reads, appended to \p Uses (Args
+/// included); kNoReg operands are skipped.
+void collectUses(const Instr &I, std::vector<Reg> &Uses);
+
+/// The register \p I writes, or kNoReg.
+Reg instrDef(const Instr &I);
+
+} // namespace impact
+
+#endif // IMPACT_ANALYSIS_DATAFLOW_H

@@ -6,9 +6,22 @@
 
 #include "core/WeightRedistribution.h"
 
+#include <atomic>
 #include <cassert>
 
 using namespace impact;
+
+namespace {
+std::atomic<bool> BreakNodeWeightUpdate{false};
+} // namespace
+
+void impact::setWeightRedistributionBugForTest(bool Broken) {
+  BreakNodeWeightUpdate.store(Broken, std::memory_order_relaxed);
+}
+
+bool impact::getWeightRedistributionBugForTest() {
+  return BreakNodeWeightUpdate.load(std::memory_order_relaxed);
+}
 
 double RedistributedWeights::getTotalArcWeight() const {
   double Sum = 0.0;
@@ -68,6 +81,8 @@ impact::redistributeWeights(const Module &M, const ProfileData &PreProfile,
     // much less often, except for entries re-created by a cloned self
     // arc.
     R.ArcWeight[Rec.SiteId] = 0.0;
+    if (getWeightRedistributionBugForTest())
+      continue; // deliberately keep the stale node weight
     double NewNodeW = CalleeW - ArcW + ReentryW;
     R.NodeWeight[static_cast<size_t>(Rec.Callee)] =
         NewNodeW < 0.0 ? 0.0 : NewNodeW;

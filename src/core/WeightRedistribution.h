@@ -57,6 +57,14 @@ RedistributedWeights
 redistributeWeights(const Module &M, const ProfileData &PreProfile,
                     const std::vector<ExpansionRecord> &Records);
 
+/// Test-only defect switch: when set, redistributeWeights "forgets" to
+/// decrease the callee's node weight after an expansion — the historical
+/// bug class the analyzer's weight-conservation audit exists to catch
+/// (see EXPERIMENTS.md). Never enable outside tests; not thread-safe
+/// against concurrent redistribution with different settings.
+void setWeightRedistributionBugForTest(bool Broken);
+bool getWeightRedistributionBugForTest();
+
 } // namespace impact
 
 #endif // IMPACT_CORE_WEIGHTREDISTRIBUTION_H

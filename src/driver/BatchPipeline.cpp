@@ -88,21 +88,35 @@ BatchResult impact::runBatchPipeline(const std::vector<BatchJob> &Jobs,
 
 std::string impact::renderBatchReport(const std::vector<BatchJob> &Jobs,
                                       const BatchResult &Result) {
-  TableWriter T({"job", "status", "compile", "pre-opt", "profile", "inline",
-                 "re-profile", "total", "cache"});
+  // The analyze column (and findings summary below) appear only when some
+  // job opted into the analyzer, so analysis-off reports stay bit-identical
+  // to the previous format.
+  bool AnyAnalyze = false;
+  for (const BatchJob &J : Jobs)
+    AnyAnalyze |= J.Options.Analyze;
+
+  std::vector<std::string> Columns = {"job",     "status", "compile",
+                                      "pre-opt", "profile", "inline"};
+  if (AnyAnalyze)
+    Columns.push_back("analyze");
+  Columns.insert(Columns.end(), {"re-profile", "total", "cache"});
+  TableWriter T(Columns);
   for (size_t I = 0; I != Result.Results.size(); ++I) {
     const PipelineResult &R = Result.Results[I];
     const PipelineStats &S = R.Stats;
     std::string CacheCell =
         std::to_string(S.CacheHits) + "h/" + std::to_string(S.CacheMisses) +
         "m";
-    T.addRow({I < Jobs.size() ? Jobs[I].Name : std::to_string(I),
-              R.Ok ? "ok" : "FAILED", formatDuration(S.CompileSeconds),
-              formatDuration(S.PreOptSeconds),
-              formatDuration(S.ProfileSeconds),
-              formatDuration(S.InlineSeconds),
-              formatDuration(S.ReProfileSeconds),
-              formatDuration(S.getTotalSeconds()), CacheCell});
+    std::vector<std::string> Row = {
+        I < Jobs.size() ? Jobs[I].Name : std::to_string(I),
+        R.Ok ? "ok" : "FAILED", formatDuration(S.CompileSeconds),
+        formatDuration(S.PreOptSeconds), formatDuration(S.ProfileSeconds),
+        formatDuration(S.InlineSeconds)};
+    if (AnyAnalyze)
+      Row.push_back(formatDuration(S.AnalyzeSeconds));
+    Row.insert(Row.end(), {formatDuration(S.ReProfileSeconds),
+                           formatDuration(S.getTotalSeconds()), CacheCell});
+    T.addRow(Row);
   }
 
   std::string Out = T.render();
@@ -121,6 +135,16 @@ std::string impact::renderBatchReport(const std::vector<BatchJob> &Jobs,
          " IL processed across " +
          std::to_string(Result.Aggregate.PreOpt.FunctionsVisited) +
          " function(s)\n";
+  if (AnyAnalyze) {
+    size_t Warns = 0, Errors = 0;
+    for (const PipelineResult &R : Result.Results) {
+      Warns += R.Analysis.countSeverity(Severity::Warn);
+      Errors += R.Analysis.countSeverity(Severity::Error);
+    }
+    Out += "analyze: " + std::to_string(Warns) + " warning(s), " +
+           std::to_string(Errors) + " error(s) across " +
+           std::to_string(Result.Results.size()) + " unit(s)\n";
+  }
   // Quarantine footer: only present when something failed, so fault-free
   // reports stay bit-identical to the pre-containment format.
   if (!Result.Failures.empty()) {

@@ -22,39 +22,6 @@ std::string funcName(const Module &M, FuncId Id) {
 
 std::string weightStr(double W) { return formatDouble(W, 2); }
 
-/// Minimal JSON string escaping (function names are C identifiers, but the
-/// renderer should never emit malformed JSON regardless).
-std::string jsonEscape(std::string_view Text) {
-  std::string Out;
-  Out.reserve(Text.size());
-  for (char C : Text) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buffer[8];
-        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
-                      static_cast<unsigned>(static_cast<unsigned char>(C)));
-        Out += Buffer;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
-
 } // namespace
 
 std::string impact::formatDecisionReason(const PlannedSite &P,

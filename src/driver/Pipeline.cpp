@@ -204,6 +204,28 @@ PipelineResult runModuleAttempt(Module M,
   if (Options.EmitDecisionTrace)
     Result.DecisionTrace = renderDecisionTraceTable(Result.Inline.Plan, M);
 
+  // 3b. Optional static audit of the inlined module (impact-lint). Error
+  // findings mean the inliner broke one of its own invariants; the unit
+  // is quarantined before any re-profiling effort is spent on it.
+  if (Options.Analyze) {
+    Stage = "analyze";
+    Stopwatch AnalyzeTimer;
+    Result.Analysis = analyzeModule(M, Options.Analysis);
+    analyzeInlineInvariants(M, Result.Inline, Result.ProfileBefore,
+                            Options.Analysis, Result.Analysis);
+    Result.Stats.AnalyzeSeconds = AnalyzeTimer.seconds();
+    if (Result.Analysis.hasErrors()) {
+      std::string Errors;
+      for (const Finding &F : Result.Analysis.Findings)
+        if (F.Sev == Severity::Error)
+          Errors += (Errors.empty() ? "" : "\n") + F.render();
+      failUnit(Result, Unit, "analyze", "finding", Errors,
+               "static analysis found inliner-invariant violations:\n" +
+                   Errors);
+      return Result;
+    }
+  }
+
   // 4. Measure by re-profiling on the same inputs.
   Stage = "re-profile";
   RunOptions ReRun = Options.Run;

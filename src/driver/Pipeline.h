@@ -16,6 +16,7 @@
 #ifndef IMPACT_DRIVER_PIPELINE_H
 #define IMPACT_DRIVER_PIPELINE_H
 
+#include "analysis/Analyzer.h"
 #include "core/InlinePass.h"
 #include "driver/Compilation.h"
 #include "opt/PassManager.h"
@@ -39,10 +40,11 @@ struct UnitFailure {
   /// The compilation unit (job name / module name).
   std::string Unit;
   /// Pipeline stage that failed: "compile", "verify", "pre-opt",
-  /// "profile", "inline", or "re-profile".
+  /// "profile", "inline", "analyze", or "re-profile".
   std::string Stage;
   /// Failure class: "diagnostic", "trap", "step-limit", "oom",
-  /// "fault-injected", or "exception".
+  /// "fault-injected", "finding" (error-severity analyzer findings), or
+  /// "exception".
   std::string Reason;
   /// Human detail: rendered diagnostics, trap message, or what().
   std::string Detail;
@@ -78,6 +80,15 @@ struct PipelineOptions {
   /// PipelineResult::DecisionTrace (the human table form of
   /// driver/DecisionTrace.h).
   bool EmitDecisionTrace = false;
+  /// When true, run the static analyzer (analysis/Analyzer.h) on the
+  /// post-inline module before re-profiling. Warn findings ride along in
+  /// PipelineResult::Analysis; error findings (broken inliner invariants)
+  /// quarantine the unit with UnitFailure stage "analyze". The analyzer
+  /// never mutates the module, so surviving units are bit-identical with
+  /// this on or off.
+  bool Analyze = false;
+  /// Rule selection and tolerances for the analyze stage.
+  AnalysisOptions Analysis;
   /// Deterministic fault plan (support/FaultInjection.h), normally parsed
   /// from IMPACT_FAULTS. Each attempt opens its own FaultSession, so
   /// injection is reproducible at any batch thread count. Null = inert.
@@ -98,6 +109,7 @@ struct PipelineStats {
   double PreOptSeconds = 0.0;
   double ProfileSeconds = 0.0;
   double InlineSeconds = 0.0;
+  double AnalyzeSeconds = 0.0;
   double ReProfileSeconds = 0.0;
   /// Per-pass breakdown of the pre-opt stage (cache hits skip it).
   OptStats PreOpt;
@@ -113,7 +125,7 @@ struct PipelineStats {
 
   double getTotalSeconds() const {
     return CompileSeconds + PreOptSeconds + ProfileSeconds + InlineSeconds +
-           ReProfileSeconds;
+           AnalyzeSeconds + ReProfileSeconds;
   }
 
   void merge(const PipelineStats &Other) {
@@ -121,6 +133,7 @@ struct PipelineStats {
     PreOptSeconds += Other.PreOptSeconds;
     ProfileSeconds += Other.ProfileSeconds;
     InlineSeconds += Other.InlineSeconds;
+    AnalyzeSeconds += Other.AnalyzeSeconds;
     ReProfileSeconds += Other.ReProfileSeconds;
     PreOpt.merge(Other.PreOpt);
     CacheHits += Other.CacheHits;
@@ -187,6 +200,10 @@ struct PipelineResult {
   ProfileData ProfileBefore;
   /// Per-site decision trace table; filled when EmitDecisionTrace is set.
   std::string DecisionTrace;
+  /// Analyzer findings (sorted); filled when PipelineOptions::Analyze is
+  /// set. Error findings also fail the unit (Failure.Stage == "analyze"),
+  /// but the full report survives here for rendering either way.
+  AnalysisReport Analysis;
 
   /// The inlined module (post everything).
   Module FinalModule;

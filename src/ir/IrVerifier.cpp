@@ -21,8 +21,15 @@ public:
 
   std::vector<std::string> run() {
     checkMain();
-    for (const Function &F : M.Funcs)
+    for (size_t Index = 0; Index != M.Funcs.size(); ++Index) {
+      const Function &F = M.Funcs[Index];
+      if (F.Id != static_cast<FuncId>(Index))
+        report(F, nullptr,
+               "function id " + std::to_string(F.Id) +
+                   " does not match its module index " +
+                   std::to_string(Index));
       checkFunction(F);
+    }
     return std::move(Violations);
   }
 
@@ -172,6 +179,11 @@ private:
       checkReg(F, I, I.Src1, "condition", true);
       checkTarget(F, I, I.Target);
       checkTarget(F, I, I.Target2);
+      // No producer emits this shape: IrGen always branches to distinct
+      // blocks and jump optimization rewrites a degenerate cond_br into a
+      // jump, so equal targets only appear in corrupted or fuzzed IL.
+      if (I.Target == I.Target2)
+        report(F, &I, "cond_br with identical targets (must be a jump)");
       break;
     case Opcode::Ret:
       if (F.ReturnsVoid && I.Src1 != kNoReg)
@@ -184,10 +196,27 @@ private:
   }
 
   void checkFunction(const Function &F) {
+    if (F.IsExternal && F.Eliminated)
+      report(F, nullptr, "function is both external and eliminated");
     if (F.IsExternal || F.Eliminated) {
       if (!F.Blocks.empty())
         report(F, nullptr, F.IsExternal ? "external function has a body"
                                         : "eliminated function has a body");
+      // Declarations carry no body state: addFunction and dead-function
+      // elimination both pin these to the parameter signature.
+      if (F.FrameSize != 0)
+        report(F, nullptr,
+               (F.IsExternal ? std::string("external")
+                             : std::string("eliminated")) +
+                   " function declares a frame of " +
+                   std::to_string(F.FrameSize) + " words");
+      if (F.NumRegs != F.NumParams)
+        report(F, nullptr,
+               (F.IsExternal ? std::string("external")
+                             : std::string("eliminated")) +
+                   " function declares " + std::to_string(F.NumRegs) +
+                   " registers for " + std::to_string(F.NumParams) +
+                   " parameters");
       return;
     }
     if (F.Blocks.empty()) {

@@ -35,6 +35,10 @@ std::string padRight(std::string_view Text, unsigned Width);
 /// Formats an integer count with thousands separators ("12,345").
 std::string formatWithCommas(int64_t Value);
 
+/// Escapes \p Text for use inside a JSON string literal (quotes,
+/// backslashes, and control characters).
+std::string jsonEscape(std::string_view Text);
+
 } // namespace impact
 
 #endif // IMPACT_SUPPORT_STRINGUTILS_H

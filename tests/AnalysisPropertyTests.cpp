@@ -1,0 +1,80 @@
+//===- tests/AnalysisPropertyTests.cpp - analyzer properties at scale ---------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer's two fleet-level properties:
+///
+///  - Cleanliness: the whole MiniC benchmark suite and a corpus of random
+///    programs compile, inline, and analyze with zero error findings —
+///    the inliner never violates its own invariants on legal input.
+///  - Determinism: findings are bit-identical between a serial batch and a
+///    4-worker batch, per unit, so --analyze never perturbs the batch
+///    pipeline's reproducibility guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "driver/BatchPipeline.h"
+#include "suite/Suite.h"
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace impact;
+
+namespace {
+
+void expectCleanAndDeterministic(const std::vector<BatchJob> &Jobs) {
+  BatchOptions Serial, Wide;
+  Serial.Jobs = 1;
+  Wide.Jobs = 4;
+  BatchResult A = runBatchPipeline(Jobs, Serial);
+  BatchResult B = runBatchPipeline(Jobs, Wide);
+  ASSERT_EQ(A.Results.size(), Jobs.size());
+  ASSERT_EQ(B.Results.size(), Jobs.size());
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    EXPECT_TRUE(A.Results[I].Ok)
+        << Jobs[I].Name << ": " << A.Results[I].Error;
+    EXPECT_EQ(A.Results[I].Analysis.countSeverity(Severity::Error), 0u)
+        << Jobs[I].Name << ":\n" << A.Results[I].Analysis.renderText();
+    // Bit-identical findings at any job count (operator== compares every
+    // field of every finding).
+    EXPECT_TRUE(A.Results[I].Analysis == B.Results[I].Analysis)
+        << Jobs[I].Name << " serial:\n" << A.Results[I].Analysis.renderText()
+        << "4 jobs:\n" << B.Results[I].Analysis.renderText();
+  }
+}
+
+TEST(AnalysisProperty, SuiteAnalyzesCleanAtAnyJobCount) {
+  std::vector<BatchJob> Jobs;
+  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+    BatchJob Job;
+    Job.Name = B.Name;
+    Job.Source = B.Source;
+    Job.Inputs = makeBenchmarkInputs(B, 2);
+    Job.Options.Analyze = true;
+    Jobs.push_back(std::move(Job));
+  }
+  expectCleanAndDeterministic(Jobs);
+}
+
+TEST(AnalysisProperty, RandomProgramsAnalyzeCleanAtAnyJobCount) {
+  std::vector<BatchJob> Jobs;
+  for (unsigned Seed = 0; Seed != 64; ++Seed) {
+    BatchJob Job;
+    Job.Name = "random" + std::to_string(Seed);
+    Job.Source = test::generateRandomProgram(Seed);
+    Job.Inputs = {RunInput{"ab", ""}, RunInput{"hello world", ""}};
+    Job.Options.Analyze = true;
+    Job.Options.Run.StepLimit = 20'000'000;
+    Jobs.push_back(std::move(Job));
+  }
+  expectCleanAndDeterministic(Jobs);
+}
+
+} // namespace

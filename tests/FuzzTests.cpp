@@ -19,6 +19,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyzer.h"
 #include "driver/BatchPipeline.h"
 #include "driver/Compilation.h"
 #include "driver/Pipeline.h"
@@ -67,6 +68,9 @@ bool checkFrontendContract(const std::string &Source,
   }
   // Whatever compiles must still be a structurally valid module...
   EXPECT_EQ(verifyModuleText(C.M), "") << Tag;
+  // ...which the analyzer must take without crashing (its contract covers
+  // every verifier-accepted shape, fuzz survivors included).
+  analyzeModule(C.M, AnalysisOptions());
   // ...and run to a clean end state within a bounded step budget:
   // normal exit, a clean trap, or step-limit exhaustion. (The interpreter
   // cannot hang — the limit is the hang guard.)
@@ -131,6 +135,8 @@ TEST(Fuzz, MutatedIlNeverCrashesReader) {
     std::string V = verifyModuleText(R.M);
     if (!V.empty())
       continue;
+    // Verifier-accepted mutants must also analyze without crashing.
+    analyzeModule(R.M, AnalysisOptions());
     RunOptions Run;
     Run.StepLimit = 200000;
     ExecResult E = runProgram(R.M, Run);

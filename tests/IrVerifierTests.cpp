@@ -281,4 +281,81 @@ TEST(IrVerifier, EliminatedFunctionWithBody) {
             std::string::npos);
 }
 
+TEST(IrVerifier, CondBrIdenticalTargetsRejected) {
+  Module M = makeValidModule();
+  Function &F = M.getFunction(0);
+  // No producer emits this: jump optimization canonicalizes it to a jump.
+  F.Blocks[0].Instrs.back() = Instr::makeCondBr(0, 0, 0);
+  EXPECT_NE(verifyModuleText(M).find("identical targets"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, SelfLoopJumpAccepted) {
+  // Tail recursion elimination legally emits jumps back to the entry
+  // block, including one-block self-loops; these must keep verifying.
+  Module M = makeValidModule();
+  FuncId GId = M.addFunction("g", 0, true, false);
+  Function &G = M.getFunction(GId);
+  BlockId B = G.addBlock();
+  G.getBlock(B).Instrs.push_back(Instr::makeJump(B));
+  EXPECT_EQ(verifyModuleText(M), "");
+}
+
+TEST(IrVerifier, FunctionIdIndexMismatch) {
+  Module M = makeValidModule();
+  M.getFunction(0).Id = 1;
+  EXPECT_NE(verifyModuleText(M).find("does not match its module index"),
+            std::string::npos);
+}
+
+/// Turns function 0 into a bodiless declaration with a clean signature.
+void makeDeclaration(Module &M, bool External) {
+  Function &F = M.getFunction(0);
+  F.IsExternal = External;
+  F.Eliminated = !External;
+  F.Blocks.clear();
+  F.RegNames.clear();
+  F.NumRegs = F.NumParams;
+  F.FrameSize = 0;
+}
+
+TEST(IrVerifier, CleanExternalDeclarationAccepted) {
+  Module M = makeValidModule();
+  makeDeclaration(M, /*External=*/true);
+  EXPECT_EQ(verifyModuleText(M), "");
+}
+
+TEST(IrVerifier, ExternalDeclarationWithFrameRejected) {
+  Module M = makeValidModule();
+  makeDeclaration(M, /*External=*/true);
+  M.getFunction(0).FrameSize = 4;
+  EXPECT_NE(verifyModuleText(M).find("external function declares a frame"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, ExternalDeclarationWithExtraRegistersRejected) {
+  Module M = makeValidModule();
+  makeDeclaration(M, /*External=*/true);
+  M.getFunction(0).NumRegs = M.getFunction(0).NumParams + 2;
+  EXPECT_NE(verifyModuleText(M).find("registers for"), std::string::npos);
+}
+
+TEST(IrVerifier, EliminatedDeclarationWithFrameRejected) {
+  Module M = makeValidModule();
+  makeDeclaration(M, /*External=*/false);
+  M.getFunction(0).FrameSize = 2;
+  // main still calls f, so the call-to-eliminated diagnostic fires too;
+  // the frame hygiene one must be present independently.
+  EXPECT_NE(verifyModuleText(M).find("eliminated function declares a frame"),
+            std::string::npos);
+}
+
+TEST(IrVerifier, ExternalAndEliminatedRejected) {
+  Module M = makeValidModule();
+  makeDeclaration(M, /*External=*/true);
+  M.getFunction(0).Eliminated = true;
+  EXPECT_NE(verifyModuleText(M).find("both external and eliminated"),
+            std::string::npos);
+}
+
 } // namespace
