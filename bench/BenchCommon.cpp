@@ -33,6 +33,8 @@ FaultPlan ConfiguredFaults;  // --faults= / IMPACT_FAULTS
 bool FaultsConfigured = false;
 unsigned ConfiguredRetries = 0; // --retries=N
 bool AnalyzeConfigured = false; // --analyze / IMPACT_ANALYZE
+ExecEngine ConfiguredEngine = ExecEngine::Walker; // --engine= / IMPACT_ENGINE
+bool EngineConfigured = false;
 AnalysisOptions ConfiguredAnalysis;
 size_t TotalWarnFindings = 0;  // across all batches
 size_t TotalErrorFindings = 0; // (error findings also quarantine units)
@@ -114,6 +116,20 @@ void applyRetries(const char *What, const std::string &Text) {
   ConfiguredRetries = Value;
 }
 
+/// Strictly parses --engine=E / IMPACT_ENGINE ("walk" | "vm" | "both").
+/// Like a bad fault spec, a bad engine is fatal: benchmarking the wrong
+/// engine because of a typo would silently measure the wrong thing.
+void applyEngineSpec(const char *What, const std::string &Text) {
+  ExecEngine Engine = ExecEngine::Walker;
+  std::string Diag;
+  if (!parseEngine(Text, Engine, &Diag)) {
+    std::fprintf(stderr, "[bench] %s: %s\n", What, Diag.c_str());
+    std::exit(2);
+  }
+  ConfiguredEngine = Engine;
+  EngineConfigured = true;
+}
+
 } // namespace
 
 void impact::bench::initBenchHarness(int argc, char **argv) {
@@ -123,6 +139,8 @@ void impact::bench::initBenchHarness(int argc, char **argv) {
     applyFaultSpec("IMPACT_FAULTS", Env);
   if (const char *Env = std::getenv("IMPACT_ANALYZE"))
     applyAnalyzeSpec("IMPACT_ANALYZE", Env);
+  if (const char *Env = std::getenv("IMPACT_ENGINE"))
+    applyEngineSpec("IMPACT_ENGINE", Env);
   for (int I = 1; I < argc; ++I) {
     if ((std::strcmp(argv[I], "--jobs") == 0 ||
          std::strcmp(argv[I], "-j") == 0) &&
@@ -146,6 +164,8 @@ void impact::bench::initBenchHarness(int argc, char **argv) {
       applyAnalyzeSpec("--analyze", Value);
     else if (std::strcmp(argv[I], "--analyze") == 0)
       applyAnalyzeSpec("--analyze", "all");
+    else if (matchOption(argv[I], "engine", Value))
+      applyEngineSpec("--engine", Value);
   }
 }
 
@@ -158,6 +178,10 @@ const FaultPlan *impact::bench::getConfiguredFaults() {
 unsigned impact::bench::getConfiguredRetries() { return ConfiguredRetries; }
 
 bool impact::bench::getConfiguredAnalyze() { return AnalyzeConfigured; }
+
+ExecEngine impact::bench::getConfiguredEngine() { return ConfiguredEngine; }
+
+bool impact::bench::isEngineConfigured() { return EngineConfigured; }
 
 const AnalysisOptions &impact::bench::getConfiguredAnalysisOptions() {
   return ConfiguredAnalysis;
@@ -193,6 +217,8 @@ impact::bench::makeSuiteBatchJobs(const PipelineOptions &Options,
       Job.Options.Analyze = true;
       Job.Options.Analysis = ConfiguredAnalysis;
     }
+    if (EngineConfigured && Job.Options.Engine == ExecEngine::Walker)
+      Job.Options.Engine = ConfiguredEngine;
     Jobs.push_back(std::move(Job));
   }
   return Jobs;
@@ -340,6 +366,12 @@ std::string impact::bench::renderBenchFooter() {
          formatPercent(Cache.getHitRate() * 100.0) + "), " +
          std::to_string(Cache.Entries) + " entries, " +
          std::to_string(Cache.InstrsServed) + " cached IL served\n";
+  // The engine line appears only when an engine was configured
+  // explicitly, so default footers stay bit-identical to the previous
+  // format.
+  if (EngineConfigured)
+    Out += std::string("[engine] ") + getEngineName(ConfiguredEngine) +
+           " measured the profile runs\n";
   // The analyze line appears only when the analyzer ran, so analysis-off
   // footers stay bit-identical to the previous format.
   if (AnalyzeConfigured)

@@ -70,6 +70,14 @@ struct SuiteRun {
 ///                     exit code 2. Warn findings go to stderr and the
 ///                     --trace-out JSONL; error findings quarantine the
 ///                     unit like any other pipeline failure
+///   --engine=E        execution engine for the profile/re-profile runs:
+///                     "walk" (tree-walking oracle, the default), "vm"
+///                     (bytecode VM, vm/Vm.h), or "both" (run both, any
+///                     divergence quarantines the unit). Also the
+///                     IMPACT_ENGINE environment variable. Strictly
+///                     parsed (interp/Engine.h parseEngine); a bad value
+///                     aborts with exit code 2 — a typo never silently
+///                     benchmarks the wrong engine
 void initBenchHarness(int argc, char **argv);
 
 /// The installed worker count; 0 means one per hardware thread.
@@ -84,6 +92,13 @@ unsigned getConfiguredRetries();
 
 /// True when --analyze / IMPACT_ANALYZE enabled the analyzer.
 bool getConfiguredAnalyze();
+
+/// The installed execution engine (--engine= / IMPACT_ENGINE); Walker when
+/// none was configured.
+ExecEngine getConfiguredEngine();
+
+/// True when --engine= / IMPACT_ENGINE set an engine explicitly.
+bool isEngineConfigured();
 
 /// The installed rule selection (meaningful when getConfiguredAnalyze()).
 const AnalysisOptions &getConfiguredAnalysisOptions();

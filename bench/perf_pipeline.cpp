@@ -18,17 +18,28 @@
 #include "core/InlinePass.h"
 #include "driver/BatchPipeline.h"
 #include "driver/Compilation.h"
+#include "interp/Engine.h"
 #include "profile/Profiler.h"
 #include "suite/Suite.h"
 #include "support/ThreadPool.h"
+#include "vm/Vm.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 using namespace impact;
 
 namespace {
 
 const BenchmarkSpec &grepSpec() { return *findBenchmark("grep"); }
+
+ExecEngine engineForArg(int64_t Arg) {
+  return Arg == 0 ? ExecEngine::Walker : ExecEngine::Vm;
+}
 
 /// One batch job per suite program with \p Runs profiled inputs each.
 std::vector<BatchJob> makeSuiteJobs(unsigned Runs) {
@@ -64,21 +75,72 @@ void BM_CompileWholeSuite(benchmark::State &State) {
 }
 BENCHMARK(BM_CompileWholeSuite);
 
+// Raw measuring-run throughput under each engine: Arg(0) is the walking
+// interpreter (the oracle), Arg(1) the bytecode VM. Same program, same
+// input, same InstrCount per run — only the wall time differs. The VM
+// row also reports the fraction of IL steps covered by a dispatched
+// superinstruction.
 void BM_InterpreterThroughput(benchmark::State &State) {
+  ExecEngine Engine = engineForArg(State.range(0));
   const BenchmarkSpec &B = grepSpec();
   CompilationResult C = compileMiniC(B.Source, B.Name);
+  VmProgram Compiled = compileToBytecode(C.M);
   std::vector<RunInput> Inputs = makeBenchmarkInputs(B, 1);
   uint64_t Instrs = 0;
+  VmRunStats Fused;
   for (auto _ : State) {
     RunOptions Opts;
     Opts.Input = Inputs[0].Input;
-    ExecResult R = runProgram(C.M, Opts);
+    ExecResult R;
+    if (Engine == ExecEngine::Walker) {
+      R = runProgram(C.M, Opts);
+    } else {
+      VmRunStats Stats;
+      R = runProgramVm(Compiled, Opts, &Stats);
+      Fused.merge(Stats);
+    }
     Instrs += R.Stats.InstrCount;
   }
+  State.SetLabel(getEngineName(Engine));
+  State.counters["IL/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+  if (Engine == ExecEngine::Vm)
+    State.counters["fused_step_fraction"] = Fused.getFusedStepFraction();
+}
+BENCHMARK(BM_InterpreterThroughput)->Arg(0)->Arg(1);
+
+// The profiling phase in isolation — the paper's measuring runs over the
+// whole suite (modules precompiled, so this times execution only).
+// Arg(0)=walk, Arg(1)=vm; the VM row is the tentpole speedup tracked in
+// BENCH_interp.json.
+void BM_ProfilePhaseWholeSuite(benchmark::State &State) {
+  ExecEngine Engine = engineForArg(State.range(0));
+  struct Prepared {
+    Module M;
+    std::vector<RunInput> Inputs;
+  };
+  std::vector<Prepared> Programs;
+  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+    CompilationResult C = compileMiniC(B.Source, B.Name);
+    Programs.push_back(Prepared{std::move(C.M), makeBenchmarkInputs(B, 2)});
+  }
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    for (const Prepared &P : Programs) {
+      ProfileResult R =
+          profileProgram(P.M, P.Inputs, RunOptions(), Engine);
+      Instrs += R.Data.getInstrTotal();
+      benchmark::DoNotOptimize(R.Data.getNumRuns());
+    }
+  }
+  State.SetLabel(getEngineName(Engine));
   State.counters["IL/s"] = benchmark::Counter(
       static_cast<double>(Instrs), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_InterpreterThroughput);
+BENCHMARK(BM_ProfilePhaseWholeSuite)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CallGraphConstruction(benchmark::State &State) {
   const BenchmarkSpec &B = grepSpec();
@@ -170,9 +232,12 @@ BENCHMARK(BM_AnalyzeWholeSuite)->Unit(benchmark::kMillisecond);
 // thread count (the ParallelDeterminism property test enforces this).
 void BM_BatchPipelineSuite(benchmark::State &State) {
   unsigned Threads = static_cast<unsigned>(State.range(0));
+  ExecEngine Engine = engineForArg(State.range(1));
   std::vector<BatchJob> Jobs = makeSuiteJobs(/*Runs=*/2);
+  for (BatchJob &Job : Jobs)
+    Job.Options.Engine = Engine;
   uint64_t Hits = 0, Misses = 0;
-  double CpuSeconds = 0.0;
+  double CpuSeconds = 0.0, ProfileSeconds = 0.0;
   for (auto _ : State) {
     BatchOptions Options;
     Options.Jobs = Threads;
@@ -184,18 +249,26 @@ void BM_BatchPipelineSuite(benchmark::State &State) {
     Hits += R.Aggregate.CacheHits;
     Misses += R.Aggregate.CacheMisses;
     CpuSeconds += R.getCpuSeconds();
+    ProfileSeconds +=
+        R.Aggregate.ProfileSeconds + R.Aggregate.ReProfileSeconds;
     benchmark::DoNotOptimize(R.Results.size());
   }
+  State.SetLabel(getEngineName(Engine));
   State.counters["cache_hits"] = static_cast<double>(Hits);
   State.counters["cache_misses"] = static_cast<double>(Misses);
   State.counters["cpu_s_per_batch"] =
       CpuSeconds / static_cast<double>(State.iterations());
+  State.counters["profile_s_per_batch"] =
+      ProfileSeconds / static_cast<double>(State.iterations());
 }
 BENCHMARK(BM_BatchPipelineSuite)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -231,6 +304,140 @@ BENCHMARK(BM_SuiteSweepDefinitionCache)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+//===----------------------------------------------------------------------===//
+// --bench-json=FILE: the perf-trajectory measurement
+//===----------------------------------------------------------------------===//
+
+/// Wall-times one full profiling pass (the paper's measuring runs) over
+/// the precompiled suite under \p Engine; best of \p Reps.
+struct PhaseTiming {
+  double ProfileSeconds = 0.0; // best-of-reps wall time, whole suite
+  uint64_t Instrs = 0;         // IL steps executed per pass
+};
+
+PhaseTiming timeProfilePhase(
+    const std::vector<std::pair<Module, std::vector<RunInput>>> &Programs,
+    ExecEngine Engine, int Reps) {
+  using Clock = std::chrono::steady_clock;
+  PhaseTiming Best;
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    uint64_t Instrs = 0;
+    Clock::time_point Start = Clock::now();
+    for (const auto &[M, Inputs] : Programs) {
+      ProfileResult R = profileProgram(M, Inputs, RunOptions(), Engine);
+      Instrs += R.Data.getInstrTotal();
+    }
+    double Seconds = std::chrono::duration<double>(Clock::now() - Start)
+                         .count();
+    if (Rep == 0 || Seconds < Best.ProfileSeconds) {
+      Best.ProfileSeconds = Seconds;
+      Best.Instrs = Instrs;
+    }
+  }
+  return Best;
+}
+
+/// Measures both engines over the suite and writes the trajectory point
+/// as one JSON object to \p Path. Returns 0 on success.
+int writeBenchJson(const std::string &Path) {
+  const unsigned Runs = 4;
+  const int Reps = 3;
+  std::vector<std::pair<Module, std::vector<RunInput>>> Programs;
+  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+    CompilationResult C = compileMiniC(B.Source, B.Name);
+    if (!C.Ok) {
+      std::fprintf(stderr, "bench-json: %s failed to compile\n",
+                   B.Name.c_str());
+      return 1;
+    }
+    Programs.emplace_back(std::move(C.M), makeBenchmarkInputs(B, Runs));
+  }
+
+  // Superinstruction accounting: static (compile-time fusion) and dynamic
+  // (dispatched during one full profiling pass).
+  VmCompileStats Static;
+  VmRunStats Dynamic;
+  for (const auto &[M, Inputs] : Programs) {
+    VmProgram P = compileToBytecode(M);
+    Static.merge(P.Stats);
+    for (const RunInput &In : Inputs) {
+      RunOptions Opts;
+      Opts.Input = In.Input;
+      Opts.Input2 = In.Input2;
+      VmRunStats Stats;
+      (void)runProgramVm(P, Opts, &Stats);
+      Dynamic.merge(Stats);
+    }
+  }
+
+  // Warm up once (page in code and inputs), then measure.
+  (void)timeProfilePhase(Programs, ExecEngine::Vm, 1);
+  PhaseTiming Walk = timeProfilePhase(Programs, ExecEngine::Walker, Reps);
+  PhaseTiming Vm = timeProfilePhase(Programs, ExecEngine::Vm, Reps);
+  double Speedup =
+      Vm.ProfileSeconds == 0.0 ? 0.0 : Walk.ProfileSeconds / Vm.ProfileSeconds;
+
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "bench-json: cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"bench\": \"interp\",\n");
+  std::fprintf(Out, "  \"suite_programs\": %zu,\n", Programs.size());
+  std::fprintf(Out, "  \"runs_per_program\": %u,\n", Runs);
+  std::fprintf(Out, "  \"dispatch\": \"%s\",\n",
+               hasComputedGotoDispatch() ? "computed-goto" : "switch");
+  std::fprintf(Out, "  \"engines\": {\n");
+  std::fprintf(Out,
+               "    \"walk\": {\"profile_wall_s\": %.6f, \"il_per_s\": "
+               "%.0f},\n",
+               Walk.ProfileSeconds,
+               static_cast<double>(Walk.Instrs) / Walk.ProfileSeconds);
+  std::fprintf(Out,
+               "    \"vm\": {\"profile_wall_s\": %.6f, \"il_per_s\": "
+               "%.0f}\n",
+               Vm.ProfileSeconds,
+               static_cast<double>(Vm.Instrs) / Vm.ProfileSeconds);
+  std::fprintf(Out, "  },\n");
+  std::fprintf(Out, "  \"profile_phase_speedup\": %.3f,\n", Speedup);
+  std::fprintf(Out, "  \"superinstructions\": {\n");
+  std::fprintf(Out, "    \"static_cmp_br\": %llu,\n",
+               static_cast<unsigned long long>(Static.FusedCmpBr));
+  std::fprintf(Out, "    \"static_load_op_store\": %llu,\n",
+               static_cast<unsigned long long>(Static.FusedLoadOpStore));
+  std::fprintf(Out, "    \"dynamic_cmp_br\": %llu,\n",
+               static_cast<unsigned long long>(Dynamic.FusedCmpBr));
+  std::fprintf(Out, "    \"dynamic_load_op_store\": %llu,\n",
+               static_cast<unsigned long long>(Dynamic.FusedLoadOpStore));
+  std::fprintf(Out, "    \"fused_step_fraction\": %.4f\n",
+               Dynamic.getFusedStepFraction());
+  std::fprintf(Out, "  }\n");
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  std::fprintf(stderr,
+               "bench-json: walk %.3fs vm %.3fs speedup %.2fx -> %s\n",
+               Walk.ProfileSeconds, Vm.ProfileSeconds, Speedup,
+               Path.c_str());
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus one extra flag: --bench-json=FILE skips the
+// google-benchmark tables and instead writes the walker-vs-VM profiling
+// trajectory point (the committed BENCH_interp.json) to FILE.
+int main(int argc, char **argv) {
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    const std::string Prefix = "--bench-json=";
+    if (Arg.rfind(Prefix, 0) == 0)
+      return writeBenchJson(Arg.substr(Prefix.size()));
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -171,7 +171,7 @@ PipelineResult runModuleAttempt(Module M,
       }
     }
     Stopwatch ProfileTimer;
-    ProfileResult PreProfile = profileProgram(M, Inputs, Run);
+    ProfileResult PreProfile = profileProgram(M, Inputs, Run, Options.Engine);
     Result.Stats.ProfileSeconds = ProfileTimer.seconds();
     if (!PreProfile.allRunsOk()) {
       failUnit(Result, Unit, "profile", profileFailureReason(PreProfile),
@@ -240,7 +240,8 @@ PipelineResult runModuleAttempt(Module M,
     }
   }
   Stopwatch ReProfileTimer;
-  ProfileResult PostProfile = profileProgram(M, Inputs, ReRun);
+  ProfileResult PostProfile =
+      profileProgram(M, Inputs, ReRun, Options.Engine);
   Result.Stats.ReProfileSeconds = ReProfileTimer.seconds();
   if (!PostProfile.allRunsOk()) {
     failUnit(Result, Unit, "re-profile", profileFailureReason(PostProfile),

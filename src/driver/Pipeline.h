@@ -63,6 +63,12 @@ struct PipelineOptions {
   InlineOptions Inline;
   /// Step/stack limits for every profiled run.
   RunOptions Run;
+  /// Which execution engine measures the profile and re-profile runs
+  /// (interp/Engine.h): the walking interpreter (oracle), the bytecode VM,
+  /// or both with divergence turned into a quarantinable trap. Engine
+  /// choice never changes profiles or outputs — the differential tier
+  /// enforces bit-identical results — only wall time.
+  ExecEngine Engine = ExecEngine::Walker;
   /// Optional function-definition cache for the pre-opt stage (see
   /// driver/FunctionCache.h). When set, post-pre-opt bodies are memoized
   /// across pipeline runs; the batch pipeline shares one cache between all

@@ -1,0 +1,157 @@
+//===- interp/Engine.cpp ------------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Engine.h"
+
+#include "vm/Vm.h"
+
+#include <algorithm>
+#include <cstddef>
+
+using namespace impact;
+
+const char *impact::getEngineName(ExecEngine Engine) {
+  switch (Engine) {
+  case ExecEngine::Walker:
+    return "walk";
+  case ExecEngine::Vm:
+    return "vm";
+  case ExecEngine::Both:
+    return "both";
+  }
+  return "?";
+}
+
+bool impact::parseEngine(const std::string &Text, ExecEngine &Out,
+                         std::string *Diag) {
+  if (Text == "walk") {
+    Out = ExecEngine::Walker;
+    return true;
+  }
+  if (Text == "vm") {
+    Out = ExecEngine::Vm;
+    return true;
+  }
+  if (Text == "both") {
+    Out = ExecEngine::Both;
+    return true;
+  }
+  if (Diag)
+    *Diag = "invalid engine '" + Text + "' (expected walk, vm, or both)";
+  return false;
+}
+
+namespace {
+
+std::string statusName(ExecResult::Status St) {
+  switch (St) {
+  case ExecResult::Status::Exited:
+    return "exited";
+  case ExecResult::Status::Trapped:
+    return "trapped";
+  case ExecResult::Status::StepLimitExceeded:
+    return "step-limit";
+  }
+  return "?";
+}
+
+std::string diffCounter(const char *Name, uint64_t A, uint64_t B) {
+  return std::string(Name) + ": " + std::to_string(A) + " vs " +
+         std::to_string(B);
+}
+
+std::string diffVector(const char *Name, const std::vector<uint64_t> &A,
+                       const std::vector<uint64_t> &B) {
+  if (A.size() != B.size())
+    return std::string(Name) + ".size: " + std::to_string(A.size()) + " vs " +
+           std::to_string(B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I] != B[I])
+      return std::string(Name) + "[" + std::to_string(I) + "]: " +
+             std::to_string(A[I]) + " vs " + std::to_string(B[I]);
+  return std::string();
+}
+
+} // namespace
+
+std::string impact::describeResultDifference(const ExecResult &A,
+                                             const ExecResult &B) {
+  if (A.St != B.St)
+    return "status: " + statusName(A.St) + " vs " + statusName(B.St);
+  if (A.ExitCode != B.ExitCode)
+    return "exit code: " + std::to_string(A.ExitCode) + " vs " +
+           std::to_string(B.ExitCode);
+  if (A.TrapMessage != B.TrapMessage)
+    return "trap message: '" + A.TrapMessage + "' vs '" + B.TrapMessage + "'";
+  if (A.Output != B.Output)
+    return "output: " + std::to_string(A.Output.size()) + " bytes vs " +
+           std::to_string(B.Output.size()) + " bytes (first difference at "
+           "byte " +
+           std::to_string(std::mismatch(A.Output.begin(),
+                                        A.Output.begin() +
+                                            static_cast<ptrdiff_t>(
+                                                std::min(A.Output.size(),
+                                                         B.Output.size())),
+                                        B.Output.begin())
+                              .first -
+                          A.Output.begin()) +
+           ")";
+  const ExecStats &SA = A.Stats;
+  const ExecStats &SB = B.Stats;
+  if (SA.InstrCount != SB.InstrCount)
+    return diffCounter("stats.InstrCount", SA.InstrCount, SB.InstrCount);
+  if (SA.ControlTransfers != SB.ControlTransfers)
+    return diffCounter("stats.ControlTransfers", SA.ControlTransfers,
+                       SB.ControlTransfers);
+  if (SA.DynamicCalls != SB.DynamicCalls)
+    return diffCounter("stats.DynamicCalls", SA.DynamicCalls, SB.DynamicCalls);
+  if (SA.ExternalCalls != SB.ExternalCalls)
+    return diffCounter("stats.ExternalCalls", SA.ExternalCalls,
+                       SB.ExternalCalls);
+  if (SA.PointerCalls != SB.PointerCalls)
+    return diffCounter("stats.PointerCalls", SA.PointerCalls, SB.PointerCalls);
+  if (SA.Returns != SB.Returns)
+    return diffCounter("stats.Returns", SA.Returns, SB.Returns);
+  if (std::string D = diffVector("stats.SiteCounts", SA.SiteCounts,
+                                 SB.SiteCounts);
+      !D.empty())
+    return D;
+  if (std::string D = diffVector("stats.FuncEntryCounts", SA.FuncEntryCounts,
+                                 SB.FuncEntryCounts);
+      !D.empty())
+    return D;
+  if (std::string D = diffVector("stats.OpcodeCounts", SA.OpcodeCounts,
+                                 SB.OpcodeCounts);
+      !D.empty())
+    return D;
+  if (SA.PeakStackWords != SB.PeakStackWords)
+    return diffCounter("stats.PeakStackWords",
+                       static_cast<uint64_t>(SA.PeakStackWords),
+                       static_cast<uint64_t>(SB.PeakStackWords));
+  return std::string();
+}
+
+ExecResult impact::runProgramWith(ExecEngine Engine, const Module &M,
+                                  const RunOptions &Opts) {
+  switch (Engine) {
+  case ExecEngine::Walker:
+    return runProgram(M, Opts);
+  case ExecEngine::Vm:
+    return runProgramVm(M, Opts);
+  case ExecEngine::Both: {
+    ExecResult Walk = runProgram(M, Opts);
+    ExecResult Vm = runProgramVm(M, Opts);
+    std::string Diff = describeResultDifference(Walk, Vm);
+    if (Diff.empty())
+      return Walk;
+    ExecResult Divergence = std::move(Walk);
+    Divergence.St = ExecResult::Status::Trapped;
+    Divergence.TrapMessage = "engine divergence: " + Diff;
+    return Divergence;
+  }
+  }
+  return runProgram(M, Opts);
+}

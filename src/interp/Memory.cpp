@@ -6,6 +6,8 @@
 
 #include "interp/Memory.h"
 
+#include <algorithm>
+
 using namespace impact;
 
 namespace {
@@ -22,6 +24,15 @@ Memory::Memory(const Module &M, int64_t StackWords)
     Cursor += static_cast<size_t>(G.Size);
   }
   StackSeg.assign(static_cast<size_t>(StackWords), 0);
+  StackLimitWords = StackWords;
+}
+
+Memory::Memory(const std::vector<int64_t> &GlobalImage, int64_t StackWords)
+    : GlobalSeg(GlobalImage), StackLimitWords(StackWords),
+      HeapLimitWords(kDefaultHeapLimitWords) {
+  // Lazy stack: growStack materializes pages on demand. A typical profiled
+  // run peaks at a few hundred words; eagerly zero-filling the multi-MB
+  // default budget per run would dwarf the run itself.
 }
 
 void Memory::trap(std::string Message) {
@@ -61,11 +72,19 @@ void Memory::store(int64_t Addr, int64_t Value) {
 }
 
 bool Memory::growStack(int64_t Words) {
-  if (StackTop + Words > static_cast<int64_t>(StackSeg.size())) {
+  if (StackTop + Words > StackLimitWords) {
     trap("control stack overflow (" + std::to_string(StackTop + Words) +
-         " words needed, limit " + std::to_string(StackSeg.size()) + ")");
+         " words needed, limit " + std::to_string(StackLimitWords) + ")");
     return false;
   }
+  // Materialize lazily-allocated stack (GlobalImage constructor) in
+  // geometric steps; resize zero-fills the new tail, so the loop below
+  // only re-zeroes words dirtied by previously popped frames.
+  if (StackTop + Words > static_cast<int64_t>(StackSeg.size()))
+    StackSeg.resize(static_cast<size_t>(
+        std::min(StackLimitWords,
+                 std::max<int64_t>(StackTop + Words,
+                                   static_cast<int64_t>(StackSeg.size()) * 2))));
   // Zero the newly exposed frame so locals start deterministic.
   for (int64_t I = StackTop; I != StackTop + Words; ++I)
     StackSeg[static_cast<size_t>(I)] = 0;

@@ -29,6 +29,16 @@ public:
   /// (overflowing it is the paper's "control stack explosion" hazard).
   Memory(const Module &M, int64_t StackWords);
 
+  /// Initializes segments from a pre-flattened global image. The bytecode
+  /// VM's compiled programs (vm/Bytecode.h) carry one so execution never
+  /// re-touches the Module; the image is byte-identical to what the Module
+  /// constructor would lay out. The stack segment is allocated lazily
+  /// (grown geometrically up to \p StackWords as frames push) so a short
+  /// run never pays for zero-filling the full stack budget up front —
+  /// observably identical to eager allocation, since loads and stores are
+  /// bounds-checked against StackTop and overflow against the limit.
+  Memory(const std::vector<int64_t> &GlobalImage, int64_t StackWords);
+
   int64_t load(int64_t Addr);
   void store(int64_t Addr, int64_t Value);
 
@@ -53,6 +63,9 @@ private:
   std::vector<int64_t> GlobalSeg;
   std::vector<int64_t> StackSeg;
   std::vector<int64_t> HeapSeg;
+  /// Hard stack budget; StackSeg.size() may lag behind it when the segment
+  /// is allocated lazily (the GlobalImage constructor).
+  int64_t StackLimitWords = 0;
   int64_t StackTop = 0;
   int64_t PeakStack = 0;
   int64_t HeapTop = 0;

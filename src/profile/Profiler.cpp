@@ -6,17 +6,49 @@
 
 #include "profile/Profiler.h"
 
+#include "vm/Vm.h"
+
 using namespace impact;
 
 ProfileResult impact::profileProgram(const Module &M,
                                      const std::vector<RunInput> &Inputs,
-                                     const RunOptions &Base) {
+                                     const RunOptions &Base,
+                                     ExecEngine Engine) {
   ProfileResult Result;
+
+  // Compile once, run once per input. Only worth it (and only correct —
+  // see the header on ICache) when the VM actually executes something.
+  bool VmRuns =
+      (Engine == ExecEngine::Vm && !Base.ICache) || Engine == ExecEngine::Both;
+  VmProgram Compiled;
+  if (VmRuns)
+    Compiled = compileToBytecode(M);
+
   for (size_t I = 0; I != Inputs.size(); ++I) {
     RunOptions Opts = Base;
     Opts.Input = Inputs[I].Input;
     Opts.Input2 = Inputs[I].Input2;
-    ExecResult R = runProgram(M, Opts);
+
+    ExecResult R;
+    switch (Engine) {
+    case ExecEngine::Walker:
+      R = runProgram(M, Opts);
+      break;
+    case ExecEngine::Vm:
+      R = VmRuns ? runProgramVm(Compiled, Opts) : runProgram(M, Opts);
+      break;
+    case ExecEngine::Both: {
+      R = runProgram(M, Opts);
+      ExecResult V = runProgramVm(Compiled, Opts);
+      std::string Diff = describeResultDifference(R, V);
+      if (!Diff.empty()) {
+        R.St = ExecResult::Status::Trapped;
+        R.TrapMessage = "engine divergence: " + Diff;
+      }
+      break;
+    }
+    }
+
     if (!R.ok()) {
       Result.Failures.push_back("run " + std::to_string(I) + ": " +
                                 R.TrapMessage);

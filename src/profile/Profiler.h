@@ -7,6 +7,7 @@
 #ifndef IMPACT_PROFILE_PROFILER_H
 #define IMPACT_PROFILE_PROFILER_H
 
+#include "interp/Engine.h"
 #include "profile/Profile.h"
 
 #include <string>
@@ -47,10 +48,17 @@ struct ProfileResult {
 };
 
 /// Runs \p M once per input and accumulates the statistics. \p Base
-/// supplies step/stack limits.
+/// supplies step/stack limits. \p Engine selects the measuring engine:
+/// under ExecEngine::Vm the module is compiled to bytecode once and each
+/// input runs through the VM (the walker is still used when Base.ICache is
+/// set — only it streams layout addresses); under ExecEngine::Both every
+/// input runs through both engines and any observable difference is
+/// recorded as a trapped run ("engine divergence: ..."), so a divergence
+/// quarantines the unit instead of corrupting its profile.
 ProfileResult profileProgram(const Module &M,
                              const std::vector<RunInput> &Inputs,
-                             const RunOptions &Base = RunOptions());
+                             const RunOptions &Base = RunOptions(),
+                             ExecEngine Engine = ExecEngine::Walker);
 
 } // namespace impact
 

@@ -1,0 +1,646 @@
+//===- vm/Bytecode.cpp - IL -> bytecode translation ---------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include "interp/Intrinsics.h"
+
+#include <cassert>
+
+using namespace impact;
+
+namespace {
+
+/// How instruction \p I at index \p Idx of \p B participates in fusion.
+enum class Fuse : uint8_t {
+  None,        // translate alone
+  CmpBrHead,   // Cmp* fused with the following CondBr (consumes 2)
+  LosHead,     // Load fused with the following op and store (consumes 3)
+  Consumed,    // body of a superinstruction started earlier
+};
+
+bool isAluBinOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isCompare(Opcode Op) {
+  return Op >= Opcode::CmpEq && Op <= Opcode::CmpGe;
+}
+
+VmOp binOpToken(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add: return VmOp::Add;
+  case Opcode::Sub: return VmOp::Sub;
+  case Opcode::Mul: return VmOp::Mul;
+  case Opcode::Div: return VmOp::Div;
+  case Opcode::Rem: return VmOp::Rem;
+  case Opcode::Shl: return VmOp::Shl;
+  case Opcode::Shr: return VmOp::Shr;
+  case Opcode::And: return VmOp::And;
+  case Opcode::Or: return VmOp::Or;
+  case Opcode::Xor: return VmOp::Xor;
+  case Opcode::CmpEq: return VmOp::CmpEq;
+  case Opcode::CmpNe: return VmOp::CmpNe;
+  case Opcode::CmpLt: return VmOp::CmpLt;
+  case Opcode::CmpLe: return VmOp::CmpLe;
+  case Opcode::CmpGt: return VmOp::CmpGt;
+  case Opcode::CmpGe: return VmOp::CmpGe;
+  default:
+    assert(false && "not a binary token");
+    return VmOp::Add;
+  }
+}
+
+VmOp cmpBrToken(Opcode Cmp) {
+  switch (Cmp) {
+  case Opcode::CmpEq: return VmOp::CmpEqBr;
+  case Opcode::CmpNe: return VmOp::CmpNeBr;
+  case Opcode::CmpLt: return VmOp::CmpLtBr;
+  case Opcode::CmpLe: return VmOp::CmpLeBr;
+  case Opcode::CmpGt: return VmOp::CmpGtBr;
+  case Opcode::CmpGe: return VmOp::CmpGeBr;
+  default:
+    assert(false && "not a compare");
+    return VmOp::CmpEqBr;
+  }
+}
+
+/// Encoded word count of \p I under fusion decision \p F (0 when consumed).
+size_t encodedWords(const Instr &I, Fuse F) {
+  switch (F) {
+  case Fuse::Consumed:
+    return 0;
+  case Fuse::CmpBrHead:
+    return 6; // op, dst, s1, s2, target, target2
+  case Fuse::LosHead:
+    return 8; // op, ilop, ldDst, addr, opDst, opS1, opS2, stVal
+  case Fuse::None:
+    break;
+  }
+  switch (I.Op) {
+  case Opcode::Mov:
+  case Opcode::LdImm:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::FrameAddr:
+  case Opcode::GlobalAddr:
+  case Opcode::FuncAddr:
+    return 3;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    return 4;
+  case Opcode::Call:
+    // Resolution-dependent; computed by the caller (see callWords).
+    assert(false && "calls are sized by callWords");
+    return 0;
+  case Opcode::CallPtr:
+    return 5 + I.Args.size();
+  case Opcode::Jump:
+    return 2;
+  case Opcode::CondBr:
+    return 4;
+  case Opcode::Ret:
+    return 2;
+  }
+  return 0;
+}
+
+/// Compile-time resolution of a direct call.
+enum class CallKind { User, Ext, Trap };
+
+CallKind resolveCall(const Module &M, const Instr &I) {
+  const Function &F = M.getFunction(I.Callee);
+  if (F.Eliminated || I.Args.size() != F.NumParams)
+    return CallKind::Trap;
+  return F.IsExternal ? CallKind::Ext : CallKind::User;
+}
+
+size_t callWords(const Module &M, const Instr &I) {
+  switch (resolveCall(M, I)) {
+  case CallKind::User:
+    return 5 + I.Args.size();
+  case CallKind::Ext:
+    return 7 + I.Args.size();
+  case CallKind::Trap:
+    return 3;
+  }
+  return 0;
+}
+
+class FunctionCompiler {
+public:
+  FunctionCompiler(const Module &M, const Function &F, VmCompileStats &Stats)
+      : M(M), F(F), Stats(Stats) {}
+
+  VmFunction compile() {
+    Out.NumRegs = F.NumRegs;
+    Out.ActivationWords = F.getActivationWords();
+    Out.Compiled = true;
+
+    planFusion();
+    layoutBlocks();
+    for (BlockId B = 0; B != static_cast<BlockId>(F.Blocks.size()); ++B)
+      emitBlock(B);
+    assert(Out.Code.size() == TotalWords && "layout/emission mismatch");
+    Stats.CodeWords += Out.Code.size();
+    return std::move(Out);
+  }
+
+private:
+  /// Decides, deterministically, which adjacent shapes fuse. Fusion only
+  /// changes dispatch: every constituent IL instruction is still executed,
+  /// counted, and step-checked in original order by the fused handler.
+  void planFusion() {
+    FusePlan.resize(F.Blocks.size());
+    for (size_t B = 0; B != F.Blocks.size(); ++B) {
+      const std::vector<Instr> &Is = F.Blocks[B].Instrs;
+      std::vector<Fuse> &Plan = FusePlan[B];
+      Plan.assign(Is.size(), Fuse::None);
+      for (size_t I = 0; I != Is.size(); ++I) {
+        if (Plan[I] != Fuse::None)
+          continue;
+        // Load t,[p]; t2 = a <op> b; [p] = t2  (adjacent, same address
+        // register, the op's result is what gets stored).
+        if (I + 2 < Is.size() && Is[I].Op == Opcode::Load &&
+            isAluBinOp(Is[I + 1].Op) && Is[I + 2].Op == Opcode::Store &&
+            Is[I + 2].Src1 == Is[I].Src1 &&
+            Is[I + 2].Src2 == Is[I + 1].Dst) {
+          Plan[I] = Fuse::LosHead;
+          Plan[I + 1] = Plan[I + 2] = Fuse::Consumed;
+          ++Stats.FusedLoadOpStore;
+          continue;
+        }
+        // Cmp* feeding the block's CondBr directly.
+        if (I + 1 == Is.size() - 1 && isCompare(Is[I].Op) &&
+            Is[I + 1].Op == Opcode::CondBr && Is[I + 1].Src1 == Is[I].Dst) {
+          Plan[I] = Fuse::CmpBrHead;
+          Plan[I + 1] = Fuse::Consumed;
+          ++Stats.FusedCmpBr;
+        }
+      }
+    }
+  }
+
+  void layoutBlocks() {
+    BlockOffsets.resize(F.Blocks.size(), 0);
+    size_t Offset = 0;
+    for (size_t B = 0; B != F.Blocks.size(); ++B) {
+      BlockOffsets[B] = static_cast<int32_t>(Offset);
+      const std::vector<Instr> &Is = F.Blocks[B].Instrs;
+      for (size_t I = 0; I != Is.size(); ++I)
+        Offset += Is[I].Op == Opcode::Call && FusePlan[B][I] == Fuse::None
+                      ? callWords(M, Is[I])
+                      : encodedWords(Is[I], FusePlan[B][I]);
+    }
+    TotalWords = Offset;
+    Out.Code.reserve(Offset);
+  }
+
+  int32_t pool(int64_t Value) {
+    // Pools are tiny; a linear dedup scan keeps the encoding minimal.
+    for (size_t I = 0; I != Out.Pool.size(); ++I)
+      if (Out.Pool[I] == Value)
+        return static_cast<int32_t>(I);
+    Out.Pool.push_back(Value);
+    return static_cast<int32_t>(Out.Pool.size() - 1);
+  }
+
+  int32_t msg(std::string Text) {
+    for (size_t I = 0; I != Out.Msgs.size(); ++I)
+      if (Out.Msgs[I] == Text)
+        return static_cast<int32_t>(I);
+    Out.Msgs.push_back(std::move(Text));
+    return static_cast<int32_t>(Out.Msgs.size() - 1);
+  }
+
+  void op(VmOp Token) {
+    Out.Code.push_back(static_cast<int32_t>(Token));
+    ++Stats.VmInstrs;
+  }
+  void w(int32_t Word) { Out.Code.push_back(Word); }
+
+  void emitCall(const Instr &I) {
+    const Function &Callee = M.getFunction(I.Callee);
+    switch (resolveCall(M, I)) {
+    case CallKind::User:
+      op(VmOp::CallUser);
+      w(I.Dst);
+      w(I.Callee);
+      w(static_cast<int32_t>(I.SiteId));
+      w(static_cast<int32_t>(I.Args.size()));
+      for (Reg A : I.Args)
+        w(A);
+      break;
+    case CallKind::Ext:
+      op(VmOp::CallExt);
+      w(I.Dst);
+      w(IntrinsicRegistry::lookup(Callee.Name));
+      w(I.Callee);
+      w(static_cast<int32_t>(I.SiteId));
+      w(msg("call to unknown external function '" + Callee.Name + "'"));
+      w(static_cast<int32_t>(I.Args.size()));
+      for (Reg A : I.Args)
+        w(A);
+      break;
+    case CallKind::Trap: {
+      std::string Text =
+          Callee.Eliminated
+              ? "call to eliminated function '" + Callee.Name + "'"
+              : "call to '" + Callee.Name + "' with " +
+                    std::to_string(I.Args.size()) + " arguments; it takes " +
+                    std::to_string(Callee.NumParams);
+      op(VmOp::CallTrap);
+      w(static_cast<int32_t>(I.SiteId));
+      w(msg(std::move(Text)));
+      break;
+    }
+    }
+  }
+
+  void emitBlock(BlockId B) {
+    const std::vector<Instr> &Is = F.Blocks[B].Instrs;
+    for (size_t Idx = 0; Idx != Is.size(); ++Idx) {
+      const Instr &I = Is[Idx];
+      switch (FusePlan[B][Idx]) {
+      case Fuse::Consumed:
+        continue;
+      case Fuse::CmpBrHead: {
+        const Instr &Br = Is[Idx + 1];
+        op(cmpBrToken(I.Op));
+        w(I.Dst);
+        w(I.Src1);
+        w(I.Src2);
+        w(BlockOffsets[Br.Target]);
+        w(BlockOffsets[Br.Target2]);
+        ++Stats.IlInstrs; // the consumed CondBr
+        break;
+      }
+      case Fuse::LosHead: {
+        const Instr &Alu = Is[Idx + 1];
+        const Instr &St = Is[Idx + 2];
+        op(VmOp::LoadOpStore);
+        w(static_cast<int32_t>(Alu.Op));
+        w(I.Dst);
+        w(I.Src1);
+        w(Alu.Dst);
+        w(Alu.Src1);
+        w(Alu.Src2);
+        w(St.Src2);
+        Stats.IlInstrs += 2; // the consumed op and store
+        break;
+      }
+      case Fuse::None:
+        switch (I.Op) {
+        case Opcode::Mov:
+          op(VmOp::Mov);
+          w(I.Dst);
+          w(I.Src1);
+          break;
+        case Opcode::LdImm:
+          op(VmOp::LdImm);
+          w(I.Dst);
+          w(pool(I.Imm));
+          break;
+        case Opcode::Add:
+        case Opcode::Sub:
+        case Opcode::Mul:
+        case Opcode::Div:
+        case Opcode::Rem:
+        case Opcode::Shl:
+        case Opcode::Shr:
+        case Opcode::And:
+        case Opcode::Or:
+        case Opcode::Xor:
+        case Opcode::CmpEq:
+        case Opcode::CmpNe:
+        case Opcode::CmpLt:
+        case Opcode::CmpLe:
+        case Opcode::CmpGt:
+        case Opcode::CmpGe:
+          op(binOpToken(I.Op));
+          w(I.Dst);
+          w(I.Src1);
+          w(I.Src2);
+          break;
+        case Opcode::Neg:
+          op(VmOp::Neg);
+          w(I.Dst);
+          w(I.Src1);
+          break;
+        case Opcode::Not:
+          op(VmOp::Not);
+          w(I.Dst);
+          w(I.Src1);
+          break;
+        case Opcode::Load:
+          op(VmOp::Load);
+          w(I.Dst);
+          w(I.Src1);
+          break;
+        case Opcode::Store:
+          op(VmOp::Store);
+          w(I.Src1);
+          w(I.Src2);
+          break;
+        case Opcode::FrameAddr:
+          op(VmOp::FrameAddr);
+          w(I.Dst);
+          w(pool(I.Imm));
+          break;
+        case Opcode::GlobalAddr:
+          op(VmOp::GlobalAddr);
+          w(I.Dst);
+          w(pool(GlobalAddrs[static_cast<size_t>(I.Imm)]));
+          break;
+        case Opcode::FuncAddr:
+          op(VmOp::FuncAddr);
+          w(I.Dst);
+          w(pool(encodeFuncAddr(I.Callee)));
+          break;
+        case Opcode::Call:
+          emitCall(I);
+          break;
+        case Opcode::CallPtr:
+          op(VmOp::CallPtr);
+          w(I.Dst);
+          w(I.Src1);
+          w(static_cast<int32_t>(I.SiteId));
+          w(static_cast<int32_t>(I.Args.size()));
+          for (Reg A : I.Args)
+            w(A);
+          break;
+        case Opcode::Jump:
+          op(VmOp::Jump);
+          w(BlockOffsets[I.Target]);
+          break;
+        case Opcode::CondBr:
+          op(VmOp::CondBr);
+          w(I.Src1);
+          w(BlockOffsets[I.Target]);
+          w(BlockOffsets[I.Target2]);
+          break;
+        case Opcode::Ret:
+          op(VmOp::Ret);
+          w(I.Src1);
+          break;
+        }
+        break;
+      }
+      ++Stats.IlInstrs;
+    }
+  }
+
+public:
+  /// Absolute global-segment addresses, precomputed once per module.
+  std::vector<int64_t> GlobalAddrs;
+
+private:
+  const Module &M;
+  const Function &F;
+  VmCompileStats &Stats;
+  VmFunction Out;
+  std::vector<std::vector<Fuse>> FusePlan;
+  std::vector<int32_t> BlockOffsets;
+  size_t TotalWords = 0;
+};
+
+} // namespace
+
+VmProgram impact::compileToBytecode(const Module &M) {
+  VmProgram P;
+  P.MainId = M.MainId;
+  P.NumSites = M.NextSiteId;
+  P.NumFuncs = M.Funcs.size();
+
+  std::vector<int64_t> GlobalAddrs;
+  GlobalAddrs.reserve(M.Globals.size());
+  int64_t Addr = kGlobalBase;
+  for (const Global &G : M.Globals) {
+    GlobalAddrs.push_back(Addr);
+    Addr += G.Size;
+  }
+
+  P.GlobalImage.assign(static_cast<size_t>(M.getGlobalSegmentSize()), 0);
+  size_t Cursor = 0;
+  for (const Global &G : M.Globals) {
+    for (size_t I = 0; I != G.Init.size(); ++I)
+      P.GlobalImage[Cursor + I] = G.Init[I];
+    Cursor += static_cast<size_t>(G.Size);
+  }
+
+  P.Funcs.resize(M.Funcs.size());
+  P.Callees.reserve(M.Funcs.size());
+  for (const Function &F : M.Funcs) {
+    VmCallee C;
+    C.Name = F.Name;
+    C.NumParams = F.NumParams;
+    C.IsExternal = F.IsExternal;
+    C.Eliminated = F.Eliminated;
+    if (F.IsExternal)
+      C.IntrinsicHandle = IntrinsicRegistry::lookup(F.Name);
+    P.Callees.push_back(std::move(C));
+
+    if (F.IsExternal || F.Eliminated || F.Blocks.empty())
+      continue;
+    FunctionCompiler FC(M, F, P.Stats);
+    FC.GlobalAddrs = GlobalAddrs;
+    P.Funcs[F.Id] = FC.compile();
+  }
+  return P;
+}
+
+const char *impact::getVmOpName(VmOp Op) {
+  switch (Op) {
+  case VmOp::Mov: return "mov";
+  case VmOp::LdImm: return "ld_imm";
+  case VmOp::Add: return "add";
+  case VmOp::Sub: return "sub";
+  case VmOp::Mul: return "mul";
+  case VmOp::Div: return "div";
+  case VmOp::Rem: return "rem";
+  case VmOp::Shl: return "shl";
+  case VmOp::Shr: return "shr";
+  case VmOp::And: return "and";
+  case VmOp::Or: return "or";
+  case VmOp::Xor: return "xor";
+  case VmOp::Neg: return "neg";
+  case VmOp::Not: return "not";
+  case VmOp::CmpEq: return "cmp_eq";
+  case VmOp::CmpNe: return "cmp_ne";
+  case VmOp::CmpLt: return "cmp_lt";
+  case VmOp::CmpLe: return "cmp_le";
+  case VmOp::CmpGt: return "cmp_gt";
+  case VmOp::CmpGe: return "cmp_ge";
+  case VmOp::Load: return "load";
+  case VmOp::Store: return "store";
+  case VmOp::FrameAddr: return "frame_addr";
+  case VmOp::GlobalAddr: return "global_addr";
+  case VmOp::FuncAddr: return "func_addr";
+  case VmOp::CallUser: return "call_user";
+  case VmOp::CallExt: return "call_ext";
+  case VmOp::CallTrap: return "call_trap";
+  case VmOp::CallPtr: return "call_ptr";
+  case VmOp::Jump: return "jump";
+  case VmOp::CondBr: return "cond_br";
+  case VmOp::Ret: return "ret";
+  case VmOp::CmpEqBr: return "cmp_eq_br";
+  case VmOp::CmpNeBr: return "cmp_ne_br";
+  case VmOp::CmpLtBr: return "cmp_lt_br";
+  case VmOp::CmpLeBr: return "cmp_le_br";
+  case VmOp::CmpGtBr: return "cmp_gt_br";
+  case VmOp::CmpGeBr: return "cmp_ge_br";
+  case VmOp::LoadOpStore: return "load_op_store";
+  }
+  return "?";
+}
+
+std::string impact::disassemble(const VmFunction &F) {
+  std::string Out;
+  auto R = [](int32_t Slot) { return "r" + std::to_string(Slot); };
+  size_t PC = 0;
+  const std::vector<int32_t> &C = F.Code;
+  while (PC < C.size()) {
+    VmOp Op = static_cast<VmOp>(C[PC]);
+    Out += "  " + std::to_string(PC) + ": " + getVmOpName(Op);
+    switch (Op) {
+    case VmOp::Mov:
+    case VmOp::Neg:
+    case VmOp::Not:
+    case VmOp::Load:
+      Out += " " + R(C[PC + 1]) + ", " + R(C[PC + 2]);
+      PC += 3;
+      break;
+    case VmOp::Store:
+      Out += " [" + R(C[PC + 1]) + "], " + R(C[PC + 2]);
+      PC += 3;
+      break;
+    case VmOp::LdImm:
+    case VmOp::FrameAddr:
+    case VmOp::GlobalAddr:
+    case VmOp::FuncAddr:
+      Out += " " + R(C[PC + 1]) + ", " +
+             std::to_string(F.Pool[static_cast<size_t>(C[PC + 2])]);
+      PC += 3;
+      break;
+    case VmOp::Add:
+    case VmOp::Sub:
+    case VmOp::Mul:
+    case VmOp::Div:
+    case VmOp::Rem:
+    case VmOp::Shl:
+    case VmOp::Shr:
+    case VmOp::And:
+    case VmOp::Or:
+    case VmOp::Xor:
+    case VmOp::CmpEq:
+    case VmOp::CmpNe:
+    case VmOp::CmpLt:
+    case VmOp::CmpLe:
+    case VmOp::CmpGt:
+    case VmOp::CmpGe:
+      Out += " " + R(C[PC + 1]) + ", " + R(C[PC + 2]) + ", " + R(C[PC + 3]);
+      PC += 4;
+      break;
+    case VmOp::CallUser: {
+      int32_t N = C[PC + 4];
+      Out += " " + R(C[PC + 1]) + ", f" + std::to_string(C[PC + 2]) +
+             ", site " + std::to_string(C[PC + 3]);
+      for (int32_t A = 0; A != N; ++A)
+        Out += ", " + R(C[PC + 5 + A]);
+      PC += 5 + N;
+      break;
+    }
+    case VmOp::CallExt: {
+      int32_t N = C[PC + 6];
+      Out += " " + R(C[PC + 1]) + ", ext " + std::to_string(C[PC + 2]) +
+             ", site " + std::to_string(C[PC + 4]);
+      for (int32_t A = 0; A != N; ++A)
+        Out += ", " + R(C[PC + 7 + A]);
+      PC += 7 + N;
+      break;
+    }
+    case VmOp::CallTrap:
+      Out += " site " + std::to_string(C[PC + 1]) + ", \"" +
+             F.Msgs[static_cast<size_t>(C[PC + 2])] + "\"";
+      PC += 3;
+      break;
+    case VmOp::CallPtr: {
+      int32_t N = C[PC + 4];
+      Out += " " + R(C[PC + 1]) + ", *" + R(C[PC + 2]) + ", site " +
+             std::to_string(C[PC + 3]);
+      for (int32_t A = 0; A != N; ++A)
+        Out += ", " + R(C[PC + 5 + A]);
+      PC += 5 + N;
+      break;
+    }
+    case VmOp::Jump:
+      Out += " -> " + std::to_string(C[PC + 1]);
+      PC += 2;
+      break;
+    case VmOp::CondBr:
+      Out += " " + R(C[PC + 1]) + " -> " + std::to_string(C[PC + 2]) +
+             ", " + std::to_string(C[PC + 3]);
+      PC += 4;
+      break;
+    case VmOp::Ret:
+      if (C[PC + 1] != kNoReg)
+        Out += " " + R(C[PC + 1]);
+      PC += 2;
+      break;
+    case VmOp::CmpEqBr:
+    case VmOp::CmpNeBr:
+    case VmOp::CmpLtBr:
+    case VmOp::CmpLeBr:
+    case VmOp::CmpGtBr:
+    case VmOp::CmpGeBr:
+      Out += " " + R(C[PC + 1]) + ", " + R(C[PC + 2]) + ", " + R(C[PC + 3]) +
+             " -> " + std::to_string(C[PC + 4]) + ", " +
+             std::to_string(C[PC + 5]);
+      PC += 6;
+      break;
+    case VmOp::LoadOpStore:
+      Out += " " + std::string(getOpcodeName(
+                 static_cast<Opcode>(C[PC + 1]))) +
+             " " + R(C[PC + 2]) + ", [" + R(C[PC + 3]) + "], " +
+             R(C[PC + 4]) + ", " + R(C[PC + 5]) + ", " + R(C[PC + 6]) +
+             ", " + R(C[PC + 7]);
+      PC += 8;
+      break;
+    }
+    Out += "\n";
+  }
+  return Out;
+}

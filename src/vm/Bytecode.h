@@ -1,0 +1,169 @@
+//===- vm/Bytecode.h - Flat bytecode for the profiling VM --------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact, flat-encoded bytecode for the measuring interpreter. Each IL
+/// Function is compiled once into a single std::vector<int32_t>: one opcode
+/// token followed by its operands, with *absolute* jump targets (code
+/// indices, no block table at run time), register-slot operands (indices
+/// into the current activation's register window), and inline arc-counter
+/// indices (a Call's SiteId is baked into the instruction, so bumping the
+/// paper's arc weight is one indexed increment).
+///
+/// Direct calls are resolved at compile time into specialized tokens:
+/// CallUser (known IL body), CallExt (known intrinsic handle), CallTrap
+/// (statically doomed: eliminated callee or arity mismatch — still counted
+/// exactly like the walker before trapping). 64-bit immediates and
+/// precomputed addresses (global segment layout, encoded function
+/// addresses) live in a per-function constant pool.
+///
+/// Superinstructions fuse the two hot shapes the suite actually executes:
+///   * compare-and-branch  — Cmp* whose Dst feeds the block's CondBr
+///   * load-op-store       — Load t,[p]; t2 = t <op> s; [p] = t2
+/// Fused execution is observationally identical to the unfused sequence:
+/// every constituent IL instruction is still step-checked and counted
+/// individually (a step limit can exhaust *inside* a superinstruction at
+/// exactly the same IL instruction the walker would stop at), and all
+/// intermediate register writes still happen.
+///
+/// The bytecode never feeds back into compilation: it is a pure execution
+/// encoding, derived deterministically from the module, and the walker in
+/// src/interp remains the semantics oracle (see tests/DifferentialTests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_VM_BYTECODE_H
+#define IMPACT_VM_BYTECODE_H
+
+#include "ir/Ir.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace impact {
+
+/// Bytecode opcode tokens. Most tokens map 1:1 onto an IL opcode (the VM
+/// counts the IL opcode, so ExecStats::OpcodeCounts stays bit-identical to
+/// the walker's); call tokens split one IL opcode by compile-time
+/// resolution; Cmp*Br / LoadOpStore tokens cover two / three IL
+/// instructions each.
+enum class VmOp : int32_t {
+  Mov,    // dst, src
+  LdImm,  // dst, pool
+  Add,    // dst, s1, s2
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  And,
+  Or,
+  Xor,
+  Neg, // dst, src
+  Not,
+  CmpEq, // dst, s1, s2
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  Load,       // dst, addr
+  Store,      // addr, val
+  FrameAddr,  // dst, pool (frame offset)
+  GlobalAddr, // dst, pool (absolute segment address)
+  FuncAddr,   // dst, pool (encoded function address)
+  CallUser,   // dst, callee, site, nargs, arg...
+  CallExt,    // dst, handle, callee, site, msg, nargs, arg...
+  CallTrap,   // site, msg   (direct call that deterministically traps)
+  CallPtr,    // dst, ptr, site, nargs, arg...
+  Jump,       // target
+  CondBr,     // cond, target, target2
+  Ret,        // src (-1 for void)
+
+  // Superinstructions.
+  CmpEqBr, // dst, s1, s2, target, target2
+  CmpNeBr,
+  CmpLtBr,
+  CmpLeBr,
+  CmpGtBr,
+  CmpGeBr,
+  LoadOpStore, // ilop, ldDst, addr, opDst, opS1, opS2, stVal
+};
+
+inline constexpr size_t kNumVmOps = static_cast<size_t>(VmOp::LoadOpStore) + 1;
+
+/// One compiled function: flat code, its constant pool, and the trap
+/// messages referenced by CallTrap/CallExt tokens.
+struct VmFunction {
+  std::vector<int32_t> Code;
+  std::vector<int64_t> Pool;
+  std::vector<std::string> Msgs;
+  uint32_t NumRegs = 0;
+  int64_t ActivationWords = 0;
+  /// True when this FuncId has an executable body (not external, not
+  /// eliminated). Calling a slot with !Compiled is diagnosed at run time.
+  bool Compiled = false;
+};
+
+/// Per-FuncId callee facts for run-time resolution of indirect calls
+/// (CallPtr cannot be specialized at compile time).
+struct VmCallee {
+  std::string Name;
+  uint32_t NumParams = 0;
+  int IntrinsicHandle = -1; // external functions only
+  bool IsExternal = false;
+  bool Eliminated = false;
+};
+
+/// What the bytecode compiler did — the static side of the
+/// superinstruction story (execution-side hit counts are in VmRunStats).
+struct VmCompileStats {
+  uint64_t IlInstrs = 0;        // IL instructions translated
+  uint64_t VmInstrs = 0;        // bytecode instructions emitted
+  uint64_t FusedCmpBr = 0;      // compare-and-branch superinstructions
+  uint64_t FusedLoadOpStore = 0; // load-op-store superinstructions
+  uint64_t CodeWords = 0;       // total int32 words of bytecode
+
+  void merge(const VmCompileStats &O) {
+    IlInstrs += O.IlInstrs;
+    VmInstrs += O.VmInstrs;
+    FusedCmpBr += O.FusedCmpBr;
+    FusedLoadOpStore += O.FusedLoadOpStore;
+    CodeWords += O.CodeWords;
+  }
+};
+
+/// A whole module, compiled once. Self-contained: keeps copies of the
+/// global-segment layout and callee facts, so the VM never touches the
+/// Module again after compilation (a profiled program is compiled once and
+/// executed once per representative input).
+struct VmProgram {
+  std::vector<VmFunction> Funcs;  // indexed by FuncId
+  std::vector<VmCallee> Callees;  // indexed by FuncId
+  /// Flattened initial global segment (what Memory's Module constructor
+  /// would lay out), so runs don't need the Module.
+  std::vector<int64_t> GlobalImage;
+  FuncId MainId = kNoFunc;
+  uint32_t NumSites = 0;          // Module::NextSiteId (arc-counter table)
+  size_t NumFuncs = 0;
+  VmCompileStats Stats;
+};
+
+/// Compiles every executable function of \p M to bytecode.
+VmProgram compileToBytecode(const Module &M);
+
+/// Renders \p F as one mnemonic-per-line text ("  12: cmp_lt_br r3, r1, r2
+/// -> 20, 34"), for tests and debugging.
+std::string disassemble(const VmFunction &F);
+
+/// The mnemonic for \p Op ("cmp_lt_br", "call_user", ...).
+const char *getVmOpName(VmOp Op);
+
+} // namespace impact
+
+#endif // IMPACT_VM_BYTECODE_H

@@ -1,0 +1,229 @@
+//===- vm/Vm.cpp - Token-threaded bytecode VM ---------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The executor half of the bytecode VM. The dispatch loop itself lives in
+// VmExecLoop.inc and is compiled twice — computed-goto and tight-switch —
+// over the same handler bodies; everything cold (frame push/pop, result
+// composition) lives here. Interpreter.cpp is the semantics oracle: every
+// observable (output, exit code, trap strings, step accounting, profile
+// counters) is reproduced bit for bit, which the differential test tier
+// enforces.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "interp/Intrinsics.h"
+#include "interp/Memory.h"
+
+#include <cstdint>
+#include <utility>
+
+using namespace impact;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define IMPACT_VM_HAS_COMPUTED_GOTO 1
+#else
+#define IMPACT_VM_HAS_COMPUTED_GOTO 0
+#endif
+
+namespace {
+
+/// One pending activation (the walker's Frame, with the resume point as a
+/// flat code index instead of block/instr coordinates).
+struct VmFrame {
+  int32_t Func;
+  int32_t RetDst;
+  size_t RetPC;
+  size_t RegBase;
+  int64_t FrameBase;
+  int64_t ActivationWords;
+};
+
+class VmEngine {
+public:
+  VmEngine(const VmProgram &P, const RunOptions &Opts)
+      : P(P), Opts(Opts), Mem(P.GlobalImage, Opts.StackWords) {
+    Io.Input = Opts.Input;
+    Io.Input2 = Opts.Input2;
+    SiteCounts.assign(P.NumSites, 0);
+    FuncEntryCounts.assign(P.NumFuncs, 0);
+    OpcodeCounts.assign(static_cast<size_t>(Opcode::Ret) + 1, 0);
+  }
+
+  ExecResult run(bool UseGoto) {
+    if (P.MainId == kNoFunc)
+      return makeTrap("module has no main function");
+    const VmFunction &F = P.Funcs[P.MainId];
+    if (!F.Compiled)
+      return makeTrap("main function has no executable body");
+
+    MainActivationWords = F.ActivationWords;
+    MainFrameBase = Mem.getStackPointer();
+    if (!Mem.growStack(F.ActivationWords))
+      return finish();
+    RegFile.assign(F.NumRegs, 0);
+    RegBase = 0;
+    CurFunc = P.MainId;
+    ++FuncEntryCounts[P.MainId];
+
+    if (UseGoto)
+      execLoopGoto();
+    else
+      execLoopSwitch();
+    return finish();
+  }
+
+  VmRunStats RunStats;
+
+private:
+  ExecResult makeTrap(std::string Message) {
+    PendingTrap = std::move(Message);
+    return finish();
+  }
+
+  /// Composes the ExecResult exactly as the walker does: step-limit status
+  /// wins, then traps (sticky Memory trap preferred over a pending one),
+  /// then exit (intrinsic exit code overrides main's return value).
+  ExecResult finish() {
+    ExecResult Result;
+    Result.Stats.InstrCount = ExecutedSteps;
+    Result.Stats.ControlTransfers =
+        OpcodeCounts[static_cast<size_t>(Opcode::Jump)] +
+        OpcodeCounts[static_cast<size_t>(Opcode::CondBr)];
+    Result.Stats.DynamicCalls =
+        OpcodeCounts[static_cast<size_t>(Opcode::Call)] +
+        OpcodeCounts[static_cast<size_t>(Opcode::CallPtr)];
+    Result.Stats.PointerCalls =
+        OpcodeCounts[static_cast<size_t>(Opcode::CallPtr)];
+    Result.Stats.Returns = OpcodeCounts[static_cast<size_t>(Opcode::Ret)];
+    Result.Stats.ExternalCalls = ExternalCallCount;
+    Result.Stats.SiteCounts = std::move(SiteCounts);
+    Result.Stats.FuncEntryCounts = std::move(FuncEntryCounts);
+    Result.Stats.OpcodeCounts = std::move(OpcodeCounts);
+    Result.Stats.PeakStackWords = Mem.getPeakStackWords();
+    Result.Output = std::move(Io.Output);
+    RunStats.IlSteps = ExecutedSteps;
+
+    if (HitStepLimit) {
+      Result.St = ExecResult::Status::StepLimitExceeded;
+      Result.TrapMessage = "step limit exceeded";
+      return Result;
+    }
+    if (Mem.hasTrapped() || !PendingTrap.empty()) {
+      Result.St = ExecResult::Status::Trapped;
+      Result.TrapMessage =
+          Mem.hasTrapped() ? Mem.getTrapMessage() : std::move(PendingTrap);
+      return Result;
+    }
+    Result.St = ExecResult::Status::Exited;
+    Result.ExitCode = ExitedViaIntrinsic ? Io.ExitCode : MainExitCode;
+    return Result;
+  }
+
+  /// Pushes an activation for \p Callee and re-seats the loop's hot state.
+  /// Mirrors the walker's enterFunction, including its counting order: a
+  /// stack overflow leaves the callee's entry count unincremented.
+  bool enterUser(int32_t Callee, int32_t RetDst, const int32_t *ArgRegs,
+                 int32_t NArgs, size_t RetPC, size_t &PC, const int32_t *&Code,
+                 const int64_t *&Pool, const std::string *&Msgs, int64_t *&R,
+                 int64_t &FrameBase) {
+    const VmFunction &F = P.Funcs[Callee];
+    if (!F.Compiled) {
+      // Unreachable from verified modules (resolution happens at compile
+      // time for direct calls and against the callee table for CallPtr).
+      PendingTrap = "call to eliminated function '" + P.Callees[Callee].Name +
+                    "'";
+      return false;
+    }
+    Frames.push_back(VmFrame{CurFunc, RetDst, RetPC, RegBase, FrameBase,
+                             F.ActivationWords});
+    FrameBase = Mem.getStackPointer();
+    if (!Mem.growStack(F.ActivationWords))
+      return false;
+
+    size_t NewBase = RegFile.size();
+    RegFile.resize(NewBase + F.NumRegs, 0);
+    for (int32_t I = 0; I != NArgs; ++I)
+      RegFile[NewBase + static_cast<size_t>(I)] =
+          RegFile[RegBase + static_cast<size_t>(ArgRegs[I])];
+
+    ++FuncEntryCounts[Callee];
+    CurFunc = Callee;
+    RegBase = NewBase;
+    PC = 0;
+    Code = F.Code.data();
+    Pool = F.Pool.data();
+    Msgs = F.Msgs.data();
+    R = RegFile.data() + RegBase;
+    return true;
+  }
+
+  void execLoopGoto();
+  void execLoopSwitch();
+
+  const VmProgram &P;
+  const RunOptions &Opts;
+  Memory Mem;
+  IoEnv Io;
+
+  // Machine state shared between the loop and the cold helpers.
+  std::vector<int64_t> RegFile;
+  std::vector<VmFrame> Frames;
+  std::vector<int64_t> IntrArgs;
+  int32_t CurFunc = kNoFunc;
+  size_t RegBase = 0;
+  int64_t MainFrameBase = 0;
+  int64_t MainActivationWords = 0;
+
+  // Counters and exit state, composed into ExecResult by finish().
+  std::vector<uint64_t> SiteCounts;
+  std::vector<uint64_t> FuncEntryCounts;
+  std::vector<uint64_t> OpcodeCounts;
+  uint64_t ExternalCallCount = 0;
+  uint64_t ExecutedSteps = 0;
+  int64_t MainExitCode = 0;
+  bool MainReturned = false;
+  bool ExitedViaIntrinsic = false;
+  bool HitStepLimit = false;
+  std::string PendingTrap;
+};
+
+// Compile the dispatch loop twice over the same handler bodies.
+#define IMPACT_VM_USE_GOTO 1
+#define IMPACT_VM_LOOP execLoopGoto
+#include "vm/VmExecLoop.inc"
+#undef IMPACT_VM_USE_GOTO
+#undef IMPACT_VM_LOOP
+
+#define IMPACT_VM_USE_GOTO 0
+#define IMPACT_VM_LOOP execLoopSwitch
+#include "vm/VmExecLoop.inc"
+#undef IMPACT_VM_USE_GOTO
+#undef IMPACT_VM_LOOP
+
+} // namespace
+
+bool impact::hasComputedGotoDispatch() { return IMPACT_VM_HAS_COMPUTED_GOTO; }
+
+ExecResult impact::runProgramVm(const VmProgram &P, const RunOptions &Opts,
+                                VmRunStats *Stats, VmDispatch Dispatch) {
+  bool UseGoto = Dispatch == VmDispatch::ComputedGoto ||
+                 (Dispatch == VmDispatch::Auto && hasComputedGotoDispatch());
+  VmEngine E(P, Opts);
+  ExecResult Result = E.run(UseGoto);
+  if (Stats)
+    Stats->merge(E.RunStats);
+  return Result;
+}
+
+ExecResult impact::runProgramVm(const Module &M, const RunOptions &Opts,
+                                VmRunStats *Stats, VmDispatch Dispatch) {
+  if (Opts.ICache)
+    return runProgram(M, Opts); // only the walker streams layout addresses
+  VmProgram P = compileToBytecode(M);
+  return runProgramVm(P, Opts, Stats, Dispatch);
+}

@@ -1,0 +1,86 @@
+//===- vm/Vm.h - Token-threaded bytecode VM ----------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a compiled VmProgram (vm/Bytecode.h) and produces an ExecResult
+/// bit-identical to the walking interpreter's (interp/Interpreter.h):
+/// identical outputs, exit codes, trap kinds and messages, step accounting,
+/// and profile node/arc/opcode counts on every program. The walker is the
+/// semantics oracle; the differential test tier asserts the equivalence on
+/// the whole suite and on randomized corpora.
+///
+/// Dispatch is token-threaded: computed goto where the compiler supports it
+/// (GCC/Clang), with a tight-switch fallback compiled unconditionally so
+/// the two dispatch strategies can be differentially tested against each
+/// other on any toolchain.
+///
+/// The VM does not stream per-instruction layout addresses, so
+/// RunOptions::ICache is not honored here — callers that need icache
+/// simulation use the walker (runProgramWith in interp/Engine.h selects it
+/// automatically).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_VM_VM_H
+#define IMPACT_VM_VM_H
+
+#include "interp/Interpreter.h"
+#include "vm/Bytecode.h"
+
+namespace impact {
+
+/// Which dispatch loop to run. Auto picks computed goto when compiled in.
+enum class VmDispatch { Auto, ComputedGoto, Switch };
+
+/// Execution-side superinstruction accounting (the dynamic half of
+/// VmCompileStats). Purely observational; not part of the differential
+/// equivalence contract.
+struct VmRunStats {
+  /// Superinstructions dispatched (each covers 2 / 3 IL steps).
+  uint64_t FusedCmpBr = 0;
+  uint64_t FusedLoadOpStore = 0;
+  /// Total executed IL steps (== ExecStats::InstrCount).
+  uint64_t IlSteps = 0;
+
+  /// Fraction of executed IL steps covered by a superinstruction.
+  double getFusedStepFraction() const {
+    uint64_t Covered = 2 * FusedCmpBr + 3 * FusedLoadOpStore;
+    return IlSteps == 0 ? 0.0
+                        : static_cast<double>(Covered) /
+                              static_cast<double>(IlSteps);
+  }
+
+  void merge(const VmRunStats &O) {
+    FusedCmpBr += O.FusedCmpBr;
+    FusedLoadOpStore += O.FusedLoadOpStore;
+    IlSteps += O.IlSteps;
+  }
+};
+
+/// True when the computed-goto dispatch loop is compiled in (GCC/Clang).
+bool hasComputedGotoDispatch();
+
+/// Runs \p P from its main function. \p Stats, when non-null, receives the
+/// run's superinstruction counters. RunOptions::ICache is ignored (see
+/// file comment).
+ExecResult runProgramVm(const VmProgram &P,
+                        const RunOptions &Opts = RunOptions(),
+                        VmRunStats *Stats = nullptr,
+                        VmDispatch Dispatch = VmDispatch::Auto);
+
+/// Convenience: compile \p M and run it once. When \p Opts.ICache is set,
+/// this delegates to the walker (the only engine that streams layout
+/// addresses), so results stay identical either way. For repeated runs of
+/// one module, compile once with compileToBytecode and use the overload
+/// above.
+ExecResult runProgramVm(const Module &M,
+                        const RunOptions &Opts = RunOptions(),
+                        VmRunStats *Stats = nullptr,
+                        VmDispatch Dispatch = VmDispatch::Auto);
+
+} // namespace impact
+
+#endif // IMPACT_VM_VM_H

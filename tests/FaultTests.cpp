@@ -171,6 +171,104 @@ TEST(FaultContainment, OutOfBoundsTrapIsQuarantined) {
 }
 
 //===----------------------------------------------------------------------===//
+// Engine parity: the VM produces the same quarantine records
+//===----------------------------------------------------------------------===//
+
+/// Runs \p Source alone under both engines and asserts the quarantined
+/// UnitFailure carries the same stage and reason — a step-limit or trap
+/// failure classifies identically no matter which engine hit it.
+void expectSameQuarantine(const char *Name, const char *Source,
+                          uint64_t StepLimit = 0) {
+  BatchResult PerEngine[2];
+  const ExecEngine Engines[2] = {ExecEngine::Walker, ExecEngine::Vm};
+  for (int E = 0; E != 2; ++E) {
+    BatchJob Job;
+    Job.Name = Name;
+    Job.Source = Source;
+    Job.Inputs = {RunInput{"", ""}};
+    Job.Options.Engine = Engines[E];
+    if (StepLimit)
+      Job.Options.Run.StepLimit = StepLimit;
+    PerEngine[E] = runBatchPipeline({Job});
+  }
+  const BatchResult &Walk = PerEngine[0];
+  const BatchResult &Vm = PerEngine[1];
+  ASSERT_EQ(Walk.Failures.size(), 1u) << Name;
+  ASSERT_EQ(Vm.Failures.size(), 1u) << Name;
+  EXPECT_EQ(Walk.Failures[0].Unit, Vm.Failures[0].Unit) << Name;
+  EXPECT_EQ(Walk.Failures[0].Stage, Vm.Failures[0].Stage) << Name;
+  EXPECT_EQ(Walk.Failures[0].Reason, Vm.Failures[0].Reason) << Name;
+  EXPECT_EQ(Walk.Failures[0].Detail, Vm.Failures[0].Detail) << Name;
+}
+
+TEST(EngineFaultParity, StepLimitQuarantinesIdentically) {
+  expectSameQuarantine("looper", kLoopingProgram, 10000);
+}
+
+TEST(EngineFaultParity, DivByZeroQuarantinesIdentically) {
+  expectSameQuarantine("div_zero", kDivByZeroProgram);
+}
+
+TEST(EngineFaultParity, OutOfBoundsQuarantinesIdentically) {
+  expectSameQuarantine("oob", kOutOfBoundsProgram);
+}
+
+TEST(EngineFaultParity, IntrinsicMisuseQuarantinesIdentically) {
+  // malloc with a negative word count is intrinsic misuse; both engines
+  // must classify it as the same profile-stage trap.
+  const char *Misuse = R"MC(
+extern int malloc(int words);
+int main() { return malloc(0 - 5); }
+)MC";
+  expectSameQuarantine("bad_malloc", Misuse);
+}
+
+TEST(EngineFaultParity, VmStepLimitFailureIsStructured) {
+  // The VM path alone, checked against the documented quarantine shape
+  // (stage and reason strings are part of the UnitFailure contract).
+  BatchJob Job;
+  Job.Name = "looper";
+  Job.Source = kLoopingProgram;
+  Job.Inputs = {RunInput{"", ""}};
+  Job.Options.Engine = ExecEngine::Vm;
+  Job.Options.Run.StepLimit = 10000;
+  BatchResult R = runBatchPipeline({Job});
+  ASSERT_EQ(R.Failures.size(), 1u);
+  EXPECT_EQ(R.Failures[0].Stage, "profile");
+  EXPECT_EQ(R.Failures[0].Reason, "step-limit");
+  EXPECT_NE(R.Failures[0].Detail.find("step limit"), std::string::npos);
+}
+
+TEST(EngineFaultParity, VmTrapFailureIsStructured) {
+  BatchJob Job;
+  Job.Name = "div_zero";
+  Job.Source = kDivByZeroProgram;
+  Job.Inputs = {RunInput{"", ""}};
+  Job.Options.Engine = ExecEngine::Vm;
+  BatchResult R = runBatchPipeline({Job});
+  ASSERT_EQ(R.Failures.size(), 1u);
+  EXPECT_EQ(R.Failures[0].Stage, "profile");
+  EXPECT_EQ(R.Failures[0].Reason, "trap");
+  EXPECT_NE(R.Failures[0].Detail.find("division by zero"),
+            std::string::npos);
+}
+
+TEST(EngineFaultParity, HealthyBatchIsEngineInvariantUnderVm) {
+  // The quarantine machinery aside, a healthy batch under engine=vm is
+  // bit-identical to the walker batch.
+  std::vector<BatchJob> Walk = makeJobs();
+  std::vector<BatchJob> Vm = makeJobs();
+  for (BatchJob &Job : Vm)
+    Job.Options.Engine = ExecEngine::Vm;
+  BatchResult A = runBatchPipeline(Walk);
+  BatchResult B = runBatchPipeline(Vm);
+  ASSERT_TRUE(A.allOk());
+  ASSERT_TRUE(B.allOk());
+  for (size_t I = 0; I != A.Results.size(); ++I)
+    expectSameResult(A.Results[I], B.Results[I], Walk[I].Name);
+}
+
+//===----------------------------------------------------------------------===//
 // Injected faults: the site x occurrence matrix
 //===----------------------------------------------------------------------===//
 

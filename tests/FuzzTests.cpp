@@ -23,10 +23,12 @@
 #include "driver/BatchPipeline.h"
 #include "driver/Compilation.h"
 #include "driver/Pipeline.h"
+#include "interp/Engine.h"
 #include "interp/Interpreter.h"
 #include "ir/IrPrinter.h"
 #include "ir/IrReader.h"
 #include "ir/IrVerifier.h"
+#include "vm/Vm.h"
 
 #include "RandomProgram.h"
 #include "TestUtil.h"
@@ -77,8 +79,14 @@ bool checkFrontendContract(const std::string &Source,
   RunOptions Run;
   Run.StepLimit = 200000;
   ExecResult R = runProgram(C.M, Run);
-  if (R.St == ExecResult::Status::Trapped)
+  if (R.St == ExecResult::Status::Trapped) {
     EXPECT_FALSE(R.TrapMessage.empty()) << Tag;
+  }
+  // The bytecode VM is held to the walker's result on every fuzz
+  // survivor, bit for bit — a mutant that compiles is exactly the kind of
+  // weird-shape program the differential oracle must not miss.
+  ExecResult VmR = runProgramVm(C.M, Run);
+  EXPECT_EQ(describeResultDifference(R, VmR), "") << Tag;
   return true;
 }
 
@@ -140,8 +148,13 @@ TEST(Fuzz, MutatedIlNeverCrashesReader) {
     RunOptions Run;
     Run.StepLimit = 200000;
     ExecResult E = runProgram(R.M, Run);
-    if (E.St == ExecResult::Status::Trapped)
+    if (E.St == ExecResult::Status::Trapped) {
       EXPECT_FALSE(E.TrapMessage.empty()) << Tag;
+    }
+    // Verifier-accepted IL mutants go through the VM too; any walker/VM
+    // disagreement on a mutant is a failure of the fuzz tier.
+    ExecResult VmR = runProgramVm(R.M, Run);
+    EXPECT_EQ(describeResultDifference(E, VmR), "") << Tag;
   }
 }
 
@@ -181,6 +194,29 @@ TEST(Fuzz, BatchAgreesWithSerialOnMutatedCorpus) {
     }
   }
   EXPECT_EQ(A.Failures.size(), B.Failures.size());
+
+  // The same corpus measured by the bytecode VM: per-unit outcome,
+  // failure classification, and every observable result must match the
+  // walker batch exactly — on mutants, not just on well-behaved programs.
+  std::vector<BatchJob> VmJobs = Jobs;
+  for (BatchJob &Job : VmJobs)
+    Job.Options.Engine = ExecEngine::Vm;
+  BatchResult V = runBatchPipeline(VmJobs, Serial);
+  ASSERT_EQ(V.Results.size(), Jobs.size());
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    EXPECT_EQ(A.Results[I].Ok, V.Results[I].Ok) << Jobs[I].Name;
+    EXPECT_EQ(A.Results[I].Error, V.Results[I].Error) << Jobs[I].Name;
+    EXPECT_EQ(A.Results[I].Failure.Stage, V.Results[I].Failure.Stage)
+        << Jobs[I].Name;
+    EXPECT_EQ(A.Results[I].Failure.Reason, V.Results[I].Failure.Reason)
+        << Jobs[I].Name;
+    EXPECT_EQ(A.Results[I].OutputsBefore, V.Results[I].OutputsBefore)
+        << Jobs[I].Name;
+    EXPECT_EQ(A.Results[I].OutputsAfter, V.Results[I].OutputsAfter)
+        << Jobs[I].Name;
+    EXPECT_TRUE(A.Results[I].ProfileBefore == V.Results[I].ProfileBefore)
+        << Jobs[I].Name;
+  }
 }
 
 TEST(Fuzz, MutatorIsDeterministicAndProductive) {
