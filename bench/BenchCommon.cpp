@@ -13,6 +13,7 @@
 #include "support/ThreadPool.h"
 
 #include <charconv>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +36,9 @@ unsigned ConfiguredRetries = 0; // --retries=N
 bool AnalyzeConfigured = false; // --analyze / IMPACT_ANALYZE
 ExecEngine ConfiguredEngine = ExecEngine::Walker; // --engine= / IMPACT_ENGINE
 bool EngineConfigured = false;
+InstrumentMode ConfiguredInstrument =
+    InstrumentMode::Full; // --instrument= / IMPACT_INSTRUMENT
+bool InstrumentConfigured = false;
 AnalysisOptions ConfiguredAnalysis;
 size_t TotalWarnFindings = 0;  // across all batches
 size_t TotalErrorFindings = 0; // (error findings also quarantine units)
@@ -130,6 +134,20 @@ void applyEngineSpec(const char *What, const std::string &Text) {
   EngineConfigured = true;
 }
 
+/// Strictly parses --instrument=I / IMPACT_INSTRUMENT ("full" |
+/// "mincover"). Fatal on a bad value for the same reason as --engine: a
+/// typo would silently measure the wrong configuration.
+void applyInstrumentSpec(const char *What, const std::string &Text) {
+  InstrumentMode Mode = InstrumentMode::Full;
+  std::string Diag;
+  if (!parseInstrumentMode(Text, Mode, &Diag)) {
+    std::fprintf(stderr, "[bench] %s: %s\n", What, Diag.c_str());
+    std::exit(2);
+  }
+  ConfiguredInstrument = Mode;
+  InstrumentConfigured = true;
+}
+
 } // namespace
 
 void impact::bench::initBenchHarness(int argc, char **argv) {
@@ -141,6 +159,8 @@ void impact::bench::initBenchHarness(int argc, char **argv) {
     applyAnalyzeSpec("IMPACT_ANALYZE", Env);
   if (const char *Env = std::getenv("IMPACT_ENGINE"))
     applyEngineSpec("IMPACT_ENGINE", Env);
+  if (const char *Env = std::getenv("IMPACT_INSTRUMENT"))
+    applyInstrumentSpec("IMPACT_INSTRUMENT", Env);
   for (int I = 1; I < argc; ++I) {
     if ((std::strcmp(argv[I], "--jobs") == 0 ||
          std::strcmp(argv[I], "-j") == 0) &&
@@ -166,6 +186,8 @@ void impact::bench::initBenchHarness(int argc, char **argv) {
       applyAnalyzeSpec("--analyze", "all");
     else if (matchOption(argv[I], "engine", Value))
       applyEngineSpec("--engine", Value);
+    else if (matchOption(argv[I], "instrument", Value))
+      applyInstrumentSpec("--instrument", Value);
   }
 }
 
@@ -183,6 +205,12 @@ ExecEngine impact::bench::getConfiguredEngine() { return ConfiguredEngine; }
 
 bool impact::bench::isEngineConfigured() { return EngineConfigured; }
 
+InstrumentMode impact::bench::getConfiguredInstrument() {
+  return ConfiguredInstrument;
+}
+
+bool impact::bench::isInstrumentConfigured() { return InstrumentConfigured; }
+
 const AnalysisOptions &impact::bench::getConfiguredAnalysisOptions() {
   return ConfiguredAnalysis;
 }
@@ -197,6 +225,54 @@ unsigned impact::bench::countSourceLines(const std::string &Source) {
   for (char C : Source)
     Lines += C == '\n' ? 1 : 0;
   return Lines;
+}
+
+void impact::bench::appendFormat(std::string &Out, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Sized;
+  va_copy(Sized, Args);
+  int N = std::vsnprintf(nullptr, 0, Fmt, Sized);
+  va_end(Sized);
+  if (N > 0) {
+    size_t Old = Out.size();
+    Out.resize(Old + static_cast<size_t>(N) + 1);
+    std::vsnprintf(Out.data() + Old, static_cast<size_t>(N) + 1, Fmt, Args);
+    Out.resize(Old + static_cast<size_t>(N));
+  }
+  va_end(Args);
+}
+
+bool impact::bench::writeFileAtomic(const std::string &Path,
+                                    const std::string &Contents,
+                                    std::string *Error) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      if (Error)
+        *Error = "cannot open '" + Tmp + "' for writing";
+      return false;
+    }
+    Out << Contents;
+    Out.flush();
+    if (!Out) {
+      std::remove(Tmp.c_str());
+      if (Error)
+        *Error = "write to '" + Tmp + "' failed";
+      return false;
+    }
+  }
+  std::error_code Ec;
+  std::filesystem::rename(Tmp, Path, Ec);
+  if (Ec) {
+    std::remove(Tmp.c_str());
+    if (Error)
+      *Error = "rename '" + Tmp + "' -> '" + Path + "' failed: " +
+               Ec.message();
+    return false;
+  }
+  return true;
 }
 
 std::vector<BatchJob>
@@ -219,6 +295,9 @@ impact::bench::makeSuiteBatchJobs(const PipelineOptions &Options,
     }
     if (EngineConfigured && Job.Options.Engine == ExecEngine::Walker)
       Job.Options.Engine = ConfiguredEngine;
+    if (InstrumentConfigured &&
+        Job.Options.Instrument == InstrumentMode::Full)
+      Job.Options.Instrument = ConfiguredInstrument;
     Jobs.push_back(std::move(Job));
   }
   return Jobs;
@@ -372,6 +451,11 @@ std::string impact::bench::renderBenchFooter() {
   if (EngineConfigured)
     Out += std::string("[engine] ") + getEngineName(ConfiguredEngine) +
            " measured the profile runs\n";
+  // Same contract for the instrument line: absent unless configured.
+  if (InstrumentConfigured)
+    Out += std::string("[instrument] ") +
+           getInstrumentModeName(ConfiguredInstrument) +
+           " instrumented the profile runs\n";
   // The analyze line appears only when the analyzer ran, so analysis-off
   // footers stay bit-identical to the previous format.
   if (AnalyzeConfigured)

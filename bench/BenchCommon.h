@@ -78,6 +78,15 @@ struct SuiteRun {
 ///                     parsed (interp/Engine.h parseEngine); a bad value
 ///                     aborts with exit code 2 — a typo never silently
 ///                     benchmarks the wrong engine
+///   --instrument=I    instrumentation mode for the profile/re-profile
+///                     runs: "full" (per-site and per-opcode counters, the
+///                     default) or "mincover" (minimum-coverage co-tree
+///                     probes with Kirchhoff count inference,
+///                     profile/MinCover.h). Also the IMPACT_INSTRUMENT
+///                     environment variable. Strictly parsed
+///                     (parseInstrumentMode); a bad value aborts with exit
+///                     code 2. Mode choice never changes profiles or
+///                     tables — only the profiling phase's wall time
 void initBenchHarness(int argc, char **argv);
 
 /// The installed worker count; 0 means one per hardware thread.
@@ -99,6 +108,13 @@ ExecEngine getConfiguredEngine();
 
 /// True when --engine= / IMPACT_ENGINE set an engine explicitly.
 bool isEngineConfigured();
+
+/// The installed instrumentation mode (--instrument= / IMPACT_INSTRUMENT);
+/// Full when none was configured.
+InstrumentMode getConfiguredInstrument();
+
+/// True when --instrument= / IMPACT_INSTRUMENT set a mode explicitly.
+bool isInstrumentConfigured();
 
 /// The installed rule selection (meaningful when getConfiguredAnalyze()).
 const AnalysisOptions &getConfiguredAnalysisOptions();
@@ -135,6 +151,19 @@ std::string renderBenchFooter();
 
 /// Lines of MiniC in \p Source (the Table 1 "C lines" analogue).
 unsigned countSourceLines(const std::string &Source);
+
+/// Appends printf-formatted text to \p Out (the JSON emitters' workhorse).
+void appendFormat(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// Writes \p Contents to \p Path atomically: the bytes go to
+/// "<Path>.tmp" first and are renamed over \p Path only after a clean
+/// close, so a reader (CI polling BENCH_*.json) never observes a
+/// truncated file and a crashed bench never clobbers the previous
+/// artifact. Returns false and fills \p Error on failure; the temp file
+/// is removed on every failure path.
+bool writeFileAtomic(const std::string &Path, const std::string &Contents,
+                     std::string *Error = nullptr);
 
 /// Paper reference values for Table 4 (per benchmark, paper order).
 struct PaperTable4Row {

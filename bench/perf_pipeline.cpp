@@ -13,6 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "analysis/Analyzer.h"
 #include "callgraph/CallGraphBuilder.h"
 #include "core/InlinePass.h"
@@ -111,10 +113,15 @@ BENCHMARK(BM_InterpreterThroughput)->Arg(0)->Arg(1);
 
 // The profiling phase in isolation — the paper's measuring runs over the
 // whole suite (modules precompiled, so this times execution only).
-// Arg(0)=walk, Arg(1)=vm; the VM row is the tentpole speedup tracked in
-// BENCH_interp.json.
+// Args are {engine, instrument}: engine 0=walk / 1=vm, instrument 0=full
+// / 1=mincover. The vm/full row is the tentpole speedup tracked in
+// BENCH_interp.json; the mincover rows are the counter-pressure speedup
+// tracked in BENCH_profile.json. Accumulated profiles are bit-identical
+// across all four configurations.
 void BM_ProfilePhaseWholeSuite(benchmark::State &State) {
   ExecEngine Engine = engineForArg(State.range(0));
+  InstrumentMode Instrument =
+      State.range(1) == 0 ? InstrumentMode::Full : InstrumentMode::MinCover;
   struct Prepared {
     Module M;
     std::vector<RunInput> Inputs;
@@ -128,18 +135,21 @@ void BM_ProfilePhaseWholeSuite(benchmark::State &State) {
   for (auto _ : State) {
     for (const Prepared &P : Programs) {
       ProfileResult R =
-          profileProgram(P.M, P.Inputs, RunOptions(), Engine);
+          profileProgram(P.M, P.Inputs, RunOptions(), Engine, Instrument);
       Instrs += R.Data.getInstrTotal();
       benchmark::DoNotOptimize(R.Data.getNumRuns());
     }
   }
-  State.SetLabel(getEngineName(Engine));
+  State.SetLabel(std::string(getEngineName(Engine)) + "/" +
+                 getInstrumentModeName(Instrument));
   State.counters["IL/s"] = benchmark::Counter(
       static_cast<double>(Instrs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ProfilePhaseWholeSuite)
-    ->Arg(0)
-    ->Arg(1)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_CallGraphConstruction(benchmark::State &State) {
@@ -377,44 +387,44 @@ int writeBenchJson(const std::string &Path) {
   double Speedup =
       Vm.ProfileSeconds == 0.0 ? 0.0 : Walk.ProfileSeconds / Vm.ProfileSeconds;
 
-  std::FILE *Out = std::fopen(Path.c_str(), "w");
-  if (!Out) {
-    std::fprintf(stderr, "bench-json: cannot open %s\n", Path.c_str());
+  std::string Json;
+  bench::appendFormat(Json, "{\n");
+  bench::appendFormat(Json, "  \"bench\": \"interp\",\n");
+  bench::appendFormat(Json, "  \"suite_programs\": %zu,\n", Programs.size());
+  bench::appendFormat(Json, "  \"runs_per_program\": %u,\n", Runs);
+  bench::appendFormat(Json, "  \"dispatch\": \"%s\",\n",
+                      hasComputedGotoDispatch() ? "computed-goto" : "switch");
+  bench::appendFormat(Json, "  \"engines\": {\n");
+  bench::appendFormat(Json,
+                      "    \"walk\": {\"profile_wall_s\": %.6f, \"il_per_s\": "
+                      "%.0f},\n",
+                      Walk.ProfileSeconds,
+                      static_cast<double>(Walk.Instrs) / Walk.ProfileSeconds);
+  bench::appendFormat(Json,
+                      "    \"vm\": {\"profile_wall_s\": %.6f, \"il_per_s\": "
+                      "%.0f}\n",
+                      Vm.ProfileSeconds,
+                      static_cast<double>(Vm.Instrs) / Vm.ProfileSeconds);
+  bench::appendFormat(Json, "  },\n");
+  bench::appendFormat(Json, "  \"profile_phase_speedup\": %.3f,\n", Speedup);
+  bench::appendFormat(Json, "  \"superinstructions\": {\n");
+  bench::appendFormat(Json, "    \"static_cmp_br\": %llu,\n",
+                      static_cast<unsigned long long>(Static.FusedCmpBr));
+  bench::appendFormat(Json, "    \"static_load_op_store\": %llu,\n",
+                      static_cast<unsigned long long>(Static.FusedLoadOpStore));
+  bench::appendFormat(Json, "    \"dynamic_cmp_br\": %llu,\n",
+                      static_cast<unsigned long long>(Dynamic.FusedCmpBr));
+  bench::appendFormat(Json, "    \"dynamic_load_op_store\": %llu,\n",
+                      static_cast<unsigned long long>(Dynamic.FusedLoadOpStore));
+  bench::appendFormat(Json, "    \"fused_step_fraction\": %.4f\n",
+                      Dynamic.getFusedStepFraction());
+  bench::appendFormat(Json, "  }\n");
+  bench::appendFormat(Json, "}\n");
+  std::string Error;
+  if (!bench::writeFileAtomic(Path, Json, &Error)) {
+    std::fprintf(stderr, "bench-json: %s\n", Error.c_str());
     return 1;
   }
-  std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"bench\": \"interp\",\n");
-  std::fprintf(Out, "  \"suite_programs\": %zu,\n", Programs.size());
-  std::fprintf(Out, "  \"runs_per_program\": %u,\n", Runs);
-  std::fprintf(Out, "  \"dispatch\": \"%s\",\n",
-               hasComputedGotoDispatch() ? "computed-goto" : "switch");
-  std::fprintf(Out, "  \"engines\": {\n");
-  std::fprintf(Out,
-               "    \"walk\": {\"profile_wall_s\": %.6f, \"il_per_s\": "
-               "%.0f},\n",
-               Walk.ProfileSeconds,
-               static_cast<double>(Walk.Instrs) / Walk.ProfileSeconds);
-  std::fprintf(Out,
-               "    \"vm\": {\"profile_wall_s\": %.6f, \"il_per_s\": "
-               "%.0f}\n",
-               Vm.ProfileSeconds,
-               static_cast<double>(Vm.Instrs) / Vm.ProfileSeconds);
-  std::fprintf(Out, "  },\n");
-  std::fprintf(Out, "  \"profile_phase_speedup\": %.3f,\n", Speedup);
-  std::fprintf(Out, "  \"superinstructions\": {\n");
-  std::fprintf(Out, "    \"static_cmp_br\": %llu,\n",
-               static_cast<unsigned long long>(Static.FusedCmpBr));
-  std::fprintf(Out, "    \"static_load_op_store\": %llu,\n",
-               static_cast<unsigned long long>(Static.FusedLoadOpStore));
-  std::fprintf(Out, "    \"dynamic_cmp_br\": %llu,\n",
-               static_cast<unsigned long long>(Dynamic.FusedCmpBr));
-  std::fprintf(Out, "    \"dynamic_load_op_store\": %llu,\n",
-               static_cast<unsigned long long>(Dynamic.FusedLoadOpStore));
-  std::fprintf(Out, "    \"fused_step_fraction\": %.4f\n",
-               Dynamic.getFusedStepFraction());
-  std::fprintf(Out, "  }\n");
-  std::fprintf(Out, "}\n");
-  std::fclose(Out);
   std::fprintf(stderr,
                "bench-json: walk %.3fs vm %.3fs speedup %.2fx -> %s\n",
                Walk.ProfileSeconds, Vm.ProfileSeconds, Speedup,

@@ -12,6 +12,7 @@
 ///   pgo_pipeline [benchmark] [threshold] [growth-factor] [stack-bound]
 ///                [--trace] [--trace-out=FILE] [--analyze[=RULES]]
 ///                [--profile-out=FILE] [--profile-in=FILE]
+///                [--instrument=full|mincover]
 ///   e.g. pgo_pipeline compress 10 1.25 2048 --trace
 ///
 /// --trace prints the planner's per-site decision table (why each call
@@ -28,6 +29,7 @@
 #include "analysis/Analyzer.h"
 #include "driver/DecisionTrace.h"
 #include "driver/Pipeline.h"
+#include "profile/MinCover.h"
 #include "profile/ProfileIO.h"
 #include "suite/Suite.h"
 
@@ -56,6 +58,14 @@ int main(int argc, char **argv) {
   bool PrintTrace = false;
   bool Analyze = false;
   AnalysisOptions AnalysisOpts;
+  InstrumentMode Instrument = InstrumentMode::Full;
+  if (const char *Env = std::getenv("IMPACT_INSTRUMENT")) {
+    std::string Error;
+    if (!parseInstrumentMode(Env, Instrument, &Error)) {
+      std::fprintf(stderr, "IMPACT_INSTRUMENT: %s\n", Error.c_str());
+      return 2;
+    }
+  }
   std::string TraceOutPath, ProfileOutPath, ProfileInPath;
   std::vector<const char *> Positional;
   for (int I = 1; I < argc; ++I) {
@@ -71,13 +81,23 @@ int main(int argc, char **argv) {
         return 2;
       }
       Analyze = true;
+    } else if (matchOption(argv[I], "instrument", Value)) {
+      std::string Error;
+      if (!parseInstrumentMode(Value, Instrument, &Error)) {
+        std::fprintf(stderr, "--instrument: %s\n", Error.c_str());
+        return 2;
+      }
     } else if (matchOption(argv[I], "trace-out", Value))
       TraceOutPath = Value;
     else if (matchOption(argv[I], "profile-out", Value))
       ProfileOutPath = Value;
     else if (matchOption(argv[I], "profile-in", Value))
       ProfileInPath = Value;
-    else
+    else if (std::strncmp(argv[I], "--", 2) == 0) {
+      // A typo'd flag must not silently become the threshold positional.
+      std::fprintf(stderr, "unknown option '%s'\n", argv[I]);
+      return 2;
+    } else
       Positional.push_back(argv[I]);
   }
 
@@ -98,6 +118,7 @@ int main(int argc, char **argv) {
   Options.EmitDecisionTrace = PrintTrace;
   Options.Analyze = Analyze;
   Options.Analysis = AnalysisOpts;
+  Options.Instrument = Instrument;
 
   ProfileData LoadedProfile;
   if (!ProfileInPath.empty()) {

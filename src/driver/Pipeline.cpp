@@ -171,7 +171,8 @@ PipelineResult runModuleAttempt(Module M,
       }
     }
     Stopwatch ProfileTimer;
-    ProfileResult PreProfile = profileProgram(M, Inputs, Run, Options.Engine);
+    ProfileResult PreProfile =
+        profileProgram(M, Inputs, Run, Options.Engine, Options.Instrument);
     Result.Stats.ProfileSeconds = ProfileTimer.seconds();
     if (!PreProfile.allRunsOk()) {
       failUnit(Result, Unit, "profile", profileFailureReason(PreProfile),
@@ -241,7 +242,7 @@ PipelineResult runModuleAttempt(Module M,
   }
   Stopwatch ReProfileTimer;
   ProfileResult PostProfile =
-      profileProgram(M, Inputs, ReRun, Options.Engine);
+      profileProgram(M, Inputs, ReRun, Options.Engine, Options.Instrument);
   Result.Stats.ReProfileSeconds = ReProfileTimer.seconds();
   if (!PostProfile.allRunsOk()) {
     failUnit(Result, Unit, "re-profile", profileFailureReason(PostProfile),

@@ -69,6 +69,13 @@ struct PipelineOptions {
   /// choice never changes profiles or outputs — the differential tier
   /// enforces bit-identical results — only wall time.
   ExecEngine Engine = ExecEngine::Walker;
+  /// How the profile and re-profile runs are instrumented
+  /// (profile/MinCover.h): full per-site/per-opcode counters, or
+  /// minimum-coverage co-tree probes with Kirchhoff count inference.
+  /// Instrumentation choice never changes profiles or outputs — the
+  /// mincover property tier enforces bit-identical ProfileData — only the
+  /// profiling phase's wall time.
+  InstrumentMode Instrument = InstrumentMode::Full;
   /// Optional function-definition cache for the pre-opt stage (see
   /// driver/FunctionCache.h). When set, post-pre-opt bodies are memoized
   /// across pipeline runs; the batch pipeline shares one cache between all

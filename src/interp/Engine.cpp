@@ -127,6 +127,21 @@ std::string impact::describeResultDifference(const ExecResult &A,
                                  SB.OpcodeCounts);
       !D.empty())
     return D;
+  if (std::string D = diffVector("stats.ArcCounts", SA.ArcCounts,
+                                 SB.ArcCounts);
+      !D.empty())
+    return D;
+  if (SA.Halts.size() != SB.Halts.size())
+    return diffCounter("stats.Halts.size", SA.Halts.size(), SB.Halts.size());
+  for (size_t I = 0; I < SA.Halts.size(); ++I)
+    if (!(SA.Halts[I] == SB.Halts[I]))
+      return "stats.Halts[" + std::to_string(I) + "]: {func " +
+             std::to_string(SA.Halts[I].Func) + ", block " +
+             std::to_string(SA.Halts[I].Block) + ", calls " +
+             std::to_string(SA.Halts[I].CallsDone) + "} vs {func " +
+             std::to_string(SB.Halts[I].Func) + ", block " +
+             std::to_string(SB.Halts[I].Block) + ", calls " +
+             std::to_string(SB.Halts[I].CallsDone) + "}";
   if (SA.PeakStackWords != SB.PeakStackWords)
     return diffCounter("stats.PeakStackWords",
                        static_cast<uint64_t>(SA.PeakStackWords),

@@ -8,7 +8,9 @@
 
 #include "cachesim/ICacheSim.h"
 #include "interp/Memory.h"
+#include "profile/MinCover.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace impact;
@@ -31,7 +33,7 @@ struct Frame {
 class Engine {
 public:
   Engine(const Module &M, const RunOptions &Opts)
-      : M(M), Opts(Opts), Mem(M, Opts.StackWords) {
+      : M(M), Opts(Opts), MCPlan(Opts.MinCover), Mem(M, Opts.StackWords) {
     Io.Input = Opts.Input;
     Io.Input2 = Opts.Input2;
 
@@ -47,9 +49,16 @@ public:
       IntrinsicHandles.push_back(
           F.IsExternal ? IntrinsicRegistry::lookup(F.Name) : -1);
 
-    Result.Stats.SiteCounts.assign(M.NextSiteId, 0);
     Result.Stats.FuncEntryCounts.assign(M.Funcs.size(), 0);
-    Result.Stats.OpcodeCounts.assign(kNumOpcodes, 0);
+    if (MCPlan) {
+      // Minimum-coverage mode: only co-tree probes, external entries, and
+      // the step count are measured; the per-site / per-opcode histograms
+      // stay empty and are rebuilt by inference.
+      Result.Stats.ArcCounts.assign(MCPlan->NumProbes, 0);
+    } else {
+      Result.Stats.SiteCounts.assign(M.NextSiteId, 0);
+      Result.Stats.OpcodeCounts.assign(kNumOpcodes, 0);
+    }
 
     if (Opts.ICache)
       Layout = InstructionLayout::compute(M);
@@ -62,7 +71,12 @@ public:
     if (!enterFunction(M.MainId, /*Args=*/{}, /*RetDst=*/kNoReg,
                        /*IsTail=*/true))
       return finishTrap();
-    execLoop();
+    if (MCPlan)
+      execLoopImpl<true>();
+    else
+      execLoopImpl<false>();
+    if (MCPlan)
+      buildHaltRecords();
     Result.Output = std::move(Io.Output);
     Result.Stats.PeakStackWords = Mem.getPeakStackWords();
     return std::move(Result);
@@ -104,15 +118,27 @@ private:
       MainActivationWords = F.getActivationWords();
 
     FrameBase = Mem.getStackPointer();
-    if (!Mem.growStack(F.getActivationWords()))
+    if (!Mem.growStack(F.getActivationWords())) {
+      // The caller snapshot above is already on Frames but the transfer
+      // never happened; halt-record construction must skip it (the live
+      // caller activation is still described by Cur*).
+      if (!IsTail)
+        EnterFailedAfterPush = true;
       return false;
+    }
 
     RegBase = RegFile.size();
     RegFile.resize(RegBase + F.NumRegs, 0);
     for (size_t I = 0; I != Args.size(); ++I)
       RegFile[RegBase + I] = Args[I];
 
-    ++Result.Stats.FuncEntryCounts[Callee];
+    if (!MCPlan) {
+      ++Result.Stats.FuncEntryCounts[Callee];
+    } else if (int32_t P = MCPlan->Funcs[Callee].EntryProbe; P >= 0) {
+      // The entry arc fell in the co-tree; bump its probe here, on the
+      // already-cold entry path (tree entry arcs cost nothing at all).
+      ++Result.Stats.ArcCounts[P];
+    }
     CurFunc = Callee;
     CurBlock = 0;
     CurIndex = 0;
@@ -122,10 +148,18 @@ private:
   /// Handles a Call/CallPtr instruction; resolves the callee, dispatches
   /// intrinsics inline, or pushes a user-function activation.
   void execCall(const Instr &I) {
-    ++Result.Stats.DynamicCalls;
-    ++Result.Stats.SiteCounts[I.SiteId];
-    if (I.Op == Opcode::CallPtr)
-      ++Result.Stats.PointerCalls;
+    if (!MCPlan) {
+      ++Result.Stats.DynamicCalls;
+      ++Result.Stats.SiteCounts[I.SiteId];
+      if (I.Op == Opcode::CallPtr)
+        ++Result.Stats.PointerCalls;
+    } else {
+      // If the run halts before this call completes (callee never returns,
+      // trap during resolution, exit intrinsic), the halt record for this
+      // activation must still credit the site — full instrumentation
+      // already bumped it at this point.
+      PendingCallBump = true;
+    }
 
     FuncId Callee = I.Callee;
     if (I.Op == Opcode::CallPtr) {
@@ -173,17 +207,24 @@ private:
       if (I.Dst != kNoReg)
         reg(I.Dst) = R.Value;
       ++CurIndex;
+      PendingCallBump = false;
       return;
     }
 
-    // Save the resume point past the call.
+    // Save the resume point past the call. Clearing the pending bump here
+    // (not after enterFunction) is deliberate: once CurIndex moves past the
+    // call, the activation's call count covers it — including the
+    // stack-overflow path where enterFunction fails and Cur* still
+    // describes this caller.
     ++CurIndex;
+    PendingCallBump = false;
     if (!enterFunction(Callee, Args, I.Dst, /*IsTail=*/false))
       Halted = true;
   }
 
   void execRet(const Instr &I) {
-    ++Result.Stats.Returns;
+    if (!MCPlan)
+      ++Result.Stats.Returns;
     int64_t Value = I.Src1 != kNoReg ? reg(I.Src1) : 0;
 
     if (Frames.empty()) {
@@ -211,8 +252,13 @@ private:
       reg(Top.RetDst) = Value;
   }
 
-  void execLoop() {
+  /// The dispatch loop, compiled twice: MC=false is the full-instrumentation
+  /// walker (byte-for-byte the PR 5 oracle), MC=true the minimum-coverage
+  /// variant that drops the per-step opcode histogram and per-arc counter
+  /// bumps in favour of co-tree probes.
+  template <bool MC> void execLoopImpl() {
     uint64_t Steps = 0;
+    uint64_t *Arc = MC ? Result.Stats.ArcCounts.data() : nullptr;
     while (!Halted) {
       const Function &F = M.getFunction(CurFunc);
       const BasicBlock &B = F.getBlock(CurBlock);
@@ -220,12 +266,20 @@ private:
       const Instr &I = B.Instrs[CurIndex];
 
       if (++Steps > Opts.StepLimit) {
+        // The instruction that hit the limit never executed; Steps has
+        // counted it, InstrCount must not.
+        if (MC)
+          Result.Stats.InstrCount += Steps - 1;
         Result.St = ExecResult::Status::StepLimitExceeded;
         Result.TrapMessage = "step limit exceeded";
         return;
       }
-      ++Result.Stats.InstrCount;
-      ++Result.Stats.OpcodeCounts[static_cast<size_t>(I.Op)];
+      // Minimum coverage derives InstrCount from the step counter at loop
+      // exit instead of bumping both per step.
+      if (!MC) {
+        ++Result.Stats.InstrCount;
+        ++Result.Stats.OpcodeCounts[static_cast<size_t>(I.Op)];
+      }
       if (Opts.ICache)
         Opts.ICache->access(Layout.getAddress(CurFunc, CurBlock, CurIndex));
 
@@ -367,20 +421,45 @@ private:
         execCall(I);
         break;
       case Opcode::Jump:
-        ++Result.Stats.ControlTransfers;
+        if (MC) {
+          if (int32_t P = MCPlan->Funcs[CurFunc].JumpProbes[CurBlock]; P >= 0)
+            ++Arc[P];
+        } else {
+          ++Result.Stats.ControlTransfers;
+        }
         CurBlock = I.Target;
         CurIndex = 0;
         break;
-      case Opcode::CondBr:
-        ++Result.Stats.ControlTransfers;
-        CurBlock = reg(I.Src1) != 0 ? I.Target : I.Target2;
+      case Opcode::CondBr: {
+        bool Taken = reg(I.Src1) != 0;
+        if (MC) {
+          // Degenerate cond_br (equal targets) is planned as one merged arc
+          // whose probe lives in TakenProbes; bump it on either outcome.
+          const MinCoverFuncPlan &FP = MCPlan->Funcs[CurFunc];
+          int32_t P = (Taken || I.Target == I.Target2)
+                          ? FP.TakenProbes[CurBlock]
+                          : FP.NotTakenProbes[CurBlock];
+          if (P >= 0)
+            ++Arc[P];
+        } else {
+          ++Result.Stats.ControlTransfers;
+        }
+        CurBlock = Taken ? I.Target : I.Target2;
         CurIndex = 0;
         break;
+      }
       case Opcode::Ret:
+        if (MC) {
+          if (int32_t P = MCPlan->Funcs[CurFunc].RetProbes[CurBlock]; P >= 0)
+            ++Arc[P];
+        }
         execRet(I);
         break;
       }
     }
+
+    if (MC)
+      Result.Stats.InstrCount += Steps;
 
     if (Result.St == ExecResult::Status::StepLimitExceeded)
       return;
@@ -396,8 +475,42 @@ private:
     (void)MainReturned;
   }
 
+  /// Minimum-coverage bookkeeping for abnormal halts: one record per live
+  /// activation, outermost first, capturing the block it stopped in and the
+  /// number of that block's calls it already completed (counting in-flight
+  /// calls for suspended callers and a halt at the call itself).
+  void buildHaltRecords() {
+    if (Result.St == ExecResult::Status::Exited && !ExitedViaIntrinsic)
+      return; // main returned: every activation completed its block
+    if (CurFunc == kNoFunc)
+      return; // main was never entered
+    auto CountCalls = [this](FuncId Func, BlockId Block,
+                             size_t UpTo) -> uint32_t {
+      const BasicBlock &B = M.getFunction(Func).getBlock(Block);
+      uint32_t K = 0;
+      size_t N = std::min(UpTo, B.Instrs.size());
+      for (size_t I = 0; I < N; ++I)
+        if (B.Instrs[I].Op == Opcode::Call ||
+            B.Instrs[I].Op == Opcode::CallPtr)
+          ++K;
+      return K;
+    };
+    size_t NumFrames = Frames.size();
+    if (EnterFailedAfterPush && NumFrames > 0)
+      --NumFrames; // snapshot of the still-live caller, not an activation
+    for (size_t I = 0; I < NumFrames; ++I) {
+      const Frame &Fr = Frames[I];
+      Result.Stats.Halts.push_back(
+          {Fr.Func, Fr.Block, CountCalls(Fr.Func, Fr.Block, Fr.InstrIndex)});
+    }
+    uint32_t K = CountCalls(CurFunc, CurBlock, CurIndex) +
+                 (PendingCallBump ? 1u : 0u);
+    Result.Stats.Halts.push_back({CurFunc, CurBlock, K});
+  }
+
   const Module &M;
   const RunOptions &Opts;
+  const MinCoverPlan *MCPlan;
   Memory Mem;
   IoEnv Io;
   ExecResult Result;
@@ -419,6 +532,12 @@ private:
   bool Halted = false;
   bool MainReturned = false;
   bool ExitedViaIntrinsic = false;
+  /// Mincover: a Call/CallPtr is mid-execution in the current activation
+  /// (full instrumentation would already have credited its site).
+  bool PendingCallBump = false;
+  /// Mincover: the last Frames entry is a failed-entry snapshot (stack
+  /// overflow after push), not a live activation.
+  bool EnterFailedAfterPush = false;
   std::string PendingTrap;
 };
 

@@ -26,6 +26,25 @@
 
 namespace impact {
 
+struct MinCoverPlan;
+
+/// One activation still live when a run halted abnormally (trap, step
+/// limit, or the exit intrinsic). Minimum-coverage inference needs these:
+/// a live activation has entered its current block without completing it,
+/// so flow conservation at that block must carry a +1 "pending" term, and
+/// any calls the activation already completed inside the block must still
+/// be credited to their sites.
+struct HaltRecord {
+  FuncId Func = -1;
+  BlockId Block = -1;
+  /// Number of call instructions of Block the activation finished executing
+  /// before halting (counting the in-flight call for the frame that is
+  /// suspended *in* a callee, and for a halt at the call itself).
+  uint32_t CallsDone = 0;
+
+  friend bool operator==(const HaltRecord &, const HaltRecord &) = default;
+};
+
 /// Per-run execution statistics.
 struct ExecStats {
   /// Every executed IL instruction (the paper's "IL's").
@@ -49,6 +68,13 @@ struct ExecStats {
   std::vector<uint64_t> OpcodeCounts;
   /// High-water mark of the control stack in words.
   int64_t PeakStackWords = 0;
+  /// Minimum-coverage mode only: co-tree probe counters, indexed by the
+  /// plan's global probe index (size = MinCoverPlan::NumProbes). Empty in
+  /// full mode.
+  std::vector<uint64_t> ArcCounts;
+  /// Minimum-coverage mode only: live activations at abnormal halt,
+  /// outermost first. Empty for runs that return from main normally.
+  std::vector<HaltRecord> Halts;
 };
 
 class ICacheSim;
@@ -65,6 +91,13 @@ struct RunOptions {
   /// through this simulator (see cachesim/ICacheSim.h); miss counters
   /// accumulate there. Not owned.
   ICacheSim *ICache = nullptr;
+  /// When set, the walker runs in minimum-coverage mode: it bumps only the
+  /// plan's co-tree probes (into ExecStats::ArcCounts) plus external entry
+  /// counts, records HaltRecords on abnormal halt, and skips SiteCounts /
+  /// OpcodeCounts / per-step histogram work entirely. Feed the resulting
+  /// stats through profile/MinCover.h's inferCounts() to rehydrate a full
+  /// ExecStats. Not owned; must outlive the run.
+  const MinCoverPlan *MinCover = nullptr;
 };
 
 struct ExecResult {

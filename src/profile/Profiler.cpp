@@ -13,8 +13,16 @@ using namespace impact;
 ProfileResult impact::profileProgram(const Module &M,
                                      const std::vector<RunInput> &Inputs,
                                      const RunOptions &Base,
-                                     ExecEngine Engine) {
+                                     ExecEngine Engine,
+                                     InstrumentMode Instrument) {
   ProfileResult Result;
+
+  // One plan per module: both engines execute against the same co-tree, so
+  // their raw arc counters are directly comparable.
+  bool MC = Instrument == InstrumentMode::MinCover;
+  MinCoverPlan Plan;
+  if (MC)
+    Plan = buildMinCoverPlan(M);
 
   // Compile once, run once per input. Only worth it (and only correct —
   // see the header on ICache) when the VM actually executes something.
@@ -22,12 +30,14 @@ ProfileResult impact::profileProgram(const Module &M,
       (Engine == ExecEngine::Vm && !Base.ICache) || Engine == ExecEngine::Both;
   VmProgram Compiled;
   if (VmRuns)
-    Compiled = compileToBytecode(M);
+    Compiled = compileToBytecode(M, MC ? &Plan : nullptr);
 
   for (size_t I = 0; I != Inputs.size(); ++I) {
     RunOptions Opts = Base;
     Opts.Input = Inputs[I].Input;
     Opts.Input2 = Inputs[I].Input2;
+    if (MC)
+      Opts.MinCover = &Plan;
 
     ExecResult R;
     switch (Engine) {
@@ -55,6 +65,8 @@ ProfileResult impact::profileProgram(const Module &M,
       Result.RunFailures.push_back(
           {static_cast<unsigned>(I), R.St, R.TrapMessage});
     }
+    if (MC)
+      R.Stats = inferCounts(M, Plan, R.Stats);
     Result.Data.accumulate(R.Stats);
     Result.Outputs.push_back(std::move(R.Output));
   }

@@ -8,6 +8,7 @@
 #define IMPACT_PROFILE_PROFILER_H
 
 #include "interp/Engine.h"
+#include "profile/MinCover.h"
 #include "profile/Profile.h"
 
 #include <string>
@@ -55,10 +56,21 @@ struct ProfileResult {
 /// input runs through both engines and any observable difference is
 /// recorded as a trapped run ("engine divergence: ..."), so a divergence
 /// quarantines the unit instead of corrupting its profile.
+///
+/// Under InstrumentMode::MinCover one MinCoverPlan is built for the module
+/// and every run executes with co-tree probes only (the walker skips
+/// non-instrumented bumps; the VM is compiled without site counters); each
+/// run's raw arc counters are rehydrated into full ExecStats by
+/// inferCounts() before accumulation, so the returned ProfileData is
+/// bit-identical to full instrumentation and everything downstream
+/// (planner, decision trace, weight audits) is unaware of the mode. Under
+/// ExecEngine::Both the RAW mincover observables (arc counters, halt
+/// records) are compared across engines before inference.
 ProfileResult profileProgram(const Module &M,
                              const std::vector<RunInput> &Inputs,
                              const RunOptions &Base = RunOptions(),
-                             ExecEngine Engine = ExecEngine::Walker);
+                             ExecEngine Engine = ExecEngine::Walker,
+                             InstrumentMode Instrument = InstrumentMode::Full);
 
 } // namespace impact
 

@@ -7,6 +7,7 @@
 #include "vm/Bytecode.h"
 
 #include "interp/Intrinsics.h"
+#include "profile/MinCover.h"
 
 #include <cassert>
 
@@ -162,8 +163,9 @@ size_t callWords(const Module &M, const Instr &I) {
 
 class FunctionCompiler {
 public:
-  FunctionCompiler(const Module &M, const Function &F, VmCompileStats &Stats)
-      : M(M), F(F), Stats(Stats) {}
+  FunctionCompiler(const Module &M, const Function &F, VmCompileStats &Stats,
+                   const MinCoverFuncPlan *FP)
+      : M(M), F(F), Stats(Stats), FP(FP && FP->Instrumented ? FP : nullptr) {}
 
   VmFunction compile() {
     Out.NumRegs = F.NumRegs;
@@ -172,8 +174,10 @@ public:
 
     planFusion();
     layoutBlocks();
+    layoutStubs();
     for (BlockId B = 0; B != static_cast<BlockId>(F.Blocks.size()); ++B)
       emitBlock(B);
+    emitStubs();
     assert(Out.Code.size() == TotalWords && "layout/emission mismatch");
     Stats.CodeWords += Out.Code.size();
     return std::move(Out);
@@ -220,13 +224,47 @@ private:
     for (size_t B = 0; B != F.Blocks.size(); ++B) {
       BlockOffsets[B] = static_cast<int32_t>(Offset);
       const std::vector<Instr> &Is = F.Blocks[B].Instrs;
-      for (size_t I = 0; I != Is.size(); ++I)
+      for (size_t I = 0; I != Is.size(); ++I) {
         Offset += Is[I].Op == Opcode::Call && FusePlan[B][I] == Fuse::None
                       ? callWords(M, Is[I])
                       : encodedWords(Is[I], FusePlan[B][I]);
+        // A probed Jump/Ret terminator carries one extra word (the probe
+        // index); probed branch edges are routed through stubs instead, so
+        // CondBr / fused cmp+br keep their full-mode encodings.
+        if (FP) {
+          if (Is[I].Op == Opcode::Jump && FP->JumpProbes[B] >= 0)
+            ++Offset;
+          else if (Is[I].Op == Opcode::Ret && FP->RetProbes[B] >= 0)
+            ++Offset;
+        }
+      }
     }
     TotalWords = Offset;
     Out.Code.reserve(Offset);
+  }
+
+  /// Assigns code offsets, after every block, to one ProbeJump stub per
+  /// probed branch edge. Execution cost moves entirely off tree edges: an
+  /// uninstrumented branch edge jumps straight to its block, exactly like
+  /// full mode; a probed edge takes one extra bump-and-jump token.
+  void layoutStubs() {
+    StubTaken.assign(F.Blocks.size(), -1);
+    StubNotTaken.assign(F.Blocks.size(), -1);
+    if (!FP)
+      return;
+    for (size_t B = 0; B != F.Blocks.size(); ++B) {
+      const std::vector<Instr> &Is = F.Blocks[B].Instrs;
+      if (Is.empty() || Is.back().Op != Opcode::CondBr)
+        continue;
+      if (FP->TakenProbes[B] >= 0) {
+        StubTaken[B] = static_cast<int32_t>(TotalWords);
+        TotalWords += 3; // op, probe, target
+      }
+      if (FP->NotTakenProbes[B] >= 0) {
+        StubNotTaken[B] = static_cast<int32_t>(TotalWords);
+        TotalWords += 3;
+      }
+    }
   }
 
   int32_t pool(int64_t Value) {
@@ -247,10 +285,30 @@ private:
   }
 
   void op(VmOp Token) {
+    if (FP && Mapping) {
+      Out.MapPC.push_back(static_cast<int32_t>(Out.Code.size()));
+      Out.MapBlock.push_back(MapB);
+      Out.MapCalls.push_back(MapCallsInBlock);
+    }
     Out.Code.push_back(static_cast<int32_t>(Token));
     ++Stats.VmInstrs;
   }
   void w(int32_t Word) { Out.Code.push_back(Word); }
+
+  /// The code word for a CondBr / fused cmp+br edge of block \p B: the
+  /// target block directly when the edge is a tree arc, its ProbeJump stub
+  /// when instrumented. A degenerate (equal-target) cond_br is planned as
+  /// one merged arc whose probe lives in the taken slot; both edge words
+  /// then route through the same stub so either outcome bumps it once.
+  int32_t brTarget(size_t B, BlockId Target, bool Taken) {
+    if (!FP)
+      return BlockOffsets[Target];
+    const Instr &T = F.Blocks[B].Instrs.back();
+    if (T.Target == T.Target2)
+      return StubTaken[B] >= 0 ? StubTaken[B] : BlockOffsets[Target];
+    int32_t Stub = Taken ? StubTaken[B] : StubNotTaken[B];
+    return Stub >= 0 ? Stub : BlockOffsets[Target];
+  }
 
   void emitCall(const Instr &I) {
     const Function &Callee = M.getFunction(I.Callee);
@@ -291,6 +349,9 @@ private:
   }
 
   void emitBlock(BlockId B) {
+    Mapping = true;
+    MapB = B;
+    MapCallsInBlock = 0;
     const std::vector<Instr> &Is = F.Blocks[B].Instrs;
     for (size_t Idx = 0; Idx != Is.size(); ++Idx) {
       const Instr &I = Is[Idx];
@@ -303,8 +364,8 @@ private:
         w(I.Dst);
         w(I.Src1);
         w(I.Src2);
-        w(BlockOffsets[Br.Target]);
-        w(BlockOffsets[Br.Target2]);
+        w(brTarget(B, Br.Target, /*Taken=*/true));
+        w(brTarget(B, Br.Target2, /*Taken=*/false));
         ++Stats.IlInstrs; // the consumed CondBr
         break;
       }
@@ -392,6 +453,7 @@ private:
           break;
         case Opcode::Call:
           emitCall(I);
+          ++MapCallsInBlock;
           break;
         case Opcode::CallPtr:
           op(VmOp::CallPtr);
@@ -401,25 +463,61 @@ private:
           w(static_cast<int32_t>(I.Args.size()));
           for (Reg A : I.Args)
             w(A);
+          ++MapCallsInBlock;
           break;
         case Opcode::Jump:
-          op(VmOp::Jump);
-          w(BlockOffsets[I.Target]);
+          if (FP && FP->JumpProbes[B] >= 0) {
+            op(VmOp::JumpProbe);
+            w(FP->JumpProbes[B]);
+            w(BlockOffsets[I.Target]);
+          } else {
+            op(VmOp::Jump);
+            w(BlockOffsets[I.Target]);
+          }
           break;
         case Opcode::CondBr:
           op(VmOp::CondBr);
           w(I.Src1);
-          w(BlockOffsets[I.Target]);
-          w(BlockOffsets[I.Target2]);
+          w(brTarget(B, I.Target, /*Taken=*/true));
+          w(brTarget(B, I.Target2, /*Taken=*/false));
           break;
         case Opcode::Ret:
-          op(VmOp::Ret);
-          w(I.Src1);
+          if (FP && FP->RetProbes[B] >= 0) {
+            op(VmOp::RetProbe);
+            w(FP->RetProbes[B]);
+            w(I.Src1);
+          } else {
+            op(VmOp::Ret);
+            w(I.Src1);
+          }
           break;
         }
         break;
       }
       ++Stats.IlInstrs;
+    }
+  }
+
+  void emitStubs() {
+    Mapping = false;
+    if (!FP)
+      return;
+    for (size_t B = 0; B != F.Blocks.size(); ++B) {
+      if (StubTaken[B] < 0 && StubNotTaken[B] < 0)
+        continue;
+      const Instr &T = F.Blocks[B].Instrs.back();
+      if (StubTaken[B] >= 0) {
+        assert(static_cast<size_t>(StubTaken[B]) == Out.Code.size());
+        op(VmOp::ProbeJump);
+        w(FP->TakenProbes[B]);
+        w(BlockOffsets[T.Target]);
+      }
+      if (StubNotTaken[B] >= 0) {
+        assert(static_cast<size_t>(StubNotTaken[B]) == Out.Code.size());
+        op(VmOp::ProbeJump);
+        w(FP->NotTakenProbes[B]);
+        w(BlockOffsets[T.Target2]);
+      }
     }
   }
 
@@ -431,19 +529,37 @@ private:
   const Module &M;
   const Function &F;
   VmCompileStats &Stats;
+  /// Probe placement for this function; null for full-mode compilation.
+  const MinCoverFuncPlan *FP;
   VmFunction Out;
   std::vector<std::vector<Fuse>> FusePlan;
   std::vector<int32_t> BlockOffsets;
+  /// Per-block ProbeJump stub offsets (-1 = edge not instrumented).
+  std::vector<int32_t> StubTaken;
+  std::vector<int32_t> StubNotTaken;
   size_t TotalWords = 0;
+  /// Token-map recording state (mincover only; stubs are not mapped).
+  bool Mapping = false;
+  BlockId MapB = 0;
+  int32_t MapCallsInBlock = 0;
 };
 
 } // namespace
 
-VmProgram impact::compileToBytecode(const Module &M) {
+VmProgram impact::compileToBytecode(const Module &M,
+                                    const MinCoverPlan *Plan) {
   VmProgram P;
   P.MainId = M.MainId;
   P.NumSites = M.NextSiteId;
   P.NumFuncs = M.Funcs.size();
+  if (Plan) {
+    P.MinCover = true;
+    P.NumProbes = Plan->NumProbes;
+    P.EntryProbes.assign(M.Funcs.size(), -1);
+    for (size_t F = 0; F < M.Funcs.size() && F < Plan->Funcs.size(); ++F)
+      if (Plan->Funcs[F].Instrumented)
+        P.EntryProbes[F] = Plan->Funcs[F].EntryProbe;
+  }
 
   std::vector<int64_t> GlobalAddrs;
   GlobalAddrs.reserve(M.Globals.size());
@@ -475,7 +591,11 @@ VmProgram impact::compileToBytecode(const Module &M) {
 
     if (F.IsExternal || F.Eliminated || F.Blocks.empty())
       continue;
-    FunctionCompiler FC(M, F, P.Stats);
+    const MinCoverFuncPlan *FP =
+        Plan && static_cast<size_t>(F.Id) < Plan->Funcs.size()
+            ? &Plan->Funcs[F.Id]
+            : nullptr;
+    FunctionCompiler FC(M, F, P.Stats, FP);
     FC.GlobalAddrs = GlobalAddrs;
     P.Funcs[F.Id] = FC.compile();
   }
@@ -523,6 +643,9 @@ const char *impact::getVmOpName(VmOp Op) {
   case VmOp::CmpGtBr: return "cmp_gt_br";
   case VmOp::CmpGeBr: return "cmp_ge_br";
   case VmOp::LoadOpStore: return "load_op_store";
+  case VmOp::JumpProbe: return "jump_probe";
+  case VmOp::ProbeJump: return "probe_jump";
+  case VmOp::RetProbe: return "ret_probe";
   }
   return "?";
 }
@@ -638,6 +761,18 @@ std::string impact::disassemble(const VmFunction &F) {
              R(C[PC + 4]) + ", " + R(C[PC + 5]) + ", " + R(C[PC + 6]) +
              ", " + R(C[PC + 7]);
       PC += 8;
+      break;
+    case VmOp::JumpProbe:
+    case VmOp::ProbeJump:
+      Out += " #" + std::to_string(C[PC + 1]) + " -> " +
+             std::to_string(C[PC + 2]);
+      PC += 3;
+      break;
+    case VmOp::RetProbe:
+      Out += " #" + std::to_string(C[PC + 1]);
+      if (C[PC + 2] != kNoReg)
+        Out += " " + R(C[PC + 2]);
+      PC += 3;
       break;
     }
     Out += "\n";

@@ -93,9 +93,15 @@ enum class VmOp : int32_t {
   CmpGtBr,
   CmpGeBr,
   LoadOpStore, // ilop, ldDst, addr, opDst, opS1, opS2, stVal
+
+  // Minimum-coverage probes (mincover compilations only; full-mode code
+  // never contains them).
+  JumpProbe, // probe, target        (a Jump whose arc is instrumented)
+  ProbeJump, // probe, target        (branch-edge stub: bump + jump, no step)
+  RetProbe,  // probe, src           (a Ret whose arc is instrumented)
 };
 
-inline constexpr size_t kNumVmOps = static_cast<size_t>(VmOp::LoadOpStore) + 1;
+inline constexpr size_t kNumVmOps = static_cast<size_t>(VmOp::RetProbe) + 1;
 
 /// One compiled function: flat code, its constant pool, and the trap
 /// messages referenced by CallTrap/CallExt tokens.
@@ -108,6 +114,15 @@ struct VmFunction {
   /// True when this FuncId has an executable body (not external, not
   /// eliminated). Calling a slot with !Compiled is diagnosed at run time.
   bool Compiled = false;
+
+  /// Mincover compilations only: a token map for halt-record construction,
+  /// parallel arrays sorted by code offset. For the token starting at
+  /// MapPC[i], MapBlock[i] is the IL block it belongs to and MapCalls[i]
+  /// the number of call IL instructions of that block preceding the token.
+  /// Branch stubs are not mapped (execution can never halt inside one).
+  std::vector<int32_t> MapPC;
+  std::vector<int32_t> MapBlock;
+  std::vector<int32_t> MapCalls;
 };
 
 /// Per-FuncId callee facts for run-time resolution of indirect calls
@@ -152,10 +167,25 @@ struct VmProgram {
   uint32_t NumSites = 0;          // Module::NextSiteId (arc-counter table)
   size_t NumFuncs = 0;
   VmCompileStats Stats;
+  /// True when compiled against a MinCoverPlan: counter pressure left the
+  /// dispatch loop (no opcode histogram, no site bumps), probe tokens /
+  /// stubs carry the co-tree counters, and ExecStats::ArcCounts is sized
+  /// NumProbes.
+  bool MinCover = false;
+  uint32_t NumProbes = 0;
+  /// Mincover only, indexed by FuncId: co-tree entry-arc probe or -1.
+  std::vector<int32_t> EntryProbes;
 };
 
-/// Compiles every executable function of \p M to bytecode.
-VmProgram compileToBytecode(const Module &M);
+struct MinCoverPlan;
+
+/// Compiles every executable function of \p M to bytecode. With a non-null
+/// \p Plan the program is compiled in minimum-coverage form: probed Jump /
+/// Ret terminators become JumpProbe / RetProbe tokens, probed branch edges
+/// are redirected through ProbeJump stubs appended after the blocks (fused
+/// cmp+br superinstructions need no new cases — only their target words
+/// change), and a per-token side map is recorded for halt reconstruction.
+VmProgram compileToBytecode(const Module &M, const MinCoverPlan *Plan = nullptr);
 
 /// Renders \p F as one mnemonic-per-line text ("  12: cmp_lt_br r3, r1, r2
 /// -> 20, 34"), for tests and debugging.

@@ -19,6 +19,8 @@
 #include "interp/Intrinsics.h"
 #include "interp/Memory.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <utility>
 
@@ -49,9 +51,16 @@ public:
       : P(P), Opts(Opts), Mem(P.GlobalImage, Opts.StackWords) {
     Io.Input = Opts.Input;
     Io.Input2 = Opts.Input2;
-    SiteCounts.assign(P.NumSites, 0);
     FuncEntryCounts.assign(P.NumFuncs, 0);
-    OpcodeCounts.assign(static_cast<size_t>(Opcode::Ret) + 1, 0);
+    if (P.MinCover) {
+      // Counter pressure leaves the loop: only the co-tree probes and the
+      // measured external-entry counts exist. SiteCounts/OpcodeCounts stay
+      // empty; inferCounts() rehydrates them downstream.
+      ArcCounts.assign(P.NumProbes, 0);
+    } else {
+      SiteCounts.assign(P.NumSites, 0);
+      OpcodeCounts.assign(static_cast<size_t>(Opcode::Ret) + 1, 0);
+    }
   }
 
   ExecResult run(bool UseGoto) {
@@ -68,12 +77,15 @@ public:
     RegFile.assign(F.NumRegs, 0);
     RegBase = 0;
     CurFunc = P.MainId;
-    ++FuncEntryCounts[P.MainId];
+    if (!P.MinCover)
+      ++FuncEntryCounts[P.MainId];
+    else if (int32_t Pr = P.EntryProbes[P.MainId]; Pr >= 0)
+      ++ArcCounts[static_cast<size_t>(Pr)];
 
-    if (UseGoto)
-      execLoopGoto();
+    if (P.MinCover)
+      UseGoto ? execLoopGotoMC() : execLoopSwitchMC();
     else
-      execLoopSwitch();
+      UseGoto ? execLoopGoto() : execLoopSwitch();
     return finish();
   }
 
@@ -91,15 +103,22 @@ private:
   ExecResult finish() {
     ExecResult Result;
     Result.Stats.InstrCount = ExecutedSteps;
-    Result.Stats.ControlTransfers =
-        OpcodeCounts[static_cast<size_t>(Opcode::Jump)] +
-        OpcodeCounts[static_cast<size_t>(Opcode::CondBr)];
-    Result.Stats.DynamicCalls =
-        OpcodeCounts[static_cast<size_t>(Opcode::Call)] +
-        OpcodeCounts[static_cast<size_t>(Opcode::CallPtr)];
-    Result.Stats.PointerCalls =
-        OpcodeCounts[static_cast<size_t>(Opcode::CallPtr)];
-    Result.Stats.Returns = OpcodeCounts[static_cast<size_t>(Opcode::Ret)];
+    if (!P.MinCover) {
+      Result.Stats.ControlTransfers =
+          OpcodeCounts[static_cast<size_t>(Opcode::Jump)] +
+          OpcodeCounts[static_cast<size_t>(Opcode::CondBr)];
+      Result.Stats.DynamicCalls =
+          OpcodeCounts[static_cast<size_t>(Opcode::Call)] +
+          OpcodeCounts[static_cast<size_t>(Opcode::CallPtr)];
+      Result.Stats.PointerCalls =
+          OpcodeCounts[static_cast<size_t>(Opcode::CallPtr)];
+      Result.Stats.Returns = OpcodeCounts[static_cast<size_t>(Opcode::Ret)];
+    } else {
+      // OpcodeCounts is empty in mincover mode; the scalar aggregates it
+      // feeds are inferred from the arc counters downstream.
+      buildHaltRecords(Result.Stats.Halts);
+      Result.Stats.ArcCounts = std::move(ArcCounts);
+    }
     Result.Stats.ExternalCalls = ExternalCallCount;
     Result.Stats.SiteCounts = std::move(SiteCounts);
     Result.Stats.FuncEntryCounts = std::move(FuncEntryCounts);
@@ -142,8 +161,12 @@ private:
     Frames.push_back(VmFrame{CurFunc, RetDst, RetPC, RegBase, FrameBase,
                              F.ActivationWords});
     FrameBase = Mem.getStackPointer();
-    if (!Mem.growStack(F.ActivationWords))
+    if (!Mem.growStack(F.ActivationWords)) {
+      // The frame just pushed never became a live activation (the walker
+      // has no analogue of it); halt-record construction must skip it.
+      EnterFailedAfterPush = true;
       return false;
+    }
 
     size_t NewBase = RegFile.size();
     RegFile.resize(NewBase + F.NumRegs, 0);
@@ -151,7 +174,10 @@ private:
       RegFile[NewBase + static_cast<size_t>(I)] =
           RegFile[RegBase + static_cast<size_t>(ArgRegs[I])];
 
-    ++FuncEntryCounts[Callee];
+    if (!P.MinCover)
+      ++FuncEntryCounts[Callee];
+    else if (int32_t Pr = P.EntryProbes[Callee]; Pr >= 0)
+      ++ArcCounts[static_cast<size_t>(Pr)];
     CurFunc = Callee;
     RegBase = NewBase;
     PC = 0;
@@ -162,8 +188,55 @@ private:
     return true;
   }
 
+  /// Maps a code offset of \p Func to (IL block, number of call IL
+  /// instructions of that block preceding the token). The offset must be a
+  /// token start recorded in the side map (branch stubs never appear: the
+  /// loop cannot halt inside one, and no call's return PC lands on one).
+  std::pair<int32_t, uint32_t> lookupToken(int32_t Func, size_t PC) const {
+    const VmFunction &F = P.Funcs[Func];
+    auto It = std::lower_bound(F.MapPC.begin(), F.MapPC.end(),
+                               static_cast<int32_t>(PC));
+    assert(It != F.MapPC.end() && *It == static_cast<int32_t>(PC) &&
+           "halt PC is not a mapped token");
+    size_t Idx = static_cast<size_t>(It - F.MapPC.begin());
+    return {F.MapBlock[Idx], static_cast<uint32_t>(F.MapCalls[Idx])};
+  }
+
+  /// Mincover only: reconstructs the walker's HaltRecord list (one per live
+  /// activation at an abnormal halt) from the token side map. Suspended
+  /// frames are identified by their resume PC — the token right after the
+  /// in-flight call, whose MapCalls therefore already includes it. The
+  /// current activation halts at HaltPC; its call count gets +1 exactly
+  /// when the halting token is a call that was already counted by the
+  /// full-instrumentation engines (a trap or intrinsic exit AT the call —
+  /// a step limit stops BEFORE the token executes).
+  void buildHaltRecords(std::vector<HaltRecord> &Out) const {
+    bool Abnormal = HitStepLimit || Mem.hasTrapped() || !PendingTrap.empty() ||
+                    ExitedViaIntrinsic;
+    if (!Abnormal || CurFunc == kNoFunc)
+      return;
+    size_t NumFrames = Frames.size();
+    if (EnterFailedAfterPush && NumFrames > 0)
+      --NumFrames;
+    for (size_t I = 0; I != NumFrames; ++I) {
+      const VmFrame &Fr = Frames[I];
+      auto [B, K] = lookupToken(Fr.Func, Fr.RetPC);
+      Out.push_back(HaltRecord{Fr.Func, B, K});
+    }
+    auto [B, K] = lookupToken(CurFunc, HaltPC);
+    if (!HitStepLimit) {
+      VmOp Op = static_cast<VmOp>(P.Funcs[CurFunc].Code[HaltPC]);
+      if (Op == VmOp::CallUser || Op == VmOp::CallExt ||
+          Op == VmOp::CallTrap || Op == VmOp::CallPtr)
+        ++K;
+    }
+    Out.push_back(HaltRecord{CurFunc, B, K});
+  }
+
   void execLoopGoto();
   void execLoopSwitch();
+  void execLoopGotoMC();
+  void execLoopSwitchMC();
 
   const VmProgram &P;
   const RunOptions &Opts;
@@ -183,27 +256,62 @@ private:
   std::vector<uint64_t> SiteCounts;
   std::vector<uint64_t> FuncEntryCounts;
   std::vector<uint64_t> OpcodeCounts;
+  std::vector<uint64_t> ArcCounts; // mincover co-tree probes, else empty
   uint64_t ExternalCallCount = 0;
   uint64_t ExecutedSteps = 0;
   int64_t MainExitCode = 0;
   bool MainReturned = false;
   bool ExitedViaIntrinsic = false;
   bool HitStepLimit = false;
+  /// Code offset of the token the loop stopped at (only meaningful after an
+  /// abnormal halt; see the epilogue in VmExecLoop.inc).
+  size_t HaltPC = 0;
+  /// enterUser pushed a frame and then failed to grow the stack; the top
+  /// frame is not a live activation.
+  bool EnterFailedAfterPush = false;
   std::string PendingTrap;
 };
 
-// Compile the dispatch loop twice over the same handler bodies.
+// Compile the dispatch loop four times over the same handler bodies:
+// {computed-goto, switch} x {full instrumentation, minimum-coverage}.
+#define IMPACT_VM_MINCOVER 0
+
 #define IMPACT_VM_USE_GOTO 1
 #define IMPACT_VM_LOOP execLoopGoto
+#define IMPACT_VM_FALLBACK execLoopSwitch
 #include "vm/VmExecLoop.inc"
 #undef IMPACT_VM_USE_GOTO
 #undef IMPACT_VM_LOOP
+#undef IMPACT_VM_FALLBACK
 
 #define IMPACT_VM_USE_GOTO 0
 #define IMPACT_VM_LOOP execLoopSwitch
+#define IMPACT_VM_FALLBACK execLoopSwitch
 #include "vm/VmExecLoop.inc"
 #undef IMPACT_VM_USE_GOTO
 #undef IMPACT_VM_LOOP
+#undef IMPACT_VM_FALLBACK
+
+#undef IMPACT_VM_MINCOVER
+#define IMPACT_VM_MINCOVER 1
+
+#define IMPACT_VM_USE_GOTO 1
+#define IMPACT_VM_LOOP execLoopGotoMC
+#define IMPACT_VM_FALLBACK execLoopSwitchMC
+#include "vm/VmExecLoop.inc"
+#undef IMPACT_VM_USE_GOTO
+#undef IMPACT_VM_LOOP
+#undef IMPACT_VM_FALLBACK
+
+#define IMPACT_VM_USE_GOTO 0
+#define IMPACT_VM_LOOP execLoopSwitchMC
+#define IMPACT_VM_FALLBACK execLoopSwitchMC
+#include "vm/VmExecLoop.inc"
+#undef IMPACT_VM_USE_GOTO
+#undef IMPACT_VM_LOOP
+#undef IMPACT_VM_FALLBACK
+
+#undef IMPACT_VM_MINCOVER
 
 } // namespace
 
@@ -224,6 +332,6 @@ ExecResult impact::runProgramVm(const Module &M, const RunOptions &Opts,
                                 VmRunStats *Stats, VmDispatch Dispatch) {
   if (Opts.ICache)
     return runProgram(M, Opts); // only the walker streams layout addresses
-  VmProgram P = compileToBytecode(M);
+  VmProgram P = compileToBytecode(M, Opts.MinCover);
   return runProgramVm(P, Opts, Stats, Dispatch);
 }

@@ -6,10 +6,13 @@
 
 #include "profile/ProfileIO.h"
 
+#include "profile/MinCover.h"
+
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 
@@ -125,6 +128,205 @@ TEST(ProfileIo, MissingFileReportsError) {
   EXPECT_FALSE(loadProfileFromFile("/nonexistent/impact.profile", Out,
                                    &Error));
   EXPECT_NE(Error.find("cannot open"), std::string::npos) << Error;
+}
+
+TEST(ProfileIo, RejectsDuplicateSparseEntry) {
+  // A repeated index must fail with a line-numbered diagnostic, never
+  // silently last-write-wins (regression: a doubly-concatenated artifact
+  // used to load cleanly with half its counts dropped).
+  const char *Text = "impact-profile v1\n"
+                     "runs 1\n"
+                     "il 5\n"
+                     "ct 1\n"
+                     "calls 0\n"
+                     "external 0\n"
+                     "pointer 0\n"
+                     "peak-stack 2\n"
+                     "sites 3\n"
+                     "1 4\n"
+                     "1 4\n"
+                     "funcs 1\n"
+                     "0 1\n";
+  ProfileData Out;
+  std::string Error;
+  EXPECT_FALSE(loadProfile(Text, Out, &Error));
+  EXPECT_EQ(Error, "line 11: duplicate 'sites' entry for index 1");
+}
+
+//===----------------------------------------------------------------------===//
+// Profile shards (v2)
+//===----------------------------------------------------------------------===//
+
+/// A module, its probe plan, and the raw mincover stats of one run per
+/// input — the ingredients every shard test needs.
+struct ShardFixture {
+  Module M;
+  MinCoverPlan Plan;
+  std::vector<ExecStats> Raw;
+
+  explicit ShardFixture(const std::vector<std::string> &Inputs) {
+    M = compileOk(test::kCallHeavyProgram);
+    Plan = buildMinCoverPlan(M);
+    for (const std::string &In : Inputs) {
+      RunOptions Opts;
+      Opts.Input = In;
+      Opts.MinCover = &Plan;
+      ExecResult R = runProgram(M, Opts);
+      EXPECT_TRUE(R.ok());
+      Raw.push_back(std::move(R.Stats));
+    }
+  }
+
+  ProfileShard shardOf(size_t Begin, size_t End, uint64_t Epoch = 0,
+                       uint64_t Weight = 1) const {
+    ProfileShard S = makeShard(Plan, Epoch, Weight);
+    for (size_t I = Begin; I != End; ++I)
+      accumulateShard(S, Raw[I]);
+    return S;
+  }
+};
+
+TEST(ProfileShardIo, EmptyShardRoundTrips) {
+  MinCoverPlan Plan;
+  ProfileShard S = makeShard(Plan, /*Epoch=*/3, /*Weight=*/2);
+  ProfileShard Loaded;
+  std::string Error;
+  ASSERT_TRUE(loadShard(saveShard(S), Loaded, &Error)) << Error;
+  EXPECT_EQ(Loaded, S);
+}
+
+TEST(ProfileShardIo, MeasuredShardRoundTripsExactly) {
+  ShardFixture F({std::string(30, 'x'), "abc", ""});
+  ProfileShard S = F.shardOf(0, F.Raw.size(), /*Epoch=*/7, /*Weight=*/3);
+  ASSERT_EQ(S.Runs, 3u);
+  ASSERT_GT(S.InstrTotal, 0u);
+
+  std::string Text = saveShard(S);
+  ProfileShard Loaded;
+  std::string Error;
+  ASSERT_TRUE(loadShard(Text, Loaded, &Error)) << Error;
+  EXPECT_EQ(Loaded, S);
+  // save -> load -> save is a fixed point, like the v1 format.
+  EXPECT_EQ(saveShard(Loaded), Text);
+}
+
+TEST(ProfileShardIo, InferFromMergedShardMatchesFullProfile) {
+  // The service contract end to end: raw runs split across shards, merged,
+  // inferred — must equal what full instrumentation measured directly.
+  std::vector<std::string> Inputs{std::string(30, 'x'), "abc", ""};
+  ShardFixture F(Inputs);
+  ProfileShard Acc = F.shardOf(0, 2);
+  ProfileShard Late = F.shardOf(2, 3);
+  std::string Error;
+  ASSERT_TRUE(mergeShards(Acc, Late, &Error)) << Error;
+
+  ProfileResult Full = test::profileInputs(F.M, Inputs);
+  ASSERT_TRUE(Full.allRunsOk());
+  EXPECT_TRUE(inferProfileFromShard(F.M, F.Plan, Acc) == Full.Data);
+}
+
+TEST(ProfileShardIo, MergeAppliesShardWeight) {
+  ShardFixture F({"weighted"});
+  ProfileShard Base = F.shardOf(0, 1);
+  ProfileShard Weighted = F.shardOf(0, 1, /*Epoch=*/0, /*Weight=*/3);
+  ProfileShard Acc = F.shardOf(0, 0); // empty, weight slot irrelevant
+  ASSERT_TRUE(mergeShards(Acc, Weighted));
+  EXPECT_EQ(Acc.Runs, 3 * Base.Runs);
+  EXPECT_EQ(Acc.InstrTotal, 3 * Base.InstrTotal);
+  for (size_t I = 0; I != Base.ArcTotals.size(); ++I)
+    EXPECT_EQ(Acc.ArcTotals[I], 3 * Base.ArcTotals[I]) << I;
+  // Peak stack is a maximum, never scaled by the weight.
+  EXPECT_EQ(Acc.MaxPeakStackWords, Base.MaxPeakStackWords);
+}
+
+TEST(ProfileShardIo, MergeSaturatesInsteadOfWrapping) {
+  MinCoverPlan Plan;
+  Plan.NumProbes = 1;
+  ProfileShard Acc = makeShard(Plan);
+  ProfileShard S = makeShard(Plan);
+  Acc.ArcTotals[0] = UINT64_MAX - 1;
+  Acc.Runs = UINT64_MAX;
+  S.ArcTotals[0] = 5;
+  S.Runs = 1;
+  ASSERT_TRUE(mergeShards(Acc, S));
+  EXPECT_EQ(Acc.ArcTotals[0], UINT64_MAX);
+  EXPECT_EQ(Acc.Runs, UINT64_MAX);
+}
+
+TEST(ProfileShardIo, MergeRejectsStaleShards) {
+  // Each staleness class must fail without touching the accumulator.
+  ShardFixture F({"stale"});
+  const ProfileShard Acc = F.shardOf(0, 1);
+
+  auto ExpectRejected = [&](ProfileShard Bad, const char *Needle) {
+    ProfileShard A = Acc;
+    std::string Error;
+    EXPECT_FALSE(mergeShards(A, Bad, &Error));
+    EXPECT_NE(Error.find(Needle), std::string::npos) << Error;
+    EXPECT_EQ(A, Acc) << "rejected merge modified the accumulator";
+  };
+
+  ProfileShard Fp = F.shardOf(0, 1);
+  Fp.Fingerprint ^= 1;
+  ExpectRejected(Fp, "fingerprint");
+
+  ProfileShard Ep = F.shardOf(0, 1);
+  Ep.Epoch = Acc.Epoch + 1;
+  ExpectRejected(Ep, "epoch");
+
+  ProfileShard Md = F.shardOf(0, 1);
+  Md.Mode = InstrumentMode::Full;
+  ExpectRejected(Md, "mode");
+
+  ProfileShard Layout = F.shardOf(0, 1);
+  ASSERT_FALSE(Layout.ArcTotals.empty());
+  Layout.ArcTotals.pop_back();
+  ExpectRejected(Layout, "layout");
+}
+
+TEST(ProfileShardIo, RejectsDuplicateArcEntry) {
+  const char *Text = "impact-profile-shard v2\n"
+                     "fingerprint 1\n"
+                     "mode mincover\n"
+                     "epoch 0\n"
+                     "weight 1\n"
+                     "runs 1\n"
+                     "il 10\n"
+                     "external 0\n"
+                     "peak-stack 0\n"
+                     "arcs 2\n"
+                     "0 5\n"
+                     "0 6\n"
+                     "ext-entries 0\n"
+                     "halts 0\n";
+  ProfileShard Out;
+  std::string Error;
+  EXPECT_FALSE(loadShard(Text, Out, &Error));
+  EXPECT_EQ(Error, "line 12: duplicate 'arcs' entry for index 0");
+}
+
+TEST(ProfileShardIo, RejectsWrongMagicAndUnsortedHalts) {
+  ProfileShard Out;
+  std::string Error;
+  EXPECT_FALSE(loadShard("impact-profile v1\nruns 1\n", Out, &Error));
+  EXPECT_NE(Error.find("impact-profile-shard"), std::string::npos) << Error;
+
+  const char *Unsorted = "impact-profile-shard v2\n"
+                         "fingerprint 1\n"
+                         "mode mincover\n"
+                         "epoch 0\n"
+                         "weight 1\n"
+                         "runs 2\n"
+                         "il 10\n"
+                         "external 0\n"
+                         "peak-stack 0\n"
+                         "arcs 0\n"
+                         "ext-entries 0\n"
+                         "halts 2\n"
+                         "1 0 0 1\n"
+                         "0 0 0 1\n";
+  EXPECT_FALSE(loadShard(Unsorted, Out, &Error));
+  EXPECT_NE(Error.find("not sorted"), std::string::npos) << Error;
 }
 
 } // namespace
