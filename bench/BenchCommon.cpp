@@ -39,6 +39,8 @@ bool EngineConfigured = false;
 InstrumentMode ConfiguredInstrument =
     InstrumentMode::Full; // --instrument= / IMPACT_INSTRUMENT
 bool InstrumentConfigured = false;
+OptOptions ConfiguredPasses; // --passes= / IMPACT_PASSES
+bool PassesConfigured = false;
 AnalysisOptions ConfiguredAnalysis;
 size_t TotalWarnFindings = 0;  // across all batches
 size_t TotalErrorFindings = 0; // (error findings also quarantine units)
@@ -148,6 +150,21 @@ void applyInstrumentSpec(const char *What, const std::string &Text) {
   InstrumentConfigured = true;
 }
 
+/// Strictly parses --passes=SPEC / IMPACT_PASSES (opt/PassManager.h
+/// parseOptPasses grammar). Fatal on an unknown pass name for the same
+/// reason as --engine: a typo would silently benchmark the wrong
+/// pipeline.
+void applyPassesSpec(const char *What, const std::string &Text) {
+  OptOptions Opts;
+  std::string Diag;
+  if (!parseOptPasses(Text, Opts, &Diag)) {
+    std::fprintf(stderr, "[bench] %s: %s\n", What, Diag.c_str());
+    std::exit(2);
+  }
+  ConfiguredPasses = Opts;
+  PassesConfigured = true;
+}
+
 } // namespace
 
 void impact::bench::initBenchHarness(int argc, char **argv) {
@@ -161,6 +178,8 @@ void impact::bench::initBenchHarness(int argc, char **argv) {
     applyEngineSpec("IMPACT_ENGINE", Env);
   if (const char *Env = std::getenv("IMPACT_INSTRUMENT"))
     applyInstrumentSpec("IMPACT_INSTRUMENT", Env);
+  if (const char *Env = std::getenv("IMPACT_PASSES"))
+    applyPassesSpec("IMPACT_PASSES", Env);
   for (int I = 1; I < argc; ++I) {
     if ((std::strcmp(argv[I], "--jobs") == 0 ||
          std::strcmp(argv[I], "-j") == 0) &&
@@ -188,6 +207,8 @@ void impact::bench::initBenchHarness(int argc, char **argv) {
       applyEngineSpec("--engine", Value);
     else if (matchOption(argv[I], "instrument", Value))
       applyInstrumentSpec("--instrument", Value);
+    else if (matchOption(argv[I], "passes", Value))
+      applyPassesSpec("--passes", Value);
   }
 }
 
@@ -210,6 +231,12 @@ InstrumentMode impact::bench::getConfiguredInstrument() {
 }
 
 bool impact::bench::isInstrumentConfigured() { return InstrumentConfigured; }
+
+const OptOptions &impact::bench::getConfiguredPasses() {
+  return ConfiguredPasses;
+}
+
+bool impact::bench::arePassesConfigured() { return PassesConfigured; }
 
 const AnalysisOptions &impact::bench::getConfiguredAnalysisOptions() {
   return ConfiguredAnalysis;
@@ -298,6 +325,8 @@ impact::bench::makeSuiteBatchJobs(const PipelineOptions &Options,
     if (InstrumentConfigured &&
         Job.Options.Instrument == InstrumentMode::Full)
       Job.Options.Instrument = ConfiguredInstrument;
+    if (PassesConfigured && Job.Options.PreOpt == OptOptions())
+      Job.Options.PreOpt = ConfiguredPasses;
     Jobs.push_back(std::move(Job));
   }
   return Jobs;
@@ -456,6 +485,10 @@ std::string impact::bench::renderBenchFooter() {
     Out += std::string("[instrument] ") +
            getInstrumentModeName(ConfiguredInstrument) +
            " instrumented the profile runs\n";
+  // Same contract for the passes line: absent unless configured.
+  if (PassesConfigured)
+    Out += "[passes] " + renderOptPasses(ConfiguredPasses) +
+           " ran as the pre-opt pipeline\n";
   // The analyze line appears only when the analyzer ran, so analysis-off
   // footers stay bit-identical to the previous format.
   if (AnalyzeConfigured)

@@ -87,6 +87,13 @@ struct SuiteRun {
 ///                     (parseInstrumentMode); a bad value aborts with exit
 ///                     code 2. Mode choice never changes profiles or
 ///                     tables — only the profiling phase's wall time
+///   --passes=SPEC     pre-opt pass selection for every job still at the
+///                     default pass set (opt/PassManager.h parseOptPasses
+///                     grammar: "all", "fold,jump,licm", "all,-dce", ...).
+///                     Also the IMPACT_PASSES environment variable.
+///                     Strictly parsed; an unknown pass name aborts with
+///                     exit code 2 — a typo never silently benchmarks the
+///                     wrong pipeline
 void initBenchHarness(int argc, char **argv);
 
 /// The installed worker count; 0 means one per hardware thread.
@@ -115,6 +122,13 @@ InstrumentMode getConfiguredInstrument();
 
 /// True when --instrument= / IMPACT_INSTRUMENT set a mode explicitly.
 bool isInstrumentConfigured();
+
+/// The installed pre-opt pass selection (--passes= / IMPACT_PASSES);
+/// OptOptions defaults when none was configured.
+const OptOptions &getConfiguredPasses();
+
+/// True when --passes= / IMPACT_PASSES set a pass selection explicitly.
+bool arePassesConfigured();
 
 /// The installed rule selection (meaningful when getConfiguredAnalyze()).
 const AnalysisOptions &getConfiguredAnalysisOptions();

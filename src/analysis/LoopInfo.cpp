@@ -1,0 +1,157 @@
+//===- analysis/LoopInfo.cpp ---------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "callgraph/Scc.h"
+
+#include <algorithm>
+
+using namespace impact;
+
+namespace {
+
+/// Successor block ids of \p B (none for Ret or a degenerate empty block).
+void appendSuccessors(const BasicBlock &B, std::vector<int> &Out) {
+  if (B.Instrs.empty())
+    return;
+  const Instr &Term = B.Instrs.back();
+  if (Term.Op == Opcode::Jump) {
+    Out.push_back(Term.Target);
+  } else if (Term.Op == Opcode::CondBr) {
+    Out.push_back(Term.Target);
+    Out.push_back(Term.Target2);
+  }
+}
+
+/// One SCC-peeling round: within the subgraph induced by \p Alive, every
+/// nontrivial SCC becomes a loop at depth Level+1; the subgraph then
+/// recurses into each such SCC minus its smallest-id block (the usual
+/// header surrogate) to find inner nests. Termination needs no depth cap:
+/// each level strictly shrinks the subgraph by at least the header.
+void peelLoops(const Function &F, std::vector<bool> Alive, unsigned Level,
+               int ParentIdx, LoopInfo &Info) {
+  // Build the induced subgraph with dense ids.
+  std::vector<int> DenseToBlock;
+  std::vector<int> BlockToDense(F.Blocks.size(), -1);
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    if (!Alive[B])
+      continue;
+    BlockToDense[B] = static_cast<int>(DenseToBlock.size());
+    DenseToBlock.push_back(static_cast<int>(B));
+  }
+  if (DenseToBlock.empty())
+    return;
+  std::vector<std::vector<int>> Succ(DenseToBlock.size());
+  std::vector<int> Tmp;
+  for (size_t D = 0; D != DenseToBlock.size(); ++D) {
+    Tmp.clear();
+    appendSuccessors(F.Blocks[static_cast<size_t>(DenseToBlock[D])], Tmp);
+    for (int T : Tmp)
+      if (static_cast<size_t>(T) < Alive.size() &&
+          Alive[static_cast<size_t>(T)])
+        Succ[D].push_back(BlockToDense[static_cast<size_t>(T)]);
+  }
+
+  SccResult Scc = computeScc(Succ);
+
+  // Group members per nontrivial component (self loops count too).
+  std::vector<std::vector<int>> Members(
+      static_cast<size_t>(Scc.NumComponents));
+  for (size_t D = 0; D != DenseToBlock.size(); ++D)
+    Members[static_cast<size_t>(Scc.ComponentIds[D])].push_back(
+        static_cast<int>(D));
+  std::vector<bool> SelfLoop(DenseToBlock.size(), false);
+  for (size_t D = 0; D != Succ.size(); ++D)
+    for (int T : Succ[D])
+      if (T == static_cast<int>(D))
+        SelfLoop[D] = true;
+
+  for (const std::vector<int> &Component : Members) {
+    bool Nontrivial =
+        Component.size() > 1 ||
+        (Component.size() == 1 && SelfLoop[static_cast<size_t>(
+                                      Component[0])]);
+    if (!Nontrivial)
+      continue;
+
+    int LoopIdx = static_cast<int>(Info.Loops.size());
+    Info.Loops.emplace_back();
+    Loop &L = Info.Loops.back();
+    L.Parent = ParentIdx;
+    L.Depth = Level + 1;
+    int Header = *std::min_element(Component.begin(), Component.end());
+    L.Header = DenseToBlock[static_cast<size_t>(Header)];
+
+    std::vector<bool> Inner(F.Blocks.size(), false);
+    for (int D : Component) {
+      int Block = DenseToBlock[static_cast<size_t>(D)];
+      L.Blocks.push_back(Block);
+      Info.Depths[static_cast<size_t>(Block)] += 1;
+      Info.InnermostLoop[static_cast<size_t>(Block)] = LoopIdx;
+      if (D != Header)
+        Inner[static_cast<size_t>(Block)] = true;
+    }
+    std::sort(L.Blocks.begin(), L.Blocks.end());
+
+    // Inner loops overwrite InnermostLoop for their members (they recurse
+    // after the parent is recorded), so the innermost index wins. Note
+    // Info.Loops may reallocate during the recursion — re-index, never
+    // hold the Loop reference across it.
+    peelLoops(F, std::move(Inner), Level + 1, LoopIdx, Info);
+  }
+}
+
+} // namespace
+
+bool Loop::contains(BlockId B) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), B);
+}
+
+LoopInfo impact::computeLoopInfo(const Function &F) {
+  LoopInfo Info;
+  Info.Depths.assign(F.Blocks.size(), 0);
+  Info.InnermostLoop.assign(F.Blocks.size(), -1);
+  if (F.Blocks.empty())
+    return Info;
+  std::vector<bool> Alive(F.Blocks.size(), true);
+  peelLoops(F, std::move(Alive), 0, -1, Info);
+
+  // Reducibility: a loop is only enterable through its header when every
+  // edge from a non-member targets the header, and the function entry
+  // (which has no explicit edge) is not a non-header member.
+  std::vector<int> Tmp;
+  for (Loop &L : Info.Loops)
+    L.Reducible = true;
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    Tmp.clear();
+    appendSuccessors(F.Blocks[B], Tmp);
+    for (int T : Tmp) {
+      if (static_cast<size_t>(T) >= F.Blocks.size())
+        continue;
+      // Walk the loop nest of the target: any containing loop the source
+      // is outside of must be entered at that loop's header.
+      for (int LI = Info.InnermostLoop[static_cast<size_t>(T)]; LI != -1;
+           LI = Info.Loops[static_cast<size_t>(LI)].Parent) {
+        Loop &L = Info.Loops[static_cast<size_t>(LI)];
+        if (!L.contains(static_cast<BlockId>(B)) &&
+            static_cast<BlockId>(T) != L.Header)
+          L.Reducible = false;
+      }
+    }
+  }
+  for (int LI = Info.InnermostLoop.empty() ? -1 : Info.InnermostLoop[0];
+       LI != -1; LI = Info.Loops[static_cast<size_t>(LI)].Parent) {
+    Loop &L = Info.Loops[static_cast<size_t>(LI)];
+    if (L.Header != 0)
+      L.Reducible = false;
+  }
+  return Info;
+}
+
+std::vector<unsigned> impact::computeLoopDepths(const Function &F) {
+  return computeLoopInfo(F).Depths;
+}

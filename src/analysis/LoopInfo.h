@@ -1,0 +1,78 @@
+//===- analysis/LoopInfo.h - Loop nesting structure over the IL ----------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one loop-structure implementation every depth consumer shares: the
+/// static weight estimator (profile/StaticEstimator.h), minimum-coverage
+/// probe placement (profile/MinCover.h), and loop-invariant code motion
+/// (opt/LoopInvariantCodeMotion.h) all read the same nesting facts, so a
+/// depth cap configured in one place can no longer silently diverge from
+/// another's notion of "how deep is this block".
+///
+/// Loops are discovered by SCC peeling: every nontrivial strongly
+/// connected component of the CFG is a loop; recursing into the component
+/// minus its smallest-id block (the header surrogate) finds inner nests.
+/// Each peeling level removes the header, so discovery terminates without
+/// a depth cap — depths here are the true structural nesting depths, and
+/// consumers that want the old saturation behaviour clamp at use time
+/// (e.g. pow(Multiplier, min(Depth, MaxLoopDepth))).
+///
+/// A loop is marked reducible when the only block a non-member edge (or
+/// function entry) can reach inside it is its header — the precondition
+/// for giving it a preheader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_ANALYSIS_LOOPINFO_H
+#define IMPACT_ANALYSIS_LOOPINFO_H
+
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace impact {
+
+/// One discovered loop (a nontrivial SCC at some peeling level).
+struct Loop {
+  /// The smallest-id member block, the conventional header surrogate. For
+  /// reducible loops this is the unique entry point.
+  BlockId Header = 0;
+  /// Member block ids, ascending.
+  std::vector<BlockId> Blocks;
+  /// Index of the enclosing loop in LoopInfo::Loops, or -1 for top level.
+  int Parent = -1;
+  /// Nesting depth: 1 for outermost loops.
+  unsigned Depth = 1;
+  /// True when every edge from a non-member block targets Header and the
+  /// function entry is not a non-header member — i.e. the loop body is
+  /// only enterable through the header.
+  bool Reducible = false;
+
+  /// True when block \p B is a member (binary search over Blocks).
+  bool contains(BlockId B) const;
+};
+
+/// Loop structure of one function. Loops appear parent-before-children,
+/// so iterating in order visits outer loops first.
+struct LoopInfo {
+  std::vector<Loop> Loops;
+  /// Per-block structural nesting depth (0 outside any loop). Uncapped.
+  std::vector<unsigned> Depths;
+  /// Per-block index into Loops of the innermost containing loop, or -1.
+  std::vector<int> InnermostLoop;
+};
+
+/// Discovers the full loop nest of \p F. Tolerates degenerate input
+/// (empty functions, empty blocks, unreachable cycles).
+LoopInfo computeLoopInfo(const Function &F);
+
+/// Loop-nesting depth of every block of \p F, uncapped (the Depths vector
+/// of computeLoopInfo without the per-loop structure).
+std::vector<unsigned> computeLoopDepths(const Function &F);
+
+} // namespace impact
+
+#endif // IMPACT_ANALYSIS_LOOPINFO_H

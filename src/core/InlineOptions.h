@@ -7,6 +7,8 @@
 #ifndef IMPACT_CORE_INLINEOPTIONS_H
 #define IMPACT_CORE_INLINEOPTIONS_H
 
+#include "opt/PassManager.h"
+
 #include <cstdint>
 
 namespace impact {
@@ -66,10 +68,17 @@ struct InlineOptions {
   /// the pessimism ablation.
   bool TreatExternalCyclesAsRecursion = false;
 
-  /// Run copy propagation / constant folding / jump optimization / DCE on
-  /// functions that received inlined bodies. The paper measured *without*
-  /// post-inline optimization (§4.4); this knob exists for the ablation.
+  /// Run the optimization pipeline on functions that received inlined
+  /// bodies. The paper measured *without* post-inline optimization (§4.4);
+  /// this knob exists for the ablation.
   bool PostInlineOptimize = false;
+
+  /// Pass selection for the post-inline cleanup (meaningful only when
+  /// PostInlineOptimize is set). Defaults to the classic quartet; the
+  /// table4 ablation lattice layers SCCP / peephole / LICM on top to
+  /// measure what each recovers from the inliner's parameter moves and
+  /// jump scaffolding.
+  OptOptions PostOpt;
 
   /// Seed for the random placement step of linearization.
   uint64_t RandomSeed = 12345;

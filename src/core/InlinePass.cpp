@@ -30,7 +30,7 @@ InlineResult impact::runInlineExpansion(Module &M, const ProfileData &Profile,
     // Clean up the parameter moves and jump scaffolding of every function
     // that received inlined bodies (the paper leaves this off; ablation).
     for (const ExpansionRecord &R : Result.Expansions)
-      runOptimizationPipeline(M.getFunction(R.Caller));
+      runOptimizationPipeline(M.getFunction(R.Caller), Options.PostOpt);
   }
 
   if (Options.EliminateDeadFunctions)

@@ -20,6 +20,15 @@ FunctionDefinitionCache::FunctionDefinitionCache(unsigned ShardCount) {
 
 std::string FunctionDefinitionCache::makeKey(const Function &F,
                                              const OptOptions &Opts) {
+  // Every OptOptions field must be fingerprinted below, one line per
+  // knob: a knob missing here silently serves bodies optimized under a
+  // different pass set to cache hits. The size tripwire catches a new
+  // field that changes the struct's layout; the exhaustive toggle test
+  // (PipelineTests, CacheKeyCoversEveryOptOption) catches one that
+  // padding hides — update both together with this fingerprint.
+  static_assert(sizeof(OptOptions) == 12,
+                "OptOptions changed: update makeKey's option fingerprint "
+                "and the sizeof above");
   std::string Key;
   Key.reserve(64 + F.size() * 24);
   // Option fingerprint: every knob that steers the pre-opt pipeline.
@@ -29,6 +38,9 @@ std::string FunctionDefinitionCache::makeKey(const Function &F,
   Key += static_cast<char>('0' + Opts.CopyPropagation);
   Key += static_cast<char>('0' + Opts.DeadCodeElimination);
   Key += static_cast<char>('0' + Opts.TailRecursionElimination);
+  Key += static_cast<char>('0' + Opts.Sccp);
+  Key += static_cast<char>('0' + Opts.Peephole);
+  Key += static_cast<char>('0' + Opts.LoopInvariantCodeMotion);
   Key += 'i';
   Key += std::to_string(Opts.MaxIterations);
   // Signature and body, rendered exactly (printInstr includes register

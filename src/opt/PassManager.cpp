@@ -10,8 +10,12 @@
 #include "opt/CopyPropagation.h"
 #include "opt/DeadCodeElimination.h"
 #include "opt/JumpOptimization.h"
+#include "opt/LoopInvariantCodeMotion.h"
+#include "opt/Peephole.h"
+#include "opt/Sccp.h"
 #include "opt/TailRecursionElimination.h"
 #include "support/Stopwatch.h"
+#include "support/StringUtils.h"
 
 using namespace impact;
 
@@ -30,7 +34,92 @@ bool runTimed(PassTiming *Timing, Function &F, PassFn Pass) {
   return Changed;
 }
 
+/// Spec-name table shared by parseOptPasses and renderOptPasses: the two
+/// must stay inverses of each other.
+struct PassFlag {
+  const char *Name;
+  bool OptOptions::*Flag;
+};
+constexpr PassFlag Passes[] = {
+    {"fold", &OptOptions::ConstantFolding},
+    {"jump", &OptOptions::JumpOptimization},
+    {"copy", &OptOptions::CopyPropagation},
+    {"dce", &OptOptions::DeadCodeElimination},
+    {"tre", &OptOptions::TailRecursionElimination},
+    {"sccp", &OptOptions::Sccp},
+    {"peephole", &OptOptions::Peephole},
+    {"licm", &OptOptions::LoopInvariantCodeMotion},
+};
+
 } // namespace
+
+bool impact::parseOptPasses(std::string_view Spec, OptOptions &Out,
+                            std::string *Error) {
+  auto SetAll = [&](bool Value) {
+    for (const PassFlag &P : Passes)
+      Out.*(P.Flag) = Value;
+  };
+
+  std::string_view Trimmed = trimString(Spec);
+  if (Trimmed.empty() || Trimmed == "all" || Trimmed == "1" ||
+      Trimmed == "on") {
+    SetAll(true);
+    return true;
+  }
+
+  // A spec that names passes positively starts from nothing enabled;
+  // "all,-x" style specs start from everything.
+  bool SawPositive = false;
+  for (std::string_view Token : splitString(Trimmed, ',')) {
+    std::string_view T = trimString(Token);
+    if (!T.empty() && T != "all" && T[0] != '-')
+      SawPositive = true;
+  }
+  SetAll(!SawPositive);
+
+  for (std::string_view Token : splitString(Trimmed, ',')) {
+    std::string_view T = trimString(Token);
+    if (T.empty())
+      continue;
+    if (T == "all") {
+      SetAll(true);
+      continue;
+    }
+    bool Enable = true;
+    if (T[0] == '-') {
+      Enable = false;
+      T = T.substr(1);
+    }
+    bool Known = false;
+    for (const PassFlag &P : Passes)
+      if (T == P.Name) {
+        Out.*(P.Flag) = Enable;
+        Known = true;
+        break;
+      }
+    if (!Known) {
+      if (Error) {
+        *Error = "unknown optimization pass '" + std::string(T) +
+                 "'; valid: all";
+        for (const PassFlag &P : Passes)
+          *Error += std::string(", ") + P.Name;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string impact::renderOptPasses(const OptOptions &Opts) {
+  std::string Out;
+  for (const PassFlag &P : Passes)
+    if (Opts.*(P.Flag)) {
+      if (!Out.empty())
+        Out += ',';
+      Out += P.Name;
+    }
+  return Out.empty() ? "none" : Out;
+}
 
 bool impact::runOptimizationPipeline(Function &F, const OptOptions &Opts,
                                      OptStats *Stats) {
@@ -51,12 +140,26 @@ bool impact::runOptimizationPipeline(Function &F, const OptOptions &Opts,
     if (Opts.CopyPropagation)
       Changed |= runTimed(Stats ? &Stats->CopyPropagation : nullptr, F,
                           [](Function &G) { return runCopyPropagation(G); });
+    // SCCP first turns conditional structure into constants, folding and
+    // the peephole then shrink straight-line code, jump optimization
+    // unlinks the arms SCCP proved dead, and LICM hoists from the cleaned
+    // loops so DCE can sweep what the motion exposed.
+    if (Opts.Sccp)
+      Changed |= runTimed(Stats ? &Stats->Sccp : nullptr, F,
+                          [](Function &G) { return runSccp(G); });
     if (Opts.ConstantFolding)
       Changed |= runTimed(Stats ? &Stats->ConstantFolding : nullptr, F,
                           [](Function &G) { return runConstantFolding(G); });
+    if (Opts.Peephole)
+      Changed |= runTimed(Stats ? &Stats->Peephole : nullptr, F,
+                          [](Function &G) { return runPeephole(G); });
     if (Opts.JumpOptimization)
       Changed |= runTimed(Stats ? &Stats->JumpOptimization : nullptr, F,
                           [](Function &G) { return runJumpOptimization(G); });
+    if (Opts.LoopInvariantCodeMotion)
+      Changed |= runTimed(Stats ? &Stats->LoopInvariantCodeMotion : nullptr,
+                          F,
+                          [](Function &G) { return runLoopInvariantCodeMotion(G); });
     if (Opts.DeadCodeElimination)
       Changed |= runTimed(Stats ? &Stats->DeadCodeElimination : nullptr, F,
                           [](Function &G) { return runDeadCodeElimination(G); });

@@ -10,11 +10,19 @@
 #include "ir/Ir.h"
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 namespace impact {
 
 /// Which classic optimizations to run and how often to iterate the
 /// pipeline (each pass can expose work for the others).
+///
+/// Every field here is part of a cached function body's identity:
+/// driver/FunctionCache.cpp fingerprints each one in makeKey, and its
+/// static_assert on sizeof(OptOptions) plus the exhaustive toggle test in
+/// tests/PipelineTests.cpp trip when a knob is added without extending
+/// the fingerprint.
 struct OptOptions {
   bool ConstantFolding = true;
   bool JumpOptimization = true;
@@ -23,8 +31,34 @@ struct OptOptions {
   /// Off by default: the paper's measurements do not include it, and it
   /// assumes C's uninitialized-local semantics (see the pass header).
   bool TailRecursionElimination = false;
+  /// The post-inline cleanup trio (opt/Sccp.h, opt/Peephole.h,
+  /// opt/LoopInvariantCodeMotion.h). Off by default: the paper's Table 4
+  /// baseline predates them; the ablation benches and --passes= turn
+  /// them on.
+  bool Sccp = false;
+  bool Peephole = false;
+  bool LoopInvariantCodeMotion = false;
   unsigned MaxIterations = 4;
+
+  /// Exact equality — the bench harness uses it to apply --passes= only
+  /// to jobs still at the default pass set.
+  friend bool operator==(const OptOptions &, const OptOptions &) = default;
 };
+
+/// Renders the enabled passes of \p Opts as a comma-separated list of
+/// parseOptPasses names ("fold,jump,copy,dce"; "none" when all are off) —
+/// the inverse presentation of parseOptPasses for footers and traces.
+std::string renderOptPasses(const OptOptions &Opts);
+
+/// Parses a pass-selection spec into \p Out, the grammar the analyzer's
+/// rule specs use: "all" (or empty/"1"/"on") enables everything; a
+/// comma-separated list of pass names ("fold", "jump", "copy", "dce",
+/// "tre", "sccp", "peephole", "licm") enables exactly those; "-name"
+/// disables one, and a spec of only negatives subtracts from everything
+/// ("all,-licm" == "-licm"). MaxIterations is untouched. Returns false
+/// and fills \p Error (when non-null) on an unknown name.
+bool parseOptPasses(std::string_view Spec, OptOptions &Out,
+                    std::string *Error);
 
 /// Wall time and effect counters for one pass across a pipeline run.
 /// Timing is observability only — no optimization decision reads it — so
@@ -45,8 +79,11 @@ struct PassTiming {
 struct OptStats {
   PassTiming TailRecursionElimination;
   PassTiming CopyPropagation;
+  PassTiming Sccp;
   PassTiming ConstantFolding;
+  PassTiming Peephole;
   PassTiming JumpOptimization;
+  PassTiming LoopInvariantCodeMotion;
   PassTiming DeadCodeElimination;
   /// Functions the pipeline was invoked on.
   uint64_t FunctionsVisited = 0;
@@ -60,8 +97,11 @@ struct OptStats {
   void merge(const OptStats &Other) {
     TailRecursionElimination.merge(Other.TailRecursionElimination);
     CopyPropagation.merge(Other.CopyPropagation);
+    Sccp.merge(Other.Sccp);
     ConstantFolding.merge(Other.ConstantFolding);
+    Peephole.merge(Other.Peephole);
     JumpOptimization.merge(Other.JumpOptimization);
+    LoopInvariantCodeMotion.merge(Other.LoopInvariantCodeMotion);
     DeadCodeElimination.merge(Other.DeadCodeElimination);
     FunctionsVisited += Other.FunctionsVisited;
     Iterations += Other.Iterations;

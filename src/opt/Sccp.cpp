@@ -1,0 +1,282 @@
+//===- opt/Sccp.cpp ------------------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Sccp.h"
+
+#include <optional>
+#include <vector>
+
+using namespace impact;
+
+namespace {
+
+/// One lattice cell: a known constant or overdefined. There is no "top"
+/// tier — the entry state is fully known (parameters overdefined, every
+/// other register the constant 0 the engines zero-initialize to), and the
+/// transfer function maps known states to known states, so unvisited
+/// blocks are the only "unknown" and they carry no state at all.
+struct Cell {
+  bool IsConst = false;
+  int64_t Value = 0;
+
+  static Cell constant(int64_t V) { return {true, V}; }
+  static Cell overdefined() { return {false, 0}; }
+  bool operator==(const Cell &O) const {
+    return IsConst == O.IsConst && (!IsConst || Value == O.Value);
+  }
+};
+
+using State = std::vector<Cell>;
+
+/// Folds Op over constant operands; nullopt when the operation must be
+/// left to the runtime (division by zero and INT64_MIN / -1 trap).
+/// Mirrors opt/ConstantFolding.cpp exactly — both must agree with the
+/// interpreter's semantics.
+std::optional<int64_t> foldBinary(Opcode Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case Opcode::Add:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) +
+                                static_cast<uint64_t>(R));
+  case Opcode::Sub:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) -
+                                static_cast<uint64_t>(R));
+  case Opcode::Mul:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) *
+                                static_cast<uint64_t>(R));
+  case Opcode::Div:
+    if (R == 0 || (L == INT64_MIN && R == -1))
+      return std::nullopt;
+    return L / R;
+  case Opcode::Rem:
+    if (R == 0 || (L == INT64_MIN && R == -1))
+      return std::nullopt;
+    return L % R;
+  case Opcode::Shl:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) << (R & 63));
+  case Opcode::Shr:
+    return L >> (R & 63);
+  case Opcode::And:
+    return L & R;
+  case Opcode::Or:
+    return L | R;
+  case Opcode::Xor:
+    return L ^ R;
+  case Opcode::CmpEq:
+    return L == R;
+  case Opcode::CmpNe:
+    return L != R;
+  case Opcode::CmpLt:
+    return L < R;
+  case Opcode::CmpLe:
+    return L <= R;
+  case Opcode::CmpGt:
+    return L > R;
+  case Opcode::CmpGe:
+    return L >= R;
+  default:
+    return std::nullopt;
+  }
+}
+
+bool isFoldableBinary(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// The value instruction \p I leaves in its destination given the state
+/// \p S before it, or overdefined for anything impure or unfoldable.
+Cell evalDst(const Instr &I, const State &S) {
+  auto Get = [&](Reg R) { return S[static_cast<size_t>(R)]; };
+  switch (I.Op) {
+  case Opcode::LdImm:
+    return Cell::constant(I.Imm);
+  case Opcode::Mov:
+    return Get(I.Src1);
+  case Opcode::Neg: {
+    Cell V = Get(I.Src1);
+    if (!V.IsConst)
+      return Cell::overdefined();
+    return Cell::constant(
+        static_cast<int64_t>(0ull - static_cast<uint64_t>(V.Value)));
+  }
+  case Opcode::Not: {
+    Cell V = Get(I.Src1);
+    if (!V.IsConst)
+      return Cell::overdefined();
+    return Cell::constant(~V.Value);
+  }
+  default:
+    break;
+  }
+  if (isFoldableBinary(I.Op)) {
+    Cell L = Get(I.Src1);
+    Cell R = Get(I.Src2);
+    if (L.IsConst && R.IsConst)
+      if (auto Folded = foldBinary(I.Op, L.Value, R.Value))
+        return Cell::constant(*Folded);
+    return Cell::overdefined();
+  }
+  // Load, calls, and address producers: never folded. (FuncAddr values
+  // are module-level constants, but folding them to ld_imm would erase
+  // the Callee marker the call-graph's address-taken audit reads.)
+  return Cell::overdefined();
+}
+
+/// Applies \p I to \p S in place.
+void transfer(const Instr &I, State &S) {
+  Reg D = I.Dst;
+  if (D == kNoReg || I.isTerminator())
+    return;
+  if (I.Op == Opcode::Store)
+    return;
+  S[static_cast<size_t>(D)] = evalDst(I, S);
+}
+
+/// True for opcodes whose constant result may be replaced by ld_imm.
+bool isPureRewritable(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+  case Opcode::Neg:
+  case Opcode::Not:
+    return true;
+  default:
+    return isFoldableBinary(Op);
+  }
+}
+
+} // namespace
+
+bool impact::runSccp(Function &F) {
+  if (F.Blocks.empty() || F.NumRegs == 0)
+    return false;
+  const size_t NumBlocks = F.Blocks.size();
+
+  std::vector<char> Executable(NumBlocks, 0);
+  std::vector<State> InState(NumBlocks);
+  std::vector<char> Queued(NumBlocks, 0);
+  std::vector<BlockId> Work;
+
+  // Exact entry state: parameters unknown, everything else the 0 both
+  // engines zero-initialize registers to.
+  State Entry(F.NumRegs, Cell::constant(0));
+  for (uint32_t P = 0; P != F.NumParams && P < F.NumRegs; ++P)
+    Entry[P] = Cell::overdefined();
+  Executable[0] = 1;
+  InState[0] = std::move(Entry);
+  Queued[0] = 1;
+  Work.push_back(0);
+
+  // Weakens \p Dest toward \p Src pointwise; true when anything moved.
+  auto MergeInto = [](State &Dest, const State &Src) {
+    bool Moved = false;
+    for (size_t R = 0; R != Dest.size(); ++R) {
+      if (!Dest[R].IsConst)
+        continue;
+      if (!(Dest[R] == Src[R])) {
+        Dest[R] = Cell::overdefined();
+        Moved = true;
+      }
+    }
+    return Moved;
+  };
+  auto Propagate = [&](BlockId T, const State &S) {
+    if (T < 0 || static_cast<size_t>(T) >= NumBlocks)
+      return;
+    size_t TI = static_cast<size_t>(T);
+    bool NeedsVisit;
+    if (!Executable[TI]) {
+      Executable[TI] = 1;
+      InState[TI] = S;
+      NeedsVisit = true;
+    } else {
+      NeedsVisit = MergeInto(InState[TI], S);
+    }
+    if (NeedsVisit && !Queued[TI]) {
+      Queued[TI] = 1;
+      Work.push_back(T);
+    }
+  };
+
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    Queued[static_cast<size_t>(B)] = 0;
+    State S = InState[static_cast<size_t>(B)];
+    const BasicBlock &Blk = F.Blocks[static_cast<size_t>(B)];
+    for (const Instr &I : Blk.Instrs)
+      transfer(I, S);
+    if (Blk.Instrs.empty())
+      continue;
+    const Instr &Term = Blk.Instrs.back();
+    if (Term.Op == Opcode::Jump) {
+      Propagate(Term.Target, S);
+    } else if (Term.Op == Opcode::CondBr) {
+      Cell Cond = S[static_cast<size_t>(Term.Src1)];
+      if (Cond.IsConst)
+        Propagate(Cond.Value != 0 ? Term.Target : Term.Target2, S);
+      else {
+        Propagate(Term.Target, S);
+        Propagate(Term.Target2, S);
+      }
+    }
+  }
+
+  // Rewrite phase over executable blocks with the settled states.
+  bool Changed = false;
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    if (!Executable[B])
+      continue;
+    State S = InState[B];
+    for (Instr &I : F.Blocks[B].Instrs) {
+      if (I.Op == Opcode::CondBr) {
+        Cell Cond = S[static_cast<size_t>(I.Src1)];
+        if (Cond.IsConst) {
+          I = Instr::makeJump(Cond.Value != 0 ? I.Target : I.Target2);
+          Changed = true;
+        }
+        continue;
+      }
+      if (I.Dst != kNoReg && isPureRewritable(I.Op)) {
+        Cell V = evalDst(I, S);
+        if (V.IsConst) {
+          transfer(I, S);
+          I = Instr::makeLdImm(I.Dst, V.Value);
+          Changed = true;
+          continue;
+        }
+      }
+      transfer(I, S);
+    }
+  }
+  return Changed;
+}
+
+bool impact::runSccp(Module &M) {
+  bool Changed = false;
+  for (Function &F : M.Funcs)
+    if (!F.IsExternal)
+      Changed |= runSccp(F);
+  return Changed;
+}

@@ -1,0 +1,39 @@
+//===- opt/Sccp.h - Sparse conditional constant propagation -------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_OPT_SCCP_H
+#define IMPACT_OPT_SCCP_H
+
+#include "ir/Ir.h"
+
+namespace impact {
+
+/// Wegman/Zadeck-style conditional constant propagation adapted to the
+/// non-SSA IL: a worklist propagates per-register constant lattice values
+/// (constant or overdefined) across block boundaries, but only along
+/// branch edges that can actually execute — a cond_br whose condition has
+/// settled to a constant feeds just one successor, so constants survive
+/// through diamonds that a path-insensitive analysis would smear to
+/// overdefined.
+///
+/// The entry state is exact, not assumed: parameters are overdefined,
+/// every other register is the constant 0 (both execution engines
+/// zero-initialize the register file — interp/Interpreter.cpp and
+/// vm/Vm.cpp — so "uninitialized" reads are defined to yield 0).
+///
+/// Rewrites: an instruction whose pure result settled to a constant
+/// becomes ld_imm; a cond_br on a constant becomes jump (the dead arm is
+/// left for jump optimization to unlink). Trapping operations (div/rem by
+/// zero, INT64_MIN / -1) are never folded away — they stay to trap at
+/// runtime. Returns true on change.
+bool runSccp(Function &F);
+
+/// Runs SCCP over every non-external function.
+bool runSccp(Module &M);
+
+} // namespace impact
+
+#endif // IMPACT_OPT_SCCP_H

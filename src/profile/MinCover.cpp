@@ -6,8 +6,8 @@
 
 #include "profile/MinCover.h"
 
+#include "analysis/LoopInfo.h"
 #include "ir/IrPrinter.h"
-#include "profile/StaticEstimator.h"
 
 #include <algorithm>
 #include <cassert>
@@ -71,11 +71,15 @@ private:
   std::vector<size_t> Parent;
 };
 
-/// 10^min(Depth, Cap) as an integer — the static estimator's loop-depth
+/// 10^min(Depth, 18) as an integer — the static estimator's loop-depth
 /// frequency prior, kept integral so tree selection is deterministic.
+/// Depths come uncapped from analysis/LoopInfo (the shared implementation
+/// the estimator reads too), so deeper nests genuinely outweigh shallower
+/// ones here; 18 only guards uint64 overflow (10^18 < 2^63), never ties
+/// real programs.
 uint64_t depthWeight(unsigned Depth) {
   uint64_t W = 1;
-  for (unsigned I = 0; I < Depth && I < 4; ++I)
+  for (unsigned I = 0; I < Depth && I < 18; ++I)
     W *= 10;
   return W;
 }

@@ -6,105 +6,20 @@
 
 #include "profile/StaticEstimator.h"
 
-#include "callgraph/Scc.h"
+#include "analysis/LoopInfo.h"
 
 #include <algorithm>
 #include <cmath>
 
 using namespace impact;
 
-namespace {
-
-/// Successor block ids of \p B (none for Ret).
-void appendSuccessors(const BasicBlock &B, std::vector<int> &Out) {
-  const Instr &Term = B.getTerminator();
-  if (Term.Op == Opcode::Jump) {
-    Out.push_back(Term.Target);
-  } else if (Term.Op == Opcode::CondBr) {
-    Out.push_back(Term.Target);
-    Out.push_back(Term.Target2);
-  }
-}
-
-/// One SCC-peeling round: within the subgraph induced by \p Alive, every
-/// block inside a nontrivial SCC gains one loop level; the subgraph then
-/// recurses into each such SCC minus its smallest-id block (the usual
-/// header surrogate) to count inner nests.
-void peelLoops(const Function &F, std::vector<bool> Alive,
-               std::vector<unsigned> &Depth, unsigned Level,
-               unsigned MaxLevel) {
-  if (Level >= MaxLevel)
-    return;
-
-  // Build the induced subgraph with dense ids.
-  std::vector<int> DenseToBlock;
-  std::vector<int> BlockToDense(F.Blocks.size(), -1);
-  for (size_t B = 0; B != F.Blocks.size(); ++B) {
-    if (!Alive[B])
-      continue;
-    BlockToDense[B] = static_cast<int>(DenseToBlock.size());
-    DenseToBlock.push_back(static_cast<int>(B));
-  }
-  if (DenseToBlock.empty())
-    return;
-  std::vector<std::vector<int>> Succ(DenseToBlock.size());
-  std::vector<int> Tmp;
-  for (size_t D = 0; D != DenseToBlock.size(); ++D) {
-    Tmp.clear();
-    appendSuccessors(F.Blocks[static_cast<size_t>(DenseToBlock[D])], Tmp);
-    for (int T : Tmp)
-      if (Alive[static_cast<size_t>(T)])
-        Succ[D].push_back(BlockToDense[static_cast<size_t>(T)]);
-  }
-
-  SccResult Scc = computeScc(Succ);
-
-  // Group members per nontrivial component (self loops count too).
-  std::vector<std::vector<int>> Members(
-      static_cast<size_t>(Scc.NumComponents));
-  for (size_t D = 0; D != DenseToBlock.size(); ++D)
-    Members[static_cast<size_t>(Scc.ComponentIds[D])].push_back(
-        static_cast<int>(D));
-  std::vector<bool> SelfLoop(DenseToBlock.size(), false);
-  for (size_t D = 0; D != Succ.size(); ++D)
-    for (int T : Succ[D])
-      if (T == static_cast<int>(D))
-        SelfLoop[D] = true;
-
-  for (const std::vector<int> &Component : Members) {
-    bool Nontrivial =
-        Component.size() > 1 ||
-        (Component.size() == 1 && SelfLoop[static_cast<size_t>(
-                                      Component[0])]);
-    if (!Nontrivial)
-      continue;
-    std::vector<bool> Inner(F.Blocks.size(), false);
-    int Header = *std::min_element(Component.begin(), Component.end());
-    for (int D : Component) {
-      int Block = DenseToBlock[static_cast<size_t>(D)];
-      Depth[static_cast<size_t>(Block)] += 1;
-      if (D != Header)
-        Inner[static_cast<size_t>(Block)] = true;
-    }
-    peelLoops(F, std::move(Inner), Depth, Level + 1, MaxLevel);
-  }
-}
-
-} // namespace
-
-std::vector<unsigned> impact::computeLoopDepths(const Function &F,
-                                                unsigned MaxLoopDepth) {
-  std::vector<unsigned> Depth(F.Blocks.size(), 0);
-  if (F.Blocks.empty())
-    return Depth;
-  std::vector<bool> Alive(F.Blocks.size(), true);
-  peelLoops(F, std::move(Alive), Depth, 0, MaxLoopDepth);
-  return Depth;
-}
-
 ProfileData impact::estimateProfileFromStructure(
     const Module &M, StaticEstimateOptions Options) {
-  // 1. Local site weights: LoopMultiplier^depth.
+  // 1. Local site weights: LoopMultiplier^min(depth, MaxLoopDepth). The
+  // structural depths come uncapped from analysis/LoopInfo (the shared
+  // implementation MinCover and LICM also consume); the configured cap is
+  // applied here, at weighting time, so it can never diverge from the
+  // depths another consumer observed.
   std::vector<double> LocalWeight(M.NextSiteId, 0.0);
   // Remember each site's caller for the propagation step.
   std::vector<FuncId> SiteCaller(M.NextSiteId, kNoFunc);
@@ -113,13 +28,14 @@ ProfileData impact::estimateProfileFromStructure(
   for (const Function &F : M.Funcs) {
     if (F.IsExternal || F.Eliminated)
       continue;
-    std::vector<unsigned> Depth = computeLoopDepths(F, Options.MaxLoopDepth);
+    std::vector<unsigned> Depth = computeLoopDepths(F);
     for (size_t B = 0; B != F.Blocks.size(); ++B) {
       for (const Instr &I : F.Blocks[B].Instrs) {
         if (!I.isCall())
           continue;
-        LocalWeight[I.SiteId] =
-            std::pow(Options.LoopMultiplier, Depth[B]);
+        LocalWeight[I.SiteId] = std::pow(
+            Options.LoopMultiplier,
+            std::min(Depth[B], Options.MaxLoopDepth));
         SiteCaller[I.SiteId] = F.Id;
         if (I.Op == Opcode::Call)
           SiteCallee[I.SiteId] = I.Callee;

@@ -12,9 +12,10 @@
 /// compiler examines the code structure (e.g. loops) to choose the
 /// function calls for inline expansion"):
 ///
-///  - every call site is weighted LoopMultiplier^depth, where depth is
-///    the site's loop-nesting depth in the caller's CFG (computed by SCC
-///    peeling, capped at MaxLoopDepth),
+///  - every call site is weighted LoopMultiplier^min(depth, MaxLoopDepth),
+///    where depth is the site's loop-nesting depth in the caller's CFG
+///    (SCC peeling, shared with every other depth consumer via
+///    analysis/LoopInfo.h; the cap is applied at weighting time),
 ///  - function entry estimates propagate top-down from main over the
 ///    direct call graph for a bounded number of rounds (recursion-safe),
 ///  - the estimates are packaged as a ProfileData so the entire inlining
@@ -27,6 +28,7 @@
 #ifndef IMPACT_PROFILE_STATICESTIMATOR_H
 #define IMPACT_PROFILE_STATICESTIMATOR_H
 
+#include "analysis/LoopInfo.h"
 #include "ir/Ir.h"
 #include "profile/Profile.h"
 
@@ -42,11 +44,6 @@ struct StaticEstimateOptions {
   /// Rounds of top-down entry-count propagation.
   unsigned PropagationRounds = 6;
 };
-
-/// Loop-nesting depth of every block of \p F (entry-reachable blocks
-/// only; unreachable blocks get 0).
-std::vector<unsigned> computeLoopDepths(const Function &F,
-                                        unsigned MaxLoopDepth = 4);
 
 /// Builds a synthetic single-"run" profile for \p M from structure alone.
 ProfileData estimateProfileFromStructure(

@@ -306,6 +306,41 @@ TEST(BatchPipeline, CacheDisabledStillMatches) {
   EXPECT_EQ(B.Aggregate.CacheHits + B.Aggregate.CacheMisses, 0u);
 }
 
+TEST(BatchPipeline, CachedMatchesUncachedAcrossPassSets) {
+  // The cache-key bugfix end to end: ONE external cache is reused across
+  // four pass-set configurations of the same programs. If makeKey missed
+  // any OptOptions field, a later configuration would splice a body
+  // optimized under an earlier one and diverge from its uncached run.
+  FunctionDefinitionCache Shared;
+  for (const char *Spec : {"fold,jump,copy,dce", "all",
+                           "sccp,peephole,licm", "all,-dce,-licm"}) {
+    SCOPED_TRACE(Spec);
+    OptOptions Passes;
+    std::string Error;
+    ASSERT_TRUE(parseOptPasses(Spec, Passes, &Error)) << Error;
+    std::vector<BatchJob> Jobs = makeTestJobs();
+    for (BatchJob &Job : Jobs) {
+      Job.Options.PreOpt = Passes;
+      Job.Options.Inline.PostInlineOptimize = true;
+      Job.Options.Inline.PostOpt = Passes;
+    }
+    BatchOptions Cached;
+    Cached.Jobs = 4;
+    Cached.ExternalCache = &Shared;
+    BatchOptions Uncached;
+    Uncached.Jobs = 4;
+    Uncached.UseDefinitionCache = false;
+    BatchResult A = runBatchPipeline(Jobs, Cached);
+    BatchResult B = runBatchPipeline(Jobs, Uncached);
+    ASSERT_TRUE(A.allOk());
+    ASSERT_TRUE(B.allOk());
+    for (size_t I = 0; I != Jobs.size(); ++I)
+      expectSameResult(A.Results[I], B.Results[I],
+                       std::string(Spec) + " " + Jobs[I].Name);
+  }
+  EXPECT_GT(Shared.getStats().Entries, 0u);
+}
+
 TEST(BatchPipeline, AggregateSumsCacheCounters) {
   std::vector<BatchJob> Jobs = makeTestJobs();
   BatchResult R = runBatchPipeline(Jobs);

@@ -17,6 +17,8 @@
 
 #include "profile/MinCover.h"
 
+#include "analysis/LoopInfo.h"
+
 #include "ir/IrVerifier.h"
 #include "suite/Suite.h"
 
@@ -292,6 +294,71 @@ TEST(MinCoverInfer, RecursionRecoversExactly) {
   RunOptions Opts;
   Opts.Input = "abcd";
   expectInferredMatchesFull(M, Plan, Opts);
+}
+
+//===----------------------------------------------------------------------===//
+// Loop-depth weights (regression: the cap-4 / MaxLoopDepth divergence)
+//===----------------------------------------------------------------------===//
+
+TEST(MinCoverPlan, DepthFiveBackArcStaysOnTheSpanningTree) {
+  // MinCover.cpp once capped loop depth at 4 while the static estimator
+  // used Options.MaxLoopDepth; both now read analysis/LoopInfo.h and
+  // MinCover weights by true depth (saturating only at 10^18). This
+  // fixture is built so the two weightings place probes differently:
+  //
+  // A four-deep for-nest (headers H1..H4 = blocks 1..4, latches L4..L1 =
+  // blocks 6..9) encloses a fifth, two-block loop {P2=11, P=12}. Block
+  // P2's cond_br puts its loop-EXIT arc (P2 -> M, depth-4 weight, taken,
+  // constructed first) AHEAD of its depth-5 back arc (P2 -> P, nottaken)
+  // in construction order. Uncapped, the back arc's 10^5 weight wins the
+  // Kruskal sort outright, so it joins the tree and the exit arc takes
+  // the probe. Capped at 4 the two arcs tie at 10^4 and the stable sort's
+  // construction-index tie-break hands the tree slot to the exit arc
+  // instead — flipping both probe placements below. The probe must sit on
+  // the arc that runs ~10x less often; with the cap, every trip around
+  // the innermost loop bumps a counter that flow conservation could have
+  // inferred.
+  Module M;
+  FuncId Id = M.addFunction("main", 0, false, false);
+  Function &F = M.getFunction(Id);
+  for (int I = 0; I != 13; ++I)
+    F.addBlock();
+  Reg C = F.addReg();
+  auto B = [&F](BlockId Bl) -> std::vector<Instr> & {
+    return F.getBlock(Bl).Instrs;
+  };
+  B(0).push_back(Instr::makeLdImm(C, 1));
+  B(0).push_back(Instr::makeJump(1));        // entry
+  B(1).push_back(Instr::makeCondBr(C, 2, 10)); // H1: depth 1
+  B(2).push_back(Instr::makeCondBr(C, 3, 9));  // H2: depth 2
+  B(3).push_back(Instr::makeCondBr(C, 4, 8));  // H3: depth 3
+  B(4).push_back(Instr::makeCondBr(C, 12, 7)); // H4: depth 4, enters P
+  B(5).push_back(Instr::makeJump(6));          // M:  depth 4
+  B(6).push_back(Instr::makeJump(4));          // L4: latch of H4
+  B(7).push_back(Instr::makeJump(3));          // L3: latch of H3
+  B(8).push_back(Instr::makeJump(2));          // L2: latch of H2
+  B(9).push_back(Instr::makeJump(1));          // L1: latch of H1
+  B(10).push_back(Instr::makeRet(C));          // exit
+  B(11).push_back(Instr::makeCondBr(C, 5, 12)); // P2: depth 5
+  B(12).push_back(Instr::makeCondBr(C, 11, 5)); // P:  depth 5
+  M.MainId = Id;
+  ASSERT_EQ(verifyModuleText(M), "");
+
+  // The fixture depends on the shared analysis seeing all five levels.
+  std::vector<unsigned> Depth = computeLoopDepths(F);
+  EXPECT_EQ(*std::max_element(Depth.begin(), Depth.end()), 5u);
+  EXPECT_EQ(Depth[11], 5u);
+  EXPECT_EQ(Depth[12], 5u);
+  EXPECT_EQ(Depth[5], 4u);
+
+  MinCoverPlan Plan = buildMinCoverPlan(M);
+  ASSERT_EQ(Plan.Funcs.size(), 1u);
+  const MinCoverFuncPlan &FP = Plan.Funcs[0];
+  ASSERT_TRUE(FP.Instrumented);
+  EXPECT_EQ(FP.NotTakenProbes[11], -1)
+      << "the depth-5 back arc P2 -> P must be a tree arc";
+  EXPECT_GE(FP.TakenProbes[11], 0)
+      << "the depth-4 exit arc P2 -> M must carry the probe";
 }
 
 } // namespace

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The batch pipeline's determinism contract, property-tested: for 32
+/// The batch pipeline's determinism contract, property-tested: for 64
 /// random programs, running the serial Pipeline and the BatchPipeline (at
 /// one thread and at an oversubscribed four threads, with the shared
 /// function-definition cache active) must produce identical PhaseMetrics,
@@ -94,6 +94,14 @@ TEST_P(ParallelDeterminism, BatchMatchesSerialAtAnyThreadCount) {
   // the function's own identity (self-call status), not just its printed
   // body — exactly the configuration a body-keyed cache can get wrong.
   Options.PreOpt.TailRecursionElimination = (Seed % 3) == 0;
+  // Odd seeds widen the pipeline with the post-inline trio, so the cache
+  // key must separate eight pass combinations across the seed range, and
+  // LICM's preheader splicing runs under every thread count.
+  Options.PreOpt.Sccp = (Seed % 2) == 1;
+  Options.PreOpt.Peephole = (Seed % 2) == 1;
+  Options.PreOpt.LoopInvariantCodeMotion = (Seed % 2) == 1;
+  if (Options.Inline.PostInlineOptimize)
+    Options.Inline.PostOpt = Options.PreOpt;
 
   PipelineResult Serial = runPipeline(
       Source, "random" + std::to_string(Seed), Inputs, Options);
@@ -120,7 +128,7 @@ TEST_P(ParallelDeterminism, BatchMatchesSerialAtAnyThreadCount) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminism,
-                         ::testing::Range<uint64_t>(1, 33));
+                         ::testing::Range<uint64_t>(1, 65));
 
 // Cache-key regression across two jobs sharing the batch cache. In
 // RecSource, rec (f0) tail-calls itself from its module's first call
@@ -183,29 +191,45 @@ TEST(ParallelDeterminism, TreWrapperDoesNotCollideWithSelfRecursion) {
   }
 }
 
-// The configuration the benches actually run: the whole 12-program suite
-// as one batch, shared cache, parallel workers.
+// The configurations the benches actually run: the whole 12-program suite
+// as one batch, shared cache, parallel workers — once at the paper
+// baseline and once with the full widened pipeline (the ablation lattice's
+// "+licm" point, pre-opt and post-inline both).
 TEST(ParallelDeterminism, FullSuiteBatchMatchesSerial) {
-  std::vector<BatchJob> Jobs;
-  std::vector<PipelineResult> Serial;
-  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
-    BatchJob Job;
-    Job.Name = B.Name;
-    Job.Source = B.Source;
-    Job.Inputs = makeBenchmarkInputs(B, 2);
-    Serial.push_back(runPipeline(Job.Source, Job.Name, Job.Inputs,
-                                 Job.Options));
-    ASSERT_TRUE(Serial.back().Ok) << B.Name << ": " << Serial.back().Error;
-    Jobs.push_back(std::move(Job));
-  }
+  PipelineOptions Widened;
+  Widened.PreOpt.Sccp = true;
+  Widened.PreOpt.Peephole = true;
+  Widened.PreOpt.LoopInvariantCodeMotion = true;
+  Widened.Inline.PostInlineOptimize = true;
+  Widened.Inline.PostOpt = Widened.PreOpt;
 
-  BatchOptions Options;
-  Options.Jobs = 4;
-  BatchResult R = runBatchPipeline(Jobs, Options);
-  ASSERT_TRUE(R.allOk()) << "first failure: " << R.firstFailure();
-  ASSERT_EQ(R.Results.size(), Jobs.size());
-  for (size_t I = 0; I != Jobs.size(); ++I)
-    expectBitIdentical(Serial[I], R.Results[I], Jobs[I].Name);
+  for (const PipelineOptions &Config : {PipelineOptions(), Widened}) {
+    std::vector<BatchJob> Jobs;
+    std::vector<PipelineResult> Serial;
+    for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+      BatchJob Job;
+      Job.Name = B.Name;
+      Job.Source = B.Source;
+      Job.Inputs = makeBenchmarkInputs(B, 2);
+      Job.Options = Config;
+      Serial.push_back(runPipeline(Job.Source, Job.Name, Job.Inputs,
+                                   Job.Options));
+      ASSERT_TRUE(Serial.back().Ok) << B.Name << ": "
+                                    << Serial.back().Error;
+      Jobs.push_back(std::move(Job));
+    }
+
+    std::string Tag = Config.PreOpt.LoopInvariantCodeMotion
+                          ? std::string(" widened")
+                          : std::string(" baseline");
+    BatchOptions Options;
+    Options.Jobs = 4;
+    BatchResult R = runBatchPipeline(Jobs, Options);
+    ASSERT_TRUE(R.allOk()) << "first failure: " << R.firstFailure();
+    ASSERT_EQ(R.Results.size(), Jobs.size());
+    for (size_t I = 0; I != Jobs.size(); ++I)
+      expectBitIdentical(Serial[I], R.Results[I], Jobs[I].Name + Tag);
+  }
 }
 
 } // namespace

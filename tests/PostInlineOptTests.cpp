@@ -1,0 +1,488 @@
+//===- tests/PostInlineOptTests.cpp - peephole / SCCP / LICM tests ------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The post-inline cleanup trio (opt/Peephole.h, opt/Sccp.h,
+/// opt/LoopInvariantCodeMotion.h) and the shared loop analysis they ride
+/// on (analysis/LoopInfo.h). Positive transforms, the negative fixtures
+/// each pass must refuse (trap-capable hoists, reachable branches,
+/// operand arity), and the PassManager plumbing (parseOptPasses,
+/// MaxIterations=0).
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/JumpOptimization.h"
+#include "opt/LoopInvariantCodeMotion.h"
+#include "opt/PassManager.h"
+#include "opt/Peephole.h"
+#include "opt/Sccp.h"
+
+#include "analysis/LoopInfo.h"
+#include "ir/IrPrinter.h"
+#include "ir/IrVerifier.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+using namespace impact;
+using test::compileOk;
+
+namespace {
+
+size_t countOps(const Function &F, Opcode Op) {
+  size_t N = 0;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs)
+      N += I.Op == Op ? 1 : 0;
+  return N;
+}
+
+/// Loop depth of the block holding the first \p Op instruction, or -1 when
+/// the function has none.
+int depthOfFirst(const Function &F, Opcode Op) {
+  std::vector<unsigned> Depth = computeLoopDepths(F);
+  for (size_t B = 0; B != F.Blocks.size(); ++B)
+    for (const Instr &I : F.Blocks[B].Instrs)
+      if (I.Op == Op)
+        return static_cast<int>(Depth[B]);
+  return -1;
+}
+
+/// Checks a pass preserves behaviour on a source program + input, and
+/// leaves a verifier-clean module (operand arity, terminator placement,
+/// target validity — the structural contract every rewrite must keep).
+template <typename PassFn>
+void expectPreserves(PassFn Pass, const char *Source,
+                     const std::string &Input) {
+  Module M = compileOk(Source);
+  RunOptions Opts;
+  Opts.Input = Input;
+  ExecResult Before = runProgram(M, Opts);
+  ASSERT_TRUE(Before.ok()) << Before.TrapMessage;
+  Pass(M);
+  ASSERT_EQ(verifyModuleText(M), "");
+  ExecResult After = runProgram(M, Opts);
+  ASSERT_TRUE(After.ok()) << After.TrapMessage;
+  EXPECT_EQ(Before.Output, After.Output);
+  EXPECT_EQ(Before.ExitCode, After.ExitCode);
+}
+
+//===----------------------------------------------------------------------===//
+// Peephole
+//===----------------------------------------------------------------------===//
+
+TEST(Peephole, FoldsAdditiveAndMultiplicativeIdentities) {
+  // x is runtime input, so constant folding alone cannot touch these; the
+  // peephole's algebraic identities must.
+  Module M = compileOk("extern int getchar();"
+                       "int main() { int x; x = getchar();"
+                       "return (x + 0) * 1; }");
+  EXPECT_TRUE(runPeephole(M));
+  const Function &Main = M.getFunction(M.MainId);
+  EXPECT_EQ(countOps(Main, Opcode::Add), 0u);
+  EXPECT_EQ(countOps(Main, Opcode::Mul), 0u);
+  ASSERT_EQ(verifyModuleText(M), "");
+  RunOptions Opts;
+  Opts.Input = "A";
+  EXPECT_EQ(runProgram(M, Opts).ExitCode, 'A');
+}
+
+TEST(Peephole, StrengthReducesPowerOfTwoMultiply) {
+  Module M = compileOk("extern int getchar();"
+                       "int main() { int x; x = getchar();"
+                       "return x * 8; }");
+  EXPECT_TRUE(runPeephole(M));
+  const Function &Main = M.getFunction(M.MainId);
+  EXPECT_EQ(countOps(Main, Opcode::Mul), 0u);
+  EXPECT_GE(countOps(Main, Opcode::Shl), 1u);
+  ASSERT_EQ(verifyModuleText(M), "");
+  RunOptions Opts;
+  Opts.Input = "A";
+  EXPECT_EQ(runProgram(M, Opts).ExitCode, 'A' * 8);
+}
+
+TEST(Peephole, LeavesNonPowerOfTwoMultiplyAlone) {
+  Module M = compileOk("extern int getchar();"
+                       "int main() { int x; x = getchar();"
+                       "return x * 6; }");
+  runPeephole(M);
+  EXPECT_EQ(countOps(M.getFunction(M.MainId), Opcode::Mul), 1u);
+}
+
+TEST(Peephole, SameRegisterOperandsFold) {
+  // x - x == 0 and x ^ x == 0 regardless of x's value; built by hand so
+  // both operands are literally the same register.
+  Module M;
+  FuncId Id = M.addFunction("main", 0, false, false);
+  Function &F = M.getFunction(Id);
+  BlockId B = F.addBlock();
+  Reg X = F.addReg(), D = F.addReg();
+  F.getBlock(B).Instrs.push_back(Instr::makeLdImm(X, 7));
+  F.getBlock(B).Instrs.push_back(
+      Instr::makeBinary(Opcode::Sub, D, X, X));
+  F.getBlock(B).Instrs.push_back(Instr::makeRet(D));
+  M.MainId = Id;
+  EXPECT_TRUE(runPeephole(F));
+  EXPECT_EQ(countOps(F, Opcode::Sub), 0u);
+  ASSERT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(runProgram(M).ExitCode, 0);
+}
+
+TEST(Peephole, DoesNotFoldTrappingDivideByMinusOne) {
+  // INT64_MIN / -1 traps (quotient overflow); folding it to a negate
+  // would erase the trap. The peephole must leave the Div in place.
+  Module M;
+  FuncId Id = M.addFunction("main", 0, false, false);
+  Function &F = M.getFunction(Id);
+  BlockId B = F.addBlock();
+  Reg A = F.addReg(), N = F.addReg(), D = F.addReg();
+  F.getBlock(B).Instrs.push_back(
+      Instr::makeLdImm(A, std::numeric_limits<int64_t>::min()));
+  F.getBlock(B).Instrs.push_back(Instr::makeLdImm(N, -1));
+  F.getBlock(B).Instrs.push_back(
+      Instr::makeBinary(Opcode::Div, D, A, N));
+  F.getBlock(B).Instrs.push_back(Instr::makeRet(D));
+  M.MainId = Id;
+  runPeephole(F);
+  EXPECT_EQ(countOps(F, Opcode::Div), 1u);
+  EXPECT_EQ(runProgram(M).St, ExecResult::Status::Trapped);
+}
+
+TEST(Peephole, KeepsOperandArityIntact) {
+  // Strength reduction rewrites Mul into LdImm+Shl; every surviving
+  // instruction must keep the operand shape the verifier demands.
+  Module M = compileOk("extern int getchar();"
+                       "int main() { int x; int y; x = getchar();"
+                       "y = x * 16 + x * 3 - (x & x);"
+                       "return y | 0; }");
+  runPeephole(M);
+  ASSERT_EQ(verifyModuleText(M), "");
+}
+
+TEST(Peephole, PreservesBehaviour) {
+  expectPreserves([](Module &M) { runPeephole(M); },
+                  test::kCallHeavyProgram, "hello world");
+}
+
+//===----------------------------------------------------------------------===//
+// Sparse conditional constant propagation
+//===----------------------------------------------------------------------===//
+
+TEST(Sccp, PropagatesConstantsThroughJoins) {
+  // y is 1 on both arms; only a propagation that merges flow-in states at
+  // the join can prove it (block-local constant folding cannot).
+  Module M = compileOk("extern int getchar();"
+                       "int main() { int c; int y; c = getchar();"
+                       "if (c) y = 1; else y = 1;"
+                       "if (y) return 3; return 4; }");
+  const Function &Main = M.getFunction(M.MainId);
+  ASSERT_EQ(countOps(Main, Opcode::CondBr), 2u);
+  EXPECT_TRUE(runSccp(M));
+  EXPECT_EQ(countOps(Main, Opcode::CondBr), 1u)
+      << "the branch on y must fold; the branch on c must stay";
+  ASSERT_EQ(verifyModuleText(M), "");
+  for (const char *In : {"", "x"}) {
+    RunOptions Opts;
+    Opts.Input = In;
+    EXPECT_EQ(runProgram(M, Opts).ExitCode, 3);
+  }
+}
+
+TEST(Sccp, DoesNotFoldReachableNonConstantBranch) {
+  Module M = compileOk("extern int getchar();"
+                       "int main() { int c; c = getchar();"
+                       "if (c == 'x') return 1; return 2; }");
+  runSccp(M);
+  EXPECT_EQ(countOps(M.getFunction(M.MainId), Opcode::CondBr), 1u);
+  RunOptions Yes, No;
+  Yes.Input = "x";
+  No.Input = "y";
+  EXPECT_EQ(runProgram(M, Yes).ExitCode, 1);
+  EXPECT_EQ(runProgram(M, No).ExitCode, 2);
+}
+
+TEST(Sccp, PreservesDivisionByZeroTrap) {
+  Module M = compileOk("int main() { return 1 / 0; }");
+  runSccp(M);
+  EXPECT_EQ(runProgram(M).St, ExecResult::Status::Trapped)
+      << "SCCP must not evaluate a trapping divide at compile time";
+}
+
+TEST(Sccp, DeadArmBecomesRemovableByJumpOptimization) {
+  Module M = compileOk("extern int getchar();"
+                       "int main() { int c; int y; c = getchar();"
+                       "if (c) y = 1; else y = 1;"
+                       "if (y) return 3; return 4; }");
+  size_t BlocksBefore = M.getFunction(M.MainId).Blocks.size();
+  runSccp(M);
+  runJumpOptimization(M);
+  EXPECT_LT(M.getFunction(M.MainId).Blocks.size(), BlocksBefore)
+      << "the arm SCCP proved dead must be unlinked and removed";
+  ASSERT_EQ(verifyModuleText(M), "");
+  EXPECT_EQ(runProgram(M).ExitCode, 3);
+}
+
+TEST(Sccp, PreservesBehaviour) {
+  expectPreserves([](Module &M) { runSccp(M); }, test::kCallHeavyProgram,
+                  "hello world");
+}
+
+//===----------------------------------------------------------------------===//
+// Loop-invariant code motion
+//===----------------------------------------------------------------------===//
+
+const char *const kInvariantMulLoop =
+    "extern int getchar();"
+    "int main() { int a; int b; int n; int i; int s;"
+    "a = getchar(); b = getchar(); n = getchar(); s = 0;"
+    "for (i = 0; i < n; i++) { s = s + a * b; }"
+    "return s; }";
+
+TEST(Licm, HoistsInvariantMultiplyOutOfLoop) {
+  Module M = compileOk(kInvariantMulLoop);
+  Function &Main = M.getFunction(M.MainId);
+  ASSERT_GE(depthOfFirst(Main, Opcode::Mul), 1)
+      << "fixture: the multiply starts inside the loop";
+  RunOptions Opts;
+  Opts.Input = "abc";
+  ExecResult Before = runProgram(M, Opts);
+  ASSERT_TRUE(Before.ok());
+
+  EXPECT_TRUE(runLoopInvariantCodeMotion(Main));
+  EXPECT_EQ(depthOfFirst(Main, Opcode::Mul), 0)
+      << "a * b is invariant and must move to loop depth 0";
+  ASSERT_EQ(verifyModuleText(M), "");
+  ExecResult After = runProgram(M, Opts);
+  ASSERT_TRUE(After.ok());
+  EXPECT_EQ(Before.ExitCode, After.ExitCode);
+  EXPECT_LT(After.Stats.InstrCount, Before.Stats.InstrCount)
+      << "99 loop iterations each saved the multiply";
+}
+
+TEST(Licm, LeavesTrappingDivideInLoop) {
+  // a / b traps when b is zero; the loop may run zero iterations, so
+  // hoisting the divide would introduce a trap the program never had.
+  Module M = compileOk("extern int getchar();"
+                       "int main() { int a; int b; int n; int i; int s;"
+                       "a = getchar(); b = getchar(); n = getchar(); s = 0;"
+                       "for (i = 0; i < n; i++) { s = s + a / b; }"
+                       "return s; }");
+  Function &Main = M.getFunction(M.MainId);
+  ASSERT_GE(depthOfFirst(Main, Opcode::Div), 1);
+  runLoopInvariantCodeMotion(Main);
+  EXPECT_GE(depthOfFirst(Main, Opcode::Div), 1)
+      << "trap-capable instructions must never be hoisted";
+  ASSERT_EQ(verifyModuleText(M), "");
+}
+
+TEST(Licm, LeavesLoadsInLoop) {
+  // g never changes here, but LICM has no alias analysis: Load must stay
+  // put. (The GlobalAddr feeding it is pure and may move.)
+  Module M = compileOk("extern int getchar();"
+                       "int g;"
+                       "int main() { int n; int i; int s;"
+                       "g = 5; n = getchar(); s = 0;"
+                       "for (i = 0; i < n; i++) { s = s + g; }"
+                       "return s; }");
+  Function &Main = M.getFunction(M.MainId);
+  ASSERT_GE(depthOfFirst(Main, Opcode::Load), 1);
+  runLoopInvariantCodeMotion(Main);
+  EXPECT_GE(depthOfFirst(Main, Opcode::Load), 1)
+      << "memory reads must never be hoisted";
+  ASSERT_EQ(verifyModuleText(M), "");
+  RunOptions Opts;
+  Opts.Input = "\x03";
+  EXPECT_EQ(runProgram(M, Opts).ExitCode, 15);
+}
+
+TEST(Licm, ZeroTripLoopStaysCorrect) {
+  // n == 0: the hoisted multiply executes once in the preheader even
+  // though the body never ran — legal only because it cannot trap.
+  Module M = compileOk(kInvariantMulLoop);
+  runLoopInvariantCodeMotion(M);
+  ASSERT_EQ(verifyModuleText(M), "");
+  RunOptions Opts;
+  Opts.Input = ""; // getchar() yields EOF: n = -1, zero iterations
+  ExecResult R = runProgram(M, Opts);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Licm, IrreducibleLoopIsLeftAlone) {
+  // Two-entry loop {B1, B2}: B0 branches into the middle of the cycle, so
+  // no preheader placement is sound and the pass must refuse.
+  Module M;
+  FuncId Id = M.addFunction("main", 0, false, false);
+  Function &F = M.getFunction(Id);
+  BlockId B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock(),
+          B3 = F.addBlock();
+  Reg C = F.addReg(), A = F.addReg(), T = F.addReg();
+  F.getBlock(B0).Instrs.push_back(Instr::makeLdImm(C, 0));
+  F.getBlock(B0).Instrs.push_back(Instr::makeLdImm(A, 9));
+  F.getBlock(B0).Instrs.push_back(Instr::makeCondBr(C, B1, B2));
+  F.getBlock(B1).Instrs.push_back(
+      Instr::makeBinary(Opcode::Add, T, A, A)); // invariant, but stuck
+  F.getBlock(B1).Instrs.push_back(Instr::makeCondBr(C, B2, B3));
+  F.getBlock(B2).Instrs.push_back(Instr::makeJump(B1));
+  F.getBlock(B3).Instrs.push_back(Instr::makeRet(A));
+  M.MainId = Id;
+  ASSERT_EQ(verifyModuleText(M), "");
+
+  LoopInfo Info = computeLoopInfo(F);
+  ASSERT_EQ(Info.Loops.size(), 1u);
+  EXPECT_FALSE(Info.Loops[0].Reducible);
+
+  std::string Before = printModule(M);
+  EXPECT_FALSE(runLoopInvariantCodeMotion(F));
+  EXPECT_EQ(printModule(M), Before);
+}
+
+TEST(Licm, PreservesBehaviour) {
+  expectPreserves([](Module &M) { runLoopInvariantCodeMotion(M); },
+                  test::kCallHeavyProgram, "hello world");
+}
+
+//===----------------------------------------------------------------------===//
+// LoopInfo
+//===----------------------------------------------------------------------===//
+
+TEST(LoopInfo, NestedLoopsFormAParentChain) {
+  Module M = compileOk("extern int putchar(int c);"
+                       "int main() { int i; int j; int k;"
+                       "for (i = 0; i < 3; i++)"
+                       "  for (j = 0; j < 3; j++)"
+                       "    for (k = 0; k < 3; k++) putchar('x');"
+                       "return 0; }");
+  LoopInfo Info = computeLoopInfo(M.getFunction(M.MainId));
+  ASSERT_EQ(Info.Loops.size(), 3u);
+  // Parents precede children, depths stack, and every natural loop from
+  // structured source is reducible.
+  unsigned MaxDepth = 0;
+  for (const Loop &L : Info.Loops) {
+    EXPECT_TRUE(L.Reducible);
+    if (L.Parent >= 0) {
+      EXPECT_LT(static_cast<size_t>(L.Parent), Info.Loops.size());
+      EXPECT_EQ(Info.Loops[L.Parent].Depth + 1, L.Depth);
+      EXPECT_TRUE(Info.Loops[L.Parent].contains(L.Header))
+          << "a child loop lives inside its parent";
+    } else {
+      EXPECT_EQ(L.Depth, 1u);
+    }
+    MaxDepth = std::max(MaxDepth, L.Depth);
+  }
+  EXPECT_EQ(MaxDepth, 3u);
+}
+
+TEST(LoopInfo, DepthsAreUncapped) {
+  // Five-deep nest: the old per-consumer implementations capped depth at
+  // 4 (MinCover hardcoded, the estimator via its option default); the
+  // shared analysis must report the true nesting.
+  Module M = compileOk("extern int putchar(int c);"
+                       "int main() { int a; int b; int c; int d; int e;"
+                       "for (a = 0; a < 2; a++)"
+                       " for (b = 0; b < 2; b++)"
+                       "  for (c = 0; c < 2; c++)"
+                       "   for (d = 0; d < 2; d++)"
+                       "    for (e = 0; e < 2; e++) putchar('x');"
+                       "return 0; }");
+  const Function &Main = M.getFunction(M.MainId);
+  std::vector<unsigned> Depth = computeLoopDepths(Main);
+  unsigned MaxDepth = 0;
+  for (unsigned D : Depth)
+    MaxDepth = std::max(MaxDepth, D);
+  EXPECT_EQ(MaxDepth, 5u);
+  LoopInfo Info = computeLoopInfo(Main);
+  EXPECT_EQ(Info.Loops.size(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// PassManager plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(PassManager, ParseOptPassesGrammar) {
+  OptOptions O;
+  std::string Error;
+
+  ASSERT_TRUE(parseOptPasses("all", O, &Error));
+  EXPECT_TRUE(O.Sccp);
+  EXPECT_TRUE(O.Peephole);
+  EXPECT_TRUE(O.LoopInvariantCodeMotion);
+  EXPECT_TRUE(O.TailRecursionElimination);
+
+  ASSERT_TRUE(parseOptPasses("sccp,licm", O, &Error));
+  EXPECT_TRUE(O.Sccp);
+  EXPECT_TRUE(O.LoopInvariantCodeMotion);
+  EXPECT_FALSE(O.Peephole);
+  EXPECT_FALSE(O.ConstantFolding) << "positive specs start from nothing";
+
+  ASSERT_TRUE(parseOptPasses("all,-licm", O, &Error));
+  EXPECT_FALSE(O.LoopInvariantCodeMotion);
+  EXPECT_TRUE(O.Sccp);
+
+  ASSERT_TRUE(parseOptPasses("-peephole", O, &Error));
+  EXPECT_FALSE(O.Peephole);
+  EXPECT_TRUE(O.ConstantFolding) << "negative-only specs start from all";
+
+  EXPECT_FALSE(parseOptPasses("sccp,bogus", O, &Error));
+  EXPECT_NE(Error.find("bogus"), std::string::npos);
+  EXPECT_NE(Error.find("licm"), std::string::npos)
+      << "the error lists the valid names";
+
+  OptOptions Defaults;
+  Defaults.MaxIterations = 9;
+  ASSERT_TRUE(parseOptPasses("all", Defaults, &Error));
+  EXPECT_EQ(Defaults.MaxIterations, 9u) << "specs never touch iterations";
+}
+
+TEST(PassManager, RenderOptPassesInvertsParse) {
+  OptOptions O;
+  std::string Error;
+  ASSERT_TRUE(parseOptPasses("fold,sccp,licm", O, &Error));
+  EXPECT_EQ(renderOptPasses(O), "fold,sccp,licm");
+  ASSERT_TRUE(parseOptPasses(
+      "-fold,-jump,-copy,-dce,-tre,-sccp,-peephole,-licm", O, &Error));
+  EXPECT_EQ(renderOptPasses(O), "none");
+}
+
+TEST(PassManager, ZeroIterationsIsANoOp) {
+  Module M = compileOk(test::kCallHeavyProgram);
+  std::string Before = printModule(M);
+  OptOptions O;
+  std::string Error;
+  ASSERT_TRUE(parseOptPasses("all", O, &Error));
+  O.MaxIterations = 0;
+  EXPECT_FALSE(runOptimizationPipeline(M, O));
+  EXPECT_EQ(printModule(M), Before);
+}
+
+TEST(PassManager, FullPipelineWithNewPassesPreservesBehaviour) {
+  OptOptions O;
+  std::string Error;
+  ASSERT_TRUE(parseOptPasses("all", O, &Error));
+  for (const char *Source :
+       {test::kCallHeavyProgram, test::kRecursiveProgram,
+        test::kPointerCallProgram, kInvariantMulLoop}) {
+    Module M = compileOk(Source);
+    RunOptions Opts;
+    Opts.Input = "abc xyz";
+    ExecResult Before = runProgram(M, Opts);
+    ASSERT_TRUE(Before.ok()) << Before.TrapMessage;
+    runOptimizationPipeline(M, O);
+    ASSERT_EQ(verifyModuleText(M), "");
+    ExecResult After = runProgram(M, Opts);
+    ASSERT_TRUE(After.ok()) << After.TrapMessage;
+    EXPECT_EQ(Before.Output, After.Output);
+    EXPECT_EQ(Before.ExitCode, After.ExitCode);
+    EXPECT_LE(After.Stats.InstrCount, Before.Stats.InstrCount)
+        << "the widened pipeline must not execute more instructions";
+  }
+}
+
+} // namespace
