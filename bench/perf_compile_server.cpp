@@ -1,0 +1,308 @@
+//===- bench/perf_compile_server.cpp - Cold vs warm server compiles --------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-server experiment: how much of the world does one edit
+/// recompile, and what does a persistent cache buy a restarted server?
+///
+/// Three phases over the 12-program suite (one unit per program, one
+/// profiled run each):
+///
+///   cold      a fresh server with an empty cache directory compiles
+///             everything (touched units == suite size)
+///   warm-edit one unit ("wc") is replaced; the recompile touches exactly
+///             that unit and serves the other 11 programs from the
+///             result cache (touched units == 1 — the number, not a
+///             timing, is the incrementality claim)
+///   restart   a brand-new server over the same cache directory rebuilds
+///             the same programs; its pre-opt work is served from the
+///             persisted store (persistent hits > 0 — observable
+///             cross-process reuse)
+///
+/// Flags (plus the shared harness flags — --jobs, --faults, ...):
+///
+///   --bench-json=FILE   write the committed BENCH_server.json point
+///                       (atomic temp+rename, like every bench artifact)
+///   --cache-dir=DIR     store directory for the experiment and for
+///                       --serve-script (default: a scratch directory,
+///                       wiped for a honest cold phase)
+///   --serve-script=FILE drive a server from a request script
+///                       (driver/ServerScript.h grammar) and print the
+///                       transcript; exit 2 on a malformed script. CI's
+///                       two-process smoke runs one script twice over a
+///                       shared --cache-dir and asserts the second
+///                       process reports persistent hits
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "driver/CompileServer.h"
+#include "driver/ServerScript.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace impact;
+using namespace impact::bench;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+ServerOptions makeServerOptions(const std::string &CacheDir) {
+  ServerOptions Options;
+  Options.CacheDir = CacheDir;
+  Options.Jobs = getConfiguredJobs();
+  Options.Pipeline.Faults = getConfiguredFaults();
+  return Options;
+}
+
+/// Loads the suite into \p Server: one unit and one single-unit program
+/// per benchmark, one profiled run each.
+bool loadSuite(CompileServer &Server) {
+  for (const BenchmarkSpec &B : getBenchmarkSuite()) {
+    std::string Error;
+    if (!Server.addUnit(B.Name, B.Source, &Error) ||
+        !Server.defineProgram(B.Name, {B.Name},
+                              makeBenchmarkInputs(B, 1), &Error)) {
+      std::fprintf(stderr, "perf_compile_server: %s\n", Error.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct PhaseNumbers {
+  double WallSeconds = 0.0;
+  RecompileStats Stats;
+};
+
+PhaseNumbers timedRecompile(CompileServer &Server) {
+  PhaseNumbers Phase;
+  auto Start = std::chrono::steady_clock::now();
+  Phase.Stats = Server.recompile();
+  Phase.WallSeconds = secondsSince(Start);
+  return Phase;
+}
+
+/// The cold/warm-edit/restart experiment. Returns 0 on success and fills
+/// the phase numbers.
+int runExperiment(const std::string &CacheDir, PhaseNumbers &Cold,
+                  PhaseNumbers &WarmEdit, PhaseNumbers &Restart,
+                  uint64_t &RestartPersistentHits,
+                  FunctionCacheStats &FinalCache) {
+  std::filesystem::remove_all(CacheDir); // honest cold phase
+  size_t Programs = getBenchmarkSuite().size();
+  {
+    CompileServer Server(makeServerOptions(CacheDir));
+    if (!loadSuite(Server))
+      return 1;
+    Cold = timedRecompile(Server);
+    if (Cold.Stats.FailedPrograms != 0 ||
+        Cold.Stats.RecompiledPrograms != Programs) {
+      std::fprintf(stderr, "perf_compile_server: cold phase failed (%llu ok, "
+                           "%llu failed)\n",
+                   (unsigned long long)Cold.Stats.RecompiledPrograms,
+                   (unsigned long long)Cold.Stats.FailedPrograms);
+      return 1;
+    }
+
+    const BenchmarkSpec *Wc = findBenchmark("wc");
+    std::string Edited =
+        Wc->Source + "\nint perf_server_pad(int x) { return x + 41; }\n";
+    std::string Error;
+    if (!Server.replaceUnit("wc", Edited, &Error)) {
+      std::fprintf(stderr, "perf_compile_server: %s\n", Error.c_str());
+      return 1;
+    }
+    WarmEdit = timedRecompile(Server);
+    if (WarmEdit.Stats.TouchedUnits != 1 ||
+        WarmEdit.Stats.FailedPrograms != 0) {
+      std::fprintf(stderr,
+                   "perf_compile_server: warm edit touched %llu unit(s), "
+                   "expected exactly 1\n",
+                   (unsigned long long)WarmEdit.Stats.TouchedUnits);
+      return 1;
+    }
+    // Destructor persists the store for the restart phase.
+  }
+  {
+    CompileServer Server(makeServerOptions(CacheDir));
+    if (Server.getInitialCacheStatus() != CacheLoadStatus::Loaded) {
+      std::fprintf(stderr,
+                   "perf_compile_server: restart did not load the store\n");
+      return 1;
+    }
+    if (!loadSuite(Server))
+      return 1;
+    Restart = timedRecompile(Server);
+    if (Restart.Stats.FailedPrograms != 0) {
+      std::fprintf(stderr, "perf_compile_server: restart phase failed\n");
+      return 1;
+    }
+    FinalCache = Server.getCacheStats();
+    RestartPersistentHits = FinalCache.PersistentHits;
+    if (RestartPersistentHits == 0) {
+      std::fprintf(stderr, "perf_compile_server: restart served no "
+                           "persistent hits — the store round trip is "
+                           "broken\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+void appendPhaseJson(std::string &Out, const char *Name,
+                     const PhaseNumbers &Phase, bool WithClean) {
+  appendFormat(Out,
+               "  \"%s\": {\"wall_s\": %.3f, \"touched_units\": %llu, "
+               "\"recompiled_programs\": %llu",
+               Name, Phase.WallSeconds,
+               (unsigned long long)Phase.Stats.TouchedUnits,
+               (unsigned long long)Phase.Stats.RecompiledPrograms);
+  if (WithClean)
+    appendFormat(Out, ", \"clean_programs\": %llu",
+                 (unsigned long long)Phase.Stats.CleanPrograms);
+  Out += "}";
+}
+
+int writeBenchJson(const std::string &Path, const std::string &CacheDir) {
+  PhaseNumbers Cold, WarmEdit, Restart;
+  uint64_t PersistentHits = 0;
+  FunctionCacheStats Cache;
+  if (int Rc = runExperiment(CacheDir, Cold, WarmEdit, Restart,
+                             PersistentHits, Cache))
+    return Rc;
+
+  std::string Json = "{\n  \"bench\": \"server\",\n";
+  appendFormat(Json, "  \"programs\": %zu,\n", getBenchmarkSuite().size());
+  appendPhaseJson(Json, "cold", Cold, /*WithClean=*/false);
+  Json += ",\n";
+  appendPhaseJson(Json, "warm_edit", WarmEdit, /*WithClean=*/true);
+  Json += ",\n";
+  appendFormat(Json,
+               "  \"restart\": {\"wall_s\": %.3f, \"persistent_hits\": %llu, "
+               "\"cache_entries\": %llu},\n",
+               Restart.WallSeconds, (unsigned long long)PersistentHits,
+               (unsigned long long)Cache.Entries);
+  appendFormat(Json,
+               "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"entries\": %llu, \"evictions\": %llu, "
+               "\"stale_rejected\": %llu, \"corrupt_rejected\": %llu, "
+               "\"persistent_hits\": %llu}\n}\n",
+               (unsigned long long)Cache.Hits,
+               (unsigned long long)Cache.Misses,
+               (unsigned long long)Cache.Entries,
+               (unsigned long long)Cache.Evictions,
+               (unsigned long long)Cache.StaleRejected,
+               (unsigned long long)Cache.CorruptRejected,
+               (unsigned long long)Cache.PersistentHits);
+
+  std::string Error;
+  if (!writeFileAtomic(Path, Json, &Error)) {
+    std::fprintf(stderr, "bench-json: %s\n", Error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "bench-json: cold %.3fs (%llu units) / warm edit %.3fs "
+               "(%llu unit) / restart %.3fs (%llu persistent hits) -> %s\n",
+               Cold.WallSeconds,
+               (unsigned long long)Cold.Stats.TouchedUnits,
+               WarmEdit.WallSeconds,
+               (unsigned long long)WarmEdit.Stats.TouchedUnits,
+               Restart.WallSeconds, (unsigned long long)PersistentHits,
+               Path.c_str());
+  return 0;
+}
+
+int runScript(const std::string &Path, const std::string &CacheDir) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "serve-script: cannot open '%s'\n", Path.c_str());
+    return 2;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+
+  CompileServer Server(makeServerOptions(CacheDir));
+  ServerScriptResult Result = runServerScript(Server, Buffer.str());
+  std::fputs(Result.Transcript.c_str(), stdout);
+  if (!Result.Ok) {
+    std::fprintf(stderr, "serve-script: %s\n", Result.Error.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+std::string defaultCacheDir() {
+  return (std::filesystem::temp_directory_path() / "impact_server_bench")
+      .string();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Here --cache-dir= / IMPACT_CACHE_DIR name the SERVER's store, not the
+  // harness's shared-cache store: both caches saving the same file would
+  // have whichever exits last clobber the other's entries. Claim the
+  // setting before the harness sees it.
+  std::string JsonPath, ScriptPath, CacheDir;
+  if (const char *Env = std::getenv("IMPACT_CACHE_DIR")) {
+    CacheDir = Env;
+    unsetenv("IMPACT_CACHE_DIR");
+  }
+  std::vector<char *> HarnessArgs;
+  for (int I = 0; I != argc; ++I) {
+    const std::string Arg = argv[I];
+    if (Arg.rfind("--bench-json=", 0) == 0)
+      JsonPath = Arg.substr(std::strlen("--bench-json="));
+    else if (Arg.rfind("--serve-script=", 0) == 0)
+      ScriptPath = Arg.substr(std::strlen("--serve-script="));
+    else if (Arg.rfind("--cache-dir=", 0) == 0)
+      CacheDir = Arg.substr(std::strlen("--cache-dir="));
+    else
+      HarnessArgs.push_back(argv[I]);
+  }
+  initBenchHarness(static_cast<int>(HarnessArgs.size()), HarnessArgs.data());
+  if (!ScriptPath.empty())
+    return runScript(ScriptPath, CacheDir);
+  if (CacheDir.empty())
+    CacheDir = defaultCacheDir();
+  if (!JsonPath.empty())
+    return writeBenchJson(JsonPath, CacheDir);
+
+  // No flags: run the experiment and print the numbers.
+  PhaseNumbers Cold, WarmEdit, Restart;
+  uint64_t PersistentHits = 0;
+  FunctionCacheStats Cache;
+  if (int Rc = runExperiment(CacheDir, Cold, WarmEdit, Restart,
+                             PersistentHits, Cache))
+    return Rc;
+  std::printf("cold      %.3fs  touched=%llu recompiled=%llu\n",
+              Cold.WallSeconds,
+              (unsigned long long)Cold.Stats.TouchedUnits,
+              (unsigned long long)Cold.Stats.RecompiledPrograms);
+  std::printf("warm edit %.3fs  touched=%llu recompiled=%llu clean=%llu\n",
+              WarmEdit.WallSeconds,
+              (unsigned long long)WarmEdit.Stats.TouchedUnits,
+              (unsigned long long)WarmEdit.Stats.RecompiledPrograms,
+              (unsigned long long)WarmEdit.Stats.CleanPrograms);
+  std::printf("restart   %.3fs  persistent-hits=%llu entries=%llu\n",
+              Restart.WallSeconds, (unsigned long long)PersistentHits,
+              (unsigned long long)Cache.Entries);
+  return 0;
+}

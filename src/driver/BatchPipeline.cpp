@@ -45,8 +45,16 @@ BatchResult impact::runBatchPipeline(const std::vector<BatchJob> &Jobs,
         // last line of defense keeping the pool's no-throw contract if
         // a future pipeline path leaks.
         try {
-          Result.Results[I] =
-              runPipeline(Job.Source, Job.Name, Job.Inputs, JobOptions);
+          if (Job.HasModule) {
+            // The jobs vector is shared and const: run on a copy so a
+            // server can re-dispatch the same precompiled module later.
+            Module M = Job.PrecompiledModule;
+            Result.Results[I] = runPipeline(std::move(M), Job.Inputs,
+                                            JobOptions);
+          } else {
+            Result.Results[I] =
+                runPipeline(Job.Source, Job.Name, Job.Inputs, JobOptions);
+          }
         } catch (const std::exception &E) {
           PipelineResult &R = Result.Results[I];
           R = PipelineResult();

@@ -44,11 +44,22 @@ namespace impact {
 /// One program's experiment: source, inputs, and the full pipeline knobs.
 /// Jobs carry their own options so a batch can mix configurations (an
 /// ablation sweep batches all its points at once).
+///
+/// A job normally compiles Source from scratch. The compile server
+/// instead dispatches already-compiled (and, for multi-unit programs,
+/// linked) modules: set PrecompiledModule/HasModule and leave Source
+/// empty. Because the frontend is deterministic, a precompiled-module job
+/// is bit-identical to a source job of the same program — the wiring
+/// test in the server tier pins that.
 struct BatchJob {
   std::string Name;
   std::string Source;
   std::vector<RunInput> Inputs;
   PipelineOptions Options;
+  /// When HasModule, the pipeline starts at the module (verify/pre-opt)
+  /// stage on a copy of this module and Source is ignored.
+  Module PrecompiledModule;
+  bool HasModule = false;
 };
 
 struct BatchOptions {

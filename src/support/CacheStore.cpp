@@ -1,0 +1,294 @@
+//===- support/CacheStore.cpp ----------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CacheStore.h"
+
+#include "support/FaultInjection.h"
+#include "support/Hashing.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace impact;
+
+namespace {
+
+constexpr const char *kMagic = "impact-cache v1";
+
+std::atomic<bool> ChecksumCheckDisabled{false};
+
+uint64_t recordChecksum(const std::string &Key, const std::string &Payload) {
+  uint64_t H = fnv1a64(Key);
+  H = fnv1a64(":", H);
+  return fnv1a64(Payload, H);
+}
+
+bool fail(std::string *Error, std::string Message) {
+  if (Error)
+    *Error = std::move(Message);
+  return false;
+}
+
+/// Strict unsigned parse: no sign, no garbage, no empty.
+bool parseCount(std::string_view Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t Value = 0;
+  auto [Ptr, Ec] =
+      std::from_chars(Text.data(), Text.data() + Text.size(), Value);
+  if (Ec != std::errc() || Ptr != Text.data() + Text.size())
+    return false;
+  Out = Value;
+  return true;
+}
+
+/// Splits \p Line on single spaces; empty fields (doubled/leading/
+/// trailing separators) make the line malformed.
+bool tokenize(std::string_view Line, std::vector<std::string_view> &Out) {
+  Out.clear();
+  size_t Pos = 0;
+  while (Pos <= Line.size()) {
+    size_t Space = Line.find(' ', Pos);
+    std::string_view Field = Space == std::string_view::npos
+                                 ? Line.substr(Pos)
+                                 : Line.substr(Pos, Space - Pos);
+    if (Field.empty())
+      return false;
+    Out.push_back(Field);
+    if (Space == std::string_view::npos)
+      break;
+    Pos = Space + 1;
+  }
+  return !Out.empty();
+}
+
+bool splitFields(std::string_view Line, std::vector<std::string_view> &Out,
+                 size_t Expected) {
+  return tokenize(Line, Out) && Out.size() == Expected;
+}
+
+/// Reads one '\n'-terminated line from \p Text at \p Pos. Returns false
+/// at end of input or when no newline terminates the line (truncation).
+bool takeLine(const std::string &Text, size_t &Pos, std::string_view &Line) {
+  if (Pos >= Text.size())
+    return false;
+  size_t Nl = Text.find('\n', Pos);
+  if (Nl == std::string::npos)
+    return false;
+  Line = std::string_view(Text).substr(Pos, Nl - Pos);
+  Pos = Nl + 1;
+  return true;
+}
+
+} // namespace
+
+void impact::setCacheStoreChecksumCheckDisabledForTest(bool Disabled) {
+  ChecksumCheckDisabled.store(Disabled, std::memory_order_relaxed);
+}
+
+bool impact::saveCacheStore(const std::string &Path,
+                            const CacheStoreHeader &Header,
+                            const std::vector<CacheStoreRecord> &Records,
+                            std::string *Error, FaultSession *Faults) {
+  FaultSession Inert;
+  FaultSession &F = Faults ? *Faults : Inert;
+
+  std::string Head;
+  Head += kMagic;
+  Head += "\nepoch " + std::to_string(Header.Epoch);
+  Head += "\noptions " + Header.Fingerprint;
+  Head += "\nstats " + std::to_string(Header.Stats.size());
+  for (uint64_t S : Header.Stats)
+    Head += " " + std::to_string(S);
+  Head += "\n";
+
+  std::string Body;
+  for (const CacheStoreRecord &R : Records) {
+    Body += "entry " + R.Key + " " + std::to_string(R.Payload.size()) + " " +
+            toHex64(recordChecksum(R.Key, R.Payload)) + "\n";
+    Body += R.Payload;
+    Body += "\n";
+  }
+  uint64_t FileSum = fnv1a64(Body, fnv1a64(Head));
+  Body += "end " + toHex64(FileSum) + "\n";
+
+  // Occurrence 1: before the temp file exists (a crash here is a no-op).
+  if (F.reach("cache-persist") == FaultKind::Diagnostic)
+    return fail(Error, "injected diagnostic at cache-persist (before write)");
+
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return fail(Error, "cannot open '" + Tmp + "' for writing");
+    Out << Head;
+    Out.flush();
+    // Occurrence 2: mid-write — the header is on disk, the records are
+    // not. A throw here unwinds with the partial temp left behind,
+    // exactly what a killed process leaves; the store itself is intact.
+    if (F.reach("cache-persist") == FaultKind::Diagnostic) {
+      Out.close();
+      std::remove(Tmp.c_str());
+      return fail(Error, "injected diagnostic at cache-persist (mid-write)");
+    }
+    Out << Body;
+    Out.flush();
+    if (!Out) {
+      Out.close();
+      std::remove(Tmp.c_str());
+      return fail(Error, "write to '" + Tmp + "' failed");
+    }
+  }
+
+  // Occurrence 3: the temp is complete but the store not yet replaced.
+  if (F.reach("cache-persist") == FaultKind::Diagnostic) {
+    std::remove(Tmp.c_str());
+    return fail(Error, "injected diagnostic at cache-persist (before rename)");
+  }
+
+  std::error_code Ec;
+  std::filesystem::rename(Tmp, Path, Ec);
+  if (Ec) {
+    std::remove(Tmp.c_str());
+    return fail(Error, "rename '" + Tmp + "' -> '" + Path +
+                           "' failed: " + Ec.message());
+  }
+  return true;
+}
+
+CacheStoreLoadResult impact::loadCacheStore(
+    const std::string &Path, uint64_t ExpectedEpoch,
+    const std::string &ExpectedFingerprint) {
+  CacheStoreLoadResult Result;
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Result.Status = CacheStoreStatus::NoFile;
+    Result.Error = "cannot open '" + Path + "'";
+    return Result;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+
+  auto badMagic = [&](std::string Why) {
+    Result.Status = CacheStoreStatus::BadMagic;
+    Result.Error = "'" + Path + "': " + std::move(Why);
+    Result.Records.clear();
+    Result.Header = CacheStoreHeader();
+    return Result;
+  };
+
+  size_t Pos = 0;
+  std::string_view Line;
+  if (!takeLine(Text, Pos, Line) || Line != kMagic)
+    return badMagic("missing 'impact-cache v1' magic line");
+
+  std::vector<std::string_view> Fields;
+  if (!takeLine(Text, Pos, Line) || !splitFields(Line, Fields, 2) ||
+      Fields[0] != "epoch" || !parseCount(Fields[1], Result.Header.Epoch))
+    return badMagic("malformed epoch line");
+  if (!takeLine(Text, Pos, Line) || !splitFields(Line, Fields, 2) ||
+      Fields[0] != "options")
+    return badMagic("malformed options line");
+  Result.Header.Fingerprint = std::string(Fields[1]);
+
+  if (Result.Header.Epoch != ExpectedEpoch ||
+      Result.Header.Fingerprint != ExpectedFingerprint) {
+    Result.Status = CacheStoreStatus::Stale;
+    Result.Error = "'" + Path + "': written under epoch " +
+                   std::to_string(Result.Header.Epoch) + " / options '" +
+                   Result.Header.Fingerprint + "', expected epoch " +
+                   std::to_string(ExpectedEpoch) + " / options '" +
+                   ExpectedFingerprint + "'";
+    return Result;
+  }
+
+  if (!takeLine(Text, Pos, Line))
+    return badMagic("missing stats line");
+  {
+    uint64_t Count = 0;
+    if (!tokenize(Line, Fields) || Fields.size() < 2 ||
+        Fields[0] != "stats" || !parseCount(Fields[1], Count) ||
+        Fields.size() != static_cast<size_t>(Count) + 2)
+      return badMagic("malformed stats line");
+    for (size_t I = 2; I < Fields.size(); ++I) {
+      uint64_t V = 0;
+      if (!parseCount(Fields[I], V))
+        return badMagic("malformed stats line");
+      Result.Header.Stats.push_back(V);
+    }
+  }
+
+  Result.Status = CacheStoreStatus::Loaded;
+  bool ChecksumOff = ChecksumCheckDisabled.load(std::memory_order_relaxed);
+
+  // Records. Each is independently verified; a record that fails framing
+  // or its checksum is dropped. Once framing breaks (a malformed line, a
+  // payload length past end of file) the remaining bytes cannot be
+  // resynchronized safely, so scanning stops there.
+  while (true) {
+    size_t LineStart = Pos;
+    if (!takeLine(Text, Pos, Line)) {
+      if (Pos < Text.size())
+        ++Result.CorruptRecords; // trailing unterminated bytes
+      break;                     // EOF without an end line: truncated
+    }
+    if (Line.substr(0, 4) == "end ") {
+      uint64_t Declared = 0;
+      if (!parseHex64(Line.substr(4), Declared)) {
+        ++Result.CorruptRecords;
+        break;
+      }
+      uint64_t Actual =
+          fnv1a64(std::string_view(Text).substr(0, LineStart));
+      if (Actual == Declared && Pos == Text.size())
+        Result.WholeFileVerified = true;
+      else if (Pos < Text.size())
+        ++Result.CorruptRecords; // bytes after the trailer
+      break;
+    }
+    if (!splitFields(Line, Fields, 4) || Fields[0] != "entry") {
+      ++Result.CorruptRecords;
+      break;
+    }
+    uint64_t PayloadBytes = 0;
+    uint64_t Declared = 0;
+    if (!parseCount(Fields[2], PayloadBytes) ||
+        !parseHex64(Fields[3], Declared)) {
+      ++Result.CorruptRecords;
+      break;
+    }
+    if (PayloadBytes > Text.size() - Pos) {
+      ++Result.CorruptRecords; // truncated payload
+      break;
+    }
+    CacheStoreRecord R;
+    R.Key = std::string(Fields[1]);
+    R.Payload = Text.substr(Pos, PayloadBytes);
+    Pos += PayloadBytes;
+    if (Pos >= Text.size() || Text[Pos] != '\n') {
+      ++Result.CorruptRecords; // framing newline lost: cannot resync
+      break;
+    }
+    ++Pos;
+    if (!ChecksumOff && recordChecksum(R.Key, R.Payload) != Declared) {
+      ++Result.CorruptRecords;
+      continue; // framing intact, record bad: drop it, keep scanning
+    }
+    Result.Records.push_back(std::move(R));
+  }
+
+  // The stats line is only covered by the whole-file checksum; with that
+  // unverified, a flipped digit in a counter would be served as truth.
+  if (!Result.WholeFileVerified)
+    Result.Header.Stats.assign(Result.Header.Stats.size(), 0);
+  return Result;
+}

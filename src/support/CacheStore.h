@@ -1,0 +1,123 @@
+//===- support/CacheStore.h - Versioned, checksummed record store ----------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk container behind the persistent function-definition cache
+/// (`impact-cache v1`). A store file is a header (format magic, epoch,
+/// an options fingerprint, cumulative counters) followed by key→payload
+/// records and a whole-file checksum trailer:
+///
+///   impact-cache v1
+///   epoch <N>
+///   options <fingerprint>
+///   stats <k> <c0> <c1> ... <ck-1>
+///   entry <key> <payload-bytes> <fnv64(key ':' payload)>
+///   <payload bytes>
+///   ...
+///   end <fnv64 of everything above>
+///
+/// The container treats keys and payloads as opaque bytes (keys must be
+/// whitespace-free; payloads may contain anything including newlines —
+/// they are length-framed). The caller defines what the counters mean.
+///
+/// Staleness and corruption semantics, which the server tier's recovery
+/// tests pin:
+///  - a missing file is a cold start (Status NoFile), never an error;
+///  - a bad magic line or unparseable header rejects the whole file
+///    (BadMagic) — nothing in it can be trusted;
+///  - an epoch or fingerprint mismatch rejects the whole file (Stale):
+///    records written under other format/option assumptions are rebuilt,
+///    never spliced;
+///  - a record whose checksum does not verify is dropped and counted in
+///    CorruptRecords; records that verify individually are kept even
+///    when later bytes are truncated or flipped, because each record's
+///    checksum covers its own key and payload;
+///  - the cumulative stats line is trusted only when the whole-file
+///    checksum verifies (a flipped digit there is otherwise
+///    undetectable), so WholeFileVerified == false zeroes Header.Stats.
+///
+/// Writes are atomic: bytes go to "<path>.tmp" and are renamed over the
+/// store only after a clean close, so a crash mid-write (simulated by the
+/// "cache-persist" fault site) leaves the previous store intact and at
+/// worst a partial temp file that the next save overwrites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IMPACT_SUPPORT_CACHESTORE_H
+#define IMPACT_SUPPORT_CACHESTORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace impact {
+
+class FaultSession;
+
+/// One key→payload record. Key must contain no whitespace/newlines;
+/// payload is arbitrary bytes.
+struct CacheStoreRecord {
+  std::string Key;
+  std::string Payload;
+};
+
+struct CacheStoreHeader {
+  uint64_t Epoch = 0;
+  /// Caller-defined staleness fingerprint (e.g. the option-encoding
+  /// signature of the function cache).
+  std::string Fingerprint;
+  /// Caller-defined cumulative counters, carried verbatim.
+  std::vector<uint64_t> Stats;
+};
+
+enum class CacheStoreStatus {
+  Loaded,   ///< Header accepted; Records holds every verified record.
+  NoFile,   ///< Path does not exist (cold start).
+  BadMagic, ///< Not a parseable impact-cache file; nothing trusted.
+  Stale,    ///< Valid file written under another epoch/fingerprint.
+};
+
+struct CacheStoreLoadResult {
+  CacheStoreStatus Status = CacheStoreStatus::NoFile;
+  std::string Error; ///< Detail for NoFile/BadMagic/Stale.
+  CacheStoreHeader Header;
+  std::vector<CacheStoreRecord> Records;
+  /// Records dropped because their checksum or framing did not verify.
+  uint64_t CorruptRecords = 0;
+  /// True when the trailing whole-file checksum verified; false after
+  /// any truncation/corruption (Header.Stats is zeroed then).
+  bool WholeFileVerified = false;
+};
+
+/// Writes \p Records under \p Header to \p Path atomically. The
+/// serialization is deterministic: identical header + records produce
+/// identical bytes (records are written in the order given — sort them
+/// for a canonical file). \p Faults, when active, is reached at the
+/// "cache-persist" site three times per save: before the temp file is
+/// opened, mid-write (header flushed, records pending), and after the
+/// clean close just before the rename — so an injected crash at
+/// occurrence 2 leaves a partial temp and an intact store. Returns false
+/// and fills \p Error on failure (the temp is removed on clean failure
+/// paths; a thrown fault leaves it, like a real crash would).
+bool saveCacheStore(const std::string &Path, const CacheStoreHeader &Header,
+                    const std::vector<CacheStoreRecord> &Records,
+                    std::string *Error = nullptr,
+                    FaultSession *Faults = nullptr);
+
+/// Loads \p Path, accepting only files whose epoch and fingerprint match.
+CacheStoreLoadResult loadCacheStore(const std::string &Path,
+                                    uint64_t ExpectedEpoch,
+                                    const std::string &ExpectedFingerprint);
+
+/// Test-only mutation hook: disables the per-record checksum comparison
+/// so the recovery tests can prove it is load-bearing (with the check
+/// off, a corrupted record is served and the bit-identity assertions
+/// fail). Never set outside tests.
+void setCacheStoreChecksumCheckDisabledForTest(bool Disabled);
+
+} // namespace impact
+
+#endif // IMPACT_SUPPORT_CACHESTORE_H

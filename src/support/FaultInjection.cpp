@@ -15,8 +15,8 @@ using namespace impact;
 
 const std::vector<std::string> &impact::getKnownFaultSites() {
   static const std::vector<std::string> Sites = {
-      "parse",        "sema",    "irgen",  "pass",     "cache-lookup",
-      "cache-insert", "profile", "expand", "reprofile"};
+      "parse",        "sema",    "irgen",  "pass",      "cache-lookup",
+      "cache-insert", "profile", "expand", "reprofile", "cache-persist"};
   return Sites;
 }
 

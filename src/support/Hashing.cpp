@@ -1,0 +1,61 @@
+//===- support/Hashing.cpp -------------------------------------------------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+
+using namespace impact;
+
+static const char kHexDigits[] = "0123456789abcdef";
+
+std::string impact::toHex64(uint64_t Value) {
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[static_cast<size_t>(I)] = kHexDigits[Value & 0xf];
+    Value >>= 4;
+  }
+  return Out;
+}
+
+std::string impact::toHex128(const Hash128 &H) {
+  return toHex64(H.Hi) + toHex64(H.Lo);
+}
+
+static bool hexNibble(char C, uint64_t &Out) {
+  if (C >= '0' && C <= '9')
+    Out = static_cast<uint64_t>(C - '0');
+  else if (C >= 'a' && C <= 'f')
+    Out = static_cast<uint64_t>(C - 'a' + 10);
+  else if (C >= 'A' && C <= 'F')
+    Out = static_cast<uint64_t>(C - 'A' + 10);
+  else
+    return false;
+  return true;
+}
+
+bool impact::parseHex64(std::string_view Text, uint64_t &Out) {
+  if (Text.size() != 16)
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    uint64_t Nibble = 0;
+    if (!hexNibble(C, Nibble))
+      return false;
+    Value = (Value << 4) | Nibble;
+  }
+  Out = Value;
+  return true;
+}
+
+bool impact::parseHex128(std::string_view Text, Hash128 &Out) {
+  if (Text.size() != 32)
+    return false;
+  Hash128 H;
+  if (!parseHex64(Text.substr(0, 16), H.Hi) ||
+      !parseHex64(Text.substr(16, 16), H.Lo))
+    return false;
+  Out = H;
+  return true;
+}

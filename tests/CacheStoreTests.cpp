@@ -1,0 +1,600 @@
+//===- tests/CacheStoreTests.cpp - Persistent cache store recovery ---------===//
+//
+// Part of the impact-inline project, distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash/corruption/invalidation contract of the `impact-cache v1`
+/// store (support/CacheStore.h) and of the FunctionDefinitionCache
+/// persisted through it: every way a store file can be damaged —
+/// truncated at any byte, any byte flipped, a garbage prefix, a stale
+/// epoch or options fingerprint, a crash at any point of the save path —
+/// must at worst cost recompilation. A verified record is always one the
+/// writer wrote; the cumulative stats line is trusted only under the
+/// whole-file checksum; a crashed save never touches the previous store.
+/// The checksum itself is mutation-verified: with the per-record check
+/// disabled (test hook), the corrupted record IS served, proving the
+/// check is what stands between corruption and spliced bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/FunctionCache.h"
+#include "driver/Pipeline.h"
+#include "ir/IrPrinter.h"
+#include "support/CacheStore.h"
+#include "support/FaultInjection.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace impact;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "impact_store_" + Name;
+}
+
+std::string readBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+void writeBytes(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(Out.good()) << Path;
+  Out << Bytes;
+}
+
+void removeStore(const std::string &Path) {
+  std::remove(Path.c_str());
+  std::remove((Path + ".tmp").c_str());
+}
+
+/// Restores the checksum-check hook even when an assertion fails.
+struct ChecksumCheckGuard {
+  explicit ChecksumCheckGuard(bool Disabled) {
+    setCacheStoreChecksumCheckDisabledForTest(Disabled);
+  }
+  ~ChecksumCheckGuard() { setCacheStoreChecksumCheckDisabledForTest(false); }
+};
+
+CacheStoreHeader makeHeader() {
+  CacheStoreHeader H;
+  H.Epoch = 3;
+  H.Fingerprint = "fp-test";
+  H.Stats = {7, 11, 13, 17};
+  return H;
+}
+
+std::vector<CacheStoreRecord> makeRecords() {
+  // Adversarial payloads: newlines, spaces, bytes that mimic the store's
+  // own framing, and an empty payload — all must round-trip because
+  // payloads are length-framed, never line-parsed.
+  return {
+      {"a1b2", "h 3 0 5\ni 1 2 3 4 99\n"},
+      {"c3d4", "end deadbeefdeadbeef\nentry x 4 0\n"},
+      {"e5f6", ""},
+      {"a7b8", "spaces and\ttabs \n and a trailing newline\n"},
+  };
+}
+
+bool sameRecord(const CacheStoreRecord &A, const CacheStoreRecord &B) {
+  return A.Key == B.Key && A.Payload == B.Payload;
+}
+
+/// Every loaded record must be byte-identical to one the writer wrote —
+/// the no-spliced-garbage invariant under arbitrary damage.
+void expectSubsetOfOriginals(const CacheStoreLoadResult &R,
+                             const std::vector<CacheStoreRecord> &Originals,
+                             const std::string &Tag) {
+  for (const CacheStoreRecord &Loaded : R.Records) {
+    bool Found = false;
+    for (const CacheStoreRecord &O : Originals)
+      Found |= sameRecord(Loaded, O);
+    EXPECT_TRUE(Found) << Tag << ": fabricated record key=" << Loaded.Key;
+  }
+}
+
+TEST(CacheStore, RoundTripAndDeterministicBytes) {
+  std::string Path = tempPath("roundtrip");
+  removeStore(Path);
+  CacheStoreHeader H = makeHeader();
+  std::vector<CacheStoreRecord> Records = makeRecords();
+  std::string Error;
+  ASSERT_TRUE(saveCacheStore(Path, H, Records, &Error)) << Error;
+
+  CacheStoreLoadResult R = loadCacheStore(Path, H.Epoch, H.Fingerprint);
+  EXPECT_EQ(R.Status, CacheStoreStatus::Loaded) << R.Error;
+  EXPECT_TRUE(R.WholeFileVerified);
+  EXPECT_EQ(R.CorruptRecords, 0u);
+  EXPECT_EQ(R.Header.Epoch, H.Epoch);
+  EXPECT_EQ(R.Header.Fingerprint, H.Fingerprint);
+  EXPECT_EQ(R.Header.Stats, H.Stats);
+  ASSERT_EQ(R.Records.size(), Records.size());
+  for (size_t I = 0; I != Records.size(); ++I) {
+    EXPECT_EQ(R.Records[I].Key, Records[I].Key);
+    EXPECT_EQ(R.Records[I].Payload, Records[I].Payload);
+  }
+
+  // Identical header + records → identical bytes (the canonical-file
+  // property save→load→save relies on).
+  std::string Path2 = tempPath("roundtrip2");
+  removeStore(Path2);
+  ASSERT_TRUE(saveCacheStore(Path2, H, Records, &Error)) << Error;
+  EXPECT_EQ(readBytes(Path), readBytes(Path2));
+  removeStore(Path);
+  removeStore(Path2);
+}
+
+TEST(CacheStore, MissingFileIsColdStart) {
+  CacheStoreLoadResult R =
+      loadCacheStore(tempPath("never_written"), 1, "fp");
+  EXPECT_EQ(R.Status, CacheStoreStatus::NoFile);
+  EXPECT_TRUE(R.Records.empty());
+  EXPECT_FALSE(R.WholeFileVerified);
+}
+
+TEST(CacheStore, GarbagePrefixRejectsWholeFile) {
+  std::string Path = tempPath("garbage");
+  removeStore(Path);
+  CacheStoreHeader H = makeHeader();
+  ASSERT_TRUE(saveCacheStore(Path, H, makeRecords()));
+  writeBytes(Path, "GARBAGE\n" + readBytes(Path));
+  CacheStoreLoadResult R = loadCacheStore(Path, H.Epoch, H.Fingerprint);
+  EXPECT_EQ(R.Status, CacheStoreStatus::BadMagic);
+  EXPECT_TRUE(R.Records.empty()) << "nothing in a BadMagic file is trusted";
+  removeStore(Path);
+}
+
+TEST(CacheStore, StaleEpochAndFingerprintRejectWholeFile) {
+  std::string Path = tempPath("stale");
+  removeStore(Path);
+  CacheStoreHeader H = makeHeader();
+  ASSERT_TRUE(saveCacheStore(Path, H, makeRecords()));
+
+  CacheStoreLoadResult ByEpoch =
+      loadCacheStore(Path, H.Epoch + 1, H.Fingerprint);
+  EXPECT_EQ(ByEpoch.Status, CacheStoreStatus::Stale);
+  EXPECT_TRUE(ByEpoch.Records.empty())
+      << "stale records must be rebuilt, never spliced";
+
+  CacheStoreLoadResult ByFp = loadCacheStore(Path, H.Epoch, "other-fp");
+  EXPECT_EQ(ByFp.Status, CacheStoreStatus::Stale);
+  EXPECT_TRUE(ByFp.Records.empty());
+  removeStore(Path);
+}
+
+TEST(CacheStore, TruncationAtEveryByteNeverFabricatesARecord) {
+  std::string Path = tempPath("trunc");
+  removeStore(Path);
+  CacheStoreHeader H = makeHeader();
+  std::vector<CacheStoreRecord> Records = makeRecords();
+  ASSERT_TRUE(saveCacheStore(Path, H, Records));
+  std::string Full = readBytes(Path);
+
+  std::string Cut = tempPath("trunc_cut");
+  for (size_t Len = 0; Len < Full.size(); ++Len) {
+    writeBytes(Cut, Full.substr(0, Len));
+    CacheStoreLoadResult R = loadCacheStore(Cut, H.Epoch, H.Fingerprint);
+    std::string Tag = "truncated to " + std::to_string(Len);
+    EXPECT_FALSE(R.WholeFileVerified) << Tag;
+    expectSubsetOfOriginals(R, Records, Tag);
+    if (R.Status == CacheStoreStatus::Loaded) {
+      for (uint64_t S : R.Header.Stats)
+        EXPECT_EQ(S, 0u) << Tag << ": unverified stats must be zeroed";
+    }
+  }
+  removeStore(Path);
+  removeStore(Cut);
+}
+
+TEST(CacheStore, BitFlipAtEveryByteNeverFabricatesARecord) {
+  std::string Path = tempPath("flip");
+  removeStore(Path);
+  CacheStoreHeader H = makeHeader();
+  std::vector<CacheStoreRecord> Records = makeRecords();
+  ASSERT_TRUE(saveCacheStore(Path, H, Records));
+  std::string Full = readBytes(Path);
+
+  std::string Bad = tempPath("flip_bad");
+  for (size_t I = 0; I < Full.size(); ++I) {
+    std::string Damaged = Full;
+    Damaged[I] = static_cast<char>(Damaged[I] ^ 0x01);
+    writeBytes(Bad, Damaged);
+    CacheStoreLoadResult R = loadCacheStore(Bad, H.Epoch, H.Fingerprint);
+    std::string Tag = "bit flip at byte " + std::to_string(I);
+    // One flipped bit can never verify the whole file (it either breaks
+    // the covered bytes or the trailer digits themselves).
+    EXPECT_FALSE(R.WholeFileVerified) << Tag;
+    expectSubsetOfOriginals(R, Records, Tag);
+    if (R.Status == CacheStoreStatus::Loaded) {
+      for (uint64_t S : R.Header.Stats)
+        EXPECT_EQ(S, 0u) << Tag << ": unverified stats must be zeroed";
+    }
+  }
+  removeStore(Path);
+  removeStore(Bad);
+}
+
+/// Locates the first record's payload in a store file: offset and length.
+void locateFirstPayload(const std::string &Text, size_t &Offset,
+                        size_t &Length) {
+  size_t Entry = Text.find("\nentry ");
+  ASSERT_NE(Entry, std::string::npos);
+  size_t LineEnd = Text.find('\n', Entry + 1);
+  ASSERT_NE(LineEnd, std::string::npos);
+  std::istringstream Fields(Text.substr(Entry + 1, LineEnd - Entry - 1));
+  std::string Word, Key;
+  uint64_t Bytes = 0;
+  Fields >> Word >> Key >> Bytes;
+  ASSERT_EQ(Word, "entry");
+  Offset = LineEnd + 1;
+  Length = Bytes;
+}
+
+TEST(CacheStore, RecordChecksumCoversTheKey) {
+  // A flipped byte in the KEY field must kill the record: the payload
+  // alone verifying would serve a correct body under the wrong content
+  // address.
+  std::string Path = tempPath("keyflip");
+  removeStore(Path);
+  CacheStoreHeader H = makeHeader();
+  std::vector<CacheStoreRecord> Records = makeRecords();
+  ASSERT_TRUE(saveCacheStore(Path, H, Records));
+  std::string Text = readBytes(Path);
+  size_t Entry = Text.find("\nentry ");
+  ASSERT_NE(Entry, std::string::npos);
+  size_t KeyPos = Entry + strlen("\nentry ");
+  ASSERT_EQ(Text[KeyPos], Records[0].Key[0]);
+  Text[KeyPos] = Text[KeyPos] == 'z' ? 'y' : 'z';
+  writeBytes(Path, Text);
+
+  CacheStoreLoadResult R = loadCacheStore(Path, H.Epoch, H.Fingerprint);
+  EXPECT_EQ(R.Status, CacheStoreStatus::Loaded);
+  EXPECT_GE(R.CorruptRecords, 1u);
+  for (const CacheStoreRecord &Loaded : R.Records)
+    EXPECT_NE(Loaded.Payload, Records[0].Payload)
+        << "record served under a corrupted key";
+  // Framing stayed intact, so every other record survives.
+  EXPECT_EQ(R.Records.size(), Records.size() - 1);
+  removeStore(Path);
+}
+
+TEST(CacheStore, ChecksumCheckIsLoadBearing) {
+  // Mutation verification: corrupt one payload byte (framing intact).
+  // With the per-record check on, the record is dropped; with the check
+  // disabled — simulating its removal — the corrupted payload IS served.
+  // If the checksum comparison were ever deleted, the first half of this
+  // test fails.
+  std::string Path = tempPath("mutation");
+  removeStore(Path);
+  CacheStoreHeader H = makeHeader();
+  std::vector<CacheStoreRecord> Records = makeRecords();
+  ASSERT_TRUE(saveCacheStore(Path, H, Records));
+  std::string Text = readBytes(Path);
+  size_t Offset = 0, Length = 0;
+  locateFirstPayload(Text, Offset, Length);
+  ASSERT_GT(Length, 0u);
+  Text[Offset] = static_cast<char>(Text[Offset] ^ 0x01);
+  writeBytes(Path, Text);
+  std::string Corrupted = Records[0].Payload;
+  Corrupted[0] = static_cast<char>(Corrupted[0] ^ 0x01);
+
+  CacheStoreLoadResult Checked = loadCacheStore(Path, H.Epoch, H.Fingerprint);
+  EXPECT_EQ(Checked.Status, CacheStoreStatus::Loaded);
+  EXPECT_EQ(Checked.CorruptRecords, 1u);
+  EXPECT_EQ(Checked.Records.size(), Records.size() - 1);
+  for (const CacheStoreRecord &R : Checked.Records)
+    EXPECT_NE(R.Payload, Corrupted);
+
+  {
+    ChecksumCheckGuard Guard(true);
+    CacheStoreLoadResult Unchecked =
+        loadCacheStore(Path, H.Epoch, H.Fingerprint);
+    EXPECT_EQ(Unchecked.Status, CacheStoreStatus::Loaded);
+    EXPECT_EQ(Unchecked.CorruptRecords, 0u);
+    ASSERT_EQ(Unchecked.Records.size(), Records.size());
+    EXPECT_EQ(Unchecked.Records[0].Payload, Corrupted)
+        << "without the checksum the corrupted payload is served — the "
+           "check is the only guard";
+  }
+  removeStore(Path);
+}
+
+TEST(CacheStore, CrashAtEveryPersistOccurrenceLeavesStoreIntact) {
+  std::string Path = tempPath("crash");
+  removeStore(Path);
+  CacheStoreHeader H = makeHeader();
+  std::vector<CacheStoreRecord> Old = makeRecords();
+  ASSERT_TRUE(saveCacheStore(Path, H, Old));
+  std::string OldBytes = readBytes(Path);
+
+  std::vector<CacheStoreRecord> New = Old;
+  New.push_back({"ffff", "new payload"});
+
+  for (uint64_t Occurrence : {1, 2, 3}) {
+    FaultPlan Plan;
+    ASSERT_TRUE(parseFaultPlan(
+        "cache-persist:throw@" + std::to_string(Occurrence), Plan));
+    FaultSession Session(&Plan, "server");
+    std::string Error;
+    EXPECT_THROW(saveCacheStore(Path, H, New, &Error, &Session),
+                 FaultInjectedError)
+        << "occurrence " << Occurrence;
+    EXPECT_EQ(readBytes(Path), OldBytes)
+        << "crash at occurrence " << Occurrence << " touched the store";
+    bool TempExists = std::filesystem::exists(Path + ".tmp");
+    // Occurrence 1 fires before the temp is opened; 2 and 3 leave the
+    // partial/complete temp behind, like a killed process would.
+    EXPECT_EQ(TempExists, Occurrence != 1) << "occurrence " << Occurrence;
+    std::remove((Path + ".tmp").c_str());
+  }
+
+  // Clean-failure kind: returns false, removes the temp, store intact.
+  FaultPlan DiagPlan;
+  ASSERT_TRUE(parseFaultPlan("cache-persist:diag@2", DiagPlan));
+  FaultSession DiagSession(&DiagPlan, "server");
+  std::string Error;
+  EXPECT_FALSE(saveCacheStore(Path, H, New, &Error, &DiagSession));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_EQ(readBytes(Path), OldBytes);
+  EXPECT_FALSE(std::filesystem::exists(Path + ".tmp"));
+
+  // And the recovery: the next fault-free save lands atomically.
+  ASSERT_TRUE(saveCacheStore(Path, H, New, &Error)) << Error;
+  EXPECT_FALSE(std::filesystem::exists(Path + ".tmp"));
+  CacheStoreLoadResult R = loadCacheStore(Path, H.Epoch, H.Fingerprint);
+  EXPECT_EQ(R.Status, CacheStoreStatus::Loaded);
+  EXPECT_TRUE(R.WholeFileVerified);
+  EXPECT_EQ(R.Records.size(), New.size());
+  removeStore(Path);
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionDefinitionCache persistence over the store.
+//===----------------------------------------------------------------------===//
+
+std::vector<RunInput> twoRuns() { return {{"abcd", ""}, {"", ""}}; }
+
+PipelineResult runWithCache(FunctionDefinitionCache *Cache) {
+  PipelineOptions Options;
+  Options.DefCache = Cache;
+  return runPipeline(test::kCallHeavyProgram, "call_heavy", twoRuns(),
+                     Options);
+}
+
+TEST(FunctionCachePersist, RoundTripServesPersistentHits) {
+  std::string Path = tempPath("fc_roundtrip");
+  removeStore(Path);
+
+  FunctionDefinitionCache Warm;
+  PipelineResult Fresh = runWithCache(&Warm);
+  ASSERT_TRUE(Fresh.Ok) << Fresh.Error;
+  FunctionCacheStats WarmStats = Warm.getStats();
+  ASSERT_GT(WarmStats.Entries, 0u);
+  std::string Error;
+  ASSERT_TRUE(Warm.saveToFile(Path, &Error)) << Error;
+
+  // A second "process": load the store cold and recompile.
+  FunctionDefinitionCache Reloaded;
+  ASSERT_EQ(Reloaded.loadFromFile(Path, &Error), CacheLoadStatus::Loaded)
+      << Error;
+  FunctionCacheStats LoadedStats = Reloaded.getStats();
+  EXPECT_EQ(LoadedStats.Entries, WarmStats.Entries);
+  EXPECT_EQ(LoadedStats.Hits, WarmStats.Hits)
+      << "loaded counters must carry the previous process's lifetime";
+  EXPECT_EQ(LoadedStats.Misses, WarmStats.Misses);
+
+  PipelineResult Reused = runWithCache(&Reloaded);
+  ASSERT_TRUE(Reused.Ok) << Reused.Error;
+  EXPECT_EQ(printModule(Reused.FinalModule), printModule(Fresh.FinalModule))
+      << "a persistent hit must be bit-identical to recomputation";
+  EXPECT_EQ(Reused.OutputsAfter, Fresh.OutputsAfter);
+  FunctionCacheStats ReusedStats = Reloaded.getStats();
+  EXPECT_GT(ReusedStats.PersistentHits, 0u)
+      << "cross-process reuse must be observable";
+  EXPECT_EQ(ReusedStats.Misses, WarmStats.Misses)
+      << "every body must be served from the store, not recomputed";
+  EXPECT_GT(ReusedStats.Hits, WarmStats.Hits);
+  removeStore(Path);
+}
+
+TEST(FunctionCachePersist, SaveLoadSaveProducesIdenticalBytes) {
+  std::string PathA = tempPath("fc_bytes_a");
+  std::string PathB = tempPath("fc_bytes_b");
+  removeStore(PathA);
+  removeStore(PathB);
+
+  FunctionDefinitionCache Warm;
+  ASSERT_TRUE(runWithCache(&Warm).Ok);
+  ASSERT_TRUE(Warm.saveToFile(PathA));
+
+  FunctionDefinitionCache Reloaded;
+  ASSERT_EQ(Reloaded.loadFromFile(PathA), CacheLoadStatus::Loaded);
+  ASSERT_TRUE(Reloaded.saveToFile(PathB));
+  EXPECT_EQ(readBytes(PathA), readBytes(PathB))
+      << "save→load→save must be byte-identical (sorted records, carried "
+         "counters)";
+  removeStore(PathA);
+  removeStore(PathB);
+}
+
+TEST(FunctionCachePersist, StaleEpochAndFingerprintAreRejectedWhole) {
+  std::string Path = tempPath("fc_stale");
+  removeStore(Path);
+  FunctionDefinitionCache Warm;
+  ASSERT_TRUE(runWithCache(&Warm).Ok);
+  ASSERT_TRUE(Warm.saveToFile(Path));
+  std::string Good = readBytes(Path);
+
+  // Another epoch: the whole store is rebuilt, never spliced.
+  std::string Text = Good;
+  size_t Epoch = Text.find("epoch ");
+  ASSERT_NE(Epoch, std::string::npos);
+  Text[Epoch + 6] = Text[Epoch + 6] == '9' ? '8' : '9';
+  writeBytes(Path, Text);
+  FunctionDefinitionCache C1;
+  std::string Detail;
+  EXPECT_EQ(C1.loadFromFile(Path, &Detail), CacheLoadStatus::Stale) << Detail;
+  FunctionCacheStats S1 = C1.getStats();
+  EXPECT_EQ(S1.Entries, 0u);
+  EXPECT_EQ(S1.StaleRejected, 1u);
+
+  // Another options fingerprint: same rejection.
+  Text = Good;
+  size_t Options = Text.find("options ");
+  ASSERT_NE(Options, std::string::npos);
+  Text.insert(Options + 8, "x");
+  writeBytes(Path, Text);
+  FunctionDefinitionCache C2;
+  EXPECT_EQ(C2.loadFromFile(Path, &Detail), CacheLoadStatus::Stale) << Detail;
+  EXPECT_EQ(C2.getStats().Entries, 0u);
+
+  // Garbage prefix: Corrupt, counted as such.
+  writeBytes(Path, "not a cache\n" + Good);
+  FunctionDefinitionCache C3;
+  EXPECT_EQ(C3.loadFromFile(Path, &Detail), CacheLoadStatus::Corrupt)
+      << Detail;
+  EXPECT_EQ(C3.getStats().CorruptRejected, 1u);
+  removeStore(Path);
+}
+
+TEST(FunctionCachePersist, CorruptRecordRecompilesBitIdentically) {
+  std::string Path = tempPath("fc_corrupt");
+  removeStore(Path);
+
+  FunctionDefinitionCache Warm;
+  PipelineResult Fresh = runWithCache(&Warm);
+  ASSERT_TRUE(Fresh.Ok);
+  ASSERT_TRUE(Warm.saveToFile(Path));
+
+  // Flip the first digit of the first record's body header ("h <NumRegs>
+  // ...") — a corruption a strict payload parse alone would NOT catch,
+  // so only the record checksum stands in the way.
+  std::string Text = readBytes(Path);
+  size_t Offset = 0, Length = 0;
+  locateFirstPayload(Text, Offset, Length);
+  ASSERT_GT(Length, 2u);
+  ASSERT_EQ(Text[Offset], 'h');
+  size_t Digit = Offset + 2;
+  ASSERT_TRUE(isdigit(static_cast<unsigned char>(Text[Digit])));
+  Text[Digit] = Text[Digit] == '9' ? '0' : Text[Digit] + 1;
+  writeBytes(Path, Text);
+
+  // With the checksum on: the bad record is dropped and counted, the
+  // rest load, and a recompile is bit-identical to the fresh pipeline.
+  FunctionDefinitionCache Recovered;
+  ASSERT_EQ(Recovered.loadFromFile(Path), CacheLoadStatus::Loaded);
+  FunctionCacheStats Stats = Recovered.getStats();
+  EXPECT_EQ(Stats.CorruptRejected, 1u);
+  EXPECT_EQ(Stats.Entries, Warm.getStats().Entries - 1);
+  PipelineResult Recompiled = runWithCache(&Recovered);
+  ASSERT_TRUE(Recompiled.Ok) << Recompiled.Error;
+  EXPECT_EQ(printModule(Recompiled.FinalModule),
+            printModule(Fresh.FinalModule))
+      << "a corrupt store may cost recompilation, never correctness";
+  EXPECT_EQ(Recompiled.OutputsAfter, Fresh.OutputsAfter);
+
+  // Mutation verification: disable the checksum comparison (simulating
+  // its removal) and the corrupted body is accepted — the cache now
+  // holds different bytes than a clean load, proving the checksum is
+  // load-bearing. If the check were deleted, CorruptRejected above
+  // would read 0 and this test would fail.
+  {
+    ChecksumCheckGuard Guard(true);
+    FunctionDefinitionCache Poisoned;
+    ASSERT_EQ(Poisoned.loadFromFile(Path), CacheLoadStatus::Loaded);
+    EXPECT_EQ(Poisoned.getStats().CorruptRejected, 0u);
+    EXPECT_EQ(Poisoned.getStats().Entries, Warm.getStats().Entries);
+    std::string CleanSave = tempPath("fc_corrupt_clean");
+    std::string PoisonSave = tempPath("fc_corrupt_poison");
+    removeStore(CleanSave);
+    removeStore(PoisonSave);
+    FunctionDefinitionCache Clean;
+    {
+      ChecksumCheckGuard Inner(false);
+      std::string GoodPath = tempPath("fc_corrupt_good");
+      removeStore(GoodPath);
+      ASSERT_TRUE(Warm.saveToFile(GoodPath));
+      ASSERT_EQ(Clean.loadFromFile(GoodPath), CacheLoadStatus::Loaded);
+      removeStore(GoodPath);
+    }
+    ASSERT_TRUE(Clean.saveToFile(CleanSave));
+    ASSERT_TRUE(Poisoned.saveToFile(PoisonSave));
+    EXPECT_NE(readBytes(CleanSave), readBytes(PoisonSave))
+        << "with the check disabled the corrupted body was served";
+    removeStore(CleanSave);
+    removeStore(PoisonSave);
+  }
+  removeStore(Path);
+}
+
+TEST(FunctionCachePersist, EvictionIsFifoAndOnlyMovesWorkBack) {
+  // Three distinct bodies through a capacity-2 single-shard cache: the
+  // first inserted is evicted, later ones survive.
+  FunctionDefinitionCache Cache(/*ShardCount=*/1);
+  Cache.setCapacity(2);
+  OptOptions Opts;
+
+  std::vector<std::string> Keys;
+  for (int I = 0; I != 3; ++I) {
+    std::string Source = "int f(int x) { return x + " + std::to_string(I) +
+                         "; }";
+    CompilationResult C =
+        compileMiniC(Source, "u" + std::to_string(I), /*RequireMain=*/false);
+    ASSERT_TRUE(C.Ok) << C.Errors;
+    Function &F = C.M.Funcs.back();
+    Keys.push_back(FunctionDefinitionCache::makeKey(F, Opts));
+    Cache.insert(Keys.back(), F);
+  }
+  FunctionCacheStats Stats = Cache.getStats();
+  EXPECT_EQ(Stats.Entries, 2u);
+  EXPECT_EQ(Stats.Evictions, 1u);
+
+  CompilationResult Probe = compileMiniC("int f(int x) { return x + 9; }",
+                                         "probe", /*RequireMain=*/false);
+  ASSERT_TRUE(Probe.Ok);
+  Function Scratch = Probe.M.Funcs.back();
+  EXPECT_FALSE(Cache.lookup(Keys[0], Scratch)) << "oldest entry evicted";
+  EXPECT_TRUE(Cache.lookup(Keys[1], Scratch));
+  EXPECT_TRUE(Cache.lookup(Keys[2], Scratch));
+}
+
+TEST(FunctionCachePersist, CountersAccumulateAcrossProcesses) {
+  std::string Path = tempPath("fc_cumulative");
+  removeStore(Path);
+
+  FunctionDefinitionCache First;
+  ASSERT_TRUE(runWithCache(&First).Ok);
+  FunctionCacheStats S1 = First.getStats();
+  ASSERT_TRUE(First.saveToFile(Path));
+
+  FunctionDefinitionCache Second;
+  ASSERT_EQ(Second.loadFromFile(Path), CacheLoadStatus::Loaded);
+  ASSERT_TRUE(runWithCache(&Second).Ok);
+  FunctionCacheStats S2 = Second.getStats();
+  EXPECT_GT(S2.Hits, S1.Hits) << "second process adds on the first's base";
+  EXPECT_EQ(S2.Misses, S1.Misses);
+  ASSERT_TRUE(Second.saveToFile(Path));
+
+  FunctionDefinitionCache Third;
+  ASSERT_EQ(Third.loadFromFile(Path), CacheLoadStatus::Loaded);
+  FunctionCacheStats S3 = Third.getStats();
+  EXPECT_EQ(S3.Hits, S2.Hits)
+      << "the [cache] footer reports cross-process lifetime numbers";
+  EXPECT_EQ(S3.PersistentHits, S2.PersistentHits);
+}
+
+} // namespace
