@@ -21,6 +21,7 @@
 #include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
 
 using namespace impact;
 using namespace impact::bench;
@@ -48,6 +49,7 @@ bool CacheStoreAttached = false;
 AnalysisOptions ConfiguredAnalysis;
 size_t TotalWarnFindings = 0;  // across all batches
 size_t TotalErrorFindings = 0; // (error findings also quarantine units)
+std::map<std::string, size_t> TotalRuleFindings; // per-rule, all batches
 double TotalWallSeconds = 0.0;
 double TotalCpuSeconds = 0.0;
 unsigned BatchesRun = 0;
@@ -103,6 +105,12 @@ void applyAnalyzeSpec(const char *What, const std::string &Text) {
   if (Text == "0" || Text == "off") {
     AnalyzeConfigured = false;
     return;
+  }
+  // "help" prints the rule table (names, severities, one-liners) and
+  // exits successfully — the spec documents itself.
+  if (Text == "help") {
+    std::fputs(renderAnalysisRuleTable().c_str(), stdout);
+    std::exit(0);
   }
   std::string Diag;
   if (!parseAnalysisRules(Text, ConfiguredAnalysis, &Diag)) {
@@ -468,6 +476,8 @@ impact::bench::runSuiteExperiment(const PipelineOptions &Options,
     TotalWarnFindings += R.Results[I].Analysis.countSeverity(Severity::Warn);
     TotalErrorFindings +=
         R.Results[I].Analysis.countSeverity(Severity::Error);
+    for (const auto &[Rule, N] : R.Results[I].Analysis.countByRule())
+      TotalRuleFindings[Rule] += N;
     for (const Finding &F : R.Results[I].Analysis.Findings)
       if (F.Sev == Severity::Warn)
         std::fprintf(stderr, "[analyze] %s: %s\n", Jobs[I].Name.c_str(),
@@ -554,10 +564,20 @@ std::string impact::bench::renderBenchFooter() {
            " ran as the pre-opt pipeline\n";
   // The analyze line appears only when the analyzer ran, so analysis-off
   // footers stay bit-identical to the previous format.
-  if (AnalyzeConfigured)
+  if (AnalyzeConfigured) {
     Out += "[analyze] " + std::to_string(TotalWarnFindings) +
            " warning(s), " + std::to_string(TotalErrorFindings) +
-           " error(s) across " + std::to_string(BatchesRun) + " batch(es)\n";
+           " error(s) across " + std::to_string(BatchesRun) + " batch(es)";
+    bool First = true;
+    for (const auto &[Rule, N] : TotalRuleFindings) {
+      Out += First ? " (" : ", ";
+      Out += Rule + ": " + std::to_string(N);
+      First = false;
+    }
+    if (!First)
+      Out += ")";
+    Out += "\n";
+  }
   if (!QuarantinedFailures.empty()) {
     Out += "[failed] " + std::to_string(QuarantinedFailures.size()) +
            " unit(s) quarantined across " + std::to_string(BatchesRun) +

@@ -6,11 +6,13 @@
 
 #include "analysis/Analyzer.h"
 
+#include "analysis/RangeAnalysis.h"
 #include "core/WeightRedistribution.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <tuple>
 
 using namespace impact;
@@ -35,24 +37,86 @@ std::string Finding::render() const {
   return Out;
 }
 
+namespace {
+
+/// The one rule table: spec names, option flags, severities, and the
+/// one-line descriptions the help listing prints. parseAnalysisRules and
+/// renderAnalysisRuleTable must never disagree, so both read this.
+struct RuleDesc {
+  const char *Name;
+  bool AnalysisOptions::*Flag;
+  Severity Sev;
+  const char *Desc;
+};
+
+constexpr RuleDesc kRuleTable[] = {
+    {kRuleUninitRead, &AnalysisOptions::UninitRead, Severity::Warn,
+     "register read that no definition reaches (the engines see 0)"},
+    {kRuleUnreachableBlock, &AnalysisOptions::UnreachableBlock, Severity::Warn,
+     "basic block unreachable from the function entry"},
+    {kRuleDeadStore, &AnalysisOptions::DeadStore, Severity::Warn,
+     "pure value written to a register that is never read"},
+    {kRuleAuditSafeExpansion, &AnalysisOptions::AuditSafeExpansion,
+     Severity::Error,
+     "an expanded site was not classified safe / planned for expansion"},
+    {kRuleAuditCallGraph, &AnalysisOptions::AuditCallGraph, Severity::Error,
+     "post-expansion call-graph inconsistency (dangling site ids, arity)"},
+    {kRuleAuditWeightConservation, &AnalysisOptions::AuditWeightConservation,
+     Severity::Error,
+     "redistributed profile weights do not conserve call volume"},
+    {kRuleAuditLinearization, &AnalysisOptions::AuditLinearization,
+     Severity::Error, "expansion sequence violated the linear order"},
+    {kRuleGuaranteedTrap, &AnalysisOptions::GuaranteedTrap, Severity::Error,
+     "instruction in a range-reachable block traps on every execution"},
+    {kRuleRangeContradiction, &AnalysisOptions::RangeContradiction,
+     Severity::Warn,
+     "CFG-reachable block that range propagation proves never executes"},
+};
+
+/// Levenshtein distance, two-row formulation; powers the did-you-mean
+/// suggestion for misspelled rule names.
+size_t editDistance(std::string_view A, std::string_view B) {
+  std::vector<size_t> Prev(B.size() + 1), Cur(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Prev[J] = J;
+  for (size_t I = 0; I != A.size(); ++I) {
+    Cur[0] = I + 1;
+    for (size_t J = 0; J != B.size(); ++J)
+      Cur[J + 1] = std::min({Prev[J + 1] + 1, Cur[J] + 1,
+                             Prev[J] + (A[I] == B[J] ? 0 : 1)});
+    std::swap(Prev, Cur);
+  }
+  return Prev[B.size()];
+}
+
+} // namespace
+
+std::string impact::renderAnalysisRuleTable() {
+  std::string Out =
+      "analysis rules (--analyze=<spec> / IMPACT_ANALYZE=<spec>; a spec is "
+      "a comma list of\nrule names, \"all\", or \"-name\" to disable; "
+      "\"help\" prints this table):\n";
+  size_t Width = 0;
+  for (const RuleDesc &R : kRuleTable)
+    Width = std::max(Width, std::string_view(R.Name).size());
+  for (const RuleDesc &R : kRuleTable) {
+    std::string_view Name = R.Name;
+    Out += "  ";
+    Out += Name;
+    Out.append(Width - Name.size() + 2, ' ');
+    std::string_view Sev = getSeverityName(R.Sev);
+    Out += Sev;
+    Out.append(6 - Sev.size() + 2, ' ');
+    Out += R.Desc;
+    Out += '\n';
+  }
+  return Out;
+}
+
 bool impact::parseAnalysisRules(std::string_view Spec, AnalysisOptions &Out,
                                 std::string *Error) {
-  struct RuleFlag {
-    const char *Name;
-    bool AnalysisOptions::*Flag;
-  };
-  static constexpr RuleFlag Rules[] = {
-      {kRuleUninitRead, &AnalysisOptions::UninitRead},
-      {kRuleUnreachableBlock, &AnalysisOptions::UnreachableBlock},
-      {kRuleDeadStore, &AnalysisOptions::DeadStore},
-      {kRuleAuditSafeExpansion, &AnalysisOptions::AuditSafeExpansion},
-      {kRuleAuditCallGraph, &AnalysisOptions::AuditCallGraph},
-      {kRuleAuditWeightConservation,
-       &AnalysisOptions::AuditWeightConservation},
-      {kRuleAuditLinearization, &AnalysisOptions::AuditLinearization},
-  };
   auto SetAll = [&](bool Value) {
-    for (const RuleFlag &R : Rules)
+    for (const RuleDesc &R : kRuleTable)
       Out.*(R.Flag) = Value;
   };
 
@@ -87,7 +151,7 @@ bool impact::parseAnalysisRules(std::string_view Spec, AnalysisOptions &Out,
       T = T.substr(1);
     }
     bool Known = false;
-    for (const RuleFlag &R : Rules)
+    for (const RuleDesc &R : kRuleTable)
       if (T == R.Name) {
         Out.*(R.Flag) = Enable;
         Known = true;
@@ -95,9 +159,22 @@ bool impact::parseAnalysisRules(std::string_view Spec, AnalysisOptions &Out,
       }
     if (!Known) {
       if (Error) {
-        *Error = "unknown analysis rule '" + std::string(T) + "'; valid: all";
-        for (const RuleFlag &R : Rules)
+        *Error = "unknown analysis rule '" + std::string(T) + "'";
+        const char *Best = nullptr;
+        size_t BestDist = 0;
+        for (const RuleDesc &R : kRuleTable) {
+          size_t D = editDistance(T, R.Name);
+          if (!Best || D < BestDist) {
+            Best = R.Name;
+            BestDist = D;
+          }
+        }
+        if (Best && BestDist <= std::max<size_t>(2, T.size() / 3))
+          *Error += "; did you mean '" + std::string(Best) + "'?";
+        *Error += " valid: all";
+        for (const RuleDesc &R : kRuleTable)
           *Error += std::string(", ") + R.Name;
+        *Error += ", help";
       }
       return false;
     }
@@ -110,6 +187,14 @@ size_t AnalysisReport::countSeverity(Severity S) const {
   for (const Finding &F : Findings)
     N += F.Sev == S;
   return N;
+}
+
+std::vector<std::pair<std::string, size_t>> AnalysisReport::countByRule()
+    const {
+  std::map<std::string, size_t> Counts;
+  for (const Finding &F : Findings)
+    ++Counts[F.Rule];
+  return {Counts.begin(), Counts.end()};
 }
 
 void AnalysisReport::sortFindings() {
@@ -266,11 +351,102 @@ void checkDeadStores(const Function &F, const Cfg &G,
   }
 }
 
+/// An instruction whose operand intervals prove it traps on every
+/// execution of a range-reachable block: a divisor exactly zero, the one
+/// INT64_MIN / -1 overflow, or an address provably outside every mapped
+/// segment. The engines make all three observable as traps, so an error
+/// here means the program cannot execute this instruction and survive.
+void checkGuaranteedTraps(const Function &F, const RangeAnalysis &RA,
+                          const ModuleRangeFacts &Facts,
+                          AnalysisReport &Report) {
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    BlockId Id = static_cast<BlockId>(B);
+    if (!RA.isReachable(Id))
+      continue;
+    RangeAnalysis::Env E = RA.blockIn(Id);
+    const BasicBlock &Block = F.Blocks[B];
+    for (size_t Idx = 0; Idx != Block.Instrs.size(); ++Idx) {
+      const Instr &I = Block.Instrs[Idx];
+      switch (I.Op) {
+      case Opcode::Div:
+      case Opcode::Rem: {
+        const char *What = I.Op == Opcode::Div ? "division" : "remainder";
+        Interval Dividend = RangeAnalysis::get(E, I.Src1);
+        Interval Divisor = RangeAnalysis::get(E, I.Src2);
+        if (Divisor == Interval::constant(0))
+          addFinding(Report, F.Name, Id, static_cast<int>(Idx),
+                     Severity::Error, kRuleGuaranteedTrap,
+                     std::string(What) + " by " + describeReg(F, I.Src2) +
+                         " which is provably zero; this instruction traps "
+                         "on every execution");
+        else if (Dividend ==
+                     Interval::constant(std::numeric_limits<int64_t>::min()) &&
+                 Divisor == Interval::constant(-1))
+          addFinding(Report, F.Name, Id, static_cast<int>(Idx),
+                     Severity::Error, kRuleGuaranteedTrap,
+                     std::string(What) +
+                         " provably overflows (INT64_MIN / -1); this "
+                         "instruction traps on every execution");
+        break;
+      }
+      case Opcode::Load:
+      case Opcode::Store: {
+        Interval Addr = RangeAnalysis::get(E, I.Src1);
+        bool BelowGlobals = !Addr.isBottom() && Addr.Hi < Facts.GlobalLo;
+        bool InHole = !Addr.isBottom() && Addr.Lo >= Facts.GlobalHi &&
+                      Addr.Hi < kStackBase;
+        if (BelowGlobals || InHole)
+          addFinding(Report, F.Name, Id, static_cast<int>(Idx),
+                     Severity::Error, kRuleGuaranteedTrap,
+                     std::string(I.Op == Opcode::Load ? "load" : "store") +
+                         " address " + renderInterval(Addr) +
+                         " is provably outside every mapped segment; this "
+                         "instruction traps on every execution");
+        break;
+      }
+      default:
+        break;
+      }
+      RA.step(I, E);
+    }
+  }
+}
+
+/// Blocks the CFG can reach but range propagation proves never execute.
+/// One finding per contradicted block — except a never-entered function,
+/// which gets a single finding at its entry instead of one per block.
+void checkRangeContradictions(const Function &F, const Cfg &G,
+                              const RangeAnalysis &RA,
+                              AnalysisReport &Report) {
+  if (!F.Blocks.empty() && !RA.isReachable(0)) {
+    addFinding(Report, F.Name, 0, -1, Severity::Warn, kRuleRangeContradiction,
+               "function is never entered (its interprocedural formal "
+               "summary is empty); the whole body is dynamically dead");
+    return;
+  }
+  for (size_t B = 1; B < F.Blocks.size(); ++B) {
+    BlockId Id = static_cast<BlockId>(B);
+    if (G.isReachable(Id) && !RA.isReachable(Id))
+      addFinding(Report, F.Name, Id, -1, Severity::Warn,
+                 kRuleRangeContradiction,
+                 "block is CFG-reachable but range propagation proves it "
+                 "never executes (contradictory branch conditions)");
+  }
+}
+
 } // namespace
 
 AnalysisReport impact::analyzeModule(const Module &M,
                                      const AnalysisOptions &Options) {
   AnalysisReport Report;
+  const bool NeedRanges = Options.GuaranteedTrap || Options.RangeContradiction;
+  ModuleRangeFacts Facts;
+  RangeContext RangeCtx;
+  if (NeedRanges) {
+    Facts = computeModuleRangeFacts(M);
+    RangeCtx.M = &M;
+    RangeCtx.Facts = &Facts;
+  }
   for (const Function &F : M.Funcs) {
     if (F.IsExternal || F.Eliminated || F.Blocks.empty())
       continue;
@@ -284,6 +460,13 @@ AnalysisReport impact::analyzeModule(const Module &M,
     if (Options.DeadStore) {
       LivenessAnalysis Live = computeLiveness(F, G);
       checkDeadStores(F, G, Live, Report);
+    }
+    if (NeedRanges) {
+      RangeAnalysis RA(F, G, RangeCtx);
+      if (Options.GuaranteedTrap)
+        checkGuaranteedTraps(F, RA, Facts, Report);
+      if (Options.RangeContradiction)
+        checkRangeContradictions(F, G, RA, Report);
     }
   }
   Report.sortFindings();

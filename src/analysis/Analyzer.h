@@ -38,6 +38,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace impact {
@@ -56,6 +57,8 @@ inline constexpr const char *kRuleAuditCallGraph = "audit-callgraph";
 inline constexpr const char *kRuleAuditWeightConservation =
     "audit-weight-conservation";
 inline constexpr const char *kRuleAuditLinearization = "audit-linearization";
+inline constexpr const char *kRuleGuaranteedTrap = "guaranteed-trap";
+inline constexpr const char *kRuleRangeContradiction = "range-contradiction";
 
 /// One analyzer finding. Block/Instr are -1 for function- or module-level
 /// findings; Function is empty only for findings about no function at all.
@@ -82,6 +85,15 @@ struct AnalysisOptions {
   bool AuditCallGraph = true;
   bool AuditWeightConservation = true;
   bool AuditLinearization = true;
+  /// Range-backed rules (analysis/RangeAnalysis.h). guaranteed-trap is an
+  /// *error*: an instruction in a range-reachable block whose operand
+  /// intervals prove it traps on every execution (divisor exactly zero,
+  /// the one INT64_MIN/-1 overflow, or an address provably outside every
+  /// valid segment). range-contradiction is a *warn*: a block the CFG
+  /// reaches but range propagation proves never executes (contradictory
+  /// branch conditions, or a function whose formal summary is bottom).
+  bool GuaranteedTrap = true;
+  bool RangeContradiction = true;
   /// Relative tolerance for the weight-conservation comparison (weights
   /// are double averages; redistribution reassociates their sums).
   double WeightTolerance = 1e-6;
@@ -94,9 +106,14 @@ struct AnalysisOptions {
 /// it. A spec that never mentions "all" and contains at least one bare
 /// rule name starts from all-disabled, so "--analyze=dead-store" means
 /// exactly that one rule; "--analyze=all,-dead-store" means all but one.
-/// Unknown names fail with \p Error listing the valid rules.
+/// Unknown names fail with \p Error listing the valid rules (plus a
+/// did-you-mean suggestion when a known name is an edit or two away).
 bool parseAnalysisRules(std::string_view Spec, AnalysisOptions &Out,
                         std::string *Error = nullptr);
+
+/// The full rule table — name, severity, one-line description — as the
+/// --analyze=help / IMPACT_ANALYZE=help listing. Newline-terminated.
+std::string renderAnalysisRuleTable();
 
 /// The findings of one analyzed unit, in deterministic order.
 struct AnalysisReport {
@@ -104,6 +121,10 @@ struct AnalysisReport {
 
   size_t countSeverity(Severity S) const;
   bool hasErrors() const { return countSeverity(Severity::Error) != 0; }
+
+  /// Finding counts per rule name, sorted by rule name; rules with no
+  /// findings are omitted. Feeds the per-rule stderr footers.
+  std::vector<std::pair<std::string, size_t>> countByRule() const;
 
   /// Sorts findings by (function, block, instr, rule, message) so reports
   /// are reproducible regardless of rule evaluation order.

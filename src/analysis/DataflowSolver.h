@@ -211,6 +211,70 @@ inline void solveDataflow(const Cfg &G, DataflowDirection Direction,
   }
 }
 
+/// Generic forward worklist solver over an arbitrary join-semilattice —
+/// the second engine in this file, for analyses whose lattice is not a
+/// bitset (the interval domain of analysis/RangeAnalysis.h is the first
+/// client). The \p Domain supplies:
+///
+///   using State = ...;                 copyable lattice element
+///   State entryState();                boundary fact at block 0
+///   void transferBlock(BlockId, State &);   apply the whole block body
+///   bool refineEdge(BlockId From, BlockId To, State &);
+///       sharpen a block-exit fact along one CFG edge; returning false
+///       marks the edge statically infeasible (nothing flows across it)
+///   bool joinInto(BlockId To, State &Dest, const State &Src);
+///       Dest ⊔= Src, widening however the domain chooses so ascending
+///       chains stay finite; returns true when Dest changed
+///
+/// Unlike solveDataflow above, blocks are reached optimistically: a block
+/// no feasible edge ever joins into keeps no state at all (its bit in the
+/// returned vector stays 0), which is how range analysis proves blocks
+/// dead through contradictory branch conditions. \p In receives the entry
+/// fact of every reached block.
+template <typename Domain>
+std::vector<char> solveForwardDataflow(const Cfg &G, Domain &D,
+                                       std::vector<typename Domain::State> &In) {
+  size_t N = G.getNumBlocks();
+  std::vector<char> Reached(N, 0);
+  In.assign(N, typename Domain::State());
+  if (N == 0)
+    return Reached;
+
+  Reached[0] = 1;
+  In[0] = D.entryState();
+  std::vector<char> Queued(N, 0);
+  std::vector<BlockId> Worklist;
+  Worklist.push_back(0);
+  Queued[0] = 1;
+
+  while (!Worklist.empty()) {
+    BlockId B = Worklist.back();
+    Worklist.pop_back();
+    Queued[static_cast<size_t>(B)] = 0;
+
+    typename Domain::State Out = In[static_cast<size_t>(B)];
+    D.transferBlock(B, Out);
+    for (BlockId S : G.getSuccessors(B)) {
+      typename Domain::State Edge = Out;
+      if (!D.refineEdge(B, S, Edge))
+        continue;
+      bool Changed;
+      if (!Reached[static_cast<size_t>(S)]) {
+        Reached[static_cast<size_t>(S)] = 1;
+        In[static_cast<size_t>(S)] = std::move(Edge);
+        Changed = true;
+      } else {
+        Changed = D.joinInto(S, In[static_cast<size_t>(S)], Edge);
+      }
+      if (Changed && !Queued[static_cast<size_t>(S)]) {
+        Queued[static_cast<size_t>(S)] = 1;
+        Worklist.push_back(S);
+      }
+    }
+  }
+  return Reached;
+}
+
 } // namespace impact
 
 #endif // IMPACT_ANALYSIS_DATAFLOWSOLVER_H

@@ -6,6 +6,7 @@
 
 #include "core/InlinePass.h"
 
+#include "analysis/RangeAnalysis.h"
 #include "callgraph/CallGraphBuilder.h"
 #include "core/DeadFunctionElimination.h"
 #include "opt/PassManager.h"
@@ -29,8 +30,21 @@ InlineResult impact::runInlineExpansion(Module &M, const ProfileData &Profile,
   if (Options.PostInlineOptimize) {
     // Clean up the parameter moves and jump scaffolding of every function
     // that received inlined bodies (the paper leaves this off; ablation).
+    // Interprocedural range facts are computed once on the expanded
+    // module; every transform they license is semantics-preserving, so
+    // they stay sound across the per-caller cleanups.
+    ModuleRangeFacts Facts;
+    RangeContext Ctx;
+    const RangeContext *RC = nullptr;
+    if (Options.PostOpt.Ranges) {
+      Facts = computeModuleRangeFacts(M);
+      Ctx.M = &M;
+      Ctx.Facts = &Facts;
+      RC = &Ctx;
+    }
     for (const ExpansionRecord &R : Result.Expansions)
-      runOptimizationPipeline(M.getFunction(R.Caller), Options.PostOpt);
+      runOptimizationPipeline(M.getFunction(R.Caller), Options.PostOpt,
+                              nullptr, RC);
   }
 
   if (Options.EliminateDeadFunctions)

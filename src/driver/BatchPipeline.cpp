@@ -10,6 +10,8 @@
 #include "support/Stopwatch.h"
 #include "support/ThreadPool.h"
 
+#include <map>
+
 using namespace impact;
 
 bool BatchResult::allOk() const { return firstFailure() < 0; }
@@ -145,13 +147,25 @@ std::string impact::renderBatchReport(const std::vector<BatchJob> &Jobs,
          " function(s)\n";
   if (AnyAnalyze) {
     size_t Warns = 0, Errors = 0;
+    std::map<std::string, size_t> ByRule;
     for (const PipelineResult &R : Result.Results) {
       Warns += R.Analysis.countSeverity(Severity::Warn);
       Errors += R.Analysis.countSeverity(Severity::Error);
+      for (const auto &[Rule, N] : R.Analysis.countByRule())
+        ByRule[Rule] += N;
     }
     Out += "analyze: " + std::to_string(Warns) + " warning(s), " +
            std::to_string(Errors) + " error(s) across " +
-           std::to_string(Result.Results.size()) + " unit(s)\n";
+           std::to_string(Result.Results.size()) + " unit(s)";
+    bool First = true;
+    for (const auto &[Rule, N] : ByRule) {
+      Out += First ? " (" : ", ";
+      Out += Rule + ": " + std::to_string(N);
+      First = false;
+    }
+    if (!First)
+      Out += ")";
+    Out += "\n";
   }
   // Quarantine footer: only present when something failed, so fault-free
   // reports stay bit-identical to the pre-containment format.

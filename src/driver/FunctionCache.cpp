@@ -30,7 +30,7 @@ std::string FunctionDefinitionCache::makeKey(const Function &F,
   // field that changes the struct's layout; the exhaustive toggle test
   // (PipelineTests, CacheKeyCoversEveryOptOption) catches one that
   // padding hides — update both together with this fingerprint.
-  static_assert(sizeof(OptOptions) == 12,
+  static_assert(sizeof(OptOptions) == 16,
                 "OptOptions changed: update makeKey's option fingerprint "
                 "and the sizeof above");
   std::string Key;
@@ -45,6 +45,7 @@ std::string FunctionDefinitionCache::makeKey(const Function &F,
   Key += static_cast<char>('0' + Opts.Sccp);
   Key += static_cast<char>('0' + Opts.Peephole);
   Key += static_cast<char>('0' + Opts.LoopInvariantCodeMotion);
+  Key += static_cast<char>('0' + Opts.Ranges);
   Key += 'i';
   Key += std::to_string(Opts.MaxIterations);
   // Signature and body, rendered exactly (printInstr includes register

@@ -6,6 +6,7 @@
 
 #include "interp/Interpreter.h"
 
+#include "analysis/RangeAnalysis.h"
 #include "cachesim/ICacheSim.h"
 #include "interp/Memory.h"
 #include "profile/MinCover.h"
@@ -33,7 +34,8 @@ struct Frame {
 class Engine {
 public:
   Engine(const Module &M, const RunOptions &Opts)
-      : M(M), Opts(Opts), MCPlan(Opts.MinCover), Mem(M, Opts.StackWords) {
+      : M(M), Opts(Opts), MCPlan(Opts.MinCover), Check(Opts.FactCheck),
+        Mem(M, Opts.StackWords) {
     Io.Input = Opts.Input;
     Io.Input2 = Opts.Input2;
 
@@ -131,6 +133,8 @@ private:
     RegFile.resize(RegBase + F.NumRegs, 0);
     for (size_t I = 0; I != Args.size(); ++I)
       RegFile[RegBase + I] = Args[I];
+    if (Check)
+      Check->onEnter(Callee, RegFile.data() + RegBase, F.NumParams);
 
     if (!MCPlan) {
       ++Result.Stats.FuncEntryCounts[Callee];
@@ -185,6 +189,9 @@ private:
     Args.reserve(I.Args.size());
     for (Reg A : I.Args)
       Args.push_back(reg(A));
+    if (Check)
+      for (size_t Idx = 0; Idx != Args.size(); ++Idx)
+        Check->onSiteArg(I.SiteId, Idx, Args[Idx]);
 
     if (F.IsExternal) {
       ++Result.Stats.ExternalCalls;
@@ -226,6 +233,8 @@ private:
     if (!MCPlan)
       ++Result.Stats.Returns;
     int64_t Value = I.Src1 != kNoReg ? reg(I.Src1) : 0;
+    if (Check)
+      Check->onRet(CurFunc, Value);
 
     if (Frames.empty()) {
       // main returned.
@@ -392,18 +401,27 @@ private:
         reg(I.Dst) = reg(I.Src1) >= reg(I.Src2);
         ++CurIndex;
         break;
-      case Opcode::Load:
-        reg(I.Dst) = Mem.load(reg(I.Src1));
+      case Opcode::Load: {
+        // The address is captured before the load: Dst may alias Src1.
+        int64_t Addr = reg(I.Src1);
+        reg(I.Dst) = Mem.load(Addr);
         if (Mem.hasTrapped())
           Halted = true;
+        else if (Check)
+          Check->onLoad(Addr);
         ++CurIndex;
         break;
-      case Opcode::Store:
-        Mem.store(reg(I.Src1), reg(I.Src2));
+      }
+      case Opcode::Store: {
+        int64_t Addr = reg(I.Src1);
+        Mem.store(Addr, reg(I.Src2));
         if (Mem.hasTrapped())
           Halted = true;
+        else if (Check)
+          Check->onStore(Addr);
         ++CurIndex;
         break;
+      }
       case Opcode::FrameAddr:
         reg(I.Dst) = FrameBase + I.Imm;
         ++CurIndex;
@@ -511,6 +529,7 @@ private:
   const Module &M;
   const RunOptions &Opts;
   const MinCoverPlan *MCPlan;
+  RangeFactChecker *const Check;
   Memory Mem;
   IoEnv Io;
   ExecResult Result;
@@ -545,5 +564,11 @@ private:
 
 ExecResult impact::runProgram(const Module &M, const RunOptions &Opts) {
   Engine E(M, Opts);
-  return E.run();
+  ExecResult R = E.run();
+  if (Opts.FactCheck) {
+    if (R.St == ExecResult::Status::Trapped)
+      Opts.FactCheck->onTrap(R.TrapMessage);
+    Opts.FactCheck->onRunEnd();
+  }
+  return R;
 }

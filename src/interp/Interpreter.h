@@ -27,6 +27,7 @@
 namespace impact {
 
 struct MinCoverPlan;
+class RangeFactChecker;
 
 /// One activation still live when a run halted abnormally (trap, step
 /// limit, or the exit intrinsic). Minimum-coverage inference needs these:
@@ -98,6 +99,12 @@ struct RunOptions {
   /// stats through profile/MinCover.h's inferCounts() to rehydrate a full
   /// ExecStats. Not owned; must outlive the run.
   const MinCoverPlan *MinCover = nullptr;
+  /// When set, the run streams entry/call/return/memory events into this
+  /// checker (analysis/RangeAnalysis.h) so every statically-proven range
+  /// and purity fact is asserted against the actual execution. Both
+  /// engines drive the identical hook set. Not owned; must outlive the
+  /// run. Never alters execution.
+  RangeFactChecker *FactCheck = nullptr;
 };
 
 struct ExecResult {

@@ -6,6 +6,7 @@
 
 #include "opt/PassManager.h"
 
+#include "analysis/RangeAnalysis.h"
 #include "opt/ConstantFolding.h"
 #include "opt/CopyPropagation.h"
 #include "opt/DeadCodeElimination.h"
@@ -49,6 +50,7 @@ constexpr PassFlag Passes[] = {
     {"sccp", &OptOptions::Sccp},
     {"peephole", &OptOptions::Peephole},
     {"licm", &OptOptions::LoopInvariantCodeMotion},
+    {"ranges", &OptOptions::Ranges},
 };
 
 } // namespace
@@ -122,10 +124,18 @@ std::string impact::renderOptPasses(const OptOptions &Opts) {
 }
 
 bool impact::runOptimizationPipeline(Function &F, const OptOptions &Opts,
-                                     OptStats *Stats) {
+                                     OptStats *Stats,
+                                     const RangeContext *Ranges) {
   Stopwatch Total;
   if (Stats)
     Stats->FunctionsVisited += 1;
+  // Range facts reach the three range-aware passes only when the knob is
+  // on. Per-function callers (the cache-keyed pre-opt path) get a purely
+  // intraprocedural context — the only facts that stay sound for a body
+  // cached independently of the rest of the module.
+  RangeContext IntraCtx;
+  const RangeContext *RC =
+      Opts.Ranges ? (Ranges ? Ranges : &IntraCtx) : nullptr;
   bool EverChanged = false;
   for (unsigned Iter = 0; Iter != Opts.MaxIterations; ++Iter) {
     if (Stats) {
@@ -146,20 +156,22 @@ bool impact::runOptimizationPipeline(Function &F, const OptOptions &Opts,
     // loops so DCE can sweep what the motion exposed.
     if (Opts.Sccp)
       Changed |= runTimed(Stats ? &Stats->Sccp : nullptr, F,
-                          [](Function &G) { return runSccp(G); });
+                          [RC](Function &G) { return runSccp(G, RC); });
     if (Opts.ConstantFolding)
       Changed |= runTimed(Stats ? &Stats->ConstantFolding : nullptr, F,
                           [](Function &G) { return runConstantFolding(G); });
     if (Opts.Peephole)
       Changed |= runTimed(Stats ? &Stats->Peephole : nullptr, F,
-                          [](Function &G) { return runPeephole(G); });
+                          [RC](Function &G) { return runPeephole(G, RC); });
     if (Opts.JumpOptimization)
       Changed |= runTimed(Stats ? &Stats->JumpOptimization : nullptr, F,
                           [](Function &G) { return runJumpOptimization(G); });
     if (Opts.LoopInvariantCodeMotion)
       Changed |= runTimed(Stats ? &Stats->LoopInvariantCodeMotion : nullptr,
                           F,
-                          [](Function &G) { return runLoopInvariantCodeMotion(G); });
+                          [RC](Function &G) {
+                            return runLoopInvariantCodeMotion(G, RC);
+                          });
     if (Opts.DeadCodeElimination)
       Changed |= runTimed(Stats ? &Stats->DeadCodeElimination : nullptr, F,
                           [](Function &G) { return runDeadCodeElimination(G); });
@@ -174,9 +186,22 @@ bool impact::runOptimizationPipeline(Function &F, const OptOptions &Opts,
 
 bool impact::runOptimizationPipeline(Module &M, const OptOptions &Opts,
                                      OptStats *Stats) {
+  // A whole-module pipeline can afford the interprocedural summaries:
+  // they are computed once up front, and every transform they license is
+  // semantics-preserving, so facts stay sound across the passes that
+  // consume them within this run.
+  ModuleRangeFacts Facts;
+  RangeContext Ctx;
+  const RangeContext *RC = nullptr;
+  if (Opts.Ranges) {
+    Facts = computeModuleRangeFacts(M);
+    Ctx.M = &M;
+    Ctx.Facts = &Facts;
+    RC = &Ctx;
+  }
   bool Changed = false;
   for (Function &F : M.Funcs)
     if (!F.IsExternal)
-      Changed |= runOptimizationPipeline(F, Opts, Stats);
+      Changed |= runOptimizationPipeline(F, Opts, Stats, RC);
   return Changed;
 }

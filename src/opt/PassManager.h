@@ -38,6 +38,12 @@ struct OptOptions {
   bool Sccp = false;
   bool Peephole = false;
   bool LoopInvariantCodeMotion = false;
+  /// Feed interval range facts (analysis/RangeAnalysis.h) to SCCP,
+  /// peephole, and LICM: range-folded comparisons, proven-safe strength
+  /// reduction, and hoisting of proven-nonzero divisions / in-bounds
+  /// loads / pure calls. Per-function pipelines analyze intraprocedurally;
+  /// module-level pipelines add the interprocedural summaries.
+  bool Ranges = false;
   unsigned MaxIterations = 4;
 
   /// Exact equality — the bench harness uses it to apply --passes= only
@@ -110,11 +116,17 @@ struct OptStats {
   }
 };
 
+struct RangeContext;
+
 /// Runs the enabled passes on \p F until a fixpoint or MaxIterations.
 /// Accumulates per-pass wall time and work counters into \p Stats when
-/// non-null. Returns true on any change.
+/// non-null. Returns true on any change. \p Ranges, when non-null and
+/// Opts.Ranges is set, supplies interprocedural facts to the range-aware
+/// passes (callers with a whole module pass one; per-function callers get
+/// an intraprocedural context built internally).
 bool runOptimizationPipeline(Function &F, const OptOptions &Opts,
-                             OptStats *Stats);
+                             OptStats *Stats,
+                             const RangeContext *Ranges = nullptr);
 inline bool runOptimizationPipeline(Function &F,
                                     const OptOptions &Opts = OptOptions()) {
   return runOptimizationPipeline(F, Opts, nullptr);

@@ -6,6 +6,9 @@
 
 #include "opt/Sccp.h"
 
+#include "analysis/Cfg.h"
+#include "analysis/RangeAnalysis.h"
+
 #include <optional>
 #include <vector>
 
@@ -168,10 +171,36 @@ bool isPureRewritable(Opcode Op) {
 
 } // namespace
 
-bool impact::runSccp(Function &F) {
+bool impact::runSccp(Function &F, const RangeContext *Ranges) {
   if (F.Blocks.empty() || F.NumRegs == 0)
     return false;
   const size_t NumBlocks = F.Blocks.size();
+
+  // Interval side-channel: for each block ending in cond_br, whether the
+  // interval of the condition at block exit proves a direction (+1 taken,
+  // -1 fallthrough, 0 no claim). Bottom intervals — blocks range analysis
+  // proved unreachable — make no claim; the worklist below simply never
+  // reaches them.
+  std::optional<Cfg> G;
+  std::optional<RangeAnalysis> RA;
+  std::vector<int> CondDir(NumBlocks, 0);
+  if (Ranges) {
+    G.emplace(F);
+    RA.emplace(F, *G, *Ranges);
+    for (size_t B = 0; B != NumBlocks; ++B) {
+      const auto &Instrs = F.Blocks[B].Instrs;
+      if (Instrs.empty() || Instrs.back().Op != Opcode::CondBr)
+        continue;
+      if (!RA->isReachable(static_cast<BlockId>(B)))
+        continue;
+      Interval CI = RangeAnalysis::get(RA->blockOut(static_cast<BlockId>(B)),
+                                       Instrs.back().Src1);
+      if (CI.excludesZero())
+        CondDir[B] = 1;
+      else if (CI.isConstant() && CI.Lo == 0)
+        CondDir[B] = -1;
+    }
+  }
 
   std::vector<char> Executable(NumBlocks, 0);
   std::vector<State> InState(NumBlocks);
@@ -236,6 +265,10 @@ bool impact::runSccp(Function &F) {
       Cell Cond = S[static_cast<size_t>(Term.Src1)];
       if (Cond.IsConst)
         Propagate(Cond.Value != 0 ? Term.Target : Term.Target2, S);
+      else if (CondDir[static_cast<size_t>(B)] != 0)
+        Propagate(CondDir[static_cast<size_t>(B)] > 0 ? Term.Target
+                                                      : Term.Target2,
+                  S);
       else {
         Propagate(Term.Target, S);
         Propagate(Term.Target2, S);
@@ -243,17 +276,26 @@ bool impact::runSccp(Function &F) {
     }
   }
 
-  // Rewrite phase over executable blocks with the settled states.
+  // Rewrite phase over executable blocks with the settled states. The
+  // interval environment is stepped with the *original* instruction before
+  // any rewrite so it stays aligned with what the analysis saw.
   bool Changed = false;
   for (size_t B = 0; B != NumBlocks; ++B) {
     if (!Executable[B])
       continue;
     State S = InState[B];
+    const bool HasRange = RA && RA->isReachable(static_cast<BlockId>(B));
+    RangeAnalysis::Env RE;
+    if (HasRange)
+      RE = RA->blockIn(static_cast<BlockId>(B));
     for (Instr &I : F.Blocks[B].Instrs) {
       if (I.Op == Opcode::CondBr) {
         Cell Cond = S[static_cast<size_t>(I.Src1)];
         if (Cond.IsConst) {
           I = Instr::makeJump(Cond.Value != 0 ? I.Target : I.Target2);
+          Changed = true;
+        } else if (CondDir[B] != 0) {
+          I = Instr::makeJump(CondDir[B] > 0 ? I.Target : I.Target2);
           Changed = true;
         }
         continue;
@@ -262,12 +304,30 @@ bool impact::runSccp(Function &F) {
         Cell V = evalDst(I, S);
         if (V.IsConst) {
           transfer(I, S);
+          if (HasRange)
+            RA->step(I, RE);
           I = Instr::makeLdImm(I.Dst, V.Value);
           Changed = true;
           continue;
         }
+        if (HasRange) {
+          // A singleton interval is a constant the cell lattice missed
+          // (e.g. an interprocedural formal fact). Div/rem singletons are
+          // safe: the transfer yields non-top only when the divisor
+          // provably cannot trap.
+          Interval IV = RA->eval(I, RE);
+          if (IV.isConstant()) {
+            S[static_cast<size_t>(I.Dst)] = Cell::constant(IV.Lo);
+            RA->step(I, RE);
+            I = Instr::makeLdImm(I.Dst, IV.Lo);
+            Changed = true;
+            continue;
+          }
+        }
       }
       transfer(I, S);
+      if (HasRange)
+        RA->step(I, RE);
     }
   }
   return Changed;

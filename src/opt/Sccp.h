@@ -11,6 +11,8 @@
 
 namespace impact {
 
+struct RangeContext;
+
 /// Wegman/Zadeck-style conditional constant propagation adapted to the
 /// non-SSA IL: a worklist propagates per-register constant lattice values
 /// (constant or overdefined) across block boundaries, but only along
@@ -29,7 +31,16 @@ namespace impact {
 /// left for jump optimization to unlink). Trapping operations (div/rem by
 /// zero, INT64_MIN / -1) are never folded away — they stay to trap at
 /// runtime. Returns true on change.
-bool runSccp(Function &F);
+///
+/// With a non-null \p Ranges, interval facts (analysis/RangeAnalysis.h)
+/// extend the lattice where it is weakest: a cond_br whose condition is
+/// overdefined but whose interval excludes (or is exactly) zero still
+/// feeds one successor, and a pure instruction whose interval is a
+/// singleton folds to ld_imm. Interval singletons for div/rem are safe to
+/// fold: the transfer only produces a non-top result when the divisor
+/// provably cannot trap.
+bool runSccp(Function &F, const RangeContext *Ranges);
+inline bool runSccp(Function &F) { return runSccp(F, nullptr); }
 
 /// Runs SCCP over every non-external function.
 bool runSccp(Module &M);

@@ -16,6 +16,7 @@
 
 #include "vm/Vm.h"
 
+#include "analysis/RangeAnalysis.h"
 #include "interp/Intrinsics.h"
 #include "interp/Memory.h"
 
@@ -48,7 +49,8 @@ struct VmFrame {
 class VmEngine {
 public:
   VmEngine(const VmProgram &P, const RunOptions &Opts)
-      : P(P), Opts(Opts), Mem(P.GlobalImage, Opts.StackWords) {
+      : P(P), Opts(Opts), Check(Opts.FactCheck),
+        Mem(P.GlobalImage, Opts.StackWords) {
     Io.Input = Opts.Input;
     Io.Input2 = Opts.Input2;
     FuncEntryCounts.assign(P.NumFuncs, 0);
@@ -77,6 +79,9 @@ public:
     RegFile.assign(F.NumRegs, 0);
     RegBase = 0;
     CurFunc = P.MainId;
+    if (Check)
+      Check->onEnter(P.MainId, RegFile.data(),
+                     P.Callees[P.MainId].NumParams);
     if (!P.MinCover)
       ++FuncEntryCounts[P.MainId];
     else if (int32_t Pr = P.EntryProbes[P.MainId]; Pr >= 0)
@@ -173,6 +178,9 @@ private:
     for (int32_t I = 0; I != NArgs; ++I)
       RegFile[NewBase + static_cast<size_t>(I)] =
           RegFile[RegBase + static_cast<size_t>(ArgRegs[I])];
+    if (Check)
+      Check->onEnter(Callee, RegFile.data() + NewBase,
+                     static_cast<size_t>(NArgs));
 
     if (!P.MinCover)
       ++FuncEntryCounts[Callee];
@@ -186,6 +194,15 @@ private:
     Msgs = F.Msgs.data();
     R = RegFile.data() + RegBase;
     return true;
+  }
+
+  /// Streams one call site's argument values into the fact checker (cold;
+  /// only reached when a checker is installed).
+  void checkSiteArgs(int32_t Site, const int32_t *ArgRegs, int32_t N,
+                     const int64_t *R) {
+    for (int32_t I = 0; I != N; ++I)
+      Check->onSiteArg(static_cast<uint32_t>(Site), static_cast<size_t>(I),
+                       R[ArgRegs[I]]);
   }
 
   /// Maps a code offset of \p Func to (IL block, number of call IL
@@ -240,6 +257,7 @@ private:
 
   const VmProgram &P;
   const RunOptions &Opts;
+  RangeFactChecker *const Check;
   Memory Mem;
   IoEnv Io;
 
@@ -325,6 +343,11 @@ ExecResult impact::runProgramVm(const VmProgram &P, const RunOptions &Opts,
   ExecResult Result = E.run(UseGoto);
   if (Stats)
     Stats->merge(E.RunStats);
+  if (Opts.FactCheck) {
+    if (Result.St == ExecResult::Status::Trapped)
+      Opts.FactCheck->onTrap(Result.TrapMessage);
+    Opts.FactCheck->onRunEnd();
+  }
   return Result;
 }
 

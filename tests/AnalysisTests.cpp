@@ -325,6 +325,46 @@ TEST(AnalysisRules, UnknownRuleRejectedWithValidList) {
   EXPECT_NE(Error.find(kRuleAuditWeightConservation), std::string::npos);
 }
 
+TEST(AnalysisRules, UnknownRuleGetsDidYouMeanSuggestion) {
+  AnalysisOptions O;
+  std::string Error;
+  EXPECT_FALSE(parseAnalysisRules("dead-stroe", O, &Error));
+  EXPECT_NE(Error.find("did you mean 'dead-store'?"), std::string::npos)
+      << Error;
+  Error.clear();
+  EXPECT_FALSE(parseAnalysisRules("guaranteed-trep", O, &Error));
+  EXPECT_NE(Error.find("did you mean 'guaranteed-trap'?"), std::string::npos)
+      << Error;
+  // Nothing remotely close: the valid list, no suggestion.
+  Error.clear();
+  EXPECT_FALSE(parseAnalysisRules("zzzzzzzzzzzz", O, &Error));
+  EXPECT_EQ(Error.find("did you mean"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("valid: all"), std::string::npos) << Error;
+}
+
+TEST(AnalysisRules, HelpTableListsEveryRuleWithSeverity) {
+  std::string Table = renderAnalysisRuleTable();
+  for (const char *Rule :
+       {kRuleUninitRead, kRuleUnreachableBlock, kRuleDeadStore,
+        kRuleAuditSafeExpansion, kRuleAuditCallGraph,
+        kRuleAuditWeightConservation, kRuleAuditLinearization,
+        kRuleGuaranteedTrap, kRuleRangeContradiction})
+    EXPECT_NE(Table.find(Rule), std::string::npos) << Rule;
+  EXPECT_NE(Table.find("warn"), std::string::npos);
+  EXPECT_NE(Table.find("error"), std::string::npos);
+  ASSERT_FALSE(Table.empty());
+  EXPECT_EQ(Table.back(), '\n');
+}
+
+TEST(AnalysisRules, RangeRulesSelectable) {
+  AnalysisOptions O = onlyRules("guaranteed-trap");
+  EXPECT_TRUE(O.GuaranteedTrap);
+  EXPECT_FALSE(O.RangeContradiction || O.DeadStore || O.UninitRead);
+  AnalysisOptions All = onlyRules("all,-range-contradiction");
+  EXPECT_TRUE(All.GuaranteedTrap);
+  EXPECT_FALSE(All.RangeContradiction);
+}
+
 TEST(AnalysisReportTest, FindingRenderForms) {
   Finding F;
   F.Function = "main";
@@ -525,6 +565,120 @@ TEST(AnalyzeModule, RuleSelectionHonored) {
   AnalysisReport R = analyzeModule(M, onlyRules("unreachable-block"));
   EXPECT_FALSE(findingsForRule(R, kRuleUnreachableBlock).empty());
   EXPECT_TRUE(findingsForRule(R, kRuleDeadStore).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Range-backed rules (guaranteed-trap, range-contradiction)
+//===----------------------------------------------------------------------===//
+
+TEST(GuaranteedTrap, DefiniteZeroDivisorIsAnError) {
+  Module M = test::compileOk(R"MC(
+int main() {
+  int x;
+  x = 0;
+  return 5 / x;
+}
+)MC");
+  ASSERT_EQ(verifyModuleText(M), "");
+  AnalysisReport R = analyzeModule(M, onlyRules("guaranteed-trap"));
+  std::vector<Finding> F = findingsForRule(R, kRuleGuaranteedTrap);
+  ASSERT_EQ(F.size(), 1u) << R.renderText();
+  EXPECT_EQ(F[0].Sev, Severity::Error);
+  EXPECT_EQ(F[0].Function, "main");
+  EXPECT_NE(F[0].Message.find("provably zero"), std::string::npos);
+}
+
+TEST(GuaranteedTrap, ProvablyNonzeroDivisorIsClean) {
+  Module M = test::compileOk(R"MC(
+extern int getchar();
+int main() {
+  int d;
+  d = (getchar() & 7) + 1;
+  return 100 / d;
+}
+)MC");
+  ASSERT_EQ(verifyModuleText(M), "");
+  AnalysisReport R = analyzeModule(M, onlyRules("guaranteed-trap"));
+  EXPECT_TRUE(findingsForRule(R, kRuleGuaranteedTrap).empty())
+      << R.renderText();
+}
+
+TEST(GuaranteedTrap, TrapInRangeUnreachableBlockNotReported) {
+  // The division by zero sits behind a condition range propagation
+  // proves false, so it never executes — the trap rule must stay quiet
+  // (that block is range-contradiction's finding instead).
+  Module M = test::compileOk(R"MC(
+int main() {
+  int x;
+  int z;
+  x = 3;
+  z = 0;
+  if (x > 5) {
+    return 1 / z;
+  }
+  return 0;
+}
+)MC");
+  ASSERT_EQ(verifyModuleText(M), "");
+  AnalysisReport R = analyzeModule(M, onlyRules("guaranteed-trap"));
+  EXPECT_TRUE(findingsForRule(R, kRuleGuaranteedTrap).empty())
+      << R.renderText();
+}
+
+TEST(RangeContradiction, ContradictoryBranchIsAWarning) {
+  Module M = test::compileOk(R"MC(
+int main() {
+  int x;
+  x = 3;
+  if (x > 5) {
+    return 1;
+  }
+  return 0;
+}
+)MC");
+  ASSERT_EQ(verifyModuleText(M), "");
+  AnalysisReport R = analyzeModule(M, onlyRules("range-contradiction"));
+  std::vector<Finding> F = findingsForRule(R, kRuleRangeContradiction);
+  ASSERT_FALSE(F.empty()) << R.renderText();
+  EXPECT_EQ(F[0].Sev, Severity::Warn);
+  EXPECT_EQ(F[0].Function, "main");
+}
+
+TEST(RangeContradiction, DataDependentBranchIsClean) {
+  Module M = test::compileOk(R"MC(
+extern int getchar();
+int main() {
+  if (getchar() > 5) {
+    return 1;
+  }
+  return 0;
+}
+)MC");
+  ASSERT_EQ(verifyModuleText(M), "");
+  AnalysisReport R = analyzeModule(M, onlyRules("range-contradiction"));
+  EXPECT_TRUE(findingsForRule(R, kRuleRangeContradiction).empty())
+      << R.renderText();
+}
+
+TEST(RangeContradiction, NeverCalledFunctionReportedOnceAtEntry) {
+  Module M = test::compileOk(R"MC(
+int orphan(int x) {
+  if (x > 0) {
+    return 1;
+  }
+  return 2;
+}
+int main() {
+  return 0;
+}
+)MC");
+  ASSERT_EQ(verifyModuleText(M), "");
+  AnalysisReport R = analyzeModule(M, onlyRules("range-contradiction"));
+  std::vector<Finding> F = findingsForRule(R, kRuleRangeContradiction);
+  ASSERT_EQ(F.size(), 1u) << R.renderText();
+  EXPECT_EQ(F[0].Function, "orphan");
+  EXPECT_EQ(F[0].Block, 0);
+  EXPECT_NE(F[0].Message.find("never entered"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//

@@ -166,6 +166,7 @@ TEST(Pipeline, CacheKeyCoversEveryOptOption) {
       &OptOptions::Sccp,
       &OptOptions::Peephole,
       &OptOptions::LoopInvariantCodeMotion,
+      &OptOptions::Ranges,
   };
   std::set<std::string> Keys;
   Keys.insert(FunctionDefinitionCache::makeKey(*Def, OptOptions()));

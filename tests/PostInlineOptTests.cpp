@@ -447,7 +447,8 @@ TEST(PassManager, RenderOptPassesInvertsParse) {
   ASSERT_TRUE(parseOptPasses("fold,sccp,licm", O, &Error));
   EXPECT_EQ(renderOptPasses(O), "fold,sccp,licm");
   ASSERT_TRUE(parseOptPasses(
-      "-fold,-jump,-copy,-dce,-tre,-sccp,-peephole,-licm", O, &Error));
+      "-fold,-jump,-copy,-dce,-tre,-sccp,-peephole,-licm,-ranges", O,
+      &Error));
   EXPECT_EQ(renderOptPasses(O), "none");
 }
 
